@@ -1,0 +1,132 @@
+//! Errors of the bounded downgrade.
+
+use anosy_ifc::IfcError;
+use anosy_synth::SynthError;
+use anosy_solver::SolverError;
+use std::fmt;
+
+/// Errors raised by [`crate::AnosySession`] operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnosyError {
+    /// `downgrade` was asked to run a query that was never registered (the paper's
+    /// "Can't downgrade" error): approximations are synthesized ahead of time, so an unknown
+    /// query has no posterior function.
+    UnknownQuery {
+        /// The requested query name.
+        name: String,
+    },
+    /// Performing the query would violate the quantitative policy on at least one of the two
+    /// possible posteriors, so the query was **not** executed.
+    PolicyViolation {
+        /// The query that was refused.
+        query: String,
+        /// The name of the policy that refused it.
+        policy: String,
+        /// Size of the posterior for the `true` answer.
+        posterior_true_size: u128,
+        /// Size of the posterior for the `false` answer.
+        posterior_false_size: u128,
+    },
+    /// The secret lies outside the declared secret space, so no sound knowledge tracking is
+    /// possible for it.
+    SecretOutsideLayout,
+    /// A registration-time failure: synthesis could not produce an approximation.
+    Synthesis(SynthError),
+    /// A registration-time failure: the synthesized approximation did not verify. This indicates
+    /// a bug in the synthesizer (the paper's analogue is a Liquid Haskell rejection) and is
+    /// surfaced rather than silently accepted.
+    VerificationFailed {
+        /// The query whose approximation failed to verify.
+        query: String,
+        /// Rendered verification report.
+        report: String,
+    },
+    /// The underlying solver failed while verifying a registration.
+    Solver(SolverError),
+    /// The underlying IFC substrate rejected an operation.
+    Ifc(IfcError),
+}
+
+impl fmt::Display for AnosyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnosyError::UnknownQuery { name } => write!(f, "can't downgrade {name}: unknown query"),
+            AnosyError::PolicyViolation {
+                query,
+                policy,
+                posterior_true_size,
+                posterior_false_size,
+            } => write!(
+                f,
+                "policy violation: {policy} refuses {query} (posterior sizes: true {posterior_true_size}, false {posterior_false_size})"
+            ),
+            AnosyError::SecretOutsideLayout => {
+                write!(f, "the secret lies outside the declared secret space")
+            }
+            AnosyError::Synthesis(e) => write!(f, "synthesis failed: {e}"),
+            AnosyError::VerificationFailed { query, report } => {
+                write!(f, "synthesized approximation for {query} failed verification:\n{report}")
+            }
+            AnosyError::Solver(e) => write!(f, "solver failure: {e}"),
+            AnosyError::Ifc(e) => write!(f, "IFC violation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AnosyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AnosyError::Synthesis(e) => Some(e),
+            AnosyError::Solver(e) => Some(e),
+            AnosyError::Ifc(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SynthError> for AnosyError {
+    fn from(e: SynthError) -> Self {
+        AnosyError::Synthesis(e)
+    }
+}
+
+impl From<SolverError> for AnosyError {
+    fn from(e: SolverError) -> Self {
+        AnosyError::Solver(e)
+    }
+}
+
+impl From<IfcError> for AnosyError {
+    fn from(e: IfcError) -> Self {
+        AnosyError::Ifc(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn display_matches_the_papers_messages() {
+        let unknown = AnosyError::UnknownQuery { name: "nearby".into() };
+        assert!(unknown.to_string().contains("can't downgrade nearby"));
+        let violation = AnosyError::PolicyViolation {
+            query: "nearby (400,200)".into(),
+            policy: "min-size(100)".into(),
+            posterior_true_size: 0,
+            posterior_false_size: 2537,
+        };
+        assert!(violation.to_string().contains("policy violation"));
+        assert!(violation.to_string().contains("true 0"));
+    }
+
+    #[test]
+    fn conversions_set_sources() {
+        let e: AnosyError = SolverError::EmptySpace.into();
+        assert!(e.source().is_some());
+        let e: AnosyError = IfcError::FlowViolation { from: "a".into(), to: "b".into() }.into();
+        assert!(e.source().is_some());
+        assert!(AnosyError::SecretOutsideLayout.source().is_none());
+    }
+}

@@ -1,0 +1,173 @@
+//! Attacker knowledge and the quantitative measures derived from it (§8 of the paper).
+
+use anosy_domains::AbstractDomain;
+use anosy_logic::{Point, SecretLayout};
+use std::fmt;
+
+/// The attacker's knowledge about one secret: the set of secrets the attacker still considers
+/// possible, represented by an abstract-domain element.
+///
+/// The knowledge wrapper also exposes the classical quantitative-information-flow measures that
+/// the paper lists as further applications (§8) under the uniform-prior reading of knowledge:
+/// with `n = size()` possible secrets, Shannon entropy is `log2 n`, Bayes vulnerability is
+/// `1 / n`, min-entropy is `log2 n` and guessing entropy is `(n + 1) / 2`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Knowledge<D> {
+    domain: D,
+}
+
+impl<D: AbstractDomain> Knowledge<D> {
+    /// The initial knowledge: the attacker only knows the declared secret space (`⊤`).
+    pub fn initial(layout: &SecretLayout) -> Self {
+        Knowledge { domain: D::top(layout) }
+    }
+
+    /// Wraps an existing abstract-domain element.
+    pub fn from_domain(domain: D) -> Self {
+        Knowledge { domain }
+    }
+
+    /// The underlying abstract-domain element.
+    pub fn domain(&self) -> &D {
+        &self.domain
+    }
+
+    /// Consumes the wrapper and returns the abstract-domain element.
+    pub fn into_domain(self) -> D {
+        self.domain
+    }
+
+    /// Number of secrets the attacker still considers possible.
+    pub fn size(&self) -> u128 {
+        self.domain.size()
+    }
+
+    /// Returns `true` when the attacker has excluded every secret (which only happens with
+    /// under-approximations that lost all precision — the real knowledge is never empty).
+    pub fn is_empty(&self) -> bool {
+        self.domain.is_empty()
+    }
+
+    /// Returns `true` when the secret is fully determined (at most one candidate left).
+    pub fn is_revealed(&self) -> bool {
+        self.size() <= 1
+    }
+
+    /// Whether the attacker still considers this concrete secret possible.
+    pub fn admits(&self, secret: &Point) -> bool {
+        self.domain.contains(secret)
+    }
+
+    /// Shannon entropy of the uniform distribution over the remaining secrets, in bits.
+    pub fn shannon_entropy(&self) -> f64 {
+        let n = self.size();
+        if n == 0 {
+            0.0
+        } else {
+            (n as f64).log2()
+        }
+    }
+
+    /// Min-entropy in bits (equals Shannon entropy under the uniform reading).
+    pub fn min_entropy(&self) -> f64 {
+        self.shannon_entropy()
+    }
+
+    /// Bayes vulnerability: the probability that an attacker guessing once guesses the secret.
+    pub fn bayes_vulnerability(&self) -> f64 {
+        let n = self.size();
+        if n == 0 {
+            0.0
+        } else {
+            1.0 / n as f64
+        }
+    }
+
+    /// Guessing entropy: the expected number of guesses to find the secret.
+    pub fn guessing_entropy(&self) -> f64 {
+        let n = self.size();
+        if n == 0 {
+            0.0
+        } else {
+            (n as f64 + 1.0) / 2.0
+        }
+    }
+
+    /// Refines the knowledge with another domain element (set intersection), e.g. an ind. set.
+    pub fn refine_with(&self, other: &D) -> Knowledge<D> {
+        Knowledge { domain: self.domain.intersect(other) }
+    }
+}
+
+impl<D: AbstractDomain> fmt::Display for Knowledge<D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "knowledge of {} secrets ({:.1} bits)",
+            self.size(),
+            self.shannon_entropy()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anosy_domains::{AInt, IntervalDomain, PowersetDomain};
+
+    fn layout() -> SecretLayout {
+        SecretLayout::builder().field("x", 0, 400).field("y", 0, 400).build()
+    }
+
+    #[test]
+    fn initial_knowledge_is_the_whole_space() {
+        let k: Knowledge<IntervalDomain> = Knowledge::initial(&layout());
+        assert_eq!(k.size(), 401 * 401);
+        assert!(k.admits(&Point::new(vec![300, 200])));
+        assert!(!k.is_revealed());
+        assert!(!k.is_empty());
+    }
+
+    #[test]
+    fn entropy_measures_follow_the_size() {
+        let one = Knowledge::from_domain(IntervalDomain::from_intervals(vec![AInt::singleton(7)]));
+        assert_eq!(one.size(), 1);
+        assert!(one.is_revealed());
+        assert_eq!(one.shannon_entropy(), 0.0);
+        assert_eq!(one.bayes_vulnerability(), 1.0);
+        assert_eq!(one.guessing_entropy(), 1.0);
+
+        let kilo = Knowledge::from_domain(IntervalDomain::from_intervals(vec![AInt::new(1, 1024)]));
+        assert!((kilo.shannon_entropy() - 10.0).abs() < 1e-9);
+        assert!((kilo.bayes_vulnerability() - 1.0 / 1024.0).abs() < 1e-12);
+        assert!((kilo.guessing_entropy() - 512.5).abs() < 1e-9);
+        assert_eq!(kilo.min_entropy(), kilo.shannon_entropy());
+
+        let empty = Knowledge::from_domain(IntervalDomain::empty(1));
+        assert_eq!(empty.shannon_entropy(), 0.0);
+        assert_eq!(empty.bayes_vulnerability(), 0.0);
+        assert_eq!(empty.guessing_entropy(), 0.0);
+        assert!(empty.is_empty() && empty.is_revealed());
+    }
+
+    #[test]
+    fn refine_with_intersects() {
+        let k: Knowledge<PowersetDomain> = Knowledge::initial(&layout());
+        let slab = PowersetDomain::from_interval(IntervalDomain::from_intervals(vec![
+            AInt::new(121, 279),
+            AInt::new(179, 221),
+        ]));
+        let refined = k.refine_with(&slab);
+        assert_eq!(refined.size(), 159 * 43);
+        assert!(refined.size() < k.size());
+        assert_eq!(refined.clone().into_domain().size(), refined.size());
+    }
+
+    #[test]
+    fn display_reports_size_and_bits() {
+        let k: Knowledge<IntervalDomain> = Knowledge::initial(&layout());
+        let text = k.to_string();
+        assert!(text.contains("160801"));
+        assert!(text.contains("bits"));
+    }
+}

@@ -1,0 +1,219 @@
+//! Quantitative declassification policies.
+//!
+//! A policy is a predicate on (approximated) attacker knowledge (§2.1: `qpolicy dom = size dom >
+//! 100`). For enforcement through *under*-approximations to be sound, the policy must be
+//! monotone: if it accepts a knowledge set it must accept every superset (§3, "the policy should
+//! be an increasing function in the size of the input"). All policies provided here are monotone
+//! by construction; [`FnPolicy`] documents the obligation for custom predicates.
+
+use crate::Knowledge;
+use anosy_domains::AbstractDomain;
+use std::fmt;
+use std::sync::Arc;
+
+/// A quantitative declassification policy over knowledge represented in domain `D`.
+pub trait Policy<D: AbstractDomain>: fmt::Debug {
+    /// Returns `true` when the given knowledge is still acceptable (no violation).
+    fn allows(&self, knowledge: &Knowledge<D>) -> bool;
+
+    /// A short human-readable name used in error messages and reports.
+    fn name(&self) -> String;
+}
+
+/// Accepts everything. Useful as a baseline and for measuring "how fast would knowledge shrink
+/// without enforcement".
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AllowAll;
+
+impl<D: AbstractDomain> Policy<D> for AllowAll {
+    fn allows(&self, _knowledge: &Knowledge<D>) -> bool {
+        true
+    }
+
+    fn name(&self) -> String {
+        "allow-all".into()
+    }
+}
+
+/// The paper's `qpolicy`: the knowledge must keep strictly more than `min_size` candidate
+/// secrets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MinSizePolicy {
+    min_size: u128,
+}
+
+impl MinSizePolicy {
+    /// Requires `size knowledge > min_size`.
+    pub fn new(min_size: u128) -> Self {
+        MinSizePolicy { min_size }
+    }
+
+    /// The threshold.
+    pub fn min_size(&self) -> u128 {
+        self.min_size
+    }
+}
+
+impl<D: AbstractDomain> Policy<D> for MinSizePolicy {
+    fn allows(&self, knowledge: &Knowledge<D>) -> bool {
+        knowledge.size() > self.min_size
+    }
+
+    fn name(&self) -> String {
+        format!("min-size({})", self.min_size)
+    }
+}
+
+/// Requires the residual Shannon entropy (in bits, under the uniform reading) to stay strictly
+/// above a threshold — one of the §8 "further applications".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MinEntropyPolicy {
+    min_bits: f64,
+}
+
+impl MinEntropyPolicy {
+    /// Requires `shannon_entropy(knowledge) > min_bits`.
+    pub fn new(min_bits: f64) -> Self {
+        MinEntropyPolicy { min_bits }
+    }
+}
+
+impl<D: AbstractDomain> Policy<D> for MinEntropyPolicy {
+    fn allows(&self, knowledge: &Knowledge<D>) -> bool {
+        knowledge.shannon_entropy() > self.min_bits
+    }
+
+    fn name(&self) -> String {
+        format!("min-entropy({} bits)", self.min_bits)
+    }
+}
+
+/// Conjunction of two policies: both must accept.
+#[derive(Debug)]
+pub struct AndPolicy<P, Q> {
+    left: P,
+    right: Q,
+}
+
+impl<P, Q> AndPolicy<P, Q> {
+    /// Requires both `left` and `right` to accept.
+    pub fn new(left: P, right: Q) -> Self {
+        AndPolicy { left, right }
+    }
+}
+
+impl<D, P, Q> Policy<D> for AndPolicy<P, Q>
+where
+    D: AbstractDomain,
+    P: Policy<D>,
+    Q: Policy<D>,
+{
+    fn allows(&self, knowledge: &Knowledge<D>) -> bool {
+        self.left.allows(knowledge) && self.right.allows(knowledge)
+    }
+
+    fn name(&self) -> String {
+        format!("{} ∧ {}", self.left.name(), self.right.name())
+    }
+}
+
+/// A policy given by an arbitrary predicate on knowledge.
+///
+/// **Soundness obligation**: for enforcement through under-approximations the predicate must be
+/// monotone — if it accepts some knowledge it must accept every larger knowledge. The library
+/// cannot check this for you (the paper leaves a policy DSL with this guarantee as future work).
+#[derive(Clone)]
+pub struct FnPolicy<D> {
+    name: String,
+    #[allow(clippy::type_complexity)]
+    predicate: Arc<dyn Fn(&Knowledge<D>) -> bool + Send + Sync>,
+}
+
+impl<D: AbstractDomain> FnPolicy<D> {
+    /// Wraps a predicate with a display name.
+    pub fn new(
+        name: impl Into<String>,
+        predicate: impl Fn(&Knowledge<D>) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        FnPolicy { name: name.into(), predicate: Arc::new(predicate) }
+    }
+}
+
+impl<D> fmt::Debug for FnPolicy<D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FnPolicy({})", self.name)
+    }
+}
+
+impl<D: AbstractDomain> Policy<D> for FnPolicy<D> {
+    fn allows(&self, knowledge: &Knowledge<D>) -> bool {
+        (self.predicate)(knowledge)
+    }
+
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anosy_domains::{AInt, IntervalDomain};
+    use anosy_logic::SecretLayout;
+
+    fn knowledge_of_size(n: i64) -> Knowledge<IntervalDomain> {
+        Knowledge::from_domain(IntervalDomain::from_intervals(vec![AInt::new(1, n)]))
+    }
+
+    #[test]
+    fn min_size_policy_matches_the_paper() {
+        let policy = MinSizePolicy::new(100);
+        assert_eq!(policy.min_size(), 100);
+        assert!(Policy::<IntervalDomain>::name(&policy).contains("100"));
+        assert!(policy.allows(&knowledge_of_size(6837)));
+        assert!(policy.allows(&knowledge_of_size(101)));
+        assert!(!policy.allows(&knowledge_of_size(100)));
+        assert!(!policy.allows(&knowledge_of_size(1)));
+    }
+
+    #[test]
+    fn entropy_policy_thresholds_in_bits() {
+        let policy = MinEntropyPolicy::new(7.0); // > 128 candidates
+        assert!(policy.allows(&knowledge_of_size(129)));
+        assert!(!policy.allows(&knowledge_of_size(128)));
+        assert!(Policy::<IntervalDomain>::name(&policy).contains("bits"));
+    }
+
+    #[test]
+    fn allow_all_and_conjunction() {
+        let layout = SecretLayout::builder().field("x", 0, 10).build();
+        let k: Knowledge<IntervalDomain> = Knowledge::initial(&layout);
+        assert!(AllowAll.allows(&k));
+        let both = AndPolicy::new(MinSizePolicy::new(5), MinEntropyPolicy::new(1.0));
+        assert!(both.allows(&knowledge_of_size(11)));
+        assert!(!both.allows(&knowledge_of_size(4)));
+        assert!(Policy::<IntervalDomain>::name(&both).contains('∧'));
+    }
+
+    #[test]
+    fn fn_policy_wraps_custom_predicates() {
+        let policy: FnPolicy<IntervalDomain> =
+            FnPolicy::new("even-sized", |k| k.size() % 2 == 0);
+        assert!(policy.allows(&knowledge_of_size(4)));
+        assert!(!policy.allows(&knowledge_of_size(3)));
+        assert_eq!(Policy::<IntervalDomain>::name(&policy), "even-sized");
+        assert!(format!("{policy:?}").contains("even-sized"));
+    }
+
+    #[test]
+    fn policies_are_usable_as_trait_objects() {
+        let boxed: Vec<Box<dyn Policy<IntervalDomain>>> = vec![
+            Box::new(MinSizePolicy::new(10)),
+            Box::new(AllowAll),
+            Box::new(FnPolicy::new("big", |k| k.size() > 1000)),
+        ];
+        let k = knowledge_of_size(50);
+        let verdicts: Vec<bool> = boxed.iter().map(|p| p.allows(&k)).collect();
+        assert_eq!(verdicts, vec![true, true, false]);
+    }
+}

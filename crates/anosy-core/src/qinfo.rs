@@ -1,0 +1,103 @@
+//! Registered query information (the paper's `QInfo` record, Fig. 2).
+
+use anosy_domains::AbstractDomain;
+use anosy_logic::Point;
+use anosy_synth::{ApproxKind, IndSets, QueryDef};
+use std::fmt;
+
+/// A query together with its synthesized knowledge approximation.
+///
+/// This is the value stored in the session's query map: the query itself (to execute it on the
+/// secret once authorized) and the approximation function (to compute posteriors without looking
+/// at the secret). In the paper the approximation is a Haskell function `approx`; here it is the
+/// pair of ind. sets, and the posterior is computed by intersecting them with the prior
+/// ([`IndSets::posterior`]), which is exactly how the synthesized `approx` is defined (Fig. 4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QInfo<D> {
+    query: QueryDef,
+    indsets: IndSets<D>,
+}
+
+impl<D: AbstractDomain> QInfo<D> {
+    /// Packages a query with its (already verified) ind. sets.
+    pub fn new(query: QueryDef, indsets: IndSets<D>) -> Self {
+        QInfo { query, indsets }
+    }
+
+    /// The query definition.
+    pub fn query(&self) -> &QueryDef {
+        &self.query
+    }
+
+    /// The synthesized ind. sets.
+    pub fn indsets(&self) -> &IndSets<D> {
+        &self.indsets
+    }
+
+    /// The approximation direction of the stored ind. sets.
+    pub fn kind(&self) -> ApproxKind {
+        self.indsets.kind()
+    }
+
+    /// Executes the query on a concrete secret (only called after the policy check authorizes
+    /// it).
+    pub fn ask(&self, secret: &Point) -> bool {
+        self.query.ask(secret)
+    }
+
+    /// The posterior knowledge for both possible answers, given the prior.
+    pub fn posterior(&self, prior: &D) -> (D, D) {
+        self.indsets.posterior(prior)
+    }
+}
+
+impl<D: AbstractDomain + fmt::Display> fmt::Display for QInfo<D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} with {} approximation", self.query, self.indsets.kind())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anosy_domains::{AInt, IntervalDomain};
+    use anosy_logic::{IntExpr, SecretLayout};
+
+    fn qinfo() -> QInfo<IntervalDomain> {
+        let layout = SecretLayout::builder().field("x", 0, 400).field("y", 0, 400).build();
+        let nearby = ((IntExpr::var(0) - 200).abs() + (IntExpr::var(1) - 200).abs()).le(100);
+        let query = QueryDef::new("nearby_200_200", layout, nearby).unwrap();
+        let indsets = IndSets::new(
+            ApproxKind::Under,
+            IntervalDomain::from_intervals(vec![AInt::new(121, 279), AInt::new(179, 221)]),
+            IntervalDomain::from_intervals(vec![AInt::new(0, 400), AInt::new(0, 99)]),
+        );
+        QInfo::new(query, indsets)
+    }
+
+    #[test]
+    fn accessors_and_execution() {
+        let info = qinfo();
+        assert_eq!(info.query().name(), "nearby_200_200");
+        assert_eq!(info.kind(), ApproxKind::Under);
+        assert!(info.ask(&Point::new(vec![300, 200])));
+        assert!(!info.ask(&Point::new(vec![0, 0])));
+    }
+
+    #[test]
+    fn posterior_matches_the_papers_walkthrough() {
+        let info = qinfo();
+        let layout = SecretLayout::builder().field("x", 0, 400).field("y", 0, 400).build();
+        let top = IntervalDomain::top(&layout);
+        let (post_t, post_f) = info.posterior(&top);
+        assert_eq!(post_t.size(), 6837); // |post1| in §3
+        assert_eq!(post_f.size(), 401 * 100);
+    }
+
+    #[test]
+    fn display_mentions_query_and_kind() {
+        let text = qinfo().to_string();
+        assert!(text.contains("nearby_200_200"));
+        assert!(text.contains("under"));
+    }
+}

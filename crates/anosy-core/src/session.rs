@@ -1,0 +1,507 @@
+//! The `AnosyT` analogue: a session tracking knowledge across bounded downgrades (Fig. 2).
+
+use crate::{AnosyError, KaryIndSets, KaryQuery, Knowledge, Policy, QInfo};
+use anosy_domains::{AbstractDomain, IntervalDomain, PowersetDomain, Secret};
+use anosy_ifc::{Label, Labeled, Lio, Protected, Unprotect};
+use anosy_logic::{Point, SecretLayout};
+use anosy_solver::SolverConfig;
+use anosy_synth::{ApproxKind, IndSets, QueryDef, SynthError, Synthesizer};
+use anosy_verify::Verifier;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// Types that can serve as the secret in a downgrade call by exposing their [`Point`] encoding.
+pub trait AsSecretPoint {
+    /// The point encoding of the secret in its declared layout.
+    fn as_secret_point(&self) -> Point;
+}
+
+impl AsSecretPoint for Point {
+    fn as_secret_point(&self) -> Point {
+        self.clone()
+    }
+}
+
+/// Abstract domains the synthesizer can target directly; lets a session registered over either
+/// domain drive synthesis generically.
+pub trait SynthesizeInto: AbstractDomain {
+    /// Synthesizes the ind. sets of `query` in this domain. `members` is the powerset size `k`
+    /// for powerset targets and is ignored by the interval domain.
+    fn synthesize(
+        synth: &mut Synthesizer,
+        query: &QueryDef,
+        kind: ApproxKind,
+        members: Option<usize>,
+    ) -> Result<IndSets<Self>, SynthError>;
+}
+
+impl SynthesizeInto for IntervalDomain {
+    fn synthesize(
+        synth: &mut Synthesizer,
+        query: &QueryDef,
+        kind: ApproxKind,
+        _members: Option<usize>,
+    ) -> Result<IndSets<Self>, SynthError> {
+        synth.synth_interval(query, kind)
+    }
+}
+
+impl SynthesizeInto for PowersetDomain {
+    fn synthesize(
+        synth: &mut Synthesizer,
+        query: &QueryDef,
+        kind: ApproxKind,
+        members: Option<usize>,
+    ) -> Result<IndSets<Self>, SynthError> {
+        synth.synth_powerset(query, kind, members.unwrap_or(3))
+    }
+}
+
+/// A declassification session: the state of the `AnosyT` monad transformer.
+///
+/// The session owns the quantitative [`Policy`], the map from secrets to their currently tracked
+/// knowledge and the map from query names to their [`QInfo`]. Downgrades refine the knowledge and
+/// are refused — *before the query is executed* — when either possible posterior would violate
+/// the policy, so the refusal itself leaks nothing about the secret (§3).
+pub struct AnosySession<D: AbstractDomain> {
+    layout: SecretLayout,
+    policy: Box<dyn Policy<D>>,
+    secrets: HashMap<Point, Knowledge<D>>,
+    queries: BTreeMap<String, QInfo<D>>,
+    kary_queries: BTreeMap<String, (KaryQuery, KaryIndSets<D>)>,
+}
+
+impl<D: AbstractDomain> AnosySession<D> {
+    /// Creates a session for secrets of the given layout, enforcing `policy`.
+    pub fn new(layout: SecretLayout, policy: impl Policy<D> + 'static) -> Self {
+        AnosySession {
+            layout,
+            policy: Box::new(policy),
+            secrets: HashMap::new(),
+            queries: BTreeMap::new(),
+            kary_queries: BTreeMap::new(),
+        }
+    }
+
+    /// The declared secret space.
+    pub fn layout(&self) -> &SecretLayout {
+        &self.layout
+    }
+
+    /// Name of the enforced policy (for reports and error messages).
+    pub fn policy_name(&self) -> String {
+        self.policy.name()
+    }
+
+    /// Registers an already-synthesized (and, by contract, already-verified) query.
+    pub fn register(&mut self, qinfo: QInfo<D>) {
+        self.queries.insert(qinfo.query().name().to_string(), qinfo);
+    }
+
+    /// Names of the registered boolean queries.
+    pub fn registered_queries(&self) -> Vec<&str> {
+        self.queries.keys().map(String::as_str).collect()
+    }
+
+    /// Number of secrets currently tracked.
+    pub fn tracked_secrets(&self) -> usize {
+        self.secrets.len()
+    }
+
+    /// The knowledge currently associated with a secret (the initial `⊤` knowledge if the secret
+    /// has not been involved in any downgrade yet).
+    pub fn knowledge_of(&self, secret: &Point) -> Knowledge<D> {
+        self.secrets
+            .get(secret)
+            .cloned()
+            .unwrap_or_else(|| Knowledge::initial(&self.layout))
+    }
+
+    /// Forgets all tracked knowledge (e.g. between experiment runs). Registered queries are kept.
+    pub fn reset_knowledge(&mut self) {
+        self.secrets.clear();
+    }
+
+    /// The bounded downgrade of Fig. 2.
+    ///
+    /// Looks up the query, computes the posterior knowledge for **both** possible answers from
+    /// the tracked prior, checks the policy on both, and only then executes the query on the
+    /// (unprotected) secret, records the matching posterior and returns the answer.
+    ///
+    /// # Errors
+    ///
+    /// * [`AnosyError::UnknownQuery`] if the query was never registered;
+    /// * [`AnosyError::SecretOutsideLayout`] if the secret is not in the declared space;
+    /// * [`AnosyError::PolicyViolation`] if either posterior violates the policy — the query is
+    ///   **not** executed in that case.
+    pub fn downgrade<P>(&mut self, secret: &P, query_name: &str) -> Result<bool, AnosyError>
+    where
+        P: Unprotect,
+        P::Target: AsSecretPoint,
+    {
+        let qinfo = self
+            .queries
+            .get(query_name)
+            .ok_or_else(|| AnosyError::UnknownQuery { name: query_name.to_string() })?;
+        let point = secret.unprotect_tcb().as_secret_point();
+        if !self.layout.admits(&point) {
+            return Err(AnosyError::SecretOutsideLayout);
+        }
+        let prior = self.knowledge_of(&point);
+        let (post_true, post_false) = qinfo.posterior(prior.domain());
+        let knowledge_true = Knowledge::from_domain(post_true);
+        let knowledge_false = Knowledge::from_domain(post_false);
+        if !(self.policy.allows(&knowledge_true) && self.policy.allows(&knowledge_false)) {
+            return Err(AnosyError::PolicyViolation {
+                query: query_name.to_string(),
+                policy: self.policy.name(),
+                posterior_true_size: knowledge_true.size(),
+                posterior_false_size: knowledge_false.size(),
+            });
+        }
+        let response = qinfo.ask(&point);
+        let posterior = if response { knowledge_true } else { knowledge_false };
+        self.secrets.insert(point, posterior);
+        Ok(response)
+    }
+
+    /// Convenience wrapper for typed secrets defined with
+    /// [`anosy_domains::secret_record!`](anosy_domains::secret_record).
+    ///
+    /// # Errors
+    ///
+    /// See [`AnosySession::downgrade`].
+    pub fn downgrade_secret<S: Secret>(
+        &mut self,
+        secret: &Protected<S>,
+        query_name: &str,
+    ) -> Result<bool, AnosyError> {
+        let point = secret.unprotect_tcb().to_point();
+        self.downgrade(&Protected::new(point), query_name)
+    }
+
+    /// The bounded downgrade staged over an LIO context: the secret stays labeled, and the
+    /// authorized boolean answer is returned as a *public* labeled value (this is the
+    /// declassification step — it deliberately does not taint `lio`).
+    ///
+    /// # Errors
+    ///
+    /// See [`AnosySession::downgrade`]; additionally propagates [`AnosyError::Ifc`] if the public
+    /// result cannot be created under the context's clearance.
+    pub fn downgrade_labeled<L: Label>(
+        &mut self,
+        lio: &mut Lio<L>,
+        secret: &Labeled<L, Point>,
+        query_name: &str,
+    ) -> Result<Labeled<L, bool>, AnosyError> {
+        let response = self.downgrade(secret, query_name)?;
+        // The answer has been authorized for release: label it public. This is the only place
+        // where information crosses the lattice downward, and it is guarded by the policy check.
+        let mut declassification_ctx = Lio::new(L::bottom(), lio.clearance());
+        let labeled = declassification_ctx.label(L::bottom(), response)?;
+        Ok(labeled)
+    }
+
+    /// Registers a k-ary query (§5.1 extension) with its synthesized per-output ind. sets.
+    pub fn register_kary(&mut self, query: KaryQuery, indsets: KaryIndSets<D>) {
+        self.kary_queries.insert(query.name().to_string(), (query, indsets));
+    }
+
+    /// Bounded downgrade of a k-ary query: the policy is checked on the posterior of **every**
+    /// possible output before the query is executed.
+    ///
+    /// # Errors
+    ///
+    /// See [`AnosySession::downgrade`].
+    pub fn downgrade_kary<P>(&mut self, secret: &P, query_name: &str) -> Result<usize, AnosyError>
+    where
+        P: Unprotect,
+        P::Target: AsSecretPoint,
+    {
+        let (query, indsets) = self
+            .kary_queries
+            .get(query_name)
+            .ok_or_else(|| AnosyError::UnknownQuery { name: query_name.to_string() })?;
+        let point = secret.unprotect_tcb().as_secret_point();
+        if !self.layout.admits(&point) {
+            return Err(AnosyError::SecretOutsideLayout);
+        }
+        let prior = self.knowledge_of(&point);
+        let posteriors: Vec<Knowledge<D>> = indsets
+            .posterior(prior.domain())
+            .into_iter()
+            .map(Knowledge::from_domain)
+            .collect();
+        if let Some(violating) = posteriors.iter().find(|k| !self.policy.allows(k)) {
+            return Err(AnosyError::PolicyViolation {
+                query: query_name.to_string(),
+                policy: self.policy.name(),
+                posterior_true_size: violating.size(),
+                posterior_false_size: violating.size(),
+            });
+        }
+        let output = query.output(&point);
+        self.secrets.insert(point, posteriors[output].clone());
+        Ok(output)
+    }
+}
+
+impl<D: AbstractDomain + SynthesizeInto> AnosySession<D> {
+    /// Synthesizes, verifies and registers a query in one step — the runtime analogue of the
+    /// paper's compile-time plugin pass.
+    ///
+    /// # Errors
+    ///
+    /// * [`AnosyError::Synthesis`] if synthesis fails;
+    /// * [`AnosyError::VerificationFailed`] if the synthesized approximation does not satisfy its
+    ///   refinement specification (this would indicate a synthesizer bug and is never silently
+    ///   accepted);
+    /// * [`AnosyError::Solver`] if verification itself cannot be completed.
+    pub fn register_synthesized(
+        &mut self,
+        synth: &mut Synthesizer,
+        query: &QueryDef,
+        kind: ApproxKind,
+        members: Option<usize>,
+    ) -> Result<(), AnosyError> {
+        let indsets = D::synthesize(synth, query, kind, members)?;
+        let mut verifier = Verifier::with_config(SolverConfig::default());
+        let report = verifier.verify_indsets(query, &indsets)?;
+        if !report.is_verified() {
+            return Err(AnosyError::VerificationFailed {
+                query: query.name().to_string(),
+                report: report.to_string(),
+            });
+        }
+        self.register(QInfo::new(query.clone(), indsets));
+        Ok(())
+    }
+}
+
+impl<D: AbstractDomain> fmt::Debug for AnosySession<D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AnosySession")
+            .field("layout", &self.layout)
+            .field("policy", &self.policy.name())
+            .field("queries", &self.queries.len())
+            .field("kary_queries", &self.kary_queries.len())
+            .field("tracked_secrets", &self.secrets.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MinSizePolicy;
+    use anosy_domains::{secret_record, AInt};
+    use anosy_ifc::SecLevel;
+    use anosy_logic::{IntExpr, Pred};
+    use anosy_synth::SynthConfig;
+
+    fn loc_layout() -> SecretLayout {
+        SecretLayout::builder().field("x", 0, 400).field("y", 0, 400).build()
+    }
+
+    fn nearby(xo: i64, yo: i64) -> QueryDef {
+        let pred = ((IntExpr::var(0) - xo).abs() + (IntExpr::var(1) - yo).abs()).le(100);
+        QueryDef::new(format!("nearby_{xo}_{yo}"), loc_layout(), pred).unwrap()
+    }
+
+    /// A session pre-loaded with the paper's hand-written approximation for nearby (200,200) and
+    /// synthesized ones for the other origins used in §2/§3.
+    fn paper_session() -> AnosySession<IntervalDomain> {
+        let mut session = AnosySession::new(loc_layout(), MinSizePolicy::new(100));
+        session.register(QInfo::new(
+            nearby(200, 200),
+            IndSets::new(
+                ApproxKind::Under,
+                IntervalDomain::from_intervals(vec![AInt::new(121, 279), AInt::new(179, 221)]),
+                IntervalDomain::from_intervals(vec![AInt::new(0, 400), AInt::new(0, 99)]),
+            ),
+        ));
+        let mut synth = Synthesizer::with_config(
+            SynthConfig::new().with_solver(SolverConfig::for_tests()),
+        );
+        for q in [nearby(300, 200), nearby(400, 200)] {
+            session
+                .register_synthesized(&mut synth, &q, ApproxKind::Under, None)
+                .unwrap();
+        }
+        session
+    }
+
+    #[test]
+    fn the_papers_downgrade_walkthrough() {
+        // §3: secret = (300, 200); nearby (200,200) and nearby (300,200) are authorized,
+        // nearby (400,200) is refused with a policy violation.
+        let mut session = paper_session();
+        let secret = Protected::new(Point::new(vec![300, 200]));
+        assert_eq!(session.downgrade(&secret, "nearby_200_200").unwrap(), true);
+        let after_first = session.knowledge_of(&Point::new(vec![300, 200]));
+        assert_eq!(after_first.size(), 6837);
+        assert_eq!(session.downgrade(&secret, "nearby_300_200").unwrap(), true);
+        let after_second = session.knowledge_of(&Point::new(vec![300, 200]));
+        assert!(after_second.size() <= after_first.size());
+        assert!(after_second.size() > 100);
+        let err = session.downgrade(&secret, "nearby_400_200").unwrap_err();
+        match err {
+            AnosyError::PolicyViolation { query, .. } => assert_eq!(query, "nearby_400_200"),
+            other => panic!("expected a policy violation, got {other}"),
+        }
+        // The refused query did not refine the knowledge.
+        assert_eq!(session.knowledge_of(&Point::new(vec![300, 200])).size(), after_second.size());
+    }
+
+    #[test]
+    fn refusal_is_independent_of_the_secret_value() {
+        // The policy check runs on both posteriors before the query executes, so from the same
+        // knowledge state (here: the initial ⊤) two secrets that would answer differently get
+        // exactly the same authorize/refuse decision.
+        let inside = Protected::new(Point::new(vec![300, 200])); // answers true to all three
+        let outside = Protected::new(Point::new(vec![10, 10])); // answers false to all three
+        for name in ["nearby_200_200", "nearby_300_200", "nearby_400_200"] {
+            let mut for_inside = paper_session();
+            let mut for_outside = paper_session();
+            let a = for_inside.downgrade(&inside, name).is_err();
+            let b = for_outside.downgrade(&outside, name).is_err();
+            assert_eq!(a, b, "refusal decision differed for {name}");
+        }
+    }
+
+    #[test]
+    fn unknown_queries_and_out_of_space_secrets_are_rejected() {
+        let mut session = paper_session();
+        let secret = Protected::new(Point::new(vec![300, 200]));
+        assert!(matches!(
+            session.downgrade(&secret, "does_not_exist"),
+            Err(AnosyError::UnknownQuery { .. })
+        ));
+        let alien = Protected::new(Point::new(vec![9_999, 0]));
+        assert!(matches!(
+            session.downgrade(&alien, "nearby_200_200"),
+            Err(AnosyError::SecretOutsideLayout)
+        ));
+    }
+
+    #[test]
+    fn knowledge_is_tracked_per_secret() {
+        let mut session = paper_session();
+        let alice = Protected::new(Point::new(vec![300, 200]));
+        let bob = Protected::new(Point::new(vec![50, 350]));
+        session.downgrade(&alice, "nearby_200_200").unwrap();
+        session.downgrade(&bob, "nearby_200_200").unwrap();
+        assert_eq!(session.tracked_secrets(), 2);
+        // Alice answered true (size 6837), Bob answered false (size 40100).
+        assert_eq!(session.knowledge_of(&Point::new(vec![300, 200])).size(), 6837);
+        assert_eq!(session.knowledge_of(&Point::new(vec![50, 350])).size(), 401 * 100);
+        session.reset_knowledge();
+        assert_eq!(session.tracked_secrets(), 0);
+        assert_eq!(session.registered_queries().len(), 3);
+    }
+
+    #[test]
+    fn downgrade_soundness_tracked_knowledge_under_approximates_the_exact_knowledge() {
+        // The correctness argument of §3: after every authorized downgrade, the tracked posterior
+        // P_i is a subset of the exact attacker knowledge K_i (the secrets consistent with every
+        // observed answer). We check P_i ⊆ K_i with the solver: P_i ⇒ ⋀_j (query_j ⇔ answer_j).
+        let mut session = paper_session();
+        let secret_point = Point::new(vec![260, 170]);
+        let secret = Protected::new(secret_point.clone());
+        let mut solver = anosy_solver::Solver::with_config(SolverConfig::for_tests());
+        let mut observed = Pred::True;
+        for (name, origin) in [
+            ("nearby_200_200", (200, 200)),
+            ("nearby_300_200", (300, 200)),
+            ("nearby_400_200", (400, 200)),
+        ] {
+            let Ok(answer) = session.downgrade(&secret, name) else { continue };
+            let query_pred = nearby(origin.0, origin.1).pred().clone();
+            let consistent = if answer { query_pred } else { query_pred.negate() };
+            observed = observed.and_also(consistent);
+            let tracked = session.knowledge_of(&secret_point);
+            let obligation = tracked.domain().to_pred().implies(observed.clone());
+            assert!(
+                solver.is_valid(&obligation, &loc_layout().space()).unwrap(),
+                "tracked knowledge is not an under-approximation after {name}"
+            );
+        }
+    }
+
+    secret_record! {
+        struct UserLoc {
+            x: 0..=400,
+            y: 0..=400,
+        }
+    }
+
+    #[test]
+    fn typed_secrets_and_labeled_secrets_are_supported() {
+        let mut session = paper_session();
+        let typed = Protected::new(UserLoc { x: 300, y: 200 });
+        assert!(session.downgrade_secret(&typed, "nearby_200_200").unwrap());
+
+        let mut session = paper_session();
+        let mut lio = Lio::new(SecLevel::Public, SecLevel::Secret);
+        let labeled = lio.label(SecLevel::Secret, Point::new(vec![300, 200])).unwrap();
+        let answer = session
+            .downgrade_labeled(&mut lio, &labeled, "nearby_200_200")
+            .unwrap();
+        // The declassified answer is public and the ambient context stays untainted.
+        assert_eq!(*answer.label(), SecLevel::Public);
+        assert_eq!(*answer.peek_tcb(), true);
+        assert_eq!(lio.current_label(), SecLevel::Public);
+    }
+
+    #[test]
+    fn powerset_sessions_allow_more_queries_than_interval_sessions() {
+        // The Fig. 6 effect in miniature: with the same policy and query sequence, the powerset
+        // domain authorizes at least as many downgrades as the interval domain.
+        let origins = [(200, 200), (260, 220), (150, 260), (240, 160), (300, 200)];
+        let secret = Protected::new(Point::new(vec![230, 210]));
+        let mut synth = Synthesizer::with_config(
+            SynthConfig::new().with_solver(SolverConfig::for_tests()),
+        );
+
+        let mut interval_session: AnosySession<IntervalDomain> =
+            AnosySession::new(loc_layout(), MinSizePolicy::new(100));
+        let mut powerset_session: AnosySession<PowersetDomain> =
+            AnosySession::new(loc_layout(), MinSizePolicy::new(100));
+        for (x, y) in origins {
+            let q = nearby(x, y);
+            interval_session
+                .register_synthesized(&mut synth, &q, ApproxKind::Under, None)
+                .unwrap();
+            powerset_session
+                .register_synthesized(&mut synth, &q, ApproxKind::Under, Some(3))
+                .unwrap();
+        }
+        let count = |session: &mut dyn FnMut(&str) -> bool| {
+            let mut n = 0;
+            for (x, y) in origins {
+                if session(&format!("nearby_{x}_{y}")) {
+                    n += 1;
+                } else {
+                    break;
+                }
+            }
+            n
+        };
+        let interval_count =
+            count(&mut |name| interval_session.downgrade(&secret, name).is_ok());
+        let powerset_count =
+            count(&mut |name| powerset_session.downgrade(&secret, name).is_ok());
+        assert!(powerset_count >= interval_count);
+        assert!(powerset_count >= 1);
+    }
+
+    #[test]
+    fn debug_formatting_reports_counts_without_leaking_secrets() {
+        let mut session = paper_session();
+        let secret = Protected::new(Point::new(vec![300, 200]));
+        session.downgrade(&secret, "nearby_200_200").unwrap();
+        let text = format!("{session:?}");
+        assert!(text.contains("tracked_secrets: 1"));
+        assert!(text.contains("min-size(100)"));
+    }
+}

@@ -1,0 +1,155 @@
+//! `AInt`: a single abstract integer, i.e. an inclusive interval of `i64` values.
+
+use anosy_logic::Range;
+use std::fmt;
+
+/// An abstract integer: every concrete value between `lower` and `upper`, inclusive.
+///
+/// This mirrors the paper's `data AInt = AInt { lower :: Int, upper :: Int }` (§2.2). `AInt` is
+/// always non-empty; emptiness is a property of whole domains ([`crate::IntervalDomain`] has an
+/// explicit bottom element), never of an individual abstract integer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AInt {
+    lower: i64,
+    upper: i64,
+}
+
+impl AInt {
+    /// Creates the abstract integer `[lower, upper]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lower > upper`.
+    pub fn new(lower: i64, upper: i64) -> Self {
+        assert!(lower <= upper, "AInt requires lower <= upper (got {lower} > {upper})");
+        AInt { lower, upper }
+    }
+
+    /// The abstract integer containing exactly `value`.
+    pub fn singleton(value: i64) -> Self {
+        AInt::new(value, value)
+    }
+
+    /// Inclusive lower bound.
+    pub fn lower(&self) -> i64 {
+        self.lower
+    }
+
+    /// Inclusive upper bound.
+    pub fn upper(&self) -> i64 {
+        self.upper
+    }
+
+    /// Number of concrete integers represented.
+    pub fn size(&self) -> u128 {
+        (self.upper as i128 - self.lower as i128 + 1) as u128
+    }
+
+    /// Returns `true` if `value` is represented.
+    pub fn contains(&self, value: i64) -> bool {
+        self.lower <= value && value <= self.upper
+    }
+
+    /// Returns `true` if every value of `other` is also in `self`.
+    pub fn contains_all(&self, other: &AInt) -> bool {
+        self.lower <= other.lower && other.upper <= self.upper
+    }
+
+    /// Intersection, or `None` when the two abstract integers share no value.
+    pub fn intersect(&self, other: &AInt) -> Option<AInt> {
+        let lower = self.lower.max(other.lower);
+        let upper = self.upper.min(other.upper);
+        if lower <= upper {
+            Some(AInt::new(lower, upper))
+        } else {
+            None
+        }
+    }
+
+    /// Smallest abstract integer containing both inputs.
+    pub fn hull(&self, other: &AInt) -> AInt {
+        AInt::new(self.lower.min(other.lower), self.upper.max(other.upper))
+    }
+
+    /// The corresponding analysis [`Range`].
+    pub fn to_range(&self) -> Range {
+        Range::new(self.lower, self.upper)
+    }
+
+    /// Builds an `AInt` from a non-empty [`Range`]; returns `None` for the empty range.
+    pub fn from_range(range: Range) -> Option<AInt> {
+        if range.is_empty() {
+            None
+        } else {
+            Some(AInt::new(range.lo(), range.hi()))
+        }
+    }
+}
+
+impl From<AInt> for Range {
+    fn from(a: AInt) -> Range {
+        a.to_range()
+    }
+}
+
+impl fmt::Display for AInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lower, self.upper)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let a = AInt::new(121, 279);
+        assert_eq!(a.lower(), 121);
+        assert_eq!(a.upper(), 279);
+        assert_eq!(a.size(), 159);
+        assert_eq!(AInt::singleton(5).size(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "lower <= upper")]
+    fn inverted_bounds_panic() {
+        let _ = AInt::new(3, 2);
+    }
+
+    #[test]
+    fn membership_and_subset() {
+        let a = AInt::new(0, 10);
+        assert!(a.contains(0) && a.contains(10) && !a.contains(11));
+        assert!(a.contains_all(&AInt::new(2, 8)));
+        assert!(!a.contains_all(&AInt::new(2, 11)));
+    }
+
+    #[test]
+    fn intersection_and_hull() {
+        let a = AInt::new(0, 10);
+        let b = AInt::new(5, 20);
+        assert_eq!(a.intersect(&b), Some(AInt::new(5, 10)));
+        assert_eq!(a.intersect(&AInt::new(11, 12)), None);
+        assert_eq!(a.hull(&b), AInt::new(0, 20));
+    }
+
+    #[test]
+    fn range_round_trip() {
+        let a = AInt::new(-3, 7);
+        let r: Range = a.into();
+        assert_eq!(AInt::from_range(r), Some(a));
+        assert_eq!(AInt::from_range(Range::empty()), None);
+    }
+
+    #[test]
+    fn size_does_not_overflow_for_extreme_bounds() {
+        let a = AInt::new(i64::MIN, i64::MAX);
+        assert_eq!(a.size(), (u64::MAX as u128) + 1);
+    }
+
+    #[test]
+    fn display_matches_math_notation() {
+        assert_eq!(AInt::new(1, 2).to_string(), "[1, 2]");
+    }
+}

@@ -1,0 +1,92 @@
+//! The `AbstractDomain` interface (the paper's refined type class, Fig. 3).
+
+use anosy_logic::{IntBox, Point, Pred, SecretLayout};
+
+/// An abstract domain `a` that can represent sets of secrets `s` (points of a [`SecretLayout`]).
+///
+/// This is the Rust rendering of the paper's `class AbstractDomain a s` (Fig. 3). The refinement
+/// indexes `<p, n>` of the Haskell encoding (the positive and negative predicates) have no direct
+/// counterpart in Rust's type system; their obligations are instead checked executably by the
+/// `anosy-verify` crate, which uses [`AbstractDomain::to_pred`] to hand a symbolic description of
+/// a domain element to the solver.
+///
+/// # Laws
+///
+/// Implementations must satisfy the two class laws of the paper, checked by [`crate::laws`]:
+///
+/// * **sizeLaw** — if `d1.is_subset_of(&d2)` then `d1.size() <= d2.size()`;
+/// * **subsetLaw** — if `d1.is_subset_of(&d2)` then every point contained in `d1` is contained
+///   in `d2`.
+///
+/// In addition `intersect` must be a sound meet: the result contains every point contained in
+/// both inputs, is a subset of both inputs, and contains no point outside either input.
+pub trait AbstractDomain: Clone + std::fmt::Debug + PartialEq {
+    /// The full domain `⊤`: every secret of the layout is considered possible.
+    fn top(layout: &SecretLayout) -> Self;
+
+    /// The empty domain `⊥`: no secret is considered possible.
+    fn bottom(layout: &SecretLayout) -> Self;
+
+    /// Membership test (`∈`): is the concrete secret represented by this domain element?
+    fn contains(&self, point: &Point) -> bool;
+
+    /// Subset test (`⊆`). Implementations may be conservative in one direction only for
+    /// *incomparable* elements — they must return `true` whenever the subset relation holds
+    /// exactly and may return `false` spuriously only if documented; both domains in this crate
+    /// implement the exact relation.
+    fn is_subset_of(&self, other: &Self) -> bool;
+
+    /// Intersection (`∩`): the meet of two domain elements.
+    fn intersect(&self, other: &Self) -> Self;
+
+    /// Number of concrete secrets represented (`size`). This is the quantity declassification
+    /// policies constrain (e.g. `size knowledge > 100`).
+    fn size(&self) -> u128;
+
+    /// Returns `true` when no secret is represented.
+    fn is_empty(&self) -> bool {
+        self.size() == 0
+    }
+
+    /// A predicate over the secret fields that holds exactly for the secrets represented by this
+    /// element. Used by the verifier to discharge refinement specifications and by tests to
+    /// cross-check `size` against the solver's model counter.
+    fn to_pred(&self) -> Pred;
+
+    /// The tightest single box containing every represented secret, or `None` for the empty
+    /// domain. Used for display purposes and as a coarse summary.
+    fn bounding_box(&self) -> Option<IntBox>;
+
+    /// Constructs the most precise element of this domain that contains every point of `boxed`
+    /// (for both domains in this crate, the box itself).
+    fn from_box(boxed: &IntBox) -> Self;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{IntervalDomain, PowersetDomain};
+    use anosy_logic::SecretLayout;
+
+    fn layout() -> SecretLayout {
+        SecretLayout::builder().field("x", 0, 9).field("y", 0, 9).build()
+    }
+
+    /// The trait is object safe so callers can mix domains behind a `dyn` reference if needed.
+    #[test]
+    fn trait_methods_are_usable_generically() {
+        fn top_size<D: AbstractDomain>(layout: &SecretLayout) -> u128 {
+            D::top(layout).size()
+        }
+        assert_eq!(top_size::<IntervalDomain>(&layout()), 100);
+        assert_eq!(top_size::<PowersetDomain>(&layout()), 100);
+    }
+
+    #[test]
+    fn default_is_empty_uses_size() {
+        let l = layout();
+        assert!(IntervalDomain::bottom(&l).is_empty());
+        assert!(!IntervalDomain::top(&l).is_empty());
+        assert!(PowersetDomain::bottom(&l).is_empty());
+    }
+}

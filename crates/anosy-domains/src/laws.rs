@@ -1,0 +1,174 @@
+//! Executable versions of the `AbstractDomain` class laws (Fig. 3 of the paper).
+//!
+//! The paper states two laws as refinement types with proof-term members (`sizeLaw`,
+//! `subsetLaw`) plus the refined type of intersection. Here the laws are ordinary functions that
+//! check a given collection of domain elements and sample points; the domain crates' test suites
+//! and the `anosy-verify` crate call them, and property-based tests drive them with random
+//! elements.
+
+use crate::AbstractDomain;
+use anosy_logic::Point;
+
+/// A violation of one of the abstract-domain laws, for diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LawViolation {
+    /// Which law was violated.
+    pub law: &'static str,
+    /// Human-readable description of the violating instance.
+    pub detail: String,
+}
+
+impl std::fmt::Display for LawViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} violated: {}", self.law, self.detail)
+    }
+}
+
+/// **sizeLaw**: if `d1 ⊆ d2` then `size d1 <= size d2`.
+pub fn check_size_law<D: AbstractDomain>(d1: &D, d2: &D) -> Result<(), LawViolation> {
+    if d1.is_subset_of(d2) && d1.size() > d2.size() {
+        return Err(LawViolation {
+            law: "sizeLaw",
+            detail: format!("{d1:?} ⊆ {d2:?} but size {} > {}", d1.size(), d2.size()),
+        });
+    }
+    Ok(())
+}
+
+/// **subsetLaw**: if `d1 ⊆ d2` then every sampled point of `d1` is also in `d2`.
+pub fn check_subset_law<D: AbstractDomain>(
+    d1: &D,
+    d2: &D,
+    samples: &[Point],
+) -> Result<(), LawViolation> {
+    if !d1.is_subset_of(d2) {
+        return Ok(());
+    }
+    for c in samples {
+        if d1.contains(c) && !d2.contains(c) {
+            return Err(LawViolation {
+                law: "subsetLaw",
+                detail: format!("{c} ∈ {d1:?} ⊆ {d2:?} but ∉ the superset"),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// The refined type of `∩` (Fig. 3): the meet is a subset of both arguments, contains every
+/// sampled point that is in both, and contains no sampled point that is missing from either.
+pub fn check_intersection_spec<D: AbstractDomain>(
+    d1: &D,
+    d2: &D,
+    samples: &[Point],
+) -> Result<(), LawViolation> {
+    let meet = d1.intersect(d2);
+    if !meet.is_subset_of(d1) || !meet.is_subset_of(d2) {
+        return Err(LawViolation {
+            law: "intersectSpec",
+            detail: format!("{meet:?} is not a subset of both {d1:?} and {d2:?}"),
+        });
+    }
+    for c in samples {
+        let in_both = d1.contains(c) && d2.contains(c);
+        if in_both && !meet.contains(c) {
+            return Err(LawViolation {
+                law: "intersectSpec",
+                detail: format!("{c} is in both arguments but not in the meet"),
+            });
+        }
+        if meet.contains(c) && !in_both {
+            return Err(LawViolation {
+                law: "intersectSpec",
+                detail: format!("{c} is in the meet but not in both arguments"),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Checks every law for every ordered pair of the given elements against the given sample
+/// points, collecting all violations.
+pub fn check_all_laws<D: AbstractDomain>(elements: &[D], samples: &[Point]) -> Vec<LawViolation> {
+    let mut violations = Vec::new();
+    for d1 in elements {
+        for d2 in elements {
+            if let Err(v) = check_size_law(d1, d2) {
+                violations.push(v);
+            }
+            if let Err(v) = check_subset_law(d1, d2, samples) {
+                violations.push(v);
+            }
+            if let Err(v) = check_intersection_spec(d1, d2, samples) {
+                violations.push(v);
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AInt, IntervalDomain, PowersetDomain};
+    use anosy_logic::SecretLayout;
+
+    fn layout() -> SecretLayout {
+        SecretLayout::builder().field("x", 0, 15).field("y", 0, 15).build()
+    }
+
+    fn samples() -> Vec<Point> {
+        layout().space().points().collect()
+    }
+
+    fn interval(x: (i64, i64), y: (i64, i64)) -> IntervalDomain {
+        IntervalDomain::from_intervals(vec![AInt::new(x.0, x.1), AInt::new(y.0, y.1)])
+    }
+
+    #[test]
+    fn interval_domain_satisfies_all_laws() {
+        let l = layout();
+        let elements = vec![
+            IntervalDomain::top(&l),
+            IntervalDomain::bottom(&l),
+            interval((0, 5), (0, 5)),
+            interval((3, 12), (2, 9)),
+            interval((5, 5), (9, 9)),
+        ];
+        assert_eq!(check_all_laws(&elements, &samples()), Vec::new());
+    }
+
+    #[test]
+    fn powerset_domain_satisfies_all_laws() {
+        let l = layout();
+        let elements = vec![
+            PowersetDomain::top(&l),
+            PowersetDomain::bottom(&l),
+            PowersetDomain::new(2, vec![interval((0, 5), (0, 5)), interval((8, 12), (8, 12))], vec![]),
+            PowersetDomain::new(
+                2,
+                vec![interval((0, 10), (0, 10))],
+                vec![interval((4, 6), (4, 6))],
+            ),
+            PowersetDomain::new(
+                2,
+                vec![interval((2, 14), (2, 14)), interval((0, 3), (0, 3))],
+                vec![interval((5, 9), (0, 15))],
+            ),
+        ];
+        assert_eq!(check_all_laws(&elements, &samples()), Vec::new());
+    }
+
+    #[test]
+    fn violations_are_reported_with_context() {
+        // A deliberately broken "domain" cannot be constructed through the public API, so we
+        // check the reporting path by misusing the law-checkers directly: a pair for which the
+        // subset relation does not hold must never be reported.
+        let d1 = interval((0, 5), (0, 5));
+        let d2 = interval((10, 12), (10, 12));
+        assert!(check_size_law(&d1, &d2).is_ok());
+        assert!(check_subset_law(&d1, &d2, &samples()).is_ok());
+        let v = LawViolation { law: "sizeLaw", detail: "example".into() };
+        assert!(v.to_string().contains("sizeLaw"));
+    }
+}

@@ -1,0 +1,145 @@
+//! User-facing secret types.
+//!
+//! The paper's secrets are Haskell records of bounded integers (`UserLoc`, the benchmark record
+//! types, ...). The [`Secret`] trait plays that role here: it ties a plain Rust struct to its
+//! [`SecretLayout`] and to the [`Point`] representation the analysis machinery works on. The
+//! [`secret_record!`] macro writes the boilerplate for the common case of a struct of `i64`
+//! fields.
+
+use anosy_logic::{Point, SecretLayout};
+
+/// A Rust type that can be used as an ANOSY secret.
+///
+/// # Contract
+///
+/// `from_point(s.to_point()) == s` for every admissible secret `s`, and `to_point` must produce
+/// points admitted by [`Secret::layout`] whenever the secret's fields are inside their declared
+/// bounds.
+pub trait Secret: Sized {
+    /// The declared secret space (field names and bounds).
+    fn layout() -> SecretLayout;
+
+    /// Encodes the secret as a point of the layout.
+    fn to_point(&self) -> Point;
+
+    /// Decodes a point of the layout back into the secret type.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic when `point` has the wrong arity.
+    fn from_point(point: &Point) -> Self;
+}
+
+/// Defines a secret record type: a struct of `i64` fields with declared bounds, plus its
+/// [`Secret`] implementation.
+///
+/// # Example
+///
+/// ```
+/// use anosy_domains::{secret_record, Secret};
+///
+/// secret_record! {
+///     /// The user location secret from §2 of the paper.
+///     pub struct UserLoc {
+///         x: 0..=400,
+///         y: 0..=400,
+///     }
+/// }
+///
+/// let loc = UserLoc { x: 300, y: 200 };
+/// assert_eq!(UserLoc::layout().arity(), 2);
+/// assert_eq!(loc.to_point().as_slice(), &[300, 200]);
+/// assert_eq!(UserLoc::from_point(&loc.to_point()), loc);
+/// ```
+#[macro_export]
+macro_rules! secret_record {
+    (
+        $(#[$meta:meta])*
+        $vis:vis struct $name:ident {
+            $($field:ident : $lo:literal ..= $hi:literal),+ $(,)?
+        }
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        $vis struct $name {
+            $(
+                /// Bounded integer field of the secret record.
+                pub $field: i64,
+            )+
+        }
+
+        impl $crate::Secret for $name {
+            fn layout() -> ::anosy_logic::SecretLayout {
+                ::anosy_logic::SecretLayout::builder()
+                    $(.field(stringify!($field), $lo, $hi))+
+                    .build()
+            }
+
+            fn to_point(&self) -> ::anosy_logic::Point {
+                ::anosy_logic::Point::new(vec![$(self.$field),+])
+            }
+
+            fn from_point(point: &::anosy_logic::Point) -> Self {
+                let mut iter = point.iter();
+                $(
+                    let $field = iter
+                        .next()
+                        .expect(concat!("missing coordinate for field ", stringify!($field)));
+                )+
+                assert!(iter.next().is_none(), "too many coordinates for secret record");
+                $name { $($field),+ }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    secret_record! {
+        /// Two-dimensional location used throughout the paper's overview.
+        pub struct UserLoc {
+            x: 0..=400,
+            y: 0..=400,
+        }
+    }
+
+    secret_record! {
+        struct Profile {
+            gender: 0..=1,
+            status: 0..=3,
+            byear: 1900..=2010,
+        }
+    }
+
+    #[test]
+    fn layout_matches_declaration() {
+        let layout = UserLoc::layout();
+        assert_eq!(layout.arity(), 2);
+        assert_eq!(layout.index_of("x"), Some(0));
+        assert_eq!(layout.field(1).unwrap().hi(), 400);
+        assert_eq!(Profile::layout().space_size(), 2 * 4 * 111);
+    }
+
+    #[test]
+    fn point_round_trip() {
+        let secret = Profile { gender: 1, status: 2, byear: 1984 };
+        let p = secret.to_point();
+        assert_eq!(p.as_slice(), &[1, 2, 1984]);
+        assert_eq!(Profile::from_point(&p), secret);
+    }
+
+    #[test]
+    fn layout_admits_in_bounds_secrets() {
+        let layout = UserLoc::layout();
+        assert!(layout.admits(&UserLoc { x: 0, y: 400 }.to_point()));
+        assert!(!layout.admits(&UserLoc { x: -1, y: 0 }.to_point()));
+    }
+
+    #[test]
+    #[should_panic(expected = "too many coordinates")]
+    fn arity_mismatch_is_detected() {
+        let _ = UserLoc::from_point(&Point::new(vec![1, 2, 3]));
+    }
+}

@@ -1,0 +1,52 @@
+//! IFC errors.
+
+use std::fmt;
+
+/// Errors raised by the floating-label discipline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IfcError {
+    /// The operation would move information to a label that cannot be reached from the current
+    /// label (e.g. creating a `Public` value after reading `Secret` data).
+    FlowViolation {
+        /// Description of the source label.
+        from: String,
+        /// Description of the target label.
+        to: String,
+    },
+    /// The operation would raise the current label above the context's clearance.
+    ClearanceViolation {
+        /// Description of the label that was requested.
+        requested: String,
+        /// Description of the clearance in force.
+        clearance: String,
+    },
+}
+
+impl fmt::Display for IfcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IfcError::FlowViolation { from, to } => {
+                write!(f, "information flow from {from} to {to} is not allowed")
+            }
+            IfcError::ClearanceViolation { requested, clearance } => {
+                write!(f, "label {requested} exceeds the clearance {clearance}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IfcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_both_labels() {
+        let e = IfcError::FlowViolation { from: "Secret".into(), to: "Public".into() };
+        assert!(e.to_string().contains("Secret"));
+        assert!(e.to_string().contains("Public"));
+        let c = IfcError::ClearanceViolation { requested: "TopSecret".into(), clearance: "Secret".into() };
+        assert!(c.to_string().contains("clearance"));
+    }
+}

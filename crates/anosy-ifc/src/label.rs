@@ -1,0 +1,221 @@
+//! Security label lattices.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A security label forming a bounded lattice under the "can flow to" order.
+///
+/// `bottom` is the most public label, `top` the most secret. `a.can_flow_to(&b)` means data
+/// labeled `a` may influence data labeled `b` (i.e. `a ⊑ b`).
+pub trait Label: Clone + PartialEq + fmt::Debug + fmt::Display {
+    /// The most public label.
+    fn bottom() -> Self;
+
+    /// The most secret label.
+    fn top() -> Self;
+
+    /// The partial order of the lattice.
+    fn can_flow_to(&self, other: &Self) -> bool;
+
+    /// Least upper bound.
+    fn join(&self, other: &Self) -> Self;
+
+    /// Greatest lower bound.
+    fn meet(&self, other: &Self) -> Self;
+}
+
+/// The two-point lattice `Public ⊑ Secret`, enough for every example in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SecLevel {
+    /// Observable by anyone (the attacker's level).
+    Public,
+    /// Observable only by the trusted application code.
+    Secret,
+}
+
+impl Label for SecLevel {
+    fn bottom() -> Self {
+        SecLevel::Public
+    }
+
+    fn top() -> Self {
+        SecLevel::Secret
+    }
+
+    fn can_flow_to(&self, other: &Self) -> bool {
+        self <= other
+    }
+
+    fn join(&self, other: &Self) -> Self {
+        *self.max(other)
+    }
+
+    fn meet(&self, other: &Self) -> Self {
+        *self.min(other)
+    }
+}
+
+impl fmt::Display for SecLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SecLevel::Public => write!(f, "Public"),
+            SecLevel::Secret => write!(f, "Secret"),
+        }
+    }
+}
+
+/// A DCLabel-style readers label: the set of principals allowed to observe the data.
+///
+/// Data may flow towards labels with **fewer** readers (restricting the audience); `bottom` is
+/// "everyone may read" (represented as the absence of a restriction) and `top` is "nobody may
+/// read".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadersLabel {
+    /// `None` means unrestricted (public); `Some(set)` restricts observation to the given
+    /// principals.
+    readers: Option<BTreeSet<String>>,
+}
+
+impl ReadersLabel {
+    /// The public label (anyone may read).
+    pub fn public() -> Self {
+        ReadersLabel { readers: None }
+    }
+
+    /// A label readable only by the given principals.
+    pub fn readable_by<I, S>(principals: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        ReadersLabel { readers: Some(principals.into_iter().map(Into::into).collect()) }
+    }
+
+    /// The set of allowed readers, or `None` when unrestricted.
+    pub fn readers(&self) -> Option<&BTreeSet<String>> {
+        self.readers.as_ref()
+    }
+}
+
+impl Label for ReadersLabel {
+    fn bottom() -> Self {
+        ReadersLabel::public()
+    }
+
+    fn top() -> Self {
+        ReadersLabel { readers: Some(BTreeSet::new()) }
+    }
+
+    fn can_flow_to(&self, other: &Self) -> bool {
+        match (&self.readers, &other.readers) {
+            (None, _) => true,                       // public flows anywhere
+            (Some(_), None) => false,                // restricted data may not become public
+            (Some(a), Some(b)) => b.is_subset(a),    // audience may only shrink
+        }
+    }
+
+    fn join(&self, other: &Self) -> Self {
+        match (&self.readers, &other.readers) {
+            (None, _) => other.clone(),
+            (_, None) => self.clone(),
+            (Some(a), Some(b)) => {
+                ReadersLabel { readers: Some(a.intersection(b).cloned().collect()) }
+            }
+        }
+    }
+
+    fn meet(&self, other: &Self) -> Self {
+        match (&self.readers, &other.readers) {
+            (None, _) | (_, None) => ReadersLabel::public(),
+            (Some(a), Some(b)) => ReadersLabel { readers: Some(a.union(b).cloned().collect()) },
+        }
+    }
+}
+
+impl fmt::Display for ReadersLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.readers {
+            None => write!(f, "⟨public⟩"),
+            Some(set) if set.is_empty() => write!(f, "⟨nobody⟩"),
+            Some(set) => {
+                write!(f, "⟨")?;
+                for (i, r) in set.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{r}")?;
+                }
+                write!(f, "⟩")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lattice_laws<L: Label>(elements: &[L]) {
+        for a in elements {
+            assert!(L::bottom().can_flow_to(a), "bottom must flow to {a}");
+            assert!(a.can_flow_to(&L::top()), "{a} must flow to top");
+            assert!(a.can_flow_to(a), "reflexivity at {a}");
+            for b in elements {
+                let j = a.join(b);
+                let m = a.meet(b);
+                assert!(a.can_flow_to(&j) && b.can_flow_to(&j), "join upper bound {a} {b}");
+                assert!(m.can_flow_to(a) && m.can_flow_to(b), "meet lower bound {a} {b}");
+                assert_eq!(a.join(b), b.join(a), "join commutes");
+                assert_eq!(a.meet(b), b.meet(a), "meet commutes");
+                for c in elements {
+                    if a.can_flow_to(b) && b.can_flow_to(c) {
+                        assert!(a.can_flow_to(c), "transitivity {a} {b} {c}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sec_level_is_a_lattice() {
+        lattice_laws(&[SecLevel::Public, SecLevel::Secret]);
+        assert!(SecLevel::Public.can_flow_to(&SecLevel::Secret));
+        assert!(!SecLevel::Secret.can_flow_to(&SecLevel::Public));
+        assert_eq!(SecLevel::Public.join(&SecLevel::Secret), SecLevel::Secret);
+        assert_eq!(SecLevel::Public.meet(&SecLevel::Secret), SecLevel::Public);
+    }
+
+    #[test]
+    fn readers_label_is_a_lattice() {
+        let elements = vec![
+            ReadersLabel::public(),
+            ReadersLabel::readable_by(["alice", "bob"]),
+            ReadersLabel::readable_by(["alice"]),
+            ReadersLabel::readable_by(["bob"]),
+            ReadersLabel::top(),
+        ];
+        lattice_laws(&elements);
+    }
+
+    #[test]
+    fn audience_may_only_shrink() {
+        let ab = ReadersLabel::readable_by(["alice", "bob"]);
+        let a = ReadersLabel::readable_by(["alice"]);
+        assert!(ab.can_flow_to(&a));
+        assert!(!a.can_flow_to(&ab));
+        assert!(!a.can_flow_to(&ReadersLabel::public()));
+        assert_eq!(ab.join(&a), a);
+        assert_eq!(ab.meet(&a), ab);
+        // Joining disjoint audiences yields the empty audience (top).
+        let b = ReadersLabel::readable_by(["bob"]);
+        assert_eq!(a.join(&b), ReadersLabel::top());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(SecLevel::Secret.to_string(), "Secret");
+        assert_eq!(ReadersLabel::public().to_string(), "⟨public⟩");
+        assert_eq!(ReadersLabel::top().to_string(), "⟨nobody⟩");
+        assert!(ReadersLabel::readable_by(["alice"]).to_string().contains("alice"));
+    }
+}

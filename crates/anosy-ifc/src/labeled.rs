@@ -1,0 +1,74 @@
+//! Labeled values.
+
+use crate::Label;
+use std::fmt;
+
+/// A value protected by a security label.
+///
+/// The payload is private: the only ways to observe it are [`crate::Lio::unlabel`] (which taints
+/// the calling context) and [`Labeled::peek_tcb`] (which is part of the trusted computing base,
+/// exactly like LIO's `unlabelTCB` that the paper's `downgrade` relies on).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Labeled<L, T> {
+    label: L,
+    value: T,
+}
+
+impl<L: Label, T> Labeled<L, T> {
+    /// Creates a labeled value. Library users normally go through [`crate::Lio::label`], which
+    /// additionally checks the floating-label discipline.
+    pub fn new(label: L, value: T) -> Self {
+        Labeled { label, value }
+    }
+
+    /// The label protecting the value.
+    pub fn label(&self) -> &L {
+        &self.label
+    }
+
+    /// Trusted access to the payload, bypassing the IFC discipline.
+    ///
+    /// This is the substrate's `unlabelTCB`: callers take on the obligation of not leaking the
+    /// result. Inside ANOSY-RS only the bounded downgrade (after its policy check) and tests use
+    /// it.
+    pub fn peek_tcb(&self) -> &T {
+        &self.value
+    }
+
+    /// Maps the payload while keeping the label (a trusted operation for the same reason as
+    /// [`Labeled::peek_tcb`] — the closure sees the secret).
+    pub fn map_tcb<U>(self, f: impl FnOnce(T) -> U) -> Labeled<L, U> {
+        Labeled { label: self.label, value: f(self.value) }
+    }
+}
+
+impl<L: Label, T> fmt::Display for Labeled<L, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Deliberately does not display the payload.
+        write!(f, "<{} value>", self.label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SecLevel;
+
+    #[test]
+    fn label_is_observable_but_payload_is_not_displayed() {
+        let v = Labeled::new(SecLevel::Secret, (300, 200));
+        assert_eq!(*v.label(), SecLevel::Secret);
+        let shown = v.to_string();
+        assert!(shown.contains("Secret"));
+        assert!(!shown.contains("300"), "display must not leak the payload");
+    }
+
+    #[test]
+    fn tcb_access_and_map() {
+        let v = Labeled::new(SecLevel::Secret, 41);
+        assert_eq!(*v.peek_tcb(), 41);
+        let w = v.map_tcb(|x| x + 1);
+        assert_eq!(*w.peek_tcb(), 42);
+        assert_eq!(*w.label(), SecLevel::Secret);
+    }
+}

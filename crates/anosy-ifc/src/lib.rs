@@ -1,0 +1,49 @@
+//! A small LIO-style information-flow-control substrate.
+//!
+//! ANOSY's bounded downgrade is a *monad transformer*: it stages knowledge tracking on top of an
+//! existing security monad (LIO, LWeb, STORM) that provides the baseline non-interference
+//! enforcement and the trusted `unprotect` operation (§2.1, §3). This crate provides that
+//! substrate for ANOSY-RS:
+//!
+//! * [`Label`] — a security-label lattice, with the two-point [`SecLevel`] lattice and the
+//!   reader-set [`ReadersLabel`] as concrete instances;
+//! * [`Labeled`] — a value protected by a label; its content is only reachable through a
+//!   [`Lio`] context, which tracks the *current label* and *clearance* exactly like LIO's
+//!   floating-label monad;
+//! * [`Protected`] / [`Unprotect`] — the paper's `Unprotectable` class: the trusted-computing-base
+//!   hook the bounded downgrade uses to look at a secret *after* the policy check has authorized
+//!   the query.
+//!
+//! The substrate enforces the usual floating-label discipline: reading a labeled value raises the
+//! current label; writing to (creating a value at) a label below the current label is rejected;
+//! everything above the clearance is unreachable.
+//!
+//! # Example
+//!
+//! ```
+//! use anosy_ifc::{Lio, SecLevel, Labeled};
+//!
+//! let mut lio = Lio::new(SecLevel::Public, SecLevel::Secret);
+//! let secret_location = lio.label(SecLevel::Secret, (300i64, 200i64)).unwrap();
+//! // Reading the secret taints the context ...
+//! let loc = *lio.unlabel(&secret_location).unwrap();
+//! assert_eq!(loc, (300, 200));
+//! assert_eq!(lio.current_label(), SecLevel::Secret);
+//! // ... after which the context can no longer produce Public values.
+//! assert!(lio.label(SecLevel::Public, loc.0 + loc.1).is_err());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod label;
+mod labeled;
+mod lio;
+mod protected;
+
+pub use error::IfcError;
+pub use label::{Label, ReadersLabel, SecLevel};
+pub use labeled::Labeled;
+pub use lio::Lio;
+pub use protected::{Protected, Unprotect};

@@ -1,0 +1,242 @@
+//! The floating-label context (LIO's monad, as a stateful context object).
+
+use crate::{IfcError, Label, Labeled};
+use std::fmt;
+
+/// An LIO-style computation context: a *current label* that floats upward as secrets are read,
+/// bounded by a *clearance*.
+///
+/// In Haskell this is a monad; in Rust the same discipline is expressed as a mutable context
+/// threaded through the computation. The invariant maintained by every operation is
+/// `current_label ⊑ clearance`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lio<L: Label> {
+    current: L,
+    clearance: L,
+}
+
+impl<L: Label> Lio<L> {
+    /// Creates a context with the given initial current label and clearance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the initial label does not flow to the clearance.
+    pub fn new(current: L, clearance: L) -> Self {
+        assert!(
+            current.can_flow_to(&clearance),
+            "initial label must be below the clearance"
+        );
+        Lio { current, clearance }
+    }
+
+    /// A context starting fully public with full clearance.
+    pub fn unrestricted() -> Self {
+        Lio::new(L::bottom(), L::top())
+    }
+
+    /// The current (floating) label.
+    pub fn current_label(&self) -> L {
+        self.current.clone()
+    }
+
+    /// The clearance.
+    pub fn clearance(&self) -> L {
+        self.clearance.clone()
+    }
+
+    /// Labels a value, checking that the target label is reachable from the current label and
+    /// within the clearance (LIO's `label`).
+    ///
+    /// # Errors
+    ///
+    /// [`IfcError::FlowViolation`] if the current label cannot flow to `label`;
+    /// [`IfcError::ClearanceViolation`] if `label` exceeds the clearance.
+    pub fn label<T>(&mut self, label: L, value: T) -> Result<Labeled<L, T>, IfcError> {
+        if !self.current.can_flow_to(&label) {
+            return Err(IfcError::FlowViolation {
+                from: self.current.to_string(),
+                to: label.to_string(),
+            });
+        }
+        if !label.can_flow_to(&self.clearance) {
+            return Err(IfcError::ClearanceViolation {
+                requested: label.to_string(),
+                clearance: self.clearance.to_string(),
+            });
+        }
+        Ok(Labeled::new(label, value))
+    }
+
+    /// Reads a labeled value, raising the current label to the join of the current label and the
+    /// value's label (LIO's `unlabel`).
+    ///
+    /// # Errors
+    ///
+    /// [`IfcError::ClearanceViolation`] if the raised label would exceed the clearance; the
+    /// current label is left unchanged in that case.
+    pub fn unlabel<'a, T>(&mut self, value: &'a Labeled<L, T>) -> Result<&'a T, IfcError> {
+        let raised = self.current.join(value.label());
+        if !raised.can_flow_to(&self.clearance) {
+            return Err(IfcError::ClearanceViolation {
+                requested: raised.to_string(),
+                clearance: self.clearance.to_string(),
+            });
+        }
+        self.current = raised;
+        Ok(value.peek_tcb())
+    }
+
+    /// Raises the current label to at least `label` without reading anything (LIO's `taint`).
+    ///
+    /// # Errors
+    ///
+    /// [`IfcError::ClearanceViolation`] if the raised label would exceed the clearance.
+    pub fn taint(&mut self, label: &L) -> Result<(), IfcError> {
+        let raised = self.current.join(label);
+        if !raised.can_flow_to(&self.clearance) {
+            return Err(IfcError::ClearanceViolation {
+                requested: raised.to_string(),
+                clearance: self.clearance.to_string(),
+            });
+        }
+        self.current = raised;
+        Ok(())
+    }
+
+    /// Checks that the context may currently write to a sink labeled `label` (LIO's
+    /// `guardWrite`): the current label must flow to the sink's label.
+    ///
+    /// # Errors
+    ///
+    /// [`IfcError::FlowViolation`] when the write would leak.
+    pub fn guard_write(&self, label: &L) -> Result<(), IfcError> {
+        if self.current.can_flow_to(label) {
+            Ok(())
+        } else {
+            Err(IfcError::FlowViolation {
+                from: self.current.to_string(),
+                to: label.to_string(),
+            })
+        }
+    }
+
+    /// Runs a sub-computation whose taint is discarded afterwards (LIO's `toLabeled`): the
+    /// sub-computation's result is returned as a labeled value at `label`, and the current label
+    /// of `self` is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from the sub-computation; additionally fails like [`Lio::label`] if the
+    /// sub-computation's final label cannot flow to `label`.
+    pub fn to_labeled<T>(
+        &mut self,
+        label: L,
+        body: impl FnOnce(&mut Lio<L>) -> Result<T, IfcError>,
+    ) -> Result<Labeled<L, T>, IfcError> {
+        let mut inner = self.clone();
+        let value = body(&mut inner)?;
+        if !inner.current.can_flow_to(&label) {
+            return Err(IfcError::FlowViolation {
+                from: inner.current.to_string(),
+                to: label.to_string(),
+            });
+        }
+        if !label.can_flow_to(&self.clearance) {
+            return Err(IfcError::ClearanceViolation {
+                requested: label.to_string(),
+                clearance: self.clearance.to_string(),
+            });
+        }
+        Ok(Labeled::new(label, value))
+    }
+}
+
+impl<L: Label> fmt::Display for Lio<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Lio {{ current: {}, clearance: {} }}", self.current, self.clearance)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ReadersLabel, SecLevel};
+
+    #[test]
+    fn reading_a_secret_taints_the_context() {
+        let mut lio = Lio::new(SecLevel::Public, SecLevel::Secret);
+        let secret = lio.label(SecLevel::Secret, 42).unwrap();
+        assert_eq!(lio.current_label(), SecLevel::Public);
+        assert_eq!(*lio.unlabel(&secret).unwrap(), 42);
+        assert_eq!(lio.current_label(), SecLevel::Secret);
+    }
+
+    #[test]
+    fn tainted_contexts_cannot_produce_public_values() {
+        let mut lio = Lio::<SecLevel>::unrestricted();
+        lio.taint(&SecLevel::Secret).unwrap();
+        let err = lio.label(SecLevel::Public, 7).unwrap_err();
+        assert!(matches!(err, IfcError::FlowViolation { .. }));
+        assert!(lio.guard_write(&SecLevel::Public).is_err());
+        assert!(lio.guard_write(&SecLevel::Secret).is_ok());
+    }
+
+    #[test]
+    fn clearance_bounds_both_label_and_unlabel() {
+        let mut lio = Lio::new(SecLevel::Public, SecLevel::Public);
+        assert!(matches!(
+            lio.label(SecLevel::Secret, 1),
+            Err(IfcError::ClearanceViolation { .. })
+        ));
+        let secret = Labeled::new(SecLevel::Secret, 1);
+        assert!(matches!(lio.unlabel(&secret), Err(IfcError::ClearanceViolation { .. })));
+        // A failed unlabel must not taint the context.
+        assert_eq!(lio.current_label(), SecLevel::Public);
+        assert!(lio.taint(&SecLevel::Secret).is_err());
+    }
+
+    #[test]
+    fn to_labeled_discards_the_inner_taint() {
+        let mut lio = Lio::<SecLevel>::unrestricted();
+        let secret = lio.label(SecLevel::Secret, 10).unwrap();
+        let result = lio
+            .to_labeled(SecLevel::Secret, |inner| {
+                let v = inner.unlabel(&secret)?;
+                Ok(v * 2)
+            })
+            .unwrap();
+        assert_eq!(lio.current_label(), SecLevel::Public);
+        assert_eq!(*result.peek_tcb(), 20);
+        assert_eq!(*result.label(), SecLevel::Secret);
+        // The inner computation's taint must flow to the requested label.
+        let err = lio.to_labeled(SecLevel::Public, |inner| {
+            inner.unlabel(&secret).map(|v| *v)
+        });
+        assert!(matches!(err, Err(IfcError::FlowViolation { .. })));
+    }
+
+    #[test]
+    fn works_with_the_readers_lattice_too() {
+        let mut lio = Lio::<ReadersLabel>::unrestricted();
+        let for_alice = lio
+            .label(ReadersLabel::readable_by(["alice"]), "medical record")
+            .unwrap();
+        let _ = lio.unlabel(&for_alice).unwrap();
+        // After reading Alice's data the context may not emit to Bob's audience.
+        assert!(lio.guard_write(&ReadersLabel::readable_by(["bob"])).is_err());
+        assert!(lio.guard_write(&ReadersLabel::readable_by(["alice"])).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "below the clearance")]
+    fn inverted_initial_labels_panic() {
+        let _ = Lio::new(SecLevel::Secret, SecLevel::Public);
+    }
+
+    #[test]
+    fn display_shows_both_labels() {
+        let lio = Lio::new(SecLevel::Public, SecLevel::Secret);
+        let text = lio.to_string();
+        assert!(text.contains("Public") && text.contains("Secret"));
+    }
+}

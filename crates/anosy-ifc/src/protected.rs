@@ -1,0 +1,90 @@
+//! Protected secrets and the trusted `unprotect` hook (the paper's `Unprotectable` class).
+
+use std::fmt;
+
+/// A secret wrapped so that ordinary code cannot observe it.
+///
+/// `Protected` is intentionally minimal: it is the argument type of the bounded downgrade, which
+/// is the only component entitled to look inside (through the [`Unprotect`] trait) — and it only
+/// does so *after* the quantitative policy has authorized the query (§3, Fig. 2).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Protected<T> {
+    value: T,
+}
+
+impl<T> Protected<T> {
+    /// Wraps a secret.
+    pub fn new(value: T) -> Self {
+        Protected { value }
+    }
+}
+
+impl<T> From<T> for Protected<T> {
+    fn from(value: T) -> Self {
+        Protected::new(value)
+    }
+}
+
+impl<T> fmt::Debug for Protected<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Never print the secret, even in debug output.
+        write!(f, "Protected(<redacted>)")
+    }
+}
+
+impl<T> fmt::Display for Protected<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Protected(<redacted>)")
+    }
+}
+
+/// The trusted-computing-base view of a protected container: the paper's
+/// `class Unprotectable p where unprotect :: p t -> t`.
+pub trait Unprotect {
+    /// The secret type inside the container.
+    type Target;
+
+    /// Reveals the secret. Trusted: only the bounded downgrade (and tests) may call this.
+    fn unprotect_tcb(&self) -> &Self::Target;
+}
+
+impl<T> Unprotect for Protected<T> {
+    type Target = T;
+
+    fn unprotect_tcb(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<L: crate::Label, T> Unprotect for crate::Labeled<L, T> {
+    type Target = T;
+
+    fn unprotect_tcb(&self) -> &T {
+        self.peek_tcb()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Labeled, SecLevel};
+
+    #[test]
+    fn debug_and_display_never_leak() {
+        let p = Protected::new((300, 200));
+        assert_eq!(format!("{p:?}"), "Protected(<redacted>)");
+        assert_eq!(p.to_string(), "Protected(<redacted>)");
+    }
+
+    #[test]
+    fn unprotect_reveals_for_the_tcb_only_path() {
+        let p: Protected<_> = (300i64, 200i64).into();
+        assert_eq!(*p.unprotect_tcb(), (300, 200));
+    }
+
+    #[test]
+    fn labeled_values_are_unprotectable_too() {
+        let l = Labeled::new(SecLevel::Secret, 7u8);
+        assert_eq!(*l.unprotect_tcb(), 7);
+    }
+}

@@ -1,0 +1,83 @@
+//! Error types for evaluation and parsing.
+
+use std::fmt;
+
+/// Error raised when evaluating an expression or predicate on a concrete [`crate::Point`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// A variable index was out of bounds for the point being evaluated.
+    UnknownVariable {
+        /// The out-of-range variable index.
+        index: usize,
+        /// The arity of the point the expression was evaluated against.
+        arity: usize,
+    },
+    /// An arithmetic operation overflowed 64-bit signed integers.
+    Overflow {
+        /// Human readable description of the operation that overflowed.
+        operation: &'static str,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnknownVariable { index, arity } => {
+                write!(f, "variable v{index} is out of range for a point of arity {arity}")
+            }
+            EvalError::Overflow { operation } => {
+                write!(f, "arithmetic overflow during {operation}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Error raised by the surface-syntax parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input where the error was detected.
+    pub offset: usize,
+    /// Human readable description of what went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    pub(crate) fn new(offset: usize, message: impl Into<String>) -> Self {
+        ParseError { offset, message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at offset {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_error_display_mentions_variable() {
+        let err = EvalError::UnknownVariable { index: 3, arity: 2 };
+        assert!(err.to_string().contains("v3"));
+        assert!(err.to_string().contains("arity 2"));
+    }
+
+    #[test]
+    fn overflow_display_mentions_operation() {
+        let err = EvalError::Overflow { operation: "addition" };
+        assert!(err.to_string().contains("addition"));
+    }
+
+    #[test]
+    fn parse_error_display_contains_offset() {
+        let err = ParseError::new(7, "unexpected token");
+        assert!(err.to_string().contains("offset 7"));
+        assert!(err.to_string().contains("unexpected token"));
+    }
+}

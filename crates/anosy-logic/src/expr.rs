@@ -1,0 +1,476 @@
+//! Integer expressions of the query language.
+
+use crate::{EvalError, IntBox, Point, Range};
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+use std::sync::Arc;
+
+/// Comparison operators between integer expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Applies the operator to concrete values.
+    pub fn apply(self, a: i64, b: i64) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+
+    /// The operator that holds exactly when `self` does not (`<` ↔ `>=`, etc.).
+    pub fn negate(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+
+    /// The operator with its arguments swapped (`a op b` ↔ `b op.swap() a`).
+    pub fn swap(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// An integer expression over the fields of a secret.
+///
+/// The language mirrors the fragment ANOSY accepts (§5.1): linear arithmetic (addition,
+/// subtraction, negation, multiplication by constants) extended with `abs`, `min`, `max` and
+/// arithmetic if-then-else. Sub-expressions are shared via [`Arc`] so that queries are cheap to
+/// clone when stored in registries and session state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum IntExpr {
+    /// An integer literal.
+    Const(i64),
+    /// The secret field with the given index (see [`crate::SecretLayout`]).
+    Var(usize),
+    /// Sum of two expressions.
+    Add(Arc<IntExpr>, Arc<IntExpr>),
+    /// Difference of two expressions.
+    Sub(Arc<IntExpr>, Arc<IntExpr>),
+    /// Negation.
+    Neg(Arc<IntExpr>),
+    /// Multiplication by a constant factor (keeps the language linear).
+    Scale(i64, Arc<IntExpr>),
+    /// Absolute value.
+    Abs(Arc<IntExpr>),
+    /// Binary minimum.
+    Min(Arc<IntExpr>, Arc<IntExpr>),
+    /// Binary maximum.
+    Max(Arc<IntExpr>, Arc<IntExpr>),
+    /// Arithmetic if-then-else over a predicate condition.
+    Ite(Arc<crate::Pred>, Arc<IntExpr>, Arc<IntExpr>),
+}
+
+impl IntExpr {
+    /// The secret field with index `index`.
+    pub fn var(index: usize) -> IntExpr {
+        IntExpr::Var(index)
+    }
+
+    /// An integer constant.
+    pub fn constant(value: i64) -> IntExpr {
+        IntExpr::Const(value)
+    }
+
+    /// Absolute value of this expression.
+    pub fn abs(self) -> IntExpr {
+        IntExpr::Abs(Arc::new(self))
+    }
+
+    /// Minimum of this expression and `other`.
+    pub fn min_expr(self, other: impl Into<IntExpr>) -> IntExpr {
+        IntExpr::Min(Arc::new(self), Arc::new(other.into()))
+    }
+
+    /// Maximum of this expression and `other`.
+    pub fn max_expr(self, other: impl Into<IntExpr>) -> IntExpr {
+        IntExpr::Max(Arc::new(self), Arc::new(other.into()))
+    }
+
+    /// Multiplication by a constant factor.
+    pub fn scale(self, factor: i64) -> IntExpr {
+        IntExpr::Scale(factor, Arc::new(self))
+    }
+
+    /// If-then-else selecting between `then_branch` and `else_branch` based on `cond`.
+    pub fn ite(cond: crate::Pred, then_branch: IntExpr, else_branch: IntExpr) -> IntExpr {
+        IntExpr::Ite(Arc::new(cond), Arc::new(then_branch), Arc::new(else_branch))
+    }
+
+    /// The comparison `self == other` as a predicate.
+    pub fn eq(self, other: impl Into<IntExpr>) -> crate::Pred {
+        crate::Pred::cmp(CmpOp::Eq, self, other.into())
+    }
+
+    /// The comparison `self != other` as a predicate.
+    pub fn ne(self, other: impl Into<IntExpr>) -> crate::Pred {
+        crate::Pred::cmp(CmpOp::Ne, self, other.into())
+    }
+
+    /// The comparison `self < other` as a predicate.
+    pub fn lt(self, other: impl Into<IntExpr>) -> crate::Pred {
+        crate::Pred::cmp(CmpOp::Lt, self, other.into())
+    }
+
+    /// The comparison `self <= other` as a predicate.
+    pub fn le(self, other: impl Into<IntExpr>) -> crate::Pred {
+        crate::Pred::cmp(CmpOp::Le, self, other.into())
+    }
+
+    /// The comparison `self > other` as a predicate.
+    pub fn gt(self, other: impl Into<IntExpr>) -> crate::Pred {
+        crate::Pred::cmp(CmpOp::Gt, self, other.into())
+    }
+
+    /// The comparison `self >= other` as a predicate.
+    pub fn ge(self, other: impl Into<IntExpr>) -> crate::Pred {
+        crate::Pred::cmp(CmpOp::Ge, self, other.into())
+    }
+
+    /// The comparison `lo <= self && self <= hi` as a predicate.
+    pub fn between(self, lo: i64, hi: i64) -> crate::Pred {
+        crate::Pred::and(vec![self.clone().ge(lo), self.le(hi)])
+    }
+
+    /// The predicate `self == c1 || self == c2 || ...` (point-wise membership, §6.1).
+    pub fn one_of(self, values: impl IntoIterator<Item = i64>) -> crate::Pred {
+        crate::Pred::or(values.into_iter().map(|v| self.clone().eq(v)).collect())
+    }
+
+    /// Evaluates the expression on a concrete point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::UnknownVariable`] if the expression mentions a field the point does
+    /// not have, and [`EvalError::Overflow`] if 64-bit arithmetic overflows.
+    pub fn eval(&self, point: &Point) -> Result<i64, EvalError> {
+        match self {
+            IntExpr::Const(c) => Ok(*c),
+            IntExpr::Var(i) => point
+                .get(*i)
+                .ok_or(EvalError::UnknownVariable { index: *i, arity: point.arity() }),
+            IntExpr::Add(a, b) => a
+                .eval(point)?
+                .checked_add(b.eval(point)?)
+                .ok_or(EvalError::Overflow { operation: "addition" }),
+            IntExpr::Sub(a, b) => a
+                .eval(point)?
+                .checked_sub(b.eval(point)?)
+                .ok_or(EvalError::Overflow { operation: "subtraction" }),
+            IntExpr::Neg(a) => a
+                .eval(point)?
+                .checked_neg()
+                .ok_or(EvalError::Overflow { operation: "negation" }),
+            IntExpr::Scale(k, a) => a
+                .eval(point)?
+                .checked_mul(*k)
+                .ok_or(EvalError::Overflow { operation: "scaling" }),
+            IntExpr::Abs(a) => a
+                .eval(point)?
+                .checked_abs()
+                .ok_or(EvalError::Overflow { operation: "absolute value" }),
+            IntExpr::Min(a, b) => Ok(a.eval(point)?.min(b.eval(point)?)),
+            IntExpr::Max(a, b) => Ok(a.eval(point)?.max(b.eval(point)?)),
+            IntExpr::Ite(c, t, e) => {
+                if c.eval(point)? {
+                    t.eval(point)
+                } else {
+                    e.eval(point)
+                }
+            }
+        }
+    }
+
+    /// Evaluates the expression over a box of points using interval arithmetic, returning a range
+    /// guaranteed to contain every concrete result.
+    pub fn eval_abstract(&self, boxed: &IntBox) -> Range {
+        match self {
+            IntExpr::Const(c) => Range::singleton(*c),
+            IntExpr::Var(i) => {
+                if *i < boxed.arity() {
+                    boxed.dim(*i)
+                } else {
+                    Range::FULL
+                }
+            }
+            IntExpr::Add(a, b) => a.eval_abstract(boxed).add(b.eval_abstract(boxed)),
+            IntExpr::Sub(a, b) => a.eval_abstract(boxed).sub(b.eval_abstract(boxed)),
+            IntExpr::Neg(a) => a.eval_abstract(boxed).neg(),
+            IntExpr::Scale(k, a) => a.eval_abstract(boxed).mul_const(*k),
+            IntExpr::Abs(a) => a.eval_abstract(boxed).abs(),
+            IntExpr::Min(a, b) => a.eval_abstract(boxed).min(b.eval_abstract(boxed)),
+            IntExpr::Max(a, b) => a.eval_abstract(boxed).max(b.eval_abstract(boxed)),
+            IntExpr::Ite(c, t, e) => {
+                use crate::TriBool;
+                match c.eval_abstract(boxed) {
+                    TriBool::True => t.eval_abstract(boxed),
+                    TriBool::False => e.eval_abstract(boxed),
+                    TriBool::Unknown => t.eval_abstract(boxed).hull(e.eval_abstract(boxed)),
+                }
+            }
+        }
+    }
+
+    /// Collects the indices of every secret field mentioned by the expression into `out`.
+    pub fn collect_vars(&self, out: &mut Vec<usize>) {
+        match self {
+            IntExpr::Const(_) => {}
+            IntExpr::Var(i) => {
+                if !out.contains(i) {
+                    out.push(*i);
+                }
+            }
+            IntExpr::Add(a, b) | IntExpr::Sub(a, b) | IntExpr::Min(a, b) | IntExpr::Max(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            IntExpr::Neg(a) | IntExpr::Scale(_, a) | IntExpr::Abs(a) => a.collect_vars(out),
+            IntExpr::Ite(c, t, e) => {
+                c.collect_vars(out);
+                t.collect_vars(out);
+                e.collect_vars(out);
+            }
+        }
+    }
+
+    /// Returns the constant value of the expression if it contains no variables and folds to a
+    /// single literal.
+    pub fn as_const(&self) -> Option<i64> {
+        match self {
+            IntExpr::Const(c) => Some(*c),
+            _ => None,
+        }
+    }
+}
+
+impl From<i64> for IntExpr {
+    fn from(v: i64) -> Self {
+        IntExpr::Const(v)
+    }
+}
+
+impl From<i32> for IntExpr {
+    fn from(v: i32) -> Self {
+        IntExpr::Const(v as i64)
+    }
+}
+
+impl Add for IntExpr {
+    type Output = IntExpr;
+    fn add(self, rhs: IntExpr) -> IntExpr {
+        IntExpr::Add(Arc::new(self), Arc::new(rhs))
+    }
+}
+
+impl Add<i64> for IntExpr {
+    type Output = IntExpr;
+    fn add(self, rhs: i64) -> IntExpr {
+        self + IntExpr::Const(rhs)
+    }
+}
+
+impl Sub for IntExpr {
+    type Output = IntExpr;
+    fn sub(self, rhs: IntExpr) -> IntExpr {
+        IntExpr::Sub(Arc::new(self), Arc::new(rhs))
+    }
+}
+
+impl Sub<i64> for IntExpr {
+    type Output = IntExpr;
+    fn sub(self, rhs: i64) -> IntExpr {
+        self - IntExpr::Const(rhs)
+    }
+}
+
+impl Neg for IntExpr {
+    type Output = IntExpr;
+    fn neg(self) -> IntExpr {
+        IntExpr::Neg(Arc::new(self))
+    }
+}
+
+impl Mul<i64> for IntExpr {
+    type Output = IntExpr;
+    fn mul(self, rhs: i64) -> IntExpr {
+        IntExpr::Scale(rhs, Arc::new(self))
+    }
+}
+
+impl fmt::Display for IntExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IntExpr::Const(c) => write!(f, "{c}"),
+            IntExpr::Var(i) => write!(f, "v{i}"),
+            IntExpr::Add(a, b) => write!(f, "({a} + {b})"),
+            IntExpr::Sub(a, b) => write!(f, "({a} - {b})"),
+            IntExpr::Neg(a) => write!(f, "(-{a})"),
+            IntExpr::Scale(k, a) => write!(f, "({k} * {a})"),
+            IntExpr::Abs(a) => write!(f, "abs({a})"),
+            IntExpr::Min(a, b) => write!(f, "min({a}, {b})"),
+            IntExpr::Max(a, b) => write!(f, "max({a}, {b})"),
+            IntExpr::Ite(c, t, e) => write!(f, "(if {c} then {t} else {e})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Pred;
+
+    fn point(coords: &[i64]) -> Point {
+        Point::new(coords.to_vec())
+    }
+
+    #[test]
+    fn cmp_op_apply_and_negate() {
+        assert!(CmpOp::Le.apply(3, 3));
+        assert!(!CmpOp::Lt.apply(3, 3));
+        assert!(CmpOp::Ne.apply(1, 2));
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            for (a, b) in [(1, 2), (2, 2), (3, 2)] {
+                assert_eq!(op.negate().apply(a, b), !op.apply(a, b));
+                assert_eq!(op.swap().apply(b, a), op.apply(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn nearby_query_evaluates_like_the_paper() {
+        // nearby (200, 200): |x - 200| + |y - 200| <= 100 (§2.1)
+        let q = ((IntExpr::var(0) - 200).abs() + (IntExpr::var(1) - 200).abs()).le(100);
+        assert!(q.eval(&point(&[300, 200])).unwrap());
+        assert!(q.eval(&point(&[200, 300])).unwrap());
+        assert!(!q.eval(&point(&[301, 200])).unwrap());
+        assert!(!q.eval(&point(&[0, 0])).unwrap());
+    }
+
+    #[test]
+    fn arithmetic_evaluation() {
+        let e = (IntExpr::var(0) * 3 + IntExpr::var(1)) - 7;
+        assert_eq!(e.eval(&point(&[2, 10])).unwrap(), 9);
+        let m = IntExpr::var(0).min_expr(IntExpr::var(1));
+        assert_eq!(m.eval(&point(&[4, -2])).unwrap(), -2);
+        let x = IntExpr::var(0).max_expr(5);
+        assert_eq!(x.eval(&point(&[3])).unwrap(), 5);
+        let neg = -IntExpr::var(0);
+        assert_eq!(neg.eval(&point(&[9])).unwrap(), -9);
+    }
+
+    #[test]
+    fn ite_evaluation() {
+        let cond = IntExpr::var(0).lt(0);
+        let abs_by_hand = IntExpr::ite(cond, -IntExpr::var(0), IntExpr::var(0));
+        assert_eq!(abs_by_hand.eval(&point(&[-5])).unwrap(), 5);
+        assert_eq!(abs_by_hand.eval(&point(&[7])).unwrap(), 7);
+    }
+
+    #[test]
+    fn unknown_variable_is_reported() {
+        let e = IntExpr::var(2);
+        assert_eq!(
+            e.eval(&point(&[1, 2])),
+            Err(EvalError::UnknownVariable { index: 2, arity: 2 })
+        );
+    }
+
+    #[test]
+    fn overflow_is_reported() {
+        let e = IntExpr::constant(i64::MAX) + 1;
+        assert_eq!(e.eval(&point(&[])), Err(EvalError::Overflow { operation: "addition" }));
+        let n = -IntExpr::constant(i64::MIN);
+        assert!(n.eval(&point(&[])).is_err());
+    }
+
+    #[test]
+    fn abstract_evaluation_bounds_concrete_results() {
+        let e = (IntExpr::var(0) - 200).abs() + (IntExpr::var(1) - 200).abs();
+        let boxed = IntBox::new(vec![Range::new(150, 250), Range::new(190, 210)]);
+        let r = e.eval_abstract(&boxed);
+        for p in boxed.points() {
+            let v = e.eval(&p).unwrap();
+            assert!(r.contains(v), "{v} not in {r}");
+        }
+    }
+
+    #[test]
+    fn abstract_ite_hulls_branches() {
+        let cond = IntExpr::var(0).lt(5);
+        let e = IntExpr::ite(cond, IntExpr::constant(1), IntExpr::constant(100));
+        let unknown_box = IntBox::new(vec![Range::new(0, 10)]);
+        let r = e.eval_abstract(&unknown_box);
+        assert!(r.contains(1) && r.contains(100));
+        let true_box = IntBox::new(vec![Range::new(0, 4)]);
+        assert_eq!(e.eval_abstract(&true_box), Range::singleton(1));
+    }
+
+    #[test]
+    fn variable_collection_deduplicates() {
+        let e = IntExpr::var(1) + IntExpr::var(0) + IntExpr::var(1);
+        let mut vars = Vec::new();
+        e.collect_vars(&mut vars);
+        vars.sort_unstable();
+        assert_eq!(vars, vec![0, 1]);
+    }
+
+    #[test]
+    fn between_and_one_of_builders() {
+        let b = IntExpr::var(0).between(10, 20);
+        assert!(b.eval(&point(&[15])).unwrap());
+        assert!(!b.eval(&point(&[9])).unwrap());
+        let m = IntExpr::var(0).one_of([3, 5, 9]);
+        assert!(m.eval(&point(&[5])).unwrap());
+        assert!(!m.eval(&point(&[4])).unwrap());
+        assert_eq!(IntExpr::var(0).one_of([]), Pred::or(vec![]));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = (IntExpr::var(0) - 200).abs();
+        assert_eq!(e.to_string(), "abs((v0 - 200))");
+    }
+}

@@ -1,0 +1,249 @@
+//! Normalization: negation normal form and constant folding.
+//!
+//! The solver's propagation works on predicates where negation has been pushed down to atomic
+//! comparisons (so that each comparison can be narrowed directly) and trivially-constant
+//! sub-formulas have been folded away.
+
+use crate::Pred;
+use std::sync::Arc;
+
+/// Simplifies a predicate: pushes negations down to comparisons (negation normal form),
+/// rewrites `=>` and `<=>` into `&&`/`||`/`!`, flattens nested conjunctions/disjunctions and
+/// folds constants.
+///
+/// The result is logically equivalent to the input on every point.
+pub fn simplify_pred(pred: &Pred) -> Pred {
+    flatten(&nnf(pred, false))
+}
+
+/// Pushes negation inward. `negated` tracks whether we are under an odd number of negations.
+fn nnf(pred: &Pred, negated: bool) -> Pred {
+    match pred {
+        Pred::True => {
+            if negated {
+                Pred::False
+            } else {
+                Pred::True
+            }
+        }
+        Pred::False => {
+            if negated {
+                Pred::True
+            } else {
+                Pred::False
+            }
+        }
+        Pred::Cmp(op, a, b) => {
+            let op = if negated { op.negate() } else { *op };
+            Pred::Cmp(op, Arc::clone(a), Arc::clone(b))
+        }
+        Pred::Not(p) => nnf(p, !negated),
+        Pred::And(ps) => {
+            let children: Vec<Pred> = ps.iter().map(|p| nnf(p, negated)).collect();
+            if negated {
+                Pred::Or(children)
+            } else {
+                Pred::And(children)
+            }
+        }
+        Pred::Or(ps) => {
+            let children: Vec<Pred> = ps.iter().map(|p| nnf(p, negated)).collect();
+            if negated {
+                Pred::And(children)
+            } else {
+                Pred::Or(children)
+            }
+        }
+        Pred::Implies(a, b) => {
+            // a => b  ≡  !a || b
+            let rewritten = Pred::Or(vec![nnf(a, true), nnf(b, false)]);
+            if negated {
+                // !(a => b) ≡ a && !b
+                Pred::And(vec![nnf(a, false), nnf(b, true)])
+            } else {
+                rewritten
+            }
+        }
+        Pred::Iff(a, b) => {
+            // a <=> b ≡ (a && b) || (!a && !b)
+            let both = Pred::And(vec![nnf(a, false), nnf(b, false)]);
+            let neither = Pred::And(vec![nnf(a, true), nnf(b, true)]);
+            let mixed1 = Pred::And(vec![nnf(a, false), nnf(b, true)]);
+            let mixed2 = Pred::And(vec![nnf(a, true), nnf(b, false)]);
+            if negated {
+                Pred::Or(vec![mixed1, mixed2])
+            } else {
+                Pred::Or(vec![both, neither])
+            }
+        }
+    }
+}
+
+/// Flattens nested conjunctions/disjunctions, folds constant children and constant comparisons.
+fn flatten(pred: &Pred) -> Pred {
+    match pred {
+        Pred::And(ps) => {
+            let mut out = Vec::new();
+            for p in ps {
+                match flatten(p) {
+                    Pred::True => {}
+                    Pred::False => return Pred::False,
+                    Pred::And(inner) => out.extend(inner),
+                    other => out.push(other),
+                }
+            }
+            match out.len() {
+                0 => Pred::True,
+                1 => out.pop().expect("len checked"),
+                _ => Pred::And(out),
+            }
+        }
+        Pred::Or(ps) => {
+            let mut out = Vec::new();
+            for p in ps {
+                match flatten(p) {
+                    Pred::False => {}
+                    Pred::True => return Pred::True,
+                    Pred::Or(inner) => out.extend(inner),
+                    other => out.push(other),
+                }
+            }
+            match out.len() {
+                0 => Pred::False,
+                1 => out.pop().expect("len checked"),
+                _ => Pred::Or(out),
+            }
+        }
+        Pred::Cmp(op, a, b) => {
+            if let (Some(ca), Some(cb)) = (a.as_const(), b.as_const()) {
+                Pred::from(op.apply(ca, cb))
+            } else {
+                pred.clone()
+            }
+        }
+        Pred::Not(p) => match flatten(p) {
+            Pred::True => Pred::False,
+            Pred::False => Pred::True,
+            other => Pred::Not(Arc::new(other)),
+        },
+        other => other.clone(),
+    }
+}
+
+/// Returns `true` when the predicate is in negation normal form, i.e. contains no `Not`,
+/// `Implies` or `Iff` nodes (negation only appears folded into comparison operators).
+pub fn is_nnf(pred: &Pred) -> bool {
+    match pred {
+        Pred::True | Pred::False | Pred::Cmp(..) => true,
+        Pred::Not(_) | Pred::Implies(..) | Pred::Iff(..) => false,
+        Pred::And(ps) | Pred::Or(ps) => ps.iter().all(is_nnf),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{IntBox, IntExpr, Point, Range, SecretLayout};
+
+    fn layout() -> SecretLayout {
+        SecretLayout::builder().field("x", -5, 5).field("y", -5, 5).build()
+    }
+
+    fn equivalent_on_space(a: &Pred, b: &Pred) {
+        for p in layout().space().points() {
+            assert_eq!(a.eval(&p).unwrap(), b.eval(&p).unwrap(), "differ at {p}");
+        }
+    }
+
+    #[test]
+    fn negated_comparison_flips_operator() {
+        let q = IntExpr::var(0).le(3).negate();
+        let s = simplify_pred(&q);
+        assert!(is_nnf(&s));
+        equivalent_on_space(&q, &s);
+    }
+
+    #[test]
+    fn double_negation_is_removed() {
+        let q = IntExpr::var(0).lt(0).negate().negate();
+        let s = simplify_pred(&q);
+        assert_eq!(s, IntExpr::var(0).lt(0));
+    }
+
+    #[test]
+    fn de_morgan_is_applied() {
+        let q = Pred::and(vec![IntExpr::var(0).ge(0), IntExpr::var(1).ge(0)]).negate();
+        let s = simplify_pred(&q);
+        assert!(is_nnf(&s));
+        assert!(matches!(s, Pred::Or(_)));
+        equivalent_on_space(&q, &s);
+    }
+
+    #[test]
+    fn implication_and_iff_are_rewritten() {
+        let a = IntExpr::var(0).ge(0);
+        let b = IntExpr::var(1).ge(0);
+        let imp = a.clone().implies(b.clone());
+        let iff = a.clone().iff(b.clone());
+        let not_iff = iff.clone().negate();
+        for q in [&imp, &iff, &not_iff] {
+            let s = simplify_pred(q);
+            assert!(is_nnf(&s), "{s} not NNF");
+            equivalent_on_space(q, &s);
+        }
+    }
+
+    #[test]
+    fn constants_are_folded() {
+        let q = Pred::and(vec![
+            Pred::True,
+            IntExpr::constant(2).le(3),
+            IntExpr::var(0).ge(0),
+        ]);
+        let s = simplify_pred(&q);
+        assert_eq!(s, IntExpr::var(0).ge(0));
+        let contradiction = Pred::and(vec![IntExpr::var(0).ge(0), Pred::False]);
+        assert_eq!(simplify_pred(&contradiction), Pred::False);
+        let tautology = Pred::or(vec![IntExpr::var(0).ge(0), Pred::True]);
+        assert_eq!(simplify_pred(&tautology), Pred::True);
+    }
+
+    #[test]
+    fn nested_connectives_are_flattened() {
+        let q = Pred::and(vec![
+            Pred::and(vec![IntExpr::var(0).ge(0), IntExpr::var(1).ge(0)]),
+            IntExpr::var(0).le(3),
+        ]);
+        let s = simplify_pred(&q);
+        match &s {
+            Pred::And(ps) => assert_eq!(ps.len(), 3),
+            other => panic!("expected flattened And, got {other}"),
+        }
+        equivalent_on_space(&q, &s);
+    }
+
+    #[test]
+    fn simplified_abstract_eval_remains_sound() {
+        // Simplification must not weaken the abstract evaluator's soundness.
+        let q = Pred::and(vec![
+            ((IntExpr::var(0)).abs() + (IntExpr::var(1)).abs()).le(4),
+            IntExpr::var(0).ge(0).implies(IntExpr::var(1).ge(0)),
+        ]);
+        let s = simplify_pred(&q);
+        let boxed = IntBox::new(vec![Range::new(-5, 5), Range::new(-5, 5)]);
+        if let Some(v) = s.eval_abstract(&boxed).to_option() {
+            for p in boxed.points() {
+                assert_eq!(s.eval(&p).unwrap(), v);
+            }
+        }
+        equivalent_on_space(&q, &s);
+        let _ = Point::new(vec![0, 0]);
+    }
+
+    #[test]
+    fn empty_connectives_fold_to_constants() {
+        assert_eq!(simplify_pred(&Pred::and(vec![])), Pred::True);
+        assert_eq!(simplify_pred(&Pred::or(vec![])), Pred::False);
+        assert_eq!(simplify_pred(&Pred::and(vec![]).negate()), Pred::False);
+    }
+}

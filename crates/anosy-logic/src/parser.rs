@@ -1,0 +1,405 @@
+//! A small surface syntax for queries, used by examples, tests and report binaries.
+//!
+//! Grammar (ASCII, whitespace insensitive):
+//!
+//! ```text
+//! pred    := or
+//! or      := and ( "||" and )*
+//! and     := not ( "&&" not )*
+//! not     := "!" not | atom
+//! atom    := "true" | "false" | "(" pred ")" | cmp
+//! cmp     := expr ( "==" | "!=" | "<=" | "<" | ">=" | ">" ) expr
+//! expr    := term ( ("+" | "-") term )*
+//! term    := factor ( "*" factor )*            // at least one factor must be a literal
+//! factor  := integer | ident | "-" factor | "abs" "(" expr ")"
+//!          | "min" "(" expr "," expr ")" | "max" "(" expr "," expr ")" | "(" expr ")"
+//! ```
+//!
+//! Identifiers are resolved against a [`SecretLayout`] when one is supplied to
+//! [`parse_pred_with_layout`]; with [`parse_pred`] the variables `v0`, `v1`, ... refer to field
+//! indices directly.
+
+use crate::{CmpOp, IntExpr, ParseError, Pred, SecretLayout};
+
+/// Parses a predicate whose variables are written positionally as `v0`, `v1`, ...
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first offending token.
+pub fn parse_pred(input: &str) -> Result<Pred, ParseError> {
+    Parser::new(input, None).parse()
+}
+
+/// Parses a predicate whose variables are the field names of `layout`.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] if the syntax is invalid or an identifier is not a field of the
+/// layout.
+pub fn parse_pred_with_layout(input: &str, layout: &SecretLayout) -> Result<Pred, ParseError> {
+    Parser::new(input, Some(layout)).parse()
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+    layout: Option<&'a SecretLayout>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str, layout: Option<&'a SecretLayout>) -> Self {
+        Parser { input: input.as_bytes(), pos: 0, layout }
+    }
+
+    fn parse(mut self) -> Result<Pred, ParseError> {
+        let pred = self.pred()?;
+        self.skip_ws();
+        if self.pos != self.input.len() {
+            return Err(self.error("unexpected trailing input"));
+        }
+        Ok(pred)
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError::new(self.pos, message)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.input.len() && self.input[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.input.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, token: &str) -> bool {
+        self.skip_ws();
+        if self.input[self.pos..].starts_with(token.as_bytes()) {
+            self.pos += token.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        self.skip_ws();
+        let bytes = kw.as_bytes();
+        if self.input[self.pos..].starts_with(bytes) {
+            let after = self.pos + bytes.len();
+            let boundary = self
+                .input
+                .get(after)
+                .map_or(true, |c| !c.is_ascii_alphanumeric() && *c != b'_');
+            if boundary {
+                self.pos = after;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect(&mut self, token: &str) -> Result<(), ParseError> {
+        if self.eat(token) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{token}`")))
+        }
+    }
+
+    fn pred(&mut self) -> Result<Pred, ParseError> {
+        let mut terms = vec![self.and_pred()?];
+        while self.eat("||") {
+            terms.push(self.and_pred()?);
+        }
+        Ok(if terms.len() == 1 { terms.pop().expect("len checked") } else { Pred::Or(terms) })
+    }
+
+    fn and_pred(&mut self) -> Result<Pred, ParseError> {
+        let mut terms = vec![self.not_pred()?];
+        while self.eat("&&") {
+            terms.push(self.not_pred()?);
+        }
+        Ok(if terms.len() == 1 { terms.pop().expect("len checked") } else { Pred::And(terms) })
+    }
+
+    fn not_pred(&mut self) -> Result<Pred, ParseError> {
+        // `!` but not `!=`
+        self.skip_ws();
+        if self.input.get(self.pos) == Some(&b'!') && self.input.get(self.pos + 1) != Some(&b'=') {
+            self.pos += 1;
+            return Ok(self.not_pred()?.negate());
+        }
+        self.atom_pred()
+    }
+
+    fn atom_pred(&mut self) -> Result<Pred, ParseError> {
+        if self.eat_keyword("true") {
+            return Ok(Pred::True);
+        }
+        if self.eat_keyword("false") {
+            return Ok(Pred::False);
+        }
+        // A parenthesis is ambiguous: it may open a predicate or an arithmetic expression.
+        // Try a comparison first, and fall back to a parenthesized predicate.
+        let saved = self.pos;
+        match self.cmp_pred() {
+            Ok(p) => Ok(p),
+            Err(cmp_err) => {
+                self.pos = saved;
+                if self.peek() == Some(b'(') {
+                    self.expect("(")?;
+                    let inner = self.pred()?;
+                    self.expect(")")?;
+                    Ok(inner)
+                } else {
+                    Err(cmp_err)
+                }
+            }
+        }
+    }
+
+    fn cmp_pred(&mut self) -> Result<Pred, ParseError> {
+        let lhs = self.expr()?;
+        self.skip_ws();
+        let op = if self.eat("==") {
+            CmpOp::Eq
+        } else if self.eat("!=") {
+            CmpOp::Ne
+        } else if self.eat("<=") {
+            CmpOp::Le
+        } else if self.eat(">=") {
+            CmpOp::Ge
+        } else if self.eat("<") {
+            CmpOp::Lt
+        } else if self.eat(">") {
+            CmpOp::Gt
+        } else {
+            return Err(self.error("expected comparison operator"));
+        };
+        let rhs = self.expr()?;
+        Ok(Pred::cmp(op, lhs, rhs))
+    }
+
+    fn expr(&mut self) -> Result<IntExpr, ParseError> {
+        let mut acc = self.term()?;
+        loop {
+            if self.eat("+") {
+                acc = acc + self.term()?;
+            } else {
+                // `-` but not the start of a negative literal handled in factor
+                self.skip_ws();
+                if self.input.get(self.pos) == Some(&b'-') {
+                    self.pos += 1;
+                    acc = acc - self.term()?;
+                } else {
+                    break;
+                }
+            }
+        }
+        Ok(acc)
+    }
+
+    fn term(&mut self) -> Result<IntExpr, ParseError> {
+        let mut factors = vec![self.factor()?];
+        while self.eat("*") {
+            factors.push(self.factor()?);
+        }
+        if factors.len() == 1 {
+            return Ok(factors.pop().expect("len checked"));
+        }
+        // Keep the language linear: a product must have at most one non-constant factor.
+        let mut scale: i64 = 1;
+        let mut variable: Option<IntExpr> = None;
+        for f in factors {
+            if let Some(c) = f.as_const() {
+                scale = scale.saturating_mul(c);
+            } else if variable.is_none() {
+                variable = Some(f);
+            } else {
+                return Err(self.error("non-linear product of two variable expressions"));
+            }
+        }
+        Ok(match variable {
+            Some(v) => v.scale(scale),
+            None => IntExpr::constant(scale),
+        })
+    }
+
+    fn factor(&mut self) -> Result<IntExpr, ParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'-') => {
+                self.pos += 1;
+                Ok(-self.factor()?)
+            }
+            Some(b'(') => {
+                self.expect("(")?;
+                let e = self.expr()?;
+                self.expect(")")?;
+                Ok(e)
+            }
+            Some(c) if c.is_ascii_digit() => self.integer(),
+            Some(c) if c.is_ascii_alphabetic() || c == b'_' => {
+                if self.eat_keyword("abs") {
+                    self.expect("(")?;
+                    let e = self.expr()?;
+                    self.expect(")")?;
+                    Ok(e.abs())
+                } else if self.eat_keyword("min") {
+                    self.expect("(")?;
+                    let a = self.expr()?;
+                    self.expect(",")?;
+                    let b = self.expr()?;
+                    self.expect(")")?;
+                    Ok(a.min_expr(b))
+                } else if self.eat_keyword("max") {
+                    self.expect("(")?;
+                    let a = self.expr()?;
+                    self.expect(",")?;
+                    let b = self.expr()?;
+                    self.expect(")")?;
+                    Ok(a.max_expr(b))
+                } else {
+                    self.identifier()
+                }
+            }
+            _ => Err(self.error("expected an integer, identifier or parenthesized expression")),
+        }
+    }
+
+    fn integer(&mut self) -> Result<IntExpr, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.input.len() && self.input[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(self.error("expected an integer literal"));
+        }
+        let text = std::str::from_utf8(&self.input[start..self.pos]).expect("ascii digits");
+        text.parse::<i64>()
+            .map(IntExpr::constant)
+            .map_err(|_| ParseError::new(start, "integer literal does not fit in i64"))
+    }
+
+    fn identifier(&mut self) -> Result<IntExpr, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.input.len()
+            && (self.input[self.pos].is_ascii_alphanumeric() || self.input[self.pos] == b'_')
+        {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(self.error("expected an identifier"));
+        }
+        let name = std::str::from_utf8(&self.input[start..self.pos]).expect("ascii identifier");
+        if let Some(layout) = self.layout {
+            layout
+                .index_of(name)
+                .map(IntExpr::var)
+                .ok_or_else(|| ParseError::new(start, format!("unknown field `{name}`")))
+        } else if let Some(idx) = name.strip_prefix('v').and_then(|s| s.parse::<usize>().ok()) {
+            Ok(IntExpr::var(idx))
+        } else {
+            Err(ParseError::new(
+                start,
+                format!("unknown variable `{name}` (use v0, v1, ... or supply a layout)"),
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Point;
+
+    fn loc_layout() -> SecretLayout {
+        SecretLayout::builder().field("x", 0, 400).field("y", 0, 400).build()
+    }
+
+    #[test]
+    fn parses_the_nearby_query() {
+        let layout = loc_layout();
+        let q = parse_pred_with_layout("abs(x - 200) + abs(y - 200) <= 100", &layout).unwrap();
+        assert!(q.eval(&Point::new(vec![300, 200])).unwrap());
+        assert!(!q.eval(&Point::new(vec![0, 0])).unwrap());
+    }
+
+    #[test]
+    fn parses_positional_variables() {
+        let q = parse_pred("v0 + v1 >= 10 && v0 < 4").unwrap();
+        assert!(q.eval(&Point::new(vec![3, 8])).unwrap());
+        assert!(!q.eval(&Point::new(vec![5, 8])).unwrap());
+    }
+
+    #[test]
+    fn parses_boolean_structure_with_precedence() {
+        let q = parse_pred("v0 == 1 || v0 == 2 && v1 == 3").unwrap();
+        // `&&` binds tighter than `||`.
+        assert!(q.eval(&Point::new(vec![1, 0])).unwrap());
+        assert!(q.eval(&Point::new(vec![2, 3])).unwrap());
+        assert!(!q.eval(&Point::new(vec![2, 4])).unwrap());
+    }
+
+    #[test]
+    fn parses_negation_and_parenthesized_predicates() {
+        let q = parse_pred("!(v0 <= 3) && (v1 == 0 || v1 == 1)").unwrap();
+        assert!(q.eval(&Point::new(vec![4, 1])).unwrap());
+        assert!(!q.eval(&Point::new(vec![3, 1])).unwrap());
+        assert!(!q.eval(&Point::new(vec![4, 2])).unwrap());
+    }
+
+    #[test]
+    fn parses_min_max_scale_and_unary_minus() {
+        let q = parse_pred("min(v0, v1) >= 2 * v0 - 6 && max(v0, -v1) > 0").unwrap();
+        assert!(q.eval(&Point::new(vec![3, 2])).unwrap());
+        let r = parse_pred("3 * 4 == 12").unwrap();
+        assert!(r.eval(&Point::new(vec![])).unwrap());
+    }
+
+    #[test]
+    fn parses_true_false_literals() {
+        assert_eq!(parse_pred("true").unwrap(), Pred::True);
+        assert_eq!(parse_pred("false || true").unwrap(), Pred::Or(vec![Pred::False, Pred::True]));
+    }
+
+    #[test]
+    fn rejects_unknown_fields_and_trailing_garbage() {
+        let layout = loc_layout();
+        assert!(parse_pred_with_layout("z <= 3", &layout).is_err());
+        assert!(parse_pred("v0 <= 3 extra").is_err());
+        assert!(parse_pred("foo <= 3").is_err());
+    }
+
+    #[test]
+    fn rejects_nonlinear_products() {
+        let err = parse_pred("v0 * v1 <= 3").unwrap_err();
+        assert!(err.message.contains("non-linear"));
+    }
+
+    #[test]
+    fn rejects_malformed_comparisons() {
+        assert!(parse_pred("v0 <").is_err());
+        assert!(parse_pred("<= 3").is_err());
+        assert!(parse_pred("v0 ~ 3").is_err());
+        assert!(parse_pred("").is_err());
+    }
+
+    #[test]
+    fn ne_is_not_parsed_as_negation() {
+        let q = parse_pred("v0 != 3").unwrap();
+        assert!(q.eval(&Point::new(vec![4])).unwrap());
+        assert!(!q.eval(&Point::new(vec![3])).unwrap());
+    }
+
+    #[test]
+    fn huge_literal_is_rejected() {
+        assert!(parse_pred("v0 <= 99999999999999999999999").is_err());
+    }
+}

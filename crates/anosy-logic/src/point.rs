@@ -1,0 +1,118 @@
+//! Concrete secrets as points in the multi-dimensional integer space.
+
+use std::fmt;
+use std::ops::Index;
+
+/// A concrete secret value: one `i64` per field of the secret, in layout order.
+///
+/// Points are what queries are evaluated on and what abstract domains represent sets of.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Point {
+    coords: Vec<i64>,
+}
+
+impl Point {
+    /// Creates a point from its coordinates.
+    pub fn new(coords: Vec<i64>) -> Self {
+        Point { coords }
+    }
+
+    /// The number of fields (dimensions) of the point.
+    pub fn arity(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Returns the coordinate of field `index`, if it exists.
+    pub fn get(&self, index: usize) -> Option<i64> {
+        self.coords.get(index).copied()
+    }
+
+    /// Borrow the coordinates as a slice.
+    pub fn as_slice(&self) -> &[i64] {
+        &self.coords
+    }
+
+    /// Consumes the point and returns the underlying coordinate vector.
+    pub fn into_inner(self) -> Vec<i64> {
+        self.coords
+    }
+
+    /// Iterates over the coordinates.
+    pub fn iter(&self) -> impl Iterator<Item = i64> + '_ {
+        self.coords.iter().copied()
+    }
+}
+
+impl From<Vec<i64>> for Point {
+    fn from(coords: Vec<i64>) -> Self {
+        Point::new(coords)
+    }
+}
+
+impl From<&[i64]> for Point {
+    fn from(coords: &[i64]) -> Self {
+        Point::new(coords.to_vec())
+    }
+}
+
+impl FromIterator<i64> for Point {
+    fn from_iter<T: IntoIterator<Item = i64>>(iter: T) -> Self {
+        Point::new(iter.into_iter().collect())
+    }
+}
+
+impl Index<usize> for Point {
+    type Output = i64;
+    fn index(&self, index: usize) -> &i64 {
+        &self.coords[index]
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.coords.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let p = Point::new(vec![3, -4, 5]);
+        assert_eq!(p.arity(), 3);
+        assert_eq!(p.get(1), Some(-4));
+        assert_eq!(p.get(3), None);
+        assert_eq!(p[2], 5);
+    }
+
+    #[test]
+    fn conversions() {
+        let p: Point = vec![1, 2].into();
+        let q: Point = [1i64, 2].as_slice().into();
+        let r: Point = (1..=2).collect();
+        assert_eq!(p, q);
+        assert_eq!(p, r);
+        assert_eq!(p.clone().into_inner(), vec![1, 2]);
+    }
+
+    #[test]
+    fn display_is_tuple_like() {
+        assert_eq!(Point::new(vec![300, 200]).to_string(), "(300, 200)");
+        assert_eq!(Point::default().to_string(), "()");
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        assert!(Point::new(vec![1, 5]) < Point::new(vec![2, 0]));
+        assert!(Point::new(vec![1, 5]) < Point::new(vec![1, 6]));
+    }
+}

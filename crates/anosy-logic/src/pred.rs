@@ -1,0 +1,361 @@
+//! Boolean predicates of the query language.
+
+use crate::{CmpOp, EvalError, IntBox, IntExpr, Point, TriBool};
+use std::fmt;
+use std::sync::Arc;
+
+/// A boolean predicate over the fields of a secret — the type of ANOSY queries.
+///
+/// Queries in the paper are Haskell functions `s -> Bool` restricted to linear arithmetic and
+/// booleans (§5.1); [`Pred`] is the corresponding first-class syntax in this reproduction.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Pred {
+    /// The constant `true`.
+    True,
+    /// The constant `false`.
+    False,
+    /// A comparison between two integer expressions.
+    Cmp(CmpOp, Arc<IntExpr>, Arc<IntExpr>),
+    /// Logical negation.
+    Not(Arc<Pred>),
+    /// N-ary conjunction (`true` when empty).
+    And(Vec<Pred>),
+    /// N-ary disjunction (`false` when empty).
+    Or(Vec<Pred>),
+    /// Implication.
+    Implies(Arc<Pred>, Arc<Pred>),
+    /// Bi-implication.
+    Iff(Arc<Pred>, Arc<Pred>),
+}
+
+impl Pred {
+    /// A comparison predicate `lhs op rhs`.
+    pub fn cmp(op: CmpOp, lhs: IntExpr, rhs: IntExpr) -> Pred {
+        Pred::Cmp(op, Arc::new(lhs), Arc::new(rhs))
+    }
+
+    /// N-ary conjunction.
+    pub fn and(preds: Vec<Pred>) -> Pred {
+        Pred::And(preds)
+    }
+
+    /// N-ary disjunction.
+    pub fn or(preds: Vec<Pred>) -> Pred {
+        Pred::Or(preds)
+    }
+
+    /// Logical negation.
+    pub fn negate(self) -> Pred {
+        Pred::Not(Arc::new(self))
+    }
+
+    /// Implication `self => other`.
+    pub fn implies(self, other: Pred) -> Pred {
+        Pred::Implies(Arc::new(self), Arc::new(other))
+    }
+
+    /// Bi-implication `self <=> other`.
+    pub fn iff(self, other: Pred) -> Pred {
+        Pred::Iff(Arc::new(self), Arc::new(other))
+    }
+
+    /// Conjunction of `self` with `other` (convenience for chaining).
+    pub fn and_also(self, other: Pred) -> Pred {
+        match self {
+            Pred::And(mut ps) => {
+                ps.push(other);
+                Pred::And(ps)
+            }
+            p => Pred::And(vec![p, other]),
+        }
+    }
+
+    /// Disjunction of `self` with `other` (convenience for chaining).
+    pub fn or_else(self, other: Pred) -> Pred {
+        match self {
+            Pred::Or(mut ps) => {
+                ps.push(other);
+                Pred::Or(ps)
+            }
+            p => Pred::Or(vec![p, other]),
+        }
+    }
+
+    /// Evaluates the predicate on a concrete point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EvalError`]s from the underlying integer expressions.
+    pub fn eval(&self, point: &Point) -> Result<bool, EvalError> {
+        match self {
+            Pred::True => Ok(true),
+            Pred::False => Ok(false),
+            Pred::Cmp(op, a, b) => Ok(op.apply(a.eval(point)?, b.eval(point)?)),
+            Pred::Not(p) => Ok(!p.eval(point)?),
+            Pred::And(ps) => {
+                for p in ps {
+                    if !p.eval(point)? {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            Pred::Or(ps) => {
+                for p in ps {
+                    if p.eval(point)? {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+            Pred::Implies(a, b) => Ok(!a.eval(point)? || b.eval(point)?),
+            Pred::Iff(a, b) => Ok(a.eval(point)? == b.eval(point)?),
+        }
+    }
+
+    /// Evaluates the predicate over every point of a box at once, using interval arithmetic and
+    /// Kleene three-valued logic.
+    ///
+    /// The result is sound: [`TriBool::True`] (resp. [`TriBool::False`]) means every point of the
+    /// box satisfies (resp. falsifies) the predicate. [`TriBool::Unknown`] carries no guarantee.
+    pub fn eval_abstract(&self, boxed: &IntBox) -> TriBool {
+        match self {
+            Pred::True => TriBool::True,
+            Pred::False => TriBool::False,
+            Pred::Cmp(op, a, b) => {
+                let ra = a.eval_abstract(boxed);
+                let rb = b.eval_abstract(boxed);
+                match op {
+                    CmpOp::Le => ra.le(rb),
+                    CmpOp::Lt => ra.lt(rb),
+                    CmpOp::Ge => rb.le(ra),
+                    CmpOp::Gt => rb.lt(ra),
+                    CmpOp::Eq => ra.eq_tri(rb),
+                    CmpOp::Ne => ra.eq_tri(rb).negate(),
+                }
+            }
+            Pred::Not(p) => p.eval_abstract(boxed).negate(),
+            Pred::And(ps) => ps
+                .iter()
+                .fold(TriBool::True, |acc, p| acc.and(p.eval_abstract(boxed))),
+            Pred::Or(ps) => ps
+                .iter()
+                .fold(TriBool::False, |acc, p| acc.or(p.eval_abstract(boxed))),
+            Pred::Implies(a, b) => a.eval_abstract(boxed).implies(b.eval_abstract(boxed)),
+            Pred::Iff(a, b) => {
+                let ra = a.eval_abstract(boxed);
+                let rb = b.eval_abstract(boxed);
+                ra.implies(rb).and(rb.implies(ra))
+            }
+        }
+    }
+
+    /// Collects the indices of every secret field mentioned by the predicate into `out`.
+    pub fn collect_vars(&self, out: &mut Vec<usize>) {
+        match self {
+            Pred::True | Pred::False => {}
+            Pred::Cmp(_, a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            Pred::Not(p) => p.collect_vars(out),
+            Pred::And(ps) | Pred::Or(ps) => {
+                for p in ps {
+                    p.collect_vars(out);
+                }
+            }
+            Pred::Implies(a, b) | Pred::Iff(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+        }
+    }
+
+    /// Returns the free variables of the predicate, sorted and deduplicated.
+    pub fn free_vars(&self) -> Vec<usize> {
+        let mut vars = Vec::new();
+        self.collect_vars(&mut vars);
+        vars.sort_unstable();
+        vars.dedup();
+        vars
+    }
+
+    /// Structural size of the predicate (number of AST nodes); useful for test generators and
+    /// complexity reporting.
+    pub fn node_count(&self) -> usize {
+        fn expr_nodes(e: &IntExpr) -> usize {
+            match e {
+                IntExpr::Const(_) | IntExpr::Var(_) => 1,
+                IntExpr::Add(a, b)
+                | IntExpr::Sub(a, b)
+                | IntExpr::Min(a, b)
+                | IntExpr::Max(a, b) => 1 + expr_nodes(a) + expr_nodes(b),
+                IntExpr::Neg(a) | IntExpr::Scale(_, a) | IntExpr::Abs(a) => 1 + expr_nodes(a),
+                IntExpr::Ite(c, t, e) => 1 + c.node_count() + expr_nodes(t) + expr_nodes(e),
+            }
+        }
+        match self {
+            Pred::True | Pred::False => 1,
+            Pred::Cmp(_, a, b) => 1 + expr_nodes(a) + expr_nodes(b),
+            Pred::Not(p) => 1 + p.node_count(),
+            Pred::And(ps) | Pred::Or(ps) => 1 + ps.iter().map(Pred::node_count).sum::<usize>(),
+            Pred::Implies(a, b) | Pred::Iff(a, b) => 1 + a.node_count() + b.node_count(),
+        }
+    }
+}
+
+impl From<bool> for Pred {
+    fn from(b: bool) -> Self {
+        if b {
+            Pred::True
+        } else {
+            Pred::False
+        }
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pred::True => write!(f, "true"),
+            Pred::False => write!(f, "false"),
+            Pred::Cmp(op, a, b) => write!(f, "{a} {op} {b}"),
+            Pred::Not(p) => write!(f, "!({p})"),
+            Pred::And(ps) => {
+                if ps.is_empty() {
+                    return write!(f, "true");
+                }
+                write!(f, "(")?;
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " && ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            Pred::Or(ps) => {
+                if ps.is_empty() {
+                    return write!(f, "false");
+                }
+                write!(f, "(")?;
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " || ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            Pred::Implies(a, b) => write!(f, "({a} => {b})"),
+            Pred::Iff(a, b) => write!(f, "({a} <=> {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Range;
+
+    fn point(coords: &[i64]) -> Point {
+        Point::new(coords.to_vec())
+    }
+
+    fn nearby(xo: i64, yo: i64) -> Pred {
+        ((IntExpr::var(0) - xo).abs() + (IntExpr::var(1) - yo).abs()).le(100)
+    }
+
+    #[test]
+    fn constants_and_connectives() {
+        let p = point(&[]);
+        assert!(Pred::True.eval(&p).unwrap());
+        assert!(!Pred::False.eval(&p).unwrap());
+        assert!(Pred::and(vec![]).eval(&p).unwrap());
+        assert!(!Pred::or(vec![]).eval(&p).unwrap());
+        assert!(Pred::False.implies(Pred::False).eval(&p).unwrap());
+        assert!(!Pred::True.implies(Pred::False).eval(&p).unwrap());
+        assert!(Pred::True.iff(Pred::True).eval(&p).unwrap());
+        assert!(!Pred::True.iff(Pred::False).eval(&p).unwrap());
+        assert!(Pred::False.negate().eval(&p).unwrap());
+    }
+
+    #[test]
+    fn chaining_builders_flatten() {
+        let p = Pred::True.and_also(Pred::False).and_also(Pred::True);
+        match &p {
+            Pred::And(ps) => assert_eq!(ps.len(), 3),
+            other => panic!("expected And, got {other:?}"),
+        }
+        let q = Pred::False.or_else(Pred::True).or_else(Pred::False);
+        match &q {
+            Pred::Or(ps) => assert_eq!(ps.len(), 3),
+            other => panic!("expected Or, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn two_nearby_queries_pin_down_the_secret() {
+        // §2.1: nearby (200,200) && nearby (400,200) forces the secret to be (300,200).
+        let q1 = nearby(200, 200);
+        let q2 = nearby(400, 200);
+        let both = q1.and_also(q2);
+        assert!(both.eval(&point(&[300, 200])).unwrap());
+        // Any deviation breaks at least one of the two queries.
+        for p in [[299, 200], [301, 200], [300, 199], [300, 201]] {
+            assert!(!both.eval(&point(&p)).unwrap(), "{p:?} unexpectedly satisfies both");
+        }
+    }
+
+    #[test]
+    fn abstract_evaluation_is_sound_on_small_boxes() {
+        let q = nearby(200, 200);
+        let cases = [
+            IntBox::new(vec![Range::new(180, 220), Range::new(180, 220)]), // inside
+            IntBox::new(vec![Range::new(0, 50), Range::new(0, 50)]),       // outside
+            IntBox::new(vec![Range::new(100, 350), Range::new(100, 350)]), // straddles
+        ];
+        for boxed in cases {
+            let abs = q.eval_abstract(&boxed);
+            if let Some(expected) = abs.to_option() {
+                for p in boxed.points() {
+                    assert_eq!(q.eval(&p).unwrap(), expected, "unsound at {p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn abstract_evaluation_decides_definite_boxes() {
+        let q = nearby(200, 200);
+        let inside = IntBox::new(vec![Range::new(190, 210), Range::new(190, 210)]);
+        assert_eq!(q.eval_abstract(&inside), TriBool::True);
+        let outside = IntBox::new(vec![Range::new(0, 20), Range::new(0, 20)]);
+        assert_eq!(q.eval_abstract(&outside), TriBool::False);
+    }
+
+    #[test]
+    fn free_vars_sorted_and_unique() {
+        let q = (IntExpr::var(3) + IntExpr::var(1)).le(IntExpr::var(3));
+        assert_eq!(q.free_vars(), vec![1, 3]);
+        assert_eq!(Pred::True.free_vars(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn node_count_counts_ast_nodes() {
+        assert_eq!(Pred::True.node_count(), 1);
+        let q = IntExpr::var(0).le(5);
+        assert_eq!(q.node_count(), 3);
+        assert!(nearby(200, 200).node_count() > 5);
+    }
+
+    #[test]
+    fn display_round_trips_conceptually() {
+        let q = IntExpr::var(0).le(5).and_also(IntExpr::var(1).gt(2));
+        let s = q.to_string();
+        assert!(s.contains("<="));
+        assert!(s.contains("&&"));
+        assert_eq!(Pred::and(vec![]).to_string(), "true");
+        assert_eq!(Pred::or(vec![]).to_string(), "false");
+    }
+}

@@ -1,0 +1,187 @@
+//! Three-valued logic used by the abstract (interval) evaluator.
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, Not};
+
+/// Three-valued truth value: the result of evaluating a predicate over a *set* of points.
+///
+/// `True` / `False` mean the predicate evaluates to that value for **every** point of the set,
+/// while [`TriBool::Unknown`] means the set contains both satisfying and falsifying points (or
+/// the abstraction is too coarse to tell).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TriBool {
+    /// Definitely false for all points.
+    False,
+    /// Could be either; the abstraction cannot decide.
+    Unknown,
+    /// Definitely true for all points.
+    True,
+}
+
+impl TriBool {
+    /// Lifts a concrete boolean to a definite three-valued result.
+    pub fn from_bool(b: bool) -> TriBool {
+        if b {
+            TriBool::True
+        } else {
+            TriBool::False
+        }
+    }
+
+    /// Returns `true` when the value is [`TriBool::True`].
+    pub fn is_true(self) -> bool {
+        self == TriBool::True
+    }
+
+    /// Returns `true` when the value is [`TriBool::False`].
+    pub fn is_false(self) -> bool {
+        self == TriBool::False
+    }
+
+    /// Returns `true` when the value is [`TriBool::Unknown`].
+    pub fn is_unknown(self) -> bool {
+        self == TriBool::Unknown
+    }
+
+    /// Returns `Some(bool)` if the value is definite, `None` otherwise.
+    pub fn to_option(self) -> Option<bool> {
+        match self {
+            TriBool::True => Some(true),
+            TriBool::False => Some(false),
+            TriBool::Unknown => None,
+        }
+    }
+
+    /// Kleene conjunction.
+    pub fn and(self, other: TriBool) -> TriBool {
+        use TriBool::*;
+        match (self, other) {
+            (False, _) | (_, False) => False,
+            (True, True) => True,
+            _ => Unknown,
+        }
+    }
+
+    /// Kleene disjunction.
+    pub fn or(self, other: TriBool) -> TriBool {
+        use TriBool::*;
+        match (self, other) {
+            (True, _) | (_, True) => True,
+            (False, False) => False,
+            _ => Unknown,
+        }
+    }
+
+    /// Kleene negation.
+    pub fn negate(self) -> TriBool {
+        match self {
+            TriBool::True => TriBool::False,
+            TriBool::False => TriBool::True,
+            TriBool::Unknown => TriBool::Unknown,
+        }
+    }
+
+    /// Kleene implication (`¬self ∨ other`).
+    pub fn implies(self, other: TriBool) -> TriBool {
+        self.negate().or(other)
+    }
+}
+
+impl From<bool> for TriBool {
+    fn from(b: bool) -> Self {
+        TriBool::from_bool(b)
+    }
+}
+
+impl Not for TriBool {
+    type Output = TriBool;
+    fn not(self) -> TriBool {
+        self.negate()
+    }
+}
+
+impl BitAnd for TriBool {
+    type Output = TriBool;
+    fn bitand(self, rhs: TriBool) -> TriBool {
+        self.and(rhs)
+    }
+}
+
+impl BitOr for TriBool {
+    type Output = TriBool;
+    fn bitor(self, rhs: TriBool) -> TriBool {
+        self.or(rhs)
+    }
+}
+
+impl fmt::Display for TriBool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TriBool::True => write!(f, "true"),
+            TriBool::False => write!(f, "false"),
+            TriBool::Unknown => write!(f, "unknown"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::TriBool::*;
+    use super::*;
+
+    #[test]
+    fn conjunction_truth_table() {
+        assert_eq!(True.and(True), True);
+        assert_eq!(True.and(False), False);
+        assert_eq!(False.and(Unknown), False);
+        assert_eq!(Unknown.and(True), Unknown);
+        assert_eq!(Unknown.and(Unknown), Unknown);
+    }
+
+    #[test]
+    fn disjunction_truth_table() {
+        assert_eq!(False.or(False), False);
+        assert_eq!(True.or(Unknown), True);
+        assert_eq!(Unknown.or(False), Unknown);
+        assert_eq!(Unknown.or(True), True);
+    }
+
+    #[test]
+    fn negation_is_involutive_on_definite_values() {
+        assert_eq!(True.negate(), False);
+        assert_eq!(False.negate(), True);
+        assert_eq!(Unknown.negate(), Unknown);
+        for v in [True, False, Unknown] {
+            assert_eq!(v.negate().negate(), v);
+        }
+    }
+
+    #[test]
+    fn implication_matches_material_definition() {
+        for a in [True, False, Unknown] {
+            for b in [True, False, Unknown] {
+                assert_eq!(a.implies(b), a.negate().or(b));
+            }
+        }
+    }
+
+    #[test]
+    fn operators_match_methods() {
+        assert_eq!(True & Unknown, Unknown);
+        assert_eq!(False | True, True);
+        assert_eq!(!Unknown, Unknown);
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(TriBool::from(true).to_option(), Some(true));
+        assert_eq!(TriBool::from(false).to_option(), Some(false));
+        assert_eq!(Unknown.to_option(), None);
+    }
+
+    #[test]
+    fn display_is_lowercase() {
+        assert_eq!(True.to_string(), "true");
+        assert_eq!(Unknown.to_string(), "unknown");
+    }
+}

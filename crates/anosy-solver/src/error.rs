@@ -1,0 +1,56 @@
+//! Solver errors.
+
+use std::fmt;
+
+/// Errors surfaced by [`crate::Solver`] queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolverError {
+    /// A resource limit from [`crate::SolverConfig`] was exhausted before the query finished.
+    BudgetExhausted {
+        /// Which limit was hit ("nodes" or "time").
+        limit: &'static str,
+        /// Number of nodes explored when the limit was hit.
+        explored: u64,
+    },
+    /// The query mentioned a secret field outside the supplied space.
+    ArityMismatch {
+        /// The largest field index mentioned by the predicate.
+        max_index: usize,
+        /// The arity of the search space.
+        arity: usize,
+    },
+    /// The search space given to the query was empty.
+    EmptySpace,
+}
+
+impl fmt::Display for SolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverError::BudgetExhausted { limit, explored } => {
+                write!(f, "solver {limit} budget exhausted after exploring {explored} boxes")
+            }
+            SolverError::ArityMismatch { max_index, arity } => write!(
+                f,
+                "predicate mentions field v{max_index} but the search space has arity {arity}"
+            ),
+            SolverError::EmptySpace => write!(f, "the search space is empty"),
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SolverError::BudgetExhausted { limit: "nodes", explored: 42 };
+        assert!(e.to_string().contains("nodes"));
+        assert!(e.to_string().contains("42"));
+        assert!(SolverError::EmptySpace.to_string().contains("empty"));
+        let a = SolverError::ArityMismatch { max_index: 3, arity: 2 };
+        assert!(a.to_string().contains("v3"));
+    }
+}

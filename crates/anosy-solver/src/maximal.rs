@@ -1,0 +1,422 @@
+//! Maximal-box search: grow an all-models box around a seed point.
+//!
+//! This is the workhorse of under-approximation synthesis (§5.3 of the paper). The paper asks Z3
+//! to *maximize* every interval width simultaneously under a Pareto combination so that "no
+//! single optimization objective dominates the solution" (preferring a 20×20 square over a 400×1
+//! sliver). We reproduce that behaviour with the [`ExpansionStrategy::Pareto`] strategy: the box
+//! is first inflated **uniformly** in every direction (binary search on the inflation radius), so
+//! widths stay balanced, and then each face is pushed individually until the box is
+//! inclusion-maximal — no face can be extended further without including a non-model.
+
+use crate::sat;
+use crate::solver::SearchCtx;
+use crate::SolverError;
+use anosy_logic::{simplify_pred, IntBox, Point, Pred, Range};
+
+/// How [`crate::Solver::maximal_true_box`] grows the box around the seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExpansionStrategy {
+    /// Uniform inflation (largest feasible radius found by binary search) followed by a per-face
+    /// fill sweep. Produces balanced boxes, mirroring the Pareto objectives the paper hands to
+    /// Z3. This is the default.
+    Pareto,
+    /// Each face is grown to its maximum in a fixed order. Cheaper but tends to produce slivers;
+    /// kept as an ablation baseline (see DESIGN.md §5).
+    Greedy,
+}
+
+impl Default for ExpansionStrategy {
+    fn default() -> Self {
+        ExpansionStrategy::Pareto
+    }
+}
+
+/// One face of the box: dimension index plus which bound we are pushing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Face {
+    Upper(usize),
+    Lower(usize),
+}
+
+/// Grows an inclusion-maximal all-models box around `seed`.
+pub(crate) fn maximal_true_box(
+    ctx: &mut SearchCtx<'_>,
+    pred: &Pred,
+    space: &IntBox,
+    seed: &Point,
+    strategy: ExpansionStrategy,
+) -> Result<Option<IntBox>, SolverError> {
+    if !space.contains_point(seed) || !pred.eval(seed).unwrap_or(false) {
+        return Ok(None);
+    }
+    let negated = simplify_pred(&pred.clone().negate());
+    let mut current = IntBox::new(seed.iter().map(Range::singleton).collect());
+
+    if strategy == ExpansionStrategy::Pareto {
+        current = inflate_uniformly(ctx, &negated, space, &current)?;
+    }
+    // Per-face fill: repeat sweeps until no face can grow any further. A single sweep suffices
+    // for Greedy semantics, but repeating is what certifies inclusion-maximality for both
+    // strategies (a later face's growth can re-enable an earlier face only if it shrank, which
+    // never happens, so this loop runs at most a handful of times).
+    loop {
+        let mut grew = false;
+        for face in faces(space.arity()) {
+            ctx.tick()?;
+            let limit = face_limit(face, space);
+            let max_step = available(face, &current, limit);
+            if max_step == 0 {
+                continue;
+            }
+            let step = largest_feasible_step(ctx, &negated, &current, face, max_step)?;
+            if step > 0 {
+                current = extend(&current, face, step);
+                grew = true;
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    Ok(Some(current))
+}
+
+fn faces(arity: usize) -> Vec<Face> {
+    (0..arity).flat_map(|d| [Face::Upper(d), Face::Lower(d)]).collect()
+}
+
+/// Binary-searches the largest uniform inflation radius `r` such that the box obtained by moving
+/// every face outward by `min(r, distance to the space boundary)` contains only models.
+fn inflate_uniformly(
+    ctx: &mut SearchCtx<'_>,
+    negated: &Pred,
+    space: &IntBox,
+    current: &IntBox,
+) -> Result<IntBox, SolverError> {
+    let max_radius = faces(space.arity())
+        .into_iter()
+        .map(|f| available(f, current, face_limit(f, space)))
+        .max()
+        .unwrap_or(0);
+    if max_radius == 0 {
+        return Ok(current.clone());
+    }
+    let inflated = |r: u128| -> IntBox {
+        let mut b = current.clone();
+        for face in faces(space.arity()) {
+            let step = r.min(available(face, &b, face_limit(face, space)));
+            if step > 0 {
+                b = extend(&b, face, step);
+            }
+        }
+        b
+    };
+    let feasible = |ctx: &mut SearchCtx<'_>, r: u128| -> Result<bool, SolverError> {
+        Ok(sat::find_model(ctx, negated, &inflated(r))?.is_none())
+    };
+    // Exponential probe for the first infeasible radius, then binary search.
+    let mut lo: u128 = 0;
+    let mut probe: u128 = 1;
+    let hi = loop {
+        let r = probe.min(max_radius);
+        if feasible(ctx, r)? {
+            lo = r;
+            if r == max_radius {
+                return Ok(inflated(lo));
+            }
+            probe = probe.saturating_mul(2);
+        } else {
+            break r;
+        }
+    };
+    let mut hi = hi;
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if feasible(ctx, mid)? {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(inflated(lo))
+}
+
+/// The coordinate limit of a face inside the global space.
+fn face_limit(face: Face, space: &IntBox) -> i64 {
+    match face {
+        Face::Upper(d) => space.dim(d).hi(),
+        Face::Lower(d) => space.dim(d).lo(),
+    }
+}
+
+/// How far a face can still travel before hitting the space boundary.
+fn available(face: Face, current: &IntBox, limit: i64) -> u128 {
+    match face {
+        Face::Upper(d) => (limit as i128 - current.dim(d).hi() as i128).max(0) as u128,
+        Face::Lower(d) => (current.dim(d).lo() as i128 - limit as i128).max(0) as u128,
+    }
+}
+
+/// Extends a face outward by `step` units.
+fn extend(current: &IntBox, face: Face, step: u128) -> IntBox {
+    let step = step as i64;
+    match face {
+        Face::Upper(d) => {
+            let r = current.dim(d);
+            current.with_dim(d, Range::new(r.lo(), r.hi() + step))
+        }
+        Face::Lower(d) => {
+            let r = current.dim(d);
+            current.with_dim(d, Range::new(r.lo() - step, r.hi()))
+        }
+    }
+}
+
+/// The slab of new points gained by extending a face by `step`.
+fn slab(current: &IntBox, face: Face, step: u128) -> IntBox {
+    let step = step as i64;
+    match face {
+        Face::Upper(d) => {
+            let r = current.dim(d);
+            current.with_dim(d, Range::new(r.hi() + 1, r.hi() + step))
+        }
+        Face::Lower(d) => {
+            let r = current.dim(d);
+            current.with_dim(d, Range::new(r.lo() - step, r.lo() - 1))
+        }
+    }
+}
+
+/// Largest `s <= max_step` such that every point of the slab gained by moving `face` out by `s`
+/// satisfies the query (i.e. the negated query has no model there). Uses exponential probing
+/// followed by binary search, so it needs `O(log max_step)` validity checks.
+fn largest_feasible_step(
+    ctx: &mut SearchCtx<'_>,
+    negated: &Pred,
+    current: &IntBox,
+    face: Face,
+    max_step: u128,
+) -> Result<u128, SolverError> {
+    if max_step == 0 {
+        return Ok(0);
+    }
+    let feasible = |ctx: &mut SearchCtx<'_>, s: u128| -> Result<bool, SolverError> {
+        let slab = slab(current, face, s);
+        // The slab is model-free for the *negated* query iff every point satisfies the query.
+        Ok(sat::find_model(ctx, negated, &slab)?.is_none())
+    };
+    let mut lo: u128 = 0; // largest known-feasible step
+    let mut probe: u128 = 1;
+    let hi = loop {
+        let s = probe.min(max_step);
+        if feasible(ctx, s)? {
+            lo = s;
+            if s == max_step {
+                return Ok(lo);
+            }
+            probe = probe.saturating_mul(2);
+        } else {
+            break s;
+        }
+    };
+    let mut hi = hi;
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if feasible(ctx, mid)? {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(lo)
+}
+
+/// Checks that no face of `candidate` can be extended inside `space` while keeping all points
+/// models of `pred`.
+pub(crate) fn is_inclusion_maximal(
+    ctx: &mut SearchCtx<'_>,
+    pred: &Pred,
+    space: &IntBox,
+    candidate: &IntBox,
+) -> Result<bool, SolverError> {
+    let negated = simplify_pred(&pred.clone().negate());
+    for face in faces(space.arity()) {
+        let limit = face_limit(face, space);
+        if available(face, candidate, limit) == 0 {
+            continue;
+        }
+        let slab = slab(candidate, face, 1);
+        if sat::find_model(ctx, &negated, &slab)?.is_none() {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Solver, SolverConfig};
+    use anosy_logic::{IntExpr, SecretLayout};
+
+    fn solver() -> Solver {
+        Solver::with_config(SolverConfig::for_tests())
+    }
+
+    fn loc_space() -> IntBox {
+        SecretLayout::builder().field("x", 0, 400).field("y", 0, 400).build().space()
+    }
+
+    fn nearby(xo: i64, yo: i64) -> Pred {
+        ((IntExpr::var(0) - xo).abs() + (IntExpr::var(1) - yo).abs()).le(100)
+    }
+
+    fn assert_all_models(pred: &Pred, boxed: &IntBox) {
+        let mut s = solver();
+        assert!(
+            s.is_valid(pred, boxed).unwrap(),
+            "box {boxed} contains a non-model of {pred}"
+        );
+    }
+
+    #[test]
+    fn seed_must_be_a_model_inside_the_space() {
+        let mut s = solver();
+        let q = nearby(200, 200);
+        assert!(s
+            .maximal_true_box(&q, &loc_space(), &Point::new(vec![0, 0]), ExpansionStrategy::Pareto)
+            .unwrap()
+            .is_none());
+        assert!(s
+            .maximal_true_box(&q, &loc_space(), &Point::new(vec![999, 999]), ExpansionStrategy::Pareto)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn pareto_recovers_the_inscribed_square_of_the_diamond() {
+        let mut s = solver();
+        let q = nearby(200, 200);
+        let b = s
+            .maximal_true_box(&q, &loc_space(), &Point::new(vec![200, 200]), ExpansionStrategy::Pareto)
+            .unwrap()
+            .unwrap();
+        assert_all_models(&q, &b);
+        // The balanced inscribed box of a radius-100 L1 ball is the 101×101 square.
+        assert_eq!(b.dim(0), Range::new(150, 250));
+        assert_eq!(b.dim(1), Range::new(150, 250));
+        assert_eq!(b.count(), 101 * 101);
+    }
+
+    #[test]
+    fn result_is_inclusion_maximal_for_both_strategies() {
+        let mut s = solver();
+        let q = nearby(200, 200);
+        for strategy in [ExpansionStrategy::Pareto, ExpansionStrategy::Greedy] {
+            let b = s
+                .maximal_true_box(&q, &loc_space(), &Point::new(vec![200, 200]), strategy)
+                .unwrap()
+                .unwrap();
+            assert_all_models(&q, &b);
+            assert!(
+                s.is_inclusion_maximal(&q, &loc_space(), &b).unwrap(),
+                "{strategy:?} result {b} is extendable"
+            );
+        }
+    }
+
+    #[test]
+    fn off_center_seeds_still_produce_maximal_boxes() {
+        let mut s = solver();
+        let q = nearby(200, 200);
+        for seed in [[150, 180], [299, 200], [200, 101]] {
+            let seed = Point::new(seed.to_vec());
+            let b = s
+                .maximal_true_box(&q, &loc_space(), &seed, ExpansionStrategy::Pareto)
+                .unwrap()
+                .unwrap();
+            assert!(b.contains_point(&seed));
+            assert_all_models(&q, &b);
+            assert!(s.is_inclusion_maximal(&q, &loc_space(), &b).unwrap());
+        }
+    }
+
+    #[test]
+    fn greedy_differs_from_pareto_on_the_diamond() {
+        // The ablation the paper motivates: greedy expansion produces a sliver along the first
+        // dimension, the Pareto-style strategy keeps the box square.
+        let mut s = solver();
+        let q = nearby(200, 200);
+        let seed = Point::new(vec![200, 200]);
+        let pareto = s
+            .maximal_true_box(&q, &loc_space(), &seed, ExpansionStrategy::Pareto)
+            .unwrap()
+            .unwrap();
+        let greedy = s
+            .maximal_true_box(&q, &loc_space(), &seed, ExpansionStrategy::Greedy)
+            .unwrap()
+            .unwrap();
+        assert_all_models(&q, &greedy);
+        assert!(
+            pareto.count() > greedy.count(),
+            "pareto {pareto} should beat greedy {greedy}"
+        );
+    }
+
+    #[test]
+    fn box_predicates_are_recovered_exactly() {
+        // If the query itself is a box, the maximal box is that box.
+        let mut s = solver();
+        let q = Pred::and(vec![
+            IntExpr::var(0).between(50, 80),
+            IntExpr::var(1).between(10, 350),
+        ]);
+        let b = s
+            .maximal_true_box(&q, &loc_space(), &Point::new(vec![60, 100]), ExpansionStrategy::Pareto)
+            .unwrap()
+            .unwrap();
+        assert_eq!(b.dim(0), Range::new(50, 80));
+        assert_eq!(b.dim(1), Range::new(10, 350));
+    }
+
+    #[test]
+    fn whole_space_queries_grow_to_the_whole_space() {
+        let mut s = solver();
+        for strategy in [ExpansionStrategy::Pareto, ExpansionStrategy::Greedy] {
+            let b = s
+                .maximal_true_box(&Pred::True, &loc_space(), &Point::new(vec![13, 17]), strategy)
+                .unwrap()
+                .unwrap();
+            assert_eq!(b, loc_space());
+        }
+    }
+
+    #[test]
+    fn singleton_regions_stay_singletons() {
+        let mut s = solver();
+        let q = IntExpr::var(0).eq(7).and_also(IntExpr::var(1).eq(9));
+        let b = s
+            .maximal_true_box(&q, &loc_space(), &Point::new(vec![7, 9]), ExpansionStrategy::Pareto)
+            .unwrap()
+            .unwrap();
+        assert_eq!(b.count(), 1);
+    }
+
+    #[test]
+    fn inclusion_maximality_checker_agrees() {
+        let q = nearby(200, 200);
+        let mut s = solver();
+        let maximal = IntBox::new(vec![Range::new(150, 250), Range::new(150, 250)]);
+        assert!(s.is_inclusion_maximal(&q, &loc_space(), &maximal).unwrap());
+        let shrunk = IntBox::new(vec![Range::new(160, 240), Range::new(160, 240)]);
+        assert!(!s.is_inclusion_maximal(&q, &loc_space(), &shrunk).unwrap());
+        // A box containing non-models is not a valid under-approximation at all.
+        let too_big = IntBox::new(vec![Range::new(0, 400), Range::new(0, 400)]);
+        assert!(!s.is_inclusion_maximal(&q, &loc_space(), &too_big).unwrap());
+    }
+
+    #[test]
+    fn default_strategy_is_pareto() {
+        assert_eq!(ExpansionStrategy::default(), ExpansionStrategy::Pareto);
+    }
+}

@@ -1,0 +1,421 @@
+//! Interval constraint propagation (HC4-style narrowing).
+//!
+//! Narrowing takes a predicate and a box and removes slices of the box that provably contain no
+//! model of the predicate. It is the pruning engine of every search in this crate. Soundness
+//! contract: **narrowing never removes a model** — every point of the input box that satisfies
+//! the predicate is still in the output box (this is what makes it usable for exact model
+//! counting).
+
+use anosy_logic::{CmpOp, IntBox, IntExpr, Pred, Range, TriBool};
+
+/// Narrows `boxed` with respect to `pred`, iterating to a (bounded) fixed point.
+///
+/// Returns `None` when the box provably contains no model of `pred`. This is exposed publicly
+/// (as [`crate::narrow_box`]) because forward conditioning with a single narrowing pass is
+/// exactly what the abstract-interpretation baseline in `anosy-suite` needs.
+pub fn propagate(pred: &Pred, boxed: &IntBox, rounds: usize) -> Option<IntBox> {
+    let mut current = boxed.clone();
+    if current.is_empty() {
+        return None;
+    }
+    for _ in 0..rounds.max(1) {
+        let next = narrow_pred(pred, &current)?;
+        if next == current {
+            return Some(next);
+        }
+        current = next;
+        if current.is_empty() {
+            return None;
+        }
+    }
+    Some(current)
+}
+
+/// Componentwise hull of two boxes of equal arity.
+fn box_hull(a: &IntBox, b: &IntBox) -> IntBox {
+    IntBox::new(
+        a.dims()
+            .iter()
+            .zip(b.dims().iter())
+            .map(|(x, y)| x.hull(*y))
+            .collect(),
+    )
+}
+
+fn narrow_pred(pred: &Pred, boxed: &IntBox) -> Option<IntBox> {
+    match pred {
+        Pred::True => Some(boxed.clone()),
+        Pred::False => None,
+        Pred::Cmp(op, a, b) => narrow_cmp(*op, a, b, boxed),
+        Pred::And(ps) => {
+            let mut current = boxed.clone();
+            for p in ps {
+                current = narrow_pred(p, &current)?;
+                if current.is_empty() {
+                    return None;
+                }
+            }
+            Some(current)
+        }
+        Pred::Or(ps) => {
+            let mut acc: Option<IntBox> = None;
+            for p in ps {
+                if let Some(narrowed) = narrow_pred(p, boxed) {
+                    acc = Some(match acc {
+                        None => narrowed,
+                        Some(prev) => box_hull(&prev, &narrowed),
+                    });
+                }
+            }
+            acc
+        }
+        // Non-NNF connectives: fall back to the abstract evaluator, which is still sound.
+        Pred::Not(_) | Pred::Implies(..) | Pred::Iff(..) => match pred.eval_abstract(boxed) {
+            TriBool::False => None,
+            _ => Some(boxed.clone()),
+        },
+    }
+}
+
+fn narrow_cmp(op: CmpOp, lhs: &IntExpr, rhs: &IntExpr, boxed: &IntBox) -> Option<IntBox> {
+    // Fast path via the abstract evaluator.
+    let ra = lhs.eval_abstract(boxed);
+    let rb = rhs.eval_abstract(boxed);
+    match op {
+        CmpOp::Le => {
+            if ra.le(rb) == TriBool::False {
+                return None;
+            }
+            let narrowed = narrow_expr(lhs, boxed, Range::new(i64::MIN, rb.hi()))?;
+            let ra2 = lhs.eval_abstract(&narrowed);
+            narrow_expr(rhs, &narrowed, Range::new(ra2.lo(), i64::MAX))
+        }
+        CmpOp::Lt => {
+            if ra.lt(rb) == TriBool::False {
+                return None;
+            }
+            let hi = rb.hi().saturating_sub(1);
+            let narrowed = narrow_expr(lhs, boxed, Range::new(i64::MIN, hi))?;
+            let ra2 = lhs.eval_abstract(&narrowed);
+            narrow_expr(rhs, &narrowed, Range::new(ra2.lo().saturating_add(1), i64::MAX))
+        }
+        CmpOp::Ge => narrow_cmp(CmpOp::Le, rhs, lhs, boxed),
+        CmpOp::Gt => narrow_cmp(CmpOp::Lt, rhs, lhs, boxed),
+        CmpOp::Eq => {
+            let common = ra.intersect(rb);
+            if common.is_empty() {
+                return None;
+            }
+            let narrowed = narrow_expr(lhs, boxed, common)?;
+            let ra2 = lhs.eval_abstract(&narrowed);
+            let rb2 = rhs.eval_abstract(&narrowed);
+            let common2 = ra2.intersect(rb2);
+            if common2.is_empty() {
+                return None;
+            }
+            narrow_expr(rhs, &narrowed, common2)
+        }
+        CmpOp::Ne => {
+            // Boxes cannot represent a "hole"; only prune the definitely-false case.
+            if ra.is_singleton() && rb.is_singleton() && ra.lo() == rb.lo() {
+                None
+            } else {
+                Some(boxed.clone())
+            }
+        }
+    }
+}
+
+fn floor_div(a: i128, b: i128) -> i128 {
+    let q = a / b;
+    if (a % b != 0) && ((a < 0) != (b < 0)) {
+        q - 1
+    } else {
+        q
+    }
+}
+
+fn ceil_div(a: i128, b: i128) -> i128 {
+    let q = a / b;
+    if (a % b != 0) && ((a < 0) == (b < 0)) {
+        q + 1
+    } else {
+        q
+    }
+}
+
+fn clamp_i128(v: i128) -> i64 {
+    if v > i64::MAX as i128 {
+        i64::MAX
+    } else if v < i64::MIN as i128 {
+        i64::MIN
+    } else {
+        v as i64
+    }
+}
+
+/// Narrows `boxed` to the points where `expr` *may* evaluate to a value inside `required`.
+///
+/// Returns `None` when no point of the box can produce a value in `required`.
+fn narrow_expr(expr: &IntExpr, boxed: &IntBox, required: Range) -> Option<IntBox> {
+    if required.is_empty() {
+        return None;
+    }
+    match expr {
+        IntExpr::Const(c) => {
+            if required.contains(*c) {
+                Some(boxed.clone())
+            } else {
+                None
+            }
+        }
+        IntExpr::Var(i) => {
+            if *i >= boxed.arity() {
+                // Unknown variable: cannot narrow, stay sound.
+                return Some(boxed.clone());
+            }
+            let new_range = boxed.dim(*i).intersect(required);
+            if new_range.is_empty() {
+                None
+            } else {
+                Some(boxed.with_dim(*i, new_range))
+            }
+        }
+        IntExpr::Add(a, b) => {
+            let ra = a.eval_abstract(boxed);
+            let rb = b.eval_abstract(boxed);
+            if ra.add(rb).intersect(required).is_empty() {
+                return None;
+            }
+            let narrowed = narrow_expr(a, boxed, required.sub(rb))?;
+            let ra2 = a.eval_abstract(&narrowed);
+            narrow_expr(b, &narrowed, required.sub(ra2))
+        }
+        IntExpr::Sub(a, b) => {
+            let ra = a.eval_abstract(boxed);
+            let rb = b.eval_abstract(boxed);
+            if ra.sub(rb).intersect(required).is_empty() {
+                return None;
+            }
+            // a - b ∈ required  ⇒  a ∈ required + b  and  b ∈ a - required
+            let narrowed = narrow_expr(a, boxed, required.add(rb))?;
+            let ra2 = a.eval_abstract(&narrowed);
+            narrow_expr(b, &narrowed, ra2.sub(required))
+        }
+        IntExpr::Neg(a) => narrow_expr(a, boxed, required.neg()),
+        IntExpr::Scale(k, a) => {
+            if *k == 0 {
+                return if required.contains(0) { Some(boxed.clone()) } else { None };
+            }
+            let (lo, hi) = if *k > 0 {
+                (
+                    ceil_div(required.lo() as i128, *k as i128),
+                    floor_div(required.hi() as i128, *k as i128),
+                )
+            } else {
+                (
+                    ceil_div(required.hi() as i128, *k as i128),
+                    floor_div(required.lo() as i128, *k as i128),
+                )
+            };
+            if lo > hi {
+                return None;
+            }
+            narrow_expr(a, boxed, Range::new(clamp_i128(lo), clamp_i128(hi)))
+        }
+        IntExpr::Abs(a) => {
+            let feasible = required.intersect(Range::new(0, i64::MAX));
+            if feasible.is_empty() {
+                return None;
+            }
+            let ra = a.eval_abstract(boxed);
+            if ra.lo() >= 0 {
+                narrow_expr(a, boxed, feasible)
+            } else if ra.hi() <= 0 {
+                narrow_expr(a, boxed, feasible.neg())
+            } else {
+                // |a| <= feasible.hi  ⇒  a ∈ [-hi, hi]; the "hole" below feasible.lo cannot be
+                // represented by a single interval, so we keep only the outer bound.
+                narrow_expr(a, boxed, Range::new(-feasible.hi(), feasible.hi()))
+            }
+        }
+        IntExpr::Min(a, b) => {
+            // min(a, b) >= required.lo ⇒ both operands >= required.lo.
+            let lower = Range::new(required.lo(), i64::MAX);
+            let ra = a.eval_abstract(boxed);
+            let rb = b.eval_abstract(boxed);
+            if ra.min(rb).intersect(required).is_empty() {
+                return None;
+            }
+            let narrowed = narrow_expr(a, boxed, lower)?;
+            narrow_expr(b, &narrowed, lower)
+        }
+        IntExpr::Max(a, b) => {
+            // max(a, b) <= required.hi ⇒ both operands <= required.hi.
+            let upper = Range::new(i64::MIN, required.hi());
+            let ra = a.eval_abstract(boxed);
+            let rb = b.eval_abstract(boxed);
+            if ra.max(rb).intersect(required).is_empty() {
+                return None;
+            }
+            let narrowed = narrow_expr(a, boxed, upper)?;
+            narrow_expr(b, &narrowed, upper)
+        }
+        IntExpr::Ite(c, t, e) => match c.eval_abstract(boxed) {
+            TriBool::True => narrow_expr(t, boxed, required),
+            TriBool::False => narrow_expr(e, boxed, required),
+            TriBool::Unknown => {
+                // Either branch may apply; we can only prune if *neither* branch can reach the
+                // required range.
+                let rt = t.eval_abstract(boxed);
+                let re = e.eval_abstract(boxed);
+                if rt.intersect(required).is_empty() && re.intersect(required).is_empty() {
+                    None
+                } else {
+                    Some(boxed.clone())
+                }
+            }
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anosy_logic::{simplify_pred, Point, SecretLayout};
+
+    fn space(side: i64) -> IntBox {
+        IntBox::new(vec![Range::new(0, side), Range::new(0, side)])
+    }
+
+    fn nearby(xo: i64, yo: i64, d: i64) -> Pred {
+        ((IntExpr::var(0) - xo).abs() + (IntExpr::var(1) - yo).abs()).le(d)
+    }
+
+    /// Narrowing must never remove a model.
+    fn assert_preserves_models(pred: &Pred, boxed: &IntBox) {
+        let narrowed = propagate(pred, boxed, 8);
+        for p in boxed.points() {
+            if pred.eval(&p).unwrap() {
+                let n = narrowed
+                    .as_ref()
+                    .unwrap_or_else(|| panic!("box pruned although {p} is a model"));
+                assert!(n.contains_point(&p), "model {p} was narrowed away");
+            }
+        }
+    }
+
+    #[test]
+    fn narrowing_tightens_simple_bounds() {
+        let pred = Pred::and(vec![IntExpr::var(0).ge(10), IntExpr::var(0).le(20)]);
+        let narrowed = propagate(&pred, &space(400), 4).unwrap();
+        assert_eq!(narrowed.dim(0), Range::new(10, 20));
+        assert_eq!(narrowed.dim(1), Range::new(0, 400));
+    }
+
+    #[test]
+    fn narrowing_handles_arithmetic_chains() {
+        // x + y <= 10 over [0,400]^2 narrows both coordinates to [0, 10].
+        let pred = (IntExpr::var(0) + IntExpr::var(1)).le(10);
+        let narrowed = propagate(&pred, &space(400), 4).unwrap();
+        assert_eq!(narrowed.dim(0), Range::new(0, 10));
+        assert_eq!(narrowed.dim(1), Range::new(0, 10));
+    }
+
+    #[test]
+    fn narrowing_the_nearby_query_bounds_the_diamond() {
+        let narrowed = propagate(&nearby(200, 200, 100), &space(400), 8).unwrap();
+        assert_eq!(narrowed.dim(0), Range::new(100, 300));
+        assert_eq!(narrowed.dim(1), Range::new(100, 300));
+    }
+
+    #[test]
+    fn contradictions_prune_the_whole_box() {
+        let pred = Pred::and(vec![IntExpr::var(0).le(10), IntExpr::var(0).ge(20)]);
+        assert!(propagate(&pred, &space(400), 4).is_none());
+        let eq = IntExpr::var(0).eq(1000);
+        assert!(propagate(&eq, &space(400), 4).is_none());
+        assert!(propagate(&Pred::False, &space(5), 4).is_none());
+    }
+
+    #[test]
+    fn disjunction_narrows_to_the_hull_of_branches() {
+        let pred = Pred::or(vec![
+            IntExpr::var(0).between(2, 4),
+            IntExpr::var(0).between(10, 12),
+        ]);
+        let narrowed = propagate(&pred, &space(400), 4).unwrap();
+        assert_eq!(narrowed.dim(0), Range::new(2, 12));
+    }
+
+    #[test]
+    fn scale_narrowing_uses_integer_division() {
+        // 3 * x >= 10  ⇒  x >= 4 over the integers.
+        let pred = (IntExpr::var(0) * 3).ge(10);
+        let narrowed = propagate(&pred, &space(400), 4).unwrap();
+        assert_eq!(narrowed.dim(0).lo(), 4);
+        // -2 * x >= 6  ⇒  x <= -3, impossible over [0, 400].
+        let neg = (IntExpr::var(0) * -2).ge(6);
+        assert!(propagate(&neg, &space(400), 4).is_none());
+        // 0 * x == 1 is unsatisfiable.
+        let zero = (IntExpr::var(0) * 0).eq(1);
+        assert!(propagate(&zero, &space(400), 4).is_none());
+    }
+
+    #[test]
+    fn equality_and_min_max_narrowing() {
+        let pred = IntExpr::var(0).min_expr(IntExpr::var(1)).ge(5);
+        let narrowed = propagate(&pred, &space(20), 4).unwrap();
+        assert_eq!(narrowed.dim(0).lo(), 5);
+        assert_eq!(narrowed.dim(1).lo(), 5);
+
+        let pred = IntExpr::var(0).max_expr(IntExpr::var(1)).le(7);
+        let narrowed = propagate(&pred, &space(20), 4).unwrap();
+        assert_eq!(narrowed.dim(0).hi(), 7);
+        assert_eq!(narrowed.dim(1).hi(), 7);
+
+        let eq = IntExpr::var(0).eq(IntExpr::var(1) + 3);
+        let boxed = IntBox::new(vec![Range::new(0, 4), Range::new(0, 100)]);
+        let narrowed = propagate(&eq, &boxed, 8).unwrap();
+        assert!(narrowed.dim(1).hi() <= 1);
+    }
+
+    #[test]
+    fn propagation_preserves_models_on_small_spaces() {
+        let layout = SecretLayout::builder().field("x", -6, 6).field("y", -6, 6).build();
+        let preds = vec![
+            nearby(0, 0, 4),
+            simplify_pred(&nearby(0, 0, 4).negate()),
+            (IntExpr::var(0) + IntExpr::var(1) * 2).le(3),
+            IntExpr::var(0).eq(IntExpr::var(1)),
+            IntExpr::var(0).ne(IntExpr::var(1)),
+            Pred::or(vec![IntExpr::var(0).le(-3), IntExpr::var(0).ge(3)]),
+            IntExpr::var(0).abs().max_expr(IntExpr::var(1).abs()).le(2),
+            IntExpr::ite(IntExpr::var(0).ge(0), IntExpr::var(1), -IntExpr::var(1)).ge(1),
+        ];
+        for pred in preds {
+            assert_preserves_models(&pred, &layout.space());
+        }
+    }
+
+    #[test]
+    fn ne_singleton_conflict_is_detected() {
+        let pred = IntExpr::var(0).ne(IntExpr::var(0));
+        let unit = IntBox::new(vec![Range::singleton(3)]);
+        assert!(propagate(&pred, &unit, 2).is_none());
+        let p = Point::new(vec![3]);
+        assert!(!pred.eval(&p).unwrap());
+    }
+
+    #[test]
+    fn division_helpers_round_correctly() {
+        assert_eq!(floor_div(7, 2), 3);
+        assert_eq!(floor_div(-7, 2), -4);
+        assert_eq!(ceil_div(7, 2), 4);
+        assert_eq!(ceil_div(-7, 2), -3);
+        assert_eq!(floor_div(6, 3), 2);
+        assert_eq!(ceil_div(6, 3), 2);
+        assert_eq!(floor_div(7, -2), -4);
+        assert_eq!(ceil_div(7, -2), -3);
+    }
+}

@@ -1,0 +1,340 @@
+//! The public solver façade and the internal search context shared by all procedures.
+
+use crate::{
+    count, maximal, optimize, sat, validity, ExpansionStrategy, SolverConfig, SolverError,
+    SolverStats, ValidityOutcome,
+};
+use anosy_logic::{simplify_pred, IntBox, Point, Pred, Range};
+use std::time::{Duration, Instant};
+
+/// Budget-tracking context threaded through every search.
+pub(crate) struct SearchCtx<'a> {
+    config: &'a SolverConfig,
+    deadline: Instant,
+    pub(crate) nodes: u64,
+    pub(crate) pruned: u64,
+}
+
+impl<'a> SearchCtx<'a> {
+    fn new(config: &'a SolverConfig) -> Self {
+        SearchCtx {
+            config,
+            deadline: Instant::now() + config.time_budget,
+            nodes: 0,
+            pruned: 0,
+        }
+    }
+
+    /// Accounts for one explored node and checks the budgets.
+    pub(crate) fn tick(&mut self) -> Result<(), SolverError> {
+        self.nodes += 1;
+        if self.nodes > self.config.max_nodes {
+            return Err(SolverError::BudgetExhausted { limit: "node", explored: self.nodes });
+        }
+        // Checking the clock on every node would dominate small searches.
+        if self.nodes % 1024 == 0 && Instant::now() > self.deadline {
+            return Err(SolverError::BudgetExhausted { limit: "time", explored: self.nodes });
+        }
+        Ok(())
+    }
+
+    /// Number of propagation rounds to run per node.
+    pub(crate) fn propagation_rounds(&self) -> usize {
+        self.config.propagation_rounds
+    }
+}
+
+/// A reusable decision-procedure instance.
+///
+/// A `Solver` owns a [`SolverConfig`] and accumulates [`SolverStats`] across queries. It is cheap
+/// to construct; the heavy state is per-query and freed when each query returns.
+///
+/// # Example
+///
+/// ```
+/// use anosy_logic::{IntExpr, SecretLayout};
+/// use anosy_solver::Solver;
+///
+/// let layout = SecretLayout::builder().field("age", 0, 120).build();
+/// let adult = IntExpr::var(0).ge(18);
+/// let mut solver = Solver::new();
+/// assert!(solver.is_satisfiable(&adult, &layout.space()).unwrap());
+/// assert_eq!(solver.count_models(&adult, &layout.space()).unwrap(), 103);
+/// assert!(!solver.is_valid(&adult, &layout.space()).unwrap());
+/// ```
+#[derive(Debug)]
+pub struct Solver {
+    config: SolverConfig,
+    stats: SolverStats,
+}
+
+impl Solver {
+    /// Creates a solver with the default configuration.
+    pub fn new() -> Self {
+        Solver::with_config(SolverConfig::default())
+    }
+
+    /// Creates a solver with an explicit configuration.
+    pub fn with_config(config: SolverConfig) -> Self {
+        Solver { config, stats: SolverStats::new() }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SolverConfig {
+        &self.config
+    }
+
+    /// Statistics accumulated since construction (or the last [`Solver::reset_stats`]).
+    pub fn stats(&self) -> &SolverStats {
+        &self.stats
+    }
+
+    /// Clears the accumulated statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = SolverStats::new();
+    }
+
+    fn check_arity(pred: &Pred, space: &IntBox) -> Result<(), SolverError> {
+        if let Some(max_index) = pred.free_vars().into_iter().max() {
+            if max_index >= space.arity() {
+                return Err(SolverError::ArityMismatch { max_index, arity: space.arity() });
+            }
+        }
+        Ok(())
+    }
+
+    fn run<T>(
+        &mut self,
+        pred: &Pred,
+        space: &IntBox,
+        f: impl FnOnce(&mut SearchCtx<'_>, &Pred, &IntBox) -> Result<T, SolverError>,
+    ) -> Result<T, SolverError> {
+        Self::check_arity(pred, space)?;
+        let started = Instant::now();
+        let normalized = simplify_pred(pred);
+        let mut ctx = SearchCtx::new(&self.config);
+        let result = f(&mut ctx, &normalized, space);
+        self.stats.nodes_explored += ctx.nodes;
+        self.stats.nodes_pruned += ctx.pruned;
+        self.stats.queries += 1;
+        self.stats.total_time += saturating_elapsed(started);
+        result
+    }
+
+    /// Finds a point of `space` satisfying `pred`, if one exists.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::ArityMismatch`] if the predicate mentions fields outside the space
+    /// and [`SolverError::BudgetExhausted`] if the configured limits are hit.
+    pub fn find_model(&mut self, pred: &Pred, space: &IntBox) -> Result<Option<Point>, SolverError> {
+        self.run(pred, space, sat::find_model)
+    }
+
+    /// Returns `true` if some point of `space` satisfies `pred`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Solver::find_model`].
+    pub fn is_satisfiable(&mut self, pred: &Pred, space: &IntBox) -> Result<bool, SolverError> {
+        Ok(self.find_model(pred, space)?.is_some())
+    }
+
+    /// Checks whether `pred` holds for **every** point of `space`, returning a counterexample
+    /// otherwise.
+    ///
+    /// # Errors
+    ///
+    /// See [`Solver::find_model`].
+    pub fn check_validity(
+        &mut self,
+        pred: &Pred,
+        space: &IntBox,
+    ) -> Result<ValidityOutcome, SolverError> {
+        self.run(pred, space, validity::check_validity)
+    }
+
+    /// Returns `true` if `pred` holds for every point of `space`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Solver::find_model`].
+    pub fn is_valid(&mut self, pred: &Pred, space: &IntBox) -> Result<bool, SolverError> {
+        Ok(matches!(self.check_validity(pred, space)?, ValidityOutcome::Valid))
+    }
+
+    /// Counts the points of `space` that satisfy `pred`, exactly.
+    ///
+    /// # Errors
+    ///
+    /// See [`Solver::find_model`].
+    pub fn count_models(&mut self, pred: &Pred, space: &IntBox) -> Result<u128, SolverError> {
+        self.run(pred, space, count::count_models)
+    }
+
+    /// Largest value of variable `var` over the models of `pred` in `space`, or `None` if the
+    /// predicate is unsatisfiable there.
+    ///
+    /// # Errors
+    ///
+    /// See [`Solver::find_model`].
+    pub fn maximize(
+        &mut self,
+        pred: &Pred,
+        space: &IntBox,
+        var: usize,
+    ) -> Result<Option<i64>, SolverError> {
+        self.run(pred, space, |ctx, p, s| optimize::optimize(ctx, p, s, var, true))
+    }
+
+    /// Smallest value of variable `var` over the models of `pred` in `space`, or `None` if the
+    /// predicate is unsatisfiable there.
+    ///
+    /// # Errors
+    ///
+    /// See [`Solver::find_model`].
+    pub fn minimize(
+        &mut self,
+        pred: &Pred,
+        space: &IntBox,
+        var: usize,
+    ) -> Result<Option<i64>, SolverError> {
+        self.run(pred, space, |ctx, p, s| optimize::optimize(ctx, p, s, var, false))
+    }
+
+    /// The tightest box containing **all** models of `pred` in `space` (the optimal single-interval
+    /// over-approximation of the ind. set), or `None` if there are no models.
+    ///
+    /// # Errors
+    ///
+    /// See [`Solver::find_model`].
+    pub fn bounding_true_box(
+        &mut self,
+        pred: &Pred,
+        space: &IntBox,
+    ) -> Result<Option<IntBox>, SolverError> {
+        let mut dims = Vec::with_capacity(space.arity());
+        for var in 0..space.arity() {
+            let lo = self.minimize(pred, space, var)?;
+            let hi = self.maximize(pred, space, var)?;
+            match (lo, hi) {
+                (Some(lo), Some(hi)) => dims.push(Range::new(lo, hi)),
+                _ => return Ok(None),
+            }
+        }
+        Ok(Some(IntBox::new(dims)))
+    }
+
+    /// Returns `true` if `candidate` is an all-models box of `pred` that cannot be extended by
+    /// any face inside `space` without including a non-model (inclusion-maximality, the shape of
+    /// optimality targeted by under-approximation synthesis).
+    ///
+    /// # Errors
+    ///
+    /// See [`Solver::find_model`].
+    pub fn is_inclusion_maximal(
+        &mut self,
+        pred: &Pred,
+        space: &IntBox,
+        candidate: &IntBox,
+    ) -> Result<bool, SolverError> {
+        if !self.is_valid(pred, candidate)? {
+            return Ok(false);
+        }
+        let candidate = candidate.clone();
+        self.run(pred, space, move |ctx, p, s| {
+            maximal::is_inclusion_maximal(ctx, p, s, &candidate)
+        })
+    }
+
+    /// Grows an inclusion-maximal box of models of `pred` around `seed` (which must itself be a
+    /// model inside `space`), using the given expansion strategy. Returns `None` when the seed is
+    /// not a model or lies outside the space.
+    ///
+    /// # Errors
+    ///
+    /// See [`Solver::find_model`].
+    pub fn maximal_true_box(
+        &mut self,
+        pred: &Pred,
+        space: &IntBox,
+        seed: &Point,
+        strategy: ExpansionStrategy,
+    ) -> Result<Option<IntBox>, SolverError> {
+        let seed = seed.clone();
+        self.run(pred, space, move |ctx, p, s| {
+            maximal::maximal_true_box(ctx, p, s, &seed, strategy)
+        })
+    }
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Solver::new()
+    }
+}
+
+fn saturating_elapsed(start: Instant) -> Duration {
+    Instant::now().checked_duration_since(start).unwrap_or(Duration::ZERO)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anosy_logic::{IntExpr, SecretLayout};
+
+    fn loc_layout() -> SecretLayout {
+        SecretLayout::builder().field("x", 0, 400).field("y", 0, 400).build()
+    }
+
+    fn nearby(xo: i64, yo: i64) -> Pred {
+        ((IntExpr::var(0) - xo).abs() + (IntExpr::var(1) - yo).abs()).le(100)
+    }
+
+    #[test]
+    fn arity_mismatch_is_rejected() {
+        let mut solver = Solver::new();
+        let pred = IntExpr::var(5).le(3);
+        let err = solver.find_model(&pred, &loc_layout().space()).unwrap_err();
+        assert!(matches!(err, SolverError::ArityMismatch { max_index: 5, arity: 2 }));
+    }
+
+    #[test]
+    fn node_budget_is_enforced() {
+        let mut solver = Solver::with_config(SolverConfig::new().with_max_nodes(3));
+        // A query whose model sits in a thin diagonal forces many splits.
+        let pred = (IntExpr::var(0) - IntExpr::var(1)).eq(123);
+        let err = solver.count_models(&pred, &loc_layout().space()).unwrap_err();
+        assert!(matches!(err, SolverError::BudgetExhausted { limit: "node", .. }));
+    }
+
+    #[test]
+    fn stats_accumulate_across_queries() {
+        let mut solver = Solver::with_config(SolverConfig::for_tests());
+        let space = loc_layout().space();
+        solver.is_satisfiable(&nearby(200, 200), &space).unwrap();
+        solver.is_valid(&nearby(200, 200), &space).unwrap();
+        assert_eq!(solver.stats().queries, 2);
+        assert!(solver.stats().nodes_explored > 0);
+        solver.reset_stats();
+        assert_eq!(solver.stats().queries, 0);
+    }
+
+    #[test]
+    fn bounding_box_of_the_nearby_diamond() {
+        let mut solver = Solver::with_config(SolverConfig::for_tests());
+        let space = loc_layout().space();
+        let bounding = solver.bounding_true_box(&nearby(200, 200), &space).unwrap().unwrap();
+        assert_eq!(bounding.dim(0), Range::new(100, 300));
+        assert_eq!(bounding.dim(1), Range::new(100, 300));
+        // Unsatisfiable query has no bounding box.
+        let none = solver.bounding_true_box(&Pred::False, &space).unwrap();
+        assert!(none.is_none());
+    }
+
+    #[test]
+    fn default_and_config_accessors() {
+        let solver = Solver::default();
+        assert_eq!(solver.config().max_nodes, SolverConfig::new().max_nodes);
+    }
+}

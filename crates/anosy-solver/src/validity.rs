@@ -1,0 +1,91 @@
+//! Validity checking: `∀ x ∈ box. pred x`.
+
+use crate::sat;
+use crate::solver::SearchCtx;
+use crate::SolverError;
+use anosy_logic::{simplify_pred, IntBox, Point, Pred};
+
+/// Result of a validity check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidityOutcome {
+    /// The predicate holds for every point of the box.
+    Valid,
+    /// The predicate fails at the returned point.
+    CounterExample(Point),
+}
+
+impl ValidityOutcome {
+    /// Returns `true` for [`ValidityOutcome::Valid`].
+    pub fn is_valid(&self) -> bool {
+        matches!(self, ValidityOutcome::Valid)
+    }
+
+    /// The counterexample, if any.
+    pub fn counterexample(&self) -> Option<&Point> {
+        match self {
+            ValidityOutcome::Valid => None,
+            ValidityOutcome::CounterExample(p) => Some(p),
+        }
+    }
+}
+
+/// Checks validity by searching for a model of the negation.
+pub(crate) fn check_validity(
+    ctx: &mut SearchCtx<'_>,
+    pred: &Pred,
+    space: &IntBox,
+) -> Result<ValidityOutcome, SolverError> {
+    let negated = simplify_pred(&pred.clone().negate());
+    Ok(match sat::find_model(ctx, &negated, space)? {
+        None => ValidityOutcome::Valid,
+        Some(point) => ValidityOutcome::CounterExample(point),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Solver, SolverConfig};
+    use anosy_logic::{IntExpr, Range, SecretLayout};
+
+    fn solver() -> Solver {
+        Solver::with_config(SolverConfig::for_tests())
+    }
+
+    #[test]
+    fn valid_on_the_inner_box_of_the_diamond() {
+        // Every point of [150,250]×[180,220] is nearby (200,200).
+        let mut s = solver();
+        let nearby = ((IntExpr::var(0) - 200).abs() + (IntExpr::var(1) - 200).abs()).le(100);
+        let inner = IntBox::new(vec![Range::new(150, 250), Range::new(180, 220)]);
+        assert!(s.is_valid(&nearby, &inner).unwrap());
+    }
+
+    #[test]
+    fn counterexample_on_a_straddling_box() {
+        let mut s = solver();
+        let nearby = ((IntExpr::var(0) - 200).abs() + (IntExpr::var(1) - 200).abs()).le(100);
+        let space = SecretLayout::builder().field("x", 0, 400).field("y", 0, 400).build().space();
+        let outcome = s.check_validity(&nearby, &space).unwrap();
+        let cex = outcome.counterexample().expect("not valid on the full space").clone();
+        assert!(!nearby.eval(&cex).unwrap());
+        assert!(!outcome.is_valid());
+    }
+
+    #[test]
+    fn vacuously_valid_on_the_empty_box() {
+        let mut s = solver();
+        let empty = IntBox::new(vec![Range::empty()]);
+        assert!(s.is_valid(&Pred::False, &empty).unwrap());
+    }
+
+    #[test]
+    fn validity_of_tautologies_and_contradictions() {
+        let mut s = solver();
+        let space = SecretLayout::builder().field("x", 0, 10).build().space();
+        assert!(s.is_valid(&Pred::True, &space).unwrap());
+        assert!(!s.is_valid(&Pred::False, &space).unwrap());
+        let taut = Pred::or(vec![IntExpr::var(0).le(5), IntExpr::var(0).gt(5)]);
+        assert!(s.is_valid(&taut, &space).unwrap());
+    }
+}

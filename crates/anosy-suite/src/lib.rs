@@ -1,0 +1,24 @@
+//! Evaluation workloads of the ANOSY paper (§6).
+//!
+//! Two case studies drive the paper's evaluation, and this crate packages both so the benchmark
+//! harness (and the examples) can regenerate every table and figure:
+//!
+//! * [`benchmarks`] — the five query-synthesis benchmarks inherited from Mardziel et al.
+//!   (Birthday, Ship, Photo, Pizza, Travel), each with its secret layout, query, the paper's
+//!   published ground-truth ind. set sizes and helpers to compute ours (Table 1, Fig. 5a/5b);
+//! * [`advertising`] — the secure-advertising case study: sequences of random `nearby` queries
+//!   against a 400×400 secret location under the `size > 100` policy, measuring how many queries
+//!   each powerset size authorizes (Fig. 6);
+//! * [`baseline`] — a forward abstract-interpretation baseline standing in for Prob (Mardziel et
+//!   al.'s probabilistic abstract interpreter), used for the §6.1 precision/runtime discussion.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod advertising;
+pub mod baseline;
+pub mod benchmarks;
+
+pub use advertising::{AdvertisingConfig, AdvertisingOutcome, run_advertising};
+pub use baseline::{ai_posterior, BaselineComparison};
+pub use benchmarks::{all_benchmarks, Benchmark, BenchmarkId};

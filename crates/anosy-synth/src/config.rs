@@ -1,0 +1,87 @@
+//! Synthesis configuration.
+
+use anosy_solver::{ExpansionStrategy, SolverConfig};
+
+/// Tuning knobs for the [`crate::Synthesizer`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SynthConfig {
+    /// Configuration of the underlying decision procedures (node/time budgets). Plays the role
+    /// of the 10-second Z3 timeout in the paper's experiments (§6.1).
+    pub solver: SolverConfig,
+    /// How under-approximation boxes are grown around their seed. [`ExpansionStrategy::Pareto`]
+    /// reproduces the paper's Pareto optimization; [`ExpansionStrategy::Greedy`] is the ablation
+    /// baseline.
+    pub strategy: ExpansionStrategy,
+    /// How many distinct seeds to try per under-approximation box; the largest resulting box is
+    /// kept. More seeds cost more synthesis time but can only improve precision.
+    pub seeds: usize,
+}
+
+impl SynthConfig {
+    /// The default configuration (Pareto expansion, 3 seeds, default solver budgets).
+    pub fn new() -> Self {
+        SynthConfig {
+            solver: SolverConfig::default(),
+            strategy: ExpansionStrategy::Pareto,
+            seeds: 3,
+        }
+    }
+
+    /// Overrides the solver configuration.
+    pub fn with_solver(mut self, solver: SolverConfig) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// Overrides the expansion strategy.
+    pub fn with_strategy(mut self, strategy: ExpansionStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Overrides the number of seeds tried per box.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seeds` is zero.
+    pub fn with_seeds(mut self, seeds: usize) -> Self {
+        assert!(seeds > 0, "at least one seed is required");
+        self.seeds = seeds;
+        self
+    }
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_pareto_with_multiple_seeds() {
+        let c = SynthConfig::default();
+        assert_eq!(c.strategy, ExpansionStrategy::Pareto);
+        assert!(c.seeds >= 1);
+    }
+
+    #[test]
+    fn builders_override() {
+        let c = SynthConfig::new()
+            .with_strategy(ExpansionStrategy::Greedy)
+            .with_seeds(1)
+            .with_solver(SolverConfig::for_tests());
+        assert_eq!(c.strategy, ExpansionStrategy::Greedy);
+        assert_eq!(c.seeds, 1);
+        assert_eq!(c.solver, SolverConfig::for_tests());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one seed")]
+    fn zero_seeds_rejected() {
+        let _ = SynthConfig::new().with_seeds(0);
+    }
+}

@@ -1,0 +1,76 @@
+//! Synthesis errors.
+
+use anosy_solver::SolverError;
+use std::fmt;
+
+/// Errors surfaced by the synthesizer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SynthError {
+    /// The underlying decision procedure ran out of budget or was misused.
+    Solver(SolverError),
+    /// The query definition is not usable (e.g. mentions fields outside its layout).
+    InvalidQuery {
+        /// The query's name.
+        name: String,
+        /// What is wrong with it.
+        reason: String,
+    },
+    /// A powerset of the requested number of members could not be synthesized because the
+    /// remaining region contains no further models. This is not a correctness problem — the
+    /// partial powerset is already exact — so callers typically treat it as success; it is
+    /// reported so callers can tell the difference.
+    RegionExhausted {
+        /// Number of members synthesized before exhaustion.
+        synthesized: usize,
+        /// Number of members requested.
+        requested: usize,
+    },
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthError::Solver(e) => write!(f, "solver failure during synthesis: {e}"),
+            SynthError::InvalidQuery { name, reason } => {
+                write!(f, "query `{name}` is invalid: {reason}")
+            }
+            SynthError::RegionExhausted { synthesized, requested } => write!(
+                f,
+                "region exhausted after {synthesized} of {requested} powerset members"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SynthError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SynthError::Solver(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SolverError> for SynthError {
+    fn from(e: SolverError) -> Self {
+        SynthError::Solver(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error as _;
+        let e = SynthError::from(SolverError::BudgetExhausted { limit: "node", explored: 1 });
+        assert!(e.to_string().contains("solver failure"));
+        assert!(e.source().is_some());
+        let i = SynthError::InvalidQuery { name: "q".into(), reason: "bad".into() };
+        assert!(i.to_string().contains("`q`"));
+        assert!(i.source().is_none());
+        let r = SynthError::RegionExhausted { synthesized: 2, requested: 5 };
+        assert!(r.to_string().contains("2 of 5"));
+    }
+}

@@ -1,0 +1,162 @@
+//! Indistinguishability sets and posterior computation (§2.2 and Fig. 4 of the paper).
+
+use anosy_domains::AbstractDomain;
+use std::fmt;
+
+/// Which direction an approximation errs in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ApproxKind {
+    /// Under-approximation: the domain may miss secrets but every secret it contains is correct.
+    /// This is the direction used for enforcing lower-bound (`size > k`) policies soundly.
+    Under,
+    /// Over-approximation: the domain contains every correct secret but may include extras.
+    Over,
+}
+
+impl ApproxKind {
+    /// Both kinds, in the order the paper's tables report them.
+    pub const ALL: [ApproxKind; 2] = [ApproxKind::Under, ApproxKind::Over];
+}
+
+impl fmt::Display for ApproxKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApproxKind::Under => write!(f, "under"),
+            ApproxKind::Over => write!(f, "over"),
+        }
+    }
+}
+
+/// The pair of approximated indistinguishability sets of a query: one abstract-domain element for
+/// the secrets that answer `true` and one for the secrets that answer `false`.
+///
+/// The posterior after observing a query result is the intersection of the prior with the
+/// matching ind. set (Fig. 4): [`IndSets::posterior`] computes both branches at once, which is
+/// exactly what the bounded downgrade needs (it must check the policy on *both* outcomes before
+/// revealing either, §3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndSets<D> {
+    truthy: D,
+    falsy: D,
+    kind: ApproxKind,
+}
+
+impl<D: AbstractDomain> IndSets<D> {
+    /// Packages the two ind. sets of a query.
+    pub fn new(kind: ApproxKind, truthy: D, falsy: D) -> Self {
+        IndSets { truthy, falsy, kind }
+    }
+
+    /// The approximation direction these sets were synthesized for.
+    pub fn kind(&self) -> ApproxKind {
+        self.kind
+    }
+
+    /// The ind. set of secrets answering `true`.
+    pub fn truthy(&self) -> &D {
+        &self.truthy
+    }
+
+    /// The ind. set of secrets answering `false`.
+    pub fn falsy(&self) -> &D {
+        &self.falsy
+    }
+
+    /// The ind. set matching a concrete query response.
+    pub fn for_response(&self, response: bool) -> &D {
+        if response {
+            &self.truthy
+        } else {
+            &self.falsy
+        }
+    }
+
+    /// The posterior knowledge for both possible responses given prior knowledge `prior`:
+    /// `(prior ∩ truthy, prior ∩ falsy)`.
+    pub fn posterior(&self, prior: &D) -> (D, D) {
+        (prior.intersect(&self.truthy), prior.intersect(&self.falsy))
+    }
+
+    /// Maps both ind. sets through a conversion (e.g. lifting interval ind. sets into powersets).
+    pub fn map<E: AbstractDomain>(&self, mut f: impl FnMut(&D) -> E) -> IndSets<E> {
+        IndSets { truthy: f(&self.truthy), falsy: f(&self.falsy), kind: self.kind }
+    }
+}
+
+impl<D: AbstractDomain> fmt::Display for IndSets<D>
+where
+    D: fmt::Display,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: (true ↦ {}, false ↦ {})", self.kind, self.truthy, self.falsy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anosy_domains::{AInt, IntervalDomain, PowersetDomain};
+    use anosy_logic::{Point, SecretLayout};
+
+    fn layout() -> SecretLayout {
+        SecretLayout::builder().field("x", 0, 400).field("y", 0, 400).build()
+    }
+
+    /// The paper's running example: under-approximate ind. sets of nearby (200,200) (§2.2).
+    fn paper_indsets() -> IndSets<IntervalDomain> {
+        IndSets::new(
+            ApproxKind::Under,
+            IntervalDomain::from_intervals(vec![AInt::new(121, 279), AInt::new(179, 221)]),
+            IntervalDomain::from_intervals(vec![AInt::new(0, 400), AInt::new(0, 99)]),
+        )
+    }
+
+    #[test]
+    fn accessors_and_response_selection() {
+        let ind = paper_indsets();
+        assert_eq!(ind.kind(), ApproxKind::Under);
+        assert_eq!(ind.for_response(true), ind.truthy());
+        assert_eq!(ind.for_response(false), ind.falsy());
+        assert!(ind.truthy().contains(&Point::new(vec![200, 200])));
+        assert!(ind.falsy().contains(&Point::new(vec![0, 0])));
+    }
+
+    #[test]
+    fn posterior_is_the_pairwise_intersection_with_the_prior() {
+        // §3's worked example: starting from ⊤, downgrading nearby (200,200) gives a posterior of
+        // size 159 × 43 = 6837 for the True branch.
+        let ind = paper_indsets();
+        let prior = IntervalDomain::top(&layout());
+        let (post_t, post_f) = ind.posterior(&prior);
+        assert_eq!(post_t.size(), 6837);
+        assert_eq!(post_f.size(), 401 * 100);
+        // Intersecting with a more informative prior shrinks the posterior accordingly
+        // (nearby (300,200) after nearby (200,200): size 2537 in the paper).
+        let prior2 = IntervalDomain::from_intervals(vec![AInt::new(221, 379), AInt::new(179, 221)]);
+        let (post_t2, _) = ind.posterior(&prior2);
+        assert_eq!(post_t2.size(), 59 * 43);
+    }
+
+    #[test]
+    fn map_lifts_interval_indsets_into_powersets() {
+        let ind = paper_indsets();
+        let lifted: IndSets<PowersetDomain> = ind.map(|d| PowersetDomain::from_interval(d.clone()));
+        assert_eq!(lifted.kind(), ApproxKind::Under);
+        assert_eq!(lifted.truthy().size(), ind.truthy().size());
+        assert_eq!(lifted.falsy().size(), ind.falsy().size());
+    }
+
+    #[test]
+    fn approx_kind_display_and_all() {
+        assert_eq!(ApproxKind::Under.to_string(), "under");
+        assert_eq!(ApproxKind::Over.to_string(), "over");
+        assert_eq!(ApproxKind::ALL.len(), 2);
+    }
+
+    #[test]
+    fn display_mentions_both_branches() {
+        let s = paper_indsets().to_string();
+        assert!(s.contains("true ↦"));
+        assert!(s.contains("false ↦"));
+    }
+}

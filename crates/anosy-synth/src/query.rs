@@ -1,0 +1,219 @@
+//! Query definitions and the query registry.
+//!
+//! In the paper, queries are Haskell functions named by strings: the compile-time plugin
+//! synthesizes their approximations and `downgrade` looks them up by name at runtime (Fig. 2).
+//! Here a [`QueryDef`] bundles the name, the secret layout and the predicate, and a
+//! [`QueryRegistry`] is the name-indexed map the rest of the system consults.
+
+use crate::SynthError;
+use anosy_logic::{parse_pred_with_layout, Point, Pred, SecretLayout};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A named declassification query over a declared secret layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryDef {
+    name: String,
+    layout: SecretLayout,
+    pred: Pred,
+}
+
+impl QueryDef {
+    /// Creates a query, validating that the predicate only mentions fields of the layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthError::InvalidQuery`] when the predicate mentions a field index outside the
+    /// layout.
+    pub fn new(
+        name: impl Into<String>,
+        layout: SecretLayout,
+        pred: Pred,
+    ) -> Result<Self, SynthError> {
+        let name = name.into();
+        if let Some(max) = pred.free_vars().into_iter().max() {
+            if max >= layout.arity() {
+                return Err(SynthError::InvalidQuery {
+                    name,
+                    reason: format!(
+                        "predicate mentions field v{max} but the layout has arity {}",
+                        layout.arity()
+                    ),
+                });
+            }
+        }
+        Ok(QueryDef { name, layout, pred })
+    }
+
+    /// Parses a query from the surface syntax, resolving identifiers against the layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthError::InvalidQuery`] when the text does not parse.
+    pub fn parse(
+        name: impl Into<String>,
+        layout: SecretLayout,
+        text: &str,
+    ) -> Result<Self, SynthError> {
+        let name = name.into();
+        match parse_pred_with_layout(text, &layout) {
+            Ok(pred) => QueryDef::new(name, layout, pred),
+            Err(e) => Err(SynthError::InvalidQuery { name, reason: e.to_string() }),
+        }
+    }
+
+    /// The query's unique name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The secret layout the query ranges over.
+    pub fn layout(&self) -> &SecretLayout {
+        &self.layout
+    }
+
+    /// The query predicate.
+    pub fn pred(&self) -> &Pred {
+        &self.pred
+    }
+
+    /// Evaluates the query on a concrete secret (panics are avoided: out-of-layout points simply
+    /// answer `false`).
+    pub fn ask(&self, secret: &Point) -> bool {
+        self.pred.eval(secret).unwrap_or(false)
+    }
+}
+
+impl fmt::Display for QueryDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.name, self.pred)
+    }
+}
+
+/// A name-indexed collection of queries (the paper's `queries` map, without the approximation
+/// functions, which live in `anosy-core::QInfo`).
+#[derive(Debug, Clone, Default)]
+pub struct QueryRegistry {
+    queries: BTreeMap<String, QueryDef>,
+}
+
+impl QueryRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        QueryRegistry::default()
+    }
+
+    /// Registers a query, replacing any previous query with the same name. Returns the previous
+    /// definition if one existed.
+    pub fn register(&mut self, query: QueryDef) -> Option<QueryDef> {
+        self.queries.insert(query.name.clone(), query)
+    }
+
+    /// Looks a query up by name.
+    pub fn get(&self, name: &str) -> Option<&QueryDef> {
+        self.queries.get(name)
+    }
+
+    /// Returns `true` if a query with this name is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.queries.contains_key(name)
+    }
+
+    /// Number of registered queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Returns `true` when no query is registered.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Iterates over the registered queries in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &QueryDef> {
+        self.queries.values()
+    }
+
+    /// The registered names, in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.queries.keys().map(String::as_str).collect()
+    }
+}
+
+impl FromIterator<QueryDef> for QueryRegistry {
+    fn from_iter<T: IntoIterator<Item = QueryDef>>(iter: T) -> Self {
+        let mut registry = QueryRegistry::new();
+        for q in iter {
+            registry.register(q);
+        }
+        registry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anosy_logic::IntExpr;
+
+    fn layout() -> SecretLayout {
+        SecretLayout::builder().field("x", 0, 400).field("y", 0, 400).build()
+    }
+
+    #[test]
+    fn construction_validates_fields() {
+        let ok = QueryDef::new("q", layout(), IntExpr::var(1).le(3));
+        assert!(ok.is_ok());
+        let err = QueryDef::new("q", layout(), IntExpr::var(7).le(3)).unwrap_err();
+        assert!(matches!(err, SynthError::InvalidQuery { .. }));
+    }
+
+    #[test]
+    fn parse_uses_field_names() {
+        let q = QueryDef::parse("near", layout(), "abs(x - 200) + abs(y - 200) <= 100").unwrap();
+        assert!(q.ask(&Point::new(vec![250, 200])));
+        assert!(!q.ask(&Point::new(vec![0, 0])));
+        assert!(QueryDef::parse("bad", layout(), "z <= 3").is_err());
+    }
+
+    #[test]
+    fn ask_is_total() {
+        let q = QueryDef::new("q", layout(), IntExpr::var(1).le(3)).unwrap();
+        // Wrong arity points simply answer false instead of panicking.
+        assert!(!q.ask(&Point::new(vec![1])));
+    }
+
+    #[test]
+    fn registry_round_trip() {
+        let q1 = QueryDef::new("a", layout(), IntExpr::var(0).le(3)).unwrap();
+        let q2 = QueryDef::new("b", layout(), IntExpr::var(0).ge(3)).unwrap();
+        let mut reg = QueryRegistry::new();
+        assert!(reg.is_empty());
+        assert!(reg.register(q1.clone()).is_none());
+        assert!(reg.register(q2).is_none());
+        assert_eq!(reg.len(), 2);
+        assert!(reg.contains("a"));
+        assert!(!reg.contains("c"));
+        assert_eq!(reg.get("a"), Some(&q1));
+        assert_eq!(reg.names(), vec!["a", "b"]);
+        // Re-registering replaces and returns the old definition.
+        let q1_new = QueryDef::new("a", layout(), IntExpr::var(0).le(5)).unwrap();
+        assert_eq!(reg.register(q1_new), Some(q1));
+    }
+
+    #[test]
+    fn registry_from_iterator() {
+        let reg: QueryRegistry = vec![
+            QueryDef::new("a", layout(), Pred::True).unwrap(),
+            QueryDef::new("b", layout(), Pred::False).unwrap(),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn display_shows_name_and_predicate() {
+        let q = QueryDef::new("near", layout(), IntExpr::var(0).le(3)).unwrap();
+        assert!(q.to_string().starts_with("near:"));
+    }
+}

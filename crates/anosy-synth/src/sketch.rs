@@ -1,0 +1,179 @@
+//! Sketches: partial ind. set definitions with interval holes (§5.2 of the paper).
+//!
+//! A sketch is the synthesis template ANOSY derives from the secret layout: one pair of
+//! lower/upper holes per secret field and per query answer. `Synth` fills the holes with optimal
+//! bounds; the filled sketch *is* the synthesized ind. set. Keeping the sketch as an explicit
+//! value (rather than jumping straight to the answer) mirrors the paper's pipeline and gives the
+//! benchmark harness something to report about synthesis problem sizes.
+
+use anosy_domains::{AInt, IntervalDomain};
+use anosy_logic::SecretLayout;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A single integer hole of a sketch, identified by the field it bounds and which bound it is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Hole {
+    /// Index of the secret field this hole bounds.
+    pub field: usize,
+    /// `true` for the lower bound `l_i`, `false` for the upper bound `u_i`.
+    pub is_lower: bool,
+}
+
+impl fmt::Display for Hole {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", if self.is_lower { "l" } else { "u" }, self.field)
+    }
+}
+
+/// A partial interval-domain definition: one lower and one upper hole per secret field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sketch {
+    arity: usize,
+    assignments: BTreeMap<Hole, i64>,
+}
+
+impl Sketch {
+    /// Creates the sketch for one abstract-domain hole of a query over `layout`: `2 * arity`
+    /// unfilled holes.
+    pub fn for_layout(layout: &SecretLayout) -> Self {
+        Sketch { arity: layout.arity(), assignments: BTreeMap::new() }
+    }
+
+    /// Number of secret fields.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// All holes of the sketch, filled or not, in field order (lower before upper).
+    pub fn holes(&self) -> Vec<Hole> {
+        (0..self.arity)
+            .flat_map(|field| {
+                [Hole { field, is_lower: true }, Hole { field, is_lower: false }]
+            })
+            .collect()
+    }
+
+    /// Holes that have not been assigned a value yet.
+    pub fn unfilled_holes(&self) -> Vec<Hole> {
+        self.holes().into_iter().filter(|h| !self.assignments.contains_key(h)).collect()
+    }
+
+    /// Assigns a value to a hole.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hole does not belong to this sketch.
+    pub fn fill(&mut self, hole: Hole, value: i64) {
+        assert!(hole.field < self.arity, "hole {hole} is outside the sketch");
+        self.assignments.insert(hole, value);
+    }
+
+    /// Fills both holes of a field from an interval.
+    pub fn fill_field(&mut self, field: usize, interval: AInt) {
+        self.fill(Hole { field, is_lower: true }, interval.lower());
+        self.fill(Hole { field, is_lower: false }, interval.upper());
+    }
+
+    /// Returns `true` when every hole has a value.
+    pub fn is_complete(&self) -> bool {
+        self.unfilled_holes().is_empty()
+    }
+
+    /// Converts a complete sketch into the interval domain it denotes.
+    ///
+    /// Returns `None` if the sketch is incomplete or a field's bounds are inverted (which the
+    /// solver never produces, but a manually-filled sketch could).
+    pub fn to_domain(&self) -> Option<IntervalDomain> {
+        if !self.is_complete() {
+            return None;
+        }
+        let mut intervals = Vec::with_capacity(self.arity);
+        for field in 0..self.arity {
+            let lo = *self.assignments.get(&Hole { field, is_lower: true })?;
+            let hi = *self.assignments.get(&Hole { field, is_lower: false })?;
+            if lo > hi {
+                return None;
+            }
+            intervals.push(AInt::new(lo, hi));
+        }
+        Some(IntervalDomain::from_intervals(intervals))
+    }
+}
+
+impl fmt::Display for Sketch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "A_I [")?;
+        for field in 0..self.arity {
+            if field > 0 {
+                write!(f, ", ")?;
+            }
+            let lo = self.assignments.get(&Hole { field, is_lower: true });
+            let hi = self.assignments.get(&Hole { field, is_lower: false });
+            match (lo, hi) {
+                (Some(l), Some(u)) => write!(f, "AInt {l} {u}")?,
+                (Some(l), None) => write!(f, "AInt {l} □")?,
+                (None, Some(u)) => write!(f, "AInt □ {u}")?,
+                (None, None) => write!(f, "AInt □ □")?,
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anosy_domains::AbstractDomain;
+
+    fn layout() -> SecretLayout {
+        SecretLayout::builder().field("x", 0, 400).field("y", 0, 400).build()
+    }
+
+    #[test]
+    fn fresh_sketch_has_two_holes_per_field() {
+        let s = Sketch::for_layout(&layout());
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.holes().len(), 4);
+        assert_eq!(s.unfilled_holes().len(), 4);
+        assert!(!s.is_complete());
+        assert!(s.to_domain().is_none());
+    }
+
+    #[test]
+    fn filling_all_holes_yields_the_domain_of_the_paper_example() {
+        let mut s = Sketch::for_layout(&layout());
+        s.fill_field(0, AInt::new(121, 279));
+        s.fill(Hole { field: 1, is_lower: true }, 179);
+        s.fill(Hole { field: 1, is_lower: false }, 221);
+        assert!(s.is_complete());
+        let d = s.to_domain().unwrap();
+        assert_eq!(d.size(), 159 * 43);
+    }
+
+    #[test]
+    fn inverted_bounds_do_not_produce_a_domain() {
+        let mut s = Sketch::for_layout(&SecretLayout::builder().field("x", 0, 10).build());
+        s.fill_field(0, AInt::new(3, 3));
+        s.fill(Hole { field: 0, is_lower: true }, 7); // now lower > upper
+        assert!(s.to_domain().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the sketch")]
+    fn filling_a_foreign_hole_panics() {
+        let mut s = Sketch::for_layout(&layout());
+        s.fill(Hole { field: 5, is_lower: true }, 0);
+    }
+
+    #[test]
+    fn display_shows_holes_and_values() {
+        let mut s = Sketch::for_layout(&layout());
+        assert!(s.to_string().contains('□'));
+        s.fill_field(0, AInt::new(1, 2));
+        s.fill_field(1, AInt::new(3, 4));
+        assert_eq!(s.to_string(), "A_I [AInt 1 2, AInt 3 4]");
+        assert_eq!(Hole { field: 0, is_lower: true }.to_string(), "l0");
+        assert_eq!(Hole { field: 2, is_lower: false }.to_string(), "u2");
+    }
+}

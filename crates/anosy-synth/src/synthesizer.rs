@@ -1,0 +1,423 @@
+//! The synthesizer: `Synth` (single intervals) and `IterSynth` (powersets, Algorithm 1).
+
+use crate::{ApproxKind, IndSets, QueryDef, Sketch, SynthConfig, SynthError};
+use anosy_domains::{AbstractDomain, IntervalDomain, PowersetDomain};
+use anosy_logic::{simplify_pred, IntBox, Point, Pred, SecretLayout};
+use anosy_solver::{Solver, SolverStats};
+
+/// Synthesizes correct-by-construction knowledge approximations for declassification queries.
+///
+/// The synthesizer owns a [`Solver`] (the Z3 stand-in) and a [`SynthConfig`]. Synthesis results
+/// are *candidates*: they are correct by construction of the underlying procedures, and the
+/// `anosy-verify` crate re-checks them against their refinement specifications exactly as Liquid
+/// Haskell re-checks the paper's synthesized Haskell terms (§2.3, Step IV).
+#[derive(Debug)]
+pub struct Synthesizer {
+    config: SynthConfig,
+    solver: Solver,
+}
+
+impl Synthesizer {
+    /// Creates a synthesizer with the default configuration.
+    pub fn new() -> Self {
+        Synthesizer::with_config(SynthConfig::default())
+    }
+
+    /// Creates a synthesizer with an explicit configuration.
+    pub fn with_config(config: SynthConfig) -> Self {
+        let solver = Solver::with_config(config.solver.clone());
+        Synthesizer { config, solver }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SynthConfig {
+        &self.config
+    }
+
+    /// Statistics of the underlying solver (search effort across all synthesis calls so far).
+    pub fn solver_stats(&self) -> &SolverStats {
+        self.solver.stats()
+    }
+
+    /// Generates the synthesis sketch for one abstract-domain hole of `query` (§5.2). The
+    /// returned sketch has `2 * arity` unfilled integer holes.
+    pub fn sketch(&self, query: &QueryDef) -> Sketch {
+        Sketch::for_layout(query.layout())
+    }
+
+    /// Synthesizes the interval-domain ind. sets of `query` (§5.3).
+    ///
+    /// * [`ApproxKind::Over`]: each ind. set is the tightest bounding box of the corresponding
+    ///   region, obtained by minimizing/maximizing every field (the paper's `minimize u_i - l_i`
+    ///   directives).
+    /// * [`ApproxKind::Under`]: each ind. set is an inclusion-maximal all-models box grown around
+    ///   the best of several seeds (the paper's Pareto `maximize u_i - l_i` directives).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthError::Solver`] if the underlying decision procedures exhaust their budget.
+    pub fn synth_interval(
+        &mut self,
+        query: &QueryDef,
+        kind: ApproxKind,
+    ) -> Result<IndSets<IntervalDomain>, SynthError> {
+        let space = query.layout().space();
+        let positive = simplify_pred(query.pred());
+        let negative = simplify_pred(&query.pred().clone().negate());
+        let truthy = self.synth_region_interval(&positive, &space, query.layout(), kind)?;
+        let falsy = self.synth_region_interval(&negative, &space, query.layout(), kind)?;
+        Ok(IndSets::new(kind, truthy, falsy))
+    }
+
+    /// Synthesizes powerset-domain ind. sets with at most `k` synthesized members per region
+    /// (`IterSynth`, Algorithm 1 of the paper).
+    ///
+    /// For under-approximations the powerset's inclusion list is grown one disjoint
+    /// inclusion-maximal box at a time; for over-approximations the first member is the bounding
+    /// box and subsequent iterations grow the exclusion list, carving away regions that provably
+    /// contain no model. Fewer than `k` members are produced when the region is exhausted early —
+    /// in that case the result is already exact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthError::Solver`] if the underlying decision procedures exhaust their budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn synth_powerset(
+        &mut self,
+        query: &QueryDef,
+        kind: ApproxKind,
+        k: usize,
+    ) -> Result<IndSets<PowersetDomain>, SynthError> {
+        assert!(k > 0, "a powerset needs at least one member");
+        let space = query.layout().space();
+        let positive = simplify_pred(query.pred());
+        let negative = simplify_pred(&query.pred().clone().negate());
+        let truthy = self.synth_region_powerset(&positive, &space, query.layout(), kind, k)?;
+        let falsy = self.synth_region_powerset(&negative, &space, query.layout(), kind, k)?;
+        Ok(IndSets::new(kind, truthy, falsy))
+    }
+
+    /// Synthesizes a single interval-domain approximation of the region `pred` within `space`.
+    fn synth_region_interval(
+        &mut self,
+        pred: &Pred,
+        space: &IntBox,
+        layout: &SecretLayout,
+        kind: ApproxKind,
+    ) -> Result<IntervalDomain, SynthError> {
+        let result = match kind {
+            ApproxKind::Over => self.solver.bounding_true_box(pred, space)?,
+            ApproxKind::Under => self.best_true_box(pred, space)?,
+        };
+        Ok(match result {
+            Some(boxed) => IntervalDomain::from_box(&boxed),
+            None => IntervalDomain::bottom(layout),
+        })
+    }
+
+    /// Synthesizes a powerset approximation of the region `pred` within `space`.
+    fn synth_region_powerset(
+        &mut self,
+        pred: &Pred,
+        space: &IntBox,
+        layout: &SecretLayout,
+        kind: ApproxKind,
+        k: usize,
+    ) -> Result<PowersetDomain, SynthError> {
+        match kind {
+            ApproxKind::Under => self.iter_synth_under(pred, space, layout, k),
+            ApproxKind::Over => self.iter_synth_over(pred, space, layout, k),
+        }
+    }
+
+    /// `IterSynth` for under-approximations: grow the inclusion list with disjoint
+    /// inclusion-maximal boxes of the not-yet-covered region.
+    fn iter_synth_under(
+        &mut self,
+        pred: &Pred,
+        space: &IntBox,
+        layout: &SecretLayout,
+        k: usize,
+    ) -> Result<PowersetDomain, SynthError> {
+        let mut powerset = PowersetDomain::bottom(layout);
+        let mut remaining = pred.clone();
+        for _ in 0..k {
+            let Some(boxed) = self.best_true_box(&simplify_pred(&remaining), space)? else {
+                break; // region exhausted: the powerset is already exact
+            };
+            let member = IntervalDomain::from_box(&boxed);
+            remaining = remaining.and_also(member.to_pred().negate());
+            powerset.push_include(member);
+        }
+        Ok(powerset)
+    }
+
+    /// `IterSynth` for over-approximations: start from the bounding box and grow the exclusion
+    /// list with disjoint boxes that provably contain no model.
+    fn iter_synth_over(
+        &mut self,
+        pred: &Pred,
+        space: &IntBox,
+        layout: &SecretLayout,
+        k: usize,
+    ) -> Result<PowersetDomain, SynthError> {
+        let Some(outer) = self.solver.bounding_true_box(pred, space)? else {
+            return Ok(PowersetDomain::bottom(layout));
+        };
+        let outer_domain = IntervalDomain::from_box(&outer);
+        let mut powerset = PowersetDomain::from_interval(outer_domain.clone());
+        // The region that may still be carved away: inside the bounding box, outside the models,
+        // not yet excluded.
+        let mut carvable = outer_domain.to_pred().and_also(pred.clone().negate());
+        for _ in 1..k {
+            let Some(boxed) = self.best_true_box(&simplify_pred(&carvable), &outer)? else {
+                break; // nothing left to carve: the over-approximation is as tight as this shape allows
+            };
+            let member = IntervalDomain::from_box(&boxed);
+            carvable = carvable.and_also(member.to_pred().negate());
+            powerset.push_exclude(member);
+        }
+        Ok(powerset)
+    }
+
+    /// The largest inclusion-maximal all-models box of `pred` found across up to
+    /// `config.seeds` seeds, or `None` when `pred` has no model in `space`.
+    ///
+    /// Seeds are chosen to avoid the boundary of the region: the first candidate is the centre of
+    /// the region's bounding box (when it is itself a model — for convex-ish regions like the
+    /// benchmarks' this is the best starting point), falling back to an arbitrary model;
+    /// subsequent seeds are models outside everything grown so far, which is what lets point-wise
+    /// (disjoint-union) queries profit from several seeds.
+    fn best_true_box(&mut self, pred: &Pred, space: &IntBox) -> Result<Option<IntBox>, SynthError> {
+        let Some(fallback_seed) = self.solver.find_model(pred, space)? else {
+            return Ok(None);
+        };
+        let first_seed = match self.solver.bounding_true_box(pred, space)? {
+            Some(bb) => {
+                let center: Point = bb
+                    .dims()
+                    .iter()
+                    .map(|r| r.lo() + ((r.hi() as i128 - r.lo() as i128) / 2) as i64)
+                    .collect();
+                if pred.eval(&center).unwrap_or(false) {
+                    center
+                } else {
+                    fallback_seed
+                }
+            }
+            None => fallback_seed,
+        };
+        let mut best: Option<IntBox> = None;
+        let mut covered: Option<Pred> = None;
+        let mut seeds_used = 0;
+        let mut next_seed = Some(first_seed);
+        while seeds_used < self.config.seeds {
+            let Some(seed) = next_seed.take() else { break };
+            seeds_used += 1;
+            let grown = self
+                .solver
+                .maximal_true_box(pred, space, &seed, self.config.strategy)?;
+            if let Some(boxed) = grown {
+                let boxed_pred = IntervalDomain::from_box(&boxed).to_pred();
+                covered = Some(match covered {
+                    None => boxed_pred,
+                    Some(c) => c.or_else(boxed_pred),
+                });
+                let is_better = best.as_ref().map_or(true, |b| boxed.count() > b.count());
+                if is_better {
+                    best = Some(boxed);
+                }
+            }
+            if seeds_used < self.config.seeds {
+                // Diversify: the next seed must be a model not covered by any box grown so far.
+                let uncovered = match &covered {
+                    None => pred.clone(),
+                    Some(c) => pred.clone().and_also(c.clone().negate()),
+                };
+                next_seed = self.solver.find_model(&simplify_pred(&uncovered), space)?;
+            }
+        }
+        Ok(best)
+    }
+
+    /// Convenience: seed a concrete secret as a [`Point`] in the query's layout. Exposed mostly
+    /// for tests and examples that want to drive [`anosy_solver::Solver::maximal_true_box`]
+    /// manually.
+    pub fn seed_from(&self, coords: &[i64]) -> Point {
+        Point::new(coords.to_vec())
+    }
+}
+
+impl Default for Synthesizer {
+    fn default() -> Self {
+        Synthesizer::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anosy_logic::IntExpr;
+    use anosy_solver::SolverConfig;
+
+    fn test_config() -> SynthConfig {
+        SynthConfig::new().with_solver(SolverConfig::for_tests())
+    }
+
+    fn loc_layout() -> SecretLayout {
+        SecretLayout::builder().field("x", 0, 400).field("y", 0, 400).build()
+    }
+
+    fn nearby_query() -> QueryDef {
+        let nearby = ((IntExpr::var(0) - 200).abs() + (IntExpr::var(1) - 200).abs()).le(100);
+        QueryDef::new("nearby_200_200", loc_layout(), nearby).unwrap()
+    }
+
+    fn check_under_soundness<D: AbstractDomain>(query: &QueryDef, ind: &IndSets<D>) {
+        let mut solver = Solver::with_config(SolverConfig::for_tests());
+        let space = query.layout().space();
+        // truthy ⇒ query, falsy ⇒ ¬query
+        let t_ok = solver
+            .is_valid(&ind.truthy().to_pred().implies(query.pred().clone()), &space)
+            .unwrap();
+        let f_ok = solver
+            .is_valid(&ind.falsy().to_pred().implies(query.pred().clone().negate()), &space)
+            .unwrap();
+        assert!(t_ok, "under True set contains a non-model");
+        assert!(f_ok, "under False set contains a model");
+    }
+
+    fn check_over_soundness<D: AbstractDomain>(query: &QueryDef, ind: &IndSets<D>) {
+        let mut solver = Solver::with_config(SolverConfig::for_tests());
+        let space = query.layout().space();
+        // query ⇒ truthy, ¬query ⇒ falsy
+        let t_ok = solver
+            .is_valid(&query.pred().clone().implies(ind.truthy().to_pred()), &space)
+            .unwrap();
+        let f_ok = solver
+            .is_valid(&query.pred().clone().negate().implies(ind.falsy().to_pred()), &space)
+            .unwrap();
+        assert!(t_ok, "over True set misses a model");
+        assert!(f_ok, "over False set misses a non-model");
+    }
+
+    #[test]
+    fn interval_under_synthesis_matches_the_paper_shape() {
+        let query = nearby_query();
+        let mut synth = Synthesizer::with_config(test_config());
+        let ind = synth.synth_interval(&query, ApproxKind::Under).unwrap();
+        check_under_soundness(&query, &ind);
+        // The True region is the radius-100 diamond: the balanced maximal box is the 101×101
+        // inscribed square (the paper's synthesized box has the same 159×43 order of size but a
+        // different aspect ratio because Z3's Pareto optimum is not unique).
+        assert_eq!(ind.truthy().size(), 101 * 101);
+        // The False region's maximal box keeps one full side of the space.
+        assert!(ind.falsy().size() >= 99 * 401);
+    }
+
+    #[test]
+    fn interval_over_synthesis_is_the_tight_bounding_box() {
+        let query = nearby_query();
+        let mut synth = Synthesizer::with_config(test_config());
+        let ind = synth.synth_interval(&query, ApproxKind::Over).unwrap();
+        check_over_soundness(&query, &ind);
+        assert_eq!(ind.truthy().size(), 201 * 201);
+        // The False region touches every edge of the space, so its bounding box is ⊤.
+        assert_eq!(ind.falsy().size(), 401 * 401);
+    }
+
+    #[test]
+    fn powerset_under_is_at_least_as_precise_as_the_interval() {
+        let query = nearby_query();
+        let mut synth = Synthesizer::with_config(test_config());
+        let interval = synth.synth_interval(&query, ApproxKind::Under).unwrap();
+        let powerset = synth.synth_powerset(&query, ApproxKind::Under, 3).unwrap();
+        check_under_soundness(&query, &powerset);
+        assert!(powerset.truthy().size() >= interval.truthy().size());
+        assert!(powerset.falsy().size() >= interval.falsy().size());
+        assert!(powerset.truthy().includes().len() <= 3);
+    }
+
+    #[test]
+    fn powerset_over_is_at_least_as_precise_as_the_interval() {
+        let query = nearby_query();
+        let mut synth = Synthesizer::with_config(test_config());
+        let interval = synth.synth_interval(&query, ApproxKind::Over).unwrap();
+        let powerset = synth.synth_powerset(&query, ApproxKind::Over, 3).unwrap();
+        check_over_soundness(&query, &powerset);
+        assert!(powerset.truthy().size() <= interval.truthy().size());
+        assert!(powerset.falsy().size() <= interval.falsy().size());
+    }
+
+    #[test]
+    fn box_shaped_queries_are_synthesized_exactly() {
+        let layout = loc_layout();
+        let pred = Pred::and(vec![
+            IntExpr::var(0).between(100, 150),
+            IntExpr::var(1).between(20, 380),
+        ]);
+        let query = QueryDef::new("box", layout, pred).unwrap();
+        let mut synth = Synthesizer::with_config(test_config());
+        for kind in ApproxKind::ALL {
+            let ind = synth.synth_interval(&query, kind).unwrap();
+            assert_eq!(ind.truthy().size(), 51 * 361, "kind {kind}");
+        }
+    }
+
+    #[test]
+    fn unsatisfiable_queries_produce_empty_true_sets() {
+        let query = QueryDef::new("never", loc_layout(), Pred::False).unwrap();
+        let mut synth = Synthesizer::with_config(test_config());
+        let under = synth.synth_interval(&query, ApproxKind::Under).unwrap();
+        assert!(under.truthy().is_empty());
+        assert_eq!(under.falsy().size(), 401 * 401);
+        let over = synth.synth_powerset(&query, ApproxKind::Over, 2).unwrap();
+        assert!(over.truthy().is_empty());
+        assert_eq!(over.falsy().size(), 401 * 401);
+    }
+
+    #[test]
+    fn point_wise_queries_benefit_from_powersets() {
+        // x ∈ {40, 140, 300}: three separate slabs. A single interval can only capture one; a
+        // powerset of 3 captures all of them (the §6.1 observation about point-wise queries).
+        let pred = IntExpr::var(0).one_of([40, 140, 300]);
+        let query = QueryDef::new("pointwise", loc_layout(), pred).unwrap();
+        let mut synth = Synthesizer::with_config(test_config());
+        let interval = synth.synth_interval(&query, ApproxKind::Under).unwrap();
+        assert_eq!(interval.truthy().size(), 401);
+        let powerset = synth.synth_powerset(&query, ApproxKind::Under, 3).unwrap();
+        assert_eq!(powerset.truthy().size(), 3 * 401);
+        check_under_soundness(&query, &powerset);
+    }
+
+    #[test]
+    fn greedy_strategy_is_never_more_precise_than_pareto_here() {
+        let query = nearby_query();
+        let mut pareto = Synthesizer::with_config(test_config());
+        let mut greedy = Synthesizer::with_config(
+            test_config().with_strategy(anosy_solver::ExpansionStrategy::Greedy),
+        );
+        let p = pareto.synth_interval(&query, ApproxKind::Under).unwrap();
+        let g = greedy.synth_interval(&query, ApproxKind::Under).unwrap();
+        assert!(p.truthy().size() >= g.truthy().size());
+    }
+
+    #[test]
+    fn sketch_is_derived_from_the_layout() {
+        let synth = Synthesizer::with_config(test_config());
+        let sketch = synth.sketch(&nearby_query());
+        assert_eq!(sketch.arity(), 2);
+        assert_eq!(sketch.unfilled_holes().len(), 4);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut synth = Synthesizer::with_config(test_config());
+        let _ = synth.synth_interval(&nearby_query(), ApproxKind::Under).unwrap();
+        assert!(synth.solver_stats().queries > 0);
+        assert_eq!(synth.seed_from(&[1, 2]), Point::new(vec![1, 2]));
+    }
+}

@@ -1,0 +1,324 @@
+//! The verifier: discharges refinement specifications with the solver.
+
+use crate::{ObligationOutcome, ObligationResult, RefinementSpec, VerificationReport};
+use anosy_domains::{laws, AbstractDomain};
+use anosy_logic::{Point, SecretLayout};
+use anosy_solver::{Solver, SolverConfig, SolverError, ValidityOutcome};
+use anosy_synth::{ApproxKind, IndSets, QueryDef};
+use std::time::Instant;
+
+/// Checks synthesized (or hand-written) knowledge approximations against their refinement
+/// specifications — the role Liquid Haskell plays in the paper's pipeline (§2.3, Step IV).
+#[derive(Debug)]
+pub struct Verifier {
+    solver: Solver,
+}
+
+impl Verifier {
+    /// Creates a verifier with the default solver budgets.
+    pub fn new() -> Self {
+        Verifier::with_config(SolverConfig::default())
+    }
+
+    /// Creates a verifier with explicit solver budgets.
+    pub fn with_config(config: SolverConfig) -> Self {
+        Verifier { solver: Solver::with_config(config) }
+    }
+
+    /// Discharges every obligation of a specification.
+    ///
+    /// Budget exhaustion on an individual obligation is recorded as
+    /// [`ObligationOutcome::Undecided`] rather than aborting the whole report, so a report always
+    /// covers every obligation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::ArityMismatch`] if an obligation mentions fields outside the
+    /// specification's layout (a malformed spec rather than a failed proof).
+    pub fn verify_spec(&mut self, spec: &RefinementSpec) -> Result<VerificationReport, SolverError> {
+        let started = Instant::now();
+        let space = spec.layout.space();
+        let mut results = Vec::with_capacity(spec.obligations.len());
+        for obligation in &spec.obligations {
+            let o_started = Instant::now();
+            let outcome = match self.solver.check_validity(&obligation.pred, &space) {
+                Ok(ValidityOutcome::Valid) => ObligationOutcome::Valid,
+                Ok(ValidityOutcome::CounterExample(p)) => ObligationOutcome::CounterExample(p),
+                Err(SolverError::BudgetExhausted { limit, explored }) => ObligationOutcome::Undecided(
+                    format!("solver {limit} budget exhausted after {explored} boxes"),
+                ),
+                Err(other) => return Err(other),
+            };
+            results.push(ObligationResult {
+                name: obligation.name.clone(),
+                outcome,
+                elapsed: o_started.elapsed(),
+            });
+        }
+        Ok(VerificationReport {
+            description: spec.description.clone(),
+            results,
+            elapsed: started.elapsed(),
+        })
+    }
+
+    /// Verifies the ind. sets of a query against the specification of Fig. 4.
+    ///
+    /// # Errors
+    ///
+    /// See [`Verifier::verify_spec`].
+    pub fn verify_indsets<D: AbstractDomain>(
+        &mut self,
+        query: &QueryDef,
+        indsets: &IndSets<D>,
+    ) -> Result<VerificationReport, SolverError> {
+        let spec = RefinementSpec::for_indsets(
+            format!("{} ind. sets ({})", query.name(), indsets.kind()),
+            query.layout().clone(),
+            query.pred(),
+            indsets.kind(),
+            indsets.truthy().to_pred(),
+            indsets.falsy().to_pred(),
+        );
+        self.verify_spec(&spec)
+    }
+
+    /// Verifies a posterior computation: given prior knowledge and the two posterior branches,
+    /// checks the strengthened specification of Fig. 4 (`underapprox` / `overapprox`).
+    ///
+    /// # Errors
+    ///
+    /// See [`Verifier::verify_spec`].
+    pub fn verify_posterior<D: AbstractDomain>(
+        &mut self,
+        query: &QueryDef,
+        kind: ApproxKind,
+        prior: &D,
+        posterior_true: &D,
+        posterior_false: &D,
+    ) -> Result<VerificationReport, SolverError> {
+        let spec = RefinementSpec::for_posterior(
+            format!("{} posterior ({kind})", query.name()),
+            query.layout().clone(),
+            query.pred(),
+            kind,
+            prior.to_pred(),
+            posterior_true.to_pred(),
+            posterior_false.to_pred(),
+        );
+        self.verify_spec(&spec)
+    }
+
+    /// Re-checks the `AbstractDomain` class laws (Fig. 3) on concrete elements, sampling
+    /// membership at the corners and centres of the elements' bounding boxes plus the space
+    /// corners. Cheap and deterministic; the domains' own property-based suites provide the
+    /// randomized coverage.
+    pub fn verify_domain_laws<D: AbstractDomain>(
+        &mut self,
+        layout: &SecretLayout,
+        elements: &[D],
+    ) -> VerificationReport {
+        let started = Instant::now();
+        let samples = law_sample_points(layout, elements);
+        let violations = laws::check_all_laws(elements, &samples);
+        let results = if violations.is_empty() {
+            vec![ObligationResult {
+                name: format!(
+                    "class laws on {} elements × {} samples",
+                    elements.len(),
+                    samples.len()
+                ),
+                outcome: ObligationOutcome::Valid,
+                elapsed: started.elapsed(),
+            }]
+        } else {
+            violations
+                .into_iter()
+                .map(|v| ObligationResult {
+                    name: v.law.to_string(),
+                    outcome: ObligationOutcome::Undecided(v.detail),
+                    elapsed: started.elapsed(),
+                })
+                .collect()
+        };
+        VerificationReport {
+            description: "AbstractDomain class laws".into(),
+            results,
+            elapsed: started.elapsed(),
+        }
+    }
+}
+
+impl Default for Verifier {
+    fn default() -> Self {
+        Verifier::new()
+    }
+}
+
+/// Sample points for law checking: space corners, element bounding-box corners and centres.
+fn law_sample_points<D: AbstractDomain>(layout: &SecretLayout, elements: &[D]) -> Vec<Point> {
+    let mut boxes = vec![layout.space()];
+    boxes.extend(elements.iter().filter_map(|d| d.bounding_box()));
+    let mut points = Vec::new();
+    for b in boxes {
+        // Corners (2^n, capped by skipping when arity is large) and the centre.
+        let arity = b.arity();
+        if arity <= 12 {
+            for mask in 0..(1u32 << arity.min(12)) {
+                let p: Point = (0..arity)
+                    .map(|d| {
+                        if mask & (1 << d) == 0 {
+                            b.dim(d).lo()
+                        } else {
+                            b.dim(d).hi()
+                        }
+                    })
+                    .collect();
+                points.push(p);
+            }
+        }
+        let centre: Point = (0..arity)
+            .map(|d| {
+                let r = b.dim(d);
+                r.lo() + ((r.hi() as i128 - r.lo() as i128) / 2) as i64
+            })
+            .collect();
+        points.push(centre);
+    }
+    points.sort();
+    points.dedup();
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anosy_domains::{AInt, IntervalDomain, PowersetDomain};
+    use anosy_logic::IntExpr;
+    use anosy_synth::{SynthConfig, Synthesizer};
+
+    fn loc_layout() -> SecretLayout {
+        SecretLayout::builder().field("x", 0, 400).field("y", 0, 400).build()
+    }
+
+    fn nearby_query() -> QueryDef {
+        let nearby = ((IntExpr::var(0) - 200).abs() + (IntExpr::var(1) - 200).abs()).le(100);
+        QueryDef::new("nearby_200_200", loc_layout(), nearby).unwrap()
+    }
+
+    fn verifier() -> Verifier {
+        Verifier::with_config(SolverConfig::for_tests())
+    }
+
+    #[test]
+    fn the_papers_hand_written_indsets_verify() {
+        // §2.2's under_indset for nearby (200,200).
+        let indsets = IndSets::new(
+            ApproxKind::Under,
+            IntervalDomain::from_intervals(vec![AInt::new(121, 279), AInt::new(179, 221)]),
+            IntervalDomain::from_intervals(vec![AInt::new(0, 400), AInt::new(0, 99)]),
+        );
+        let report = verifier().verify_indsets(&nearby_query(), &indsets).unwrap();
+        assert!(report.is_verified(), "{report}");
+        assert_eq!(report.results.len(), 2);
+    }
+
+    #[test]
+    fn broken_indsets_produce_counterexamples() {
+        // Stretch the True set one unit too far: (120, 179) is 81 + 21 = 102 > 100 away.
+        let indsets = IndSets::new(
+            ApproxKind::Under,
+            IntervalDomain::from_intervals(vec![AInt::new(120, 279), AInt::new(179, 221)]),
+            IntervalDomain::from_intervals(vec![AInt::new(0, 400), AInt::new(0, 99)]),
+        );
+        let report = verifier().verify_indsets(&nearby_query(), &indsets).unwrap();
+        assert!(!report.is_verified());
+        let cexs = report.counterexamples();
+        assert_eq!(cexs.len(), 1);
+        assert!(!nearby_query().ask(cexs[0].1));
+    }
+
+    #[test]
+    fn synthesized_approximations_verify_for_all_kinds_and_domains() {
+        let query = nearby_query();
+        let mut synth = Synthesizer::with_config(SynthConfig::new().with_solver(SolverConfig::for_tests()));
+        let mut verifier = verifier();
+        for kind in ApproxKind::ALL {
+            let interval = synth.synth_interval(&query, kind).unwrap();
+            assert!(verifier.verify_indsets(&query, &interval).unwrap().is_verified());
+            let powerset = synth.synth_powerset(&query, kind, 3).unwrap();
+            assert!(verifier.verify_indsets(&query, &powerset).unwrap().is_verified());
+        }
+    }
+
+    #[test]
+    fn posterior_specification_is_checked() {
+        let query = nearby_query();
+        let mut synth = Synthesizer::with_config(SynthConfig::new().with_solver(SolverConfig::for_tests()));
+        let ind = synth.synth_interval(&query, ApproxKind::Under).unwrap();
+        let prior = IntervalDomain::from_intervals(vec![AInt::new(100, 200), AInt::new(100, 300)]);
+        let (post_t, post_f) = ind.posterior(&prior);
+        let report = verifier()
+            .verify_posterior(&query, ApproxKind::Under, &prior, &post_t, &post_f)
+            .unwrap();
+        assert!(report.is_verified(), "{report}");
+        // A posterior that "forgets" the prior violates the spec: the raw True ind. set
+        // (x ∈ [150, 250]) sticks out of this prior (x ≤ 200).
+        let bogus = verifier()
+            .verify_posterior(&query, ApproxKind::Under, &prior, ind.truthy(), &post_f)
+            .unwrap();
+        assert!(!bogus.is_verified());
+    }
+
+    #[test]
+    fn over_approximation_failures_are_caught() {
+        // An over-approximation that misses part of the diamond.
+        let indsets = IndSets::new(
+            ApproxKind::Over,
+            IntervalDomain::from_intervals(vec![AInt::new(150, 250), AInt::new(150, 250)]),
+            IntervalDomain::top(&loc_layout()),
+        );
+        let report = verifier().verify_indsets(&nearby_query(), &indsets).unwrap();
+        assert!(!report.is_verified());
+    }
+
+    #[test]
+    fn class_laws_are_rechecked_on_concrete_elements() {
+        let l = loc_layout();
+        let elements = vec![
+            PowersetDomain::top(&l),
+            PowersetDomain::bottom(&l),
+            PowersetDomain::from_interval(IntervalDomain::from_intervals(vec![
+                AInt::new(121, 279),
+                AInt::new(179, 221),
+            ])),
+        ];
+        let report = verifier().verify_domain_laws(&l, &elements);
+        assert!(report.is_verified(), "{report}");
+    }
+
+    #[test]
+    fn malformed_specs_surface_as_errors() {
+        let spec = RefinementSpec {
+            description: "bad".into(),
+            layout: SecretLayout::builder().field("x", 0, 1).build(),
+            obligations: vec![crate::Obligation::new("oops", IntExpr::var(5).le(0))],
+        };
+        let err = verifier().verify_spec(&spec).unwrap_err();
+        assert!(matches!(err, SolverError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported_as_undecided() {
+        let mut tight = Verifier::with_config(SolverConfig::new().with_max_nodes(0));
+        let query = nearby_query();
+        let indsets = IndSets::new(
+            ApproxKind::Under,
+            IntervalDomain::from_intervals(vec![AInt::new(121, 279), AInt::new(179, 221)]),
+            IntervalDomain::from_intervals(vec![AInt::new(0, 400), AInt::new(0, 99)]),
+        );
+        let report = tight.verify_indsets(&query, &indsets).unwrap();
+        assert!(!report.is_verified());
+        assert!(!report.undecided().is_empty());
+    }
+}

@@ -1,0 +1,48 @@
+//! Machine-checking of knowledge approximations — the Liquid Haskell stand-in.
+//!
+//! In the paper, every synthesized ind. set and posterior function carries a refinement type
+//! (Fig. 4) whose proof obligations Liquid Haskell discharges with an SMT solver. This crate
+//! plays that role for ANOSY-RS: a [`RefinementSpec`] is the executable form of those refinement
+//! types, and a [`Verifier`] discharges each obligation with the `anosy-solver` decision
+//! procedures, producing a [`VerificationReport`] with per-obligation outcomes, counterexamples
+//! and timings (the *Verif. time* column of Fig. 5).
+//!
+//! The checks are:
+//!
+//! * **ind. set specs** — under-approximation: every secret in the `true` (resp. `false`) set
+//!   satisfies (resp. falsifies) the query; over-approximation: every satisfying (resp.
+//!   falsifying) secret is in the `true` (resp. `false`) set;
+//! * **posterior specs** — the posterior additionally stays inside (under) or outside of nothing
+//!   but (over) the prior, mirroring Fig. 4's strengthened indexes;
+//! * **class laws** — the `AbstractDomain` laws of Fig. 3, re-checked on the concrete elements
+//!   involved.
+//!
+//! # Example
+//!
+//! ```
+//! use anosy_logic::{IntExpr, SecretLayout};
+//! use anosy_synth::{ApproxKind, QueryDef, Synthesizer};
+//! use anosy_verify::Verifier;
+//!
+//! let layout = SecretLayout::builder().field("x", 0, 400).field("y", 0, 400).build();
+//! let nearby = ((IntExpr::var(0) - 200).abs() + (IntExpr::var(1) - 200).abs()).le(100);
+//! let query = QueryDef::new("nearby", layout, nearby).unwrap();
+//!
+//! let mut synth = Synthesizer::new();
+//! let ind = synth.synth_interval(&query, ApproxKind::Under).unwrap();
+//!
+//! let mut verifier = Verifier::new();
+//! let report = verifier.verify_indsets(&query, &ind).unwrap();
+//! assert!(report.is_verified());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod checker;
+mod report;
+mod spec;
+
+pub use checker::Verifier;
+pub use report::{ObligationOutcome, ObligationResult, VerificationReport};
+pub use spec::{Obligation, RefinementSpec};

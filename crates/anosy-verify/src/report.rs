@@ -1,0 +1,155 @@
+//! Verification reports.
+
+use anosy_logic::Point;
+use std::fmt;
+use std::time::Duration;
+
+/// The outcome of discharging a single obligation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObligationOutcome {
+    /// The obligation holds for every secret.
+    Valid,
+    /// The obligation fails at this secret.
+    CounterExample(Point),
+    /// The obligation could not be decided (budget exhausted or malformed input).
+    Undecided(String),
+}
+
+impl ObligationOutcome {
+    /// `true` only for [`ObligationOutcome::Valid`].
+    pub fn is_valid(&self) -> bool {
+        matches!(self, ObligationOutcome::Valid)
+    }
+}
+
+/// The result of one obligation, with timing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObligationResult {
+    /// The obligation's name.
+    pub name: String,
+    /// What happened.
+    pub outcome: ObligationOutcome,
+    /// Time spent discharging the obligation.
+    pub elapsed: Duration,
+}
+
+/// The result of verifying one refinement specification.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct VerificationReport {
+    /// What was verified (mirrors [`crate::RefinementSpec::description`]).
+    pub description: String,
+    /// Per-obligation results.
+    pub results: Vec<ObligationResult>,
+    /// Total wall-clock time (the *Verif. time* of Fig. 5).
+    pub elapsed: Duration,
+}
+
+impl VerificationReport {
+    /// `true` when every obligation is valid.
+    pub fn is_verified(&self) -> bool {
+        !self.results.is_empty() && self.results.iter().all(|r| r.outcome.is_valid())
+    }
+
+    /// Counterexamples of failed obligations, with the obligation names.
+    pub fn counterexamples(&self) -> Vec<(&str, &Point)> {
+        self.results
+            .iter()
+            .filter_map(|r| match &r.outcome {
+                ObligationOutcome::CounterExample(p) => Some((r.name.as_str(), p)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Names of obligations that could not be decided.
+    pub fn undecided(&self) -> Vec<&str> {
+        self.results
+            .iter()
+            .filter(|r| matches!(r.outcome, ObligationOutcome::Undecided(_)))
+            .map(|r| r.name.as_str())
+            .collect()
+    }
+}
+
+impl fmt::Display for VerificationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: {} ({} obligations, {:.3}s)",
+            self.description,
+            if self.is_verified() { "VERIFIED" } else { "NOT VERIFIED" },
+            self.results.len(),
+            self.elapsed.as_secs_f64()
+        )?;
+        for r in &self.results {
+            let status = match &r.outcome {
+                ObligationOutcome::Valid => "ok".to_string(),
+                ObligationOutcome::CounterExample(p) => format!("counterexample {p}"),
+                ObligationOutcome::Undecided(why) => format!("undecided ({why})"),
+            };
+            writeln!(f, "  - {}: {status}", r.name)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok(name: &str) -> ObligationResult {
+        ObligationResult {
+            name: name.into(),
+            outcome: ObligationOutcome::Valid,
+            elapsed: Duration::from_millis(1),
+        }
+    }
+
+    #[test]
+    fn empty_report_is_not_verified() {
+        assert!(!VerificationReport::default().is_verified());
+    }
+
+    #[test]
+    fn verified_requires_all_obligations_valid() {
+        let mut report = VerificationReport {
+            description: "demo".into(),
+            results: vec![ok("a"), ok("b")],
+            elapsed: Duration::from_millis(2),
+        };
+        assert!(report.is_verified());
+        report.results.push(ObligationResult {
+            name: "c".into(),
+            outcome: ObligationOutcome::CounterExample(Point::new(vec![3])),
+            elapsed: Duration::ZERO,
+        });
+        assert!(!report.is_verified());
+        assert_eq!(report.counterexamples().len(), 1);
+        assert_eq!(report.counterexamples()[0].0, "c");
+        report.results.push(ObligationResult {
+            name: "d".into(),
+            outcome: ObligationOutcome::Undecided("budget".into()),
+            elapsed: Duration::ZERO,
+        });
+        assert_eq!(report.undecided(), vec!["d"]);
+    }
+
+    #[test]
+    fn display_mentions_status_and_counterexamples() {
+        let report = VerificationReport {
+            description: "demo".into(),
+            results: vec![
+                ok("a"),
+                ObligationResult {
+                    name: "bad".into(),
+                    outcome: ObligationOutcome::CounterExample(Point::new(vec![1, 2])),
+                    elapsed: Duration::ZERO,
+                },
+            ],
+            elapsed: Duration::from_millis(3),
+        };
+        let text = report.to_string();
+        assert!(text.contains("NOT VERIFIED"));
+        assert!(text.contains("counterexample (1, 2)"));
+    }
+}

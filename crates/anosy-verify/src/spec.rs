@@ -1,0 +1,184 @@
+//! Refinement specifications: the executable form of the paper's refinement types (Fig. 4).
+
+use anosy_logic::{Pred, SecretLayout};
+use anosy_synth::ApproxKind;
+use std::fmt;
+
+/// A single proof obligation: `pred` must hold for **every** secret of the layout's space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Obligation {
+    /// Human-readable name, e.g. `"under/true: dom ⇒ query"`.
+    pub name: String,
+    /// The universally-quantified predicate to discharge.
+    pub pred: Pred,
+}
+
+impl Obligation {
+    /// Creates an obligation.
+    pub fn new(name: impl Into<String>, pred: Pred) -> Self {
+        Obligation { name: name.into(), pred }
+    }
+}
+
+impl fmt::Display for Obligation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "∀ s ∈ space. {}   [{}]", self.pred, self.name)
+    }
+}
+
+/// A bundle of obligations with a description, corresponding to one refinement-typed definition
+/// of the paper (an ind. set pair, a posterior function, ...).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefinementSpec {
+    /// What is being specified (for reports).
+    pub description: String,
+    /// The secret layout over which the obligations are quantified.
+    pub layout: SecretLayout,
+    /// The obligations to discharge.
+    pub obligations: Vec<Obligation>,
+}
+
+impl RefinementSpec {
+    /// The specification of a query's ind. sets (Fig. 4, `under_indset` / `over_indset`).
+    ///
+    /// `truthy` and `falsy` are the membership predicates of the candidate abstract-domain
+    /// elements (from [`anosy_domains::AbstractDomain::to_pred`]).
+    pub fn for_indsets(
+        description: impl Into<String>,
+        layout: SecretLayout,
+        query: &Pred,
+        kind: ApproxKind,
+        truthy: Pred,
+        falsy: Pred,
+    ) -> Self {
+        let not_query = query.clone().negate();
+        let obligations = match kind {
+            ApproxKind::Under => vec![
+                Obligation::new("under/true: dom ⇒ query", truthy.implies(query.clone())),
+                Obligation::new("under/false: dom ⇒ ¬query", falsy.implies(not_query)),
+            ],
+            ApproxKind::Over => vec![
+                Obligation::new("over/true: query ⇒ dom", query.clone().implies(truthy)),
+                Obligation::new("over/false: ¬query ⇒ dom", not_query.implies(falsy)),
+            ],
+        };
+        RefinementSpec { description: description.into(), layout, obligations }
+    }
+
+    /// The specification of a posterior computation (Fig. 4, `underapprox` / `overapprox`): the
+    /// ind. set obligations strengthened with the prior.
+    pub fn for_posterior(
+        description: impl Into<String>,
+        layout: SecretLayout,
+        query: &Pred,
+        kind: ApproxKind,
+        prior: Pred,
+        posterior_true: Pred,
+        posterior_false: Pred,
+    ) -> Self {
+        let not_query = query.clone().negate();
+        let in_true = Pred::and(vec![query.clone(), prior.clone()]);
+        let in_false = Pred::and(vec![not_query, prior]);
+        let obligations = match kind {
+            ApproxKind::Under => vec![
+                Obligation::new(
+                    "under/true: post ⇒ query ∧ prior",
+                    posterior_true.implies(in_true),
+                ),
+                Obligation::new(
+                    "under/false: post ⇒ ¬query ∧ prior",
+                    posterior_false.implies(in_false),
+                ),
+            ],
+            ApproxKind::Over => vec![
+                Obligation::new(
+                    "over/true: query ∧ prior ⇒ post",
+                    in_true.implies(posterior_true),
+                ),
+                Obligation::new(
+                    "over/false: ¬query ∧ prior ⇒ post",
+                    in_false.implies(posterior_false),
+                ),
+            ],
+        };
+        RefinementSpec { description: description.into(), layout, obligations }
+    }
+}
+
+impl fmt::Display for RefinementSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} ({} obligations):", self.description, self.obligations.len())?;
+        for o in &self.obligations {
+            writeln!(f, "  {o}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anosy_logic::IntExpr;
+
+    fn layout() -> SecretLayout {
+        SecretLayout::builder().field("x", 0, 10).build()
+    }
+
+    #[test]
+    fn indset_spec_shapes() {
+        let q = IntExpr::var(0).le(5);
+        let under = RefinementSpec::for_indsets(
+            "q ind. sets",
+            layout(),
+            &q,
+            ApproxKind::Under,
+            IntExpr::var(0).le(3),
+            IntExpr::var(0).ge(6),
+        );
+        assert_eq!(under.obligations.len(), 2);
+        assert!(under.obligations[0].name.contains("under/true"));
+        let over = RefinementSpec::for_indsets(
+            "q ind. sets",
+            layout(),
+            &q,
+            ApproxKind::Over,
+            IntExpr::var(0).le(5),
+            IntExpr::var(0).ge(6),
+        );
+        assert!(over.obligations[0].name.contains("over/true"));
+    }
+
+    #[test]
+    fn posterior_spec_mentions_the_prior() {
+        let q = IntExpr::var(0).le(5);
+        let spec = RefinementSpec::for_posterior(
+            "posterior",
+            layout(),
+            &q,
+            ApproxKind::Under,
+            IntExpr::var(0).ge(2),
+            IntExpr::var(0).between(2, 5),
+            IntExpr::var(0).ge(6),
+        );
+        assert_eq!(spec.obligations.len(), 2);
+        for o in &spec.obligations {
+            assert!(o.pred.node_count() > 3);
+        }
+    }
+
+    #[test]
+    fn display_lists_obligations() {
+        let q = IntExpr::var(0).le(5);
+        let spec = RefinementSpec::for_indsets(
+            "demo",
+            layout(),
+            &q,
+            ApproxKind::Under,
+            Pred::False,
+            Pred::False,
+        );
+        let text = spec.to_string();
+        assert!(text.contains("demo"));
+        assert!(text.contains("∀ s ∈ space"));
+    }
+}

@@ -1,0 +1,62 @@
+//! Ablation: Pareto (uniform-inflation) expansion vs greedy per-face expansion for
+//! under-approximation synthesis (DESIGN.md §5).
+//!
+//! The paper relies on Z3's Pareto combination of `maximize` objectives so that "no single
+//! optimization objective dominates the solution"; this ablation quantifies what that buys by
+//! comparing the precision (printed once) and the cost (measured) of the two strategies.
+
+use anosy::prelude::*;
+use anosy::suite::benchmarks::all_benchmarks;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn config_for(strategy: ExpansionStrategy) -> SynthConfig {
+    SynthConfig::default().with_strategy(strategy)
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    // Precision comparison, printed once.
+    eprintln!("\nAblation — under-approximate True ind. set size, Pareto vs greedy expansion");
+    for b in all_benchmarks() {
+        let mut pareto = Synthesizer::with_config(config_for(ExpansionStrategy::Pareto));
+        let mut greedy = Synthesizer::with_config(config_for(ExpansionStrategy::Greedy));
+        let p = pareto.synth_interval(&b.query, ApproxKind::Under).expect("synthesis succeeds");
+        let g = greedy.synth_interval(&b.query, ApproxKind::Under).expect("synthesis succeeds");
+        eprintln!(
+            "  {:<3} pareto {:>14}  greedy {:>14}  (ratio {:.2}x)",
+            b.id.short(),
+            bench::fmt_size(p.truthy().size()),
+            bench::fmt_size(g.truthy().size()),
+            if g.truthy().size() > 0 {
+                p.truthy().size() as f64 / g.truthy().size() as f64
+            } else {
+                f64::INFINITY
+            }
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation_expansion_strategy");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for b in all_benchmarks() {
+        for (name, strategy) in
+            [("pareto", ExpansionStrategy::Pareto), ("greedy", ExpansionStrategy::Greedy)]
+        {
+            group.bench_function(format!("{}/{name}", b.id.short()), |bencher| {
+                bencher.iter(|| {
+                    let mut synth = Synthesizer::with_config(config_for(strategy));
+                    black_box(
+                        synth
+                            .synth_interval(&b.query, ApproxKind::Under)
+                            .expect("synthesis succeeds"),
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

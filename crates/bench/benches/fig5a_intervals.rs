@@ -1,0 +1,56 @@
+//! Figure 5a — synthesis and verification cost per benchmark for the interval abstract domain.
+//!
+//! Reported as two Criterion groups (`fig5a_synth`, `fig5a_verify`), one benchmark id × direction
+//! each, mirroring the *Synth. time* and *Verif. time* columns of the paper's Figure 5a.
+
+use anosy::prelude::*;
+use anosy::suite::benchmarks::all_benchmarks;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn config() -> SynthConfig {
+    SynthConfig::default()
+}
+
+fn bench_fig5a(c: &mut Criterion) {
+    // Regenerate the figure's rows once so the bench log contains the sizes and % differences.
+    let rows = bench::fig5(bench::Fig5Domain::Intervals, &config());
+    eprintln!("\nFigure 5a — interval abstract domain{}", bench::render_fig5(&rows));
+
+    let mut synth_group = c.benchmark_group("fig5a_synth");
+    synth_group.sample_size(10);
+    synth_group.measurement_time(std::time::Duration::from_secs(1));
+    synth_group.warm_up_time(std::time::Duration::from_millis(300));
+    for b in all_benchmarks() {
+        for kind in ApproxKind::ALL {
+            synth_group.bench_function(format!("{}/{kind}", b.id.short()), |bencher| {
+                bencher.iter(|| {
+                    let mut synth = Synthesizer::with_config(config());
+                    black_box(synth.synth_interval(&b.query, kind).expect("synthesis succeeds"))
+                })
+            });
+        }
+    }
+    synth_group.finish();
+
+    let mut verify_group = c.benchmark_group("fig5a_verify");
+    verify_group.sample_size(10);
+    verify_group.measurement_time(std::time::Duration::from_secs(1));
+    verify_group.warm_up_time(std::time::Duration::from_millis(300));
+    for b in all_benchmarks() {
+        for kind in ApproxKind::ALL {
+            let mut synth = Synthesizer::with_config(config());
+            let ind = synth.synth_interval(&b.query, kind).expect("synthesis succeeds");
+            verify_group.bench_function(format!("{}/{kind}", b.id.short()), |bencher| {
+                bencher.iter(|| {
+                    let mut verifier = Verifier::new();
+                    black_box(verifier.verify_indsets(&b.query, &ind).expect("verification runs"))
+                })
+            });
+        }
+    }
+    verify_group.finish();
+}
+
+criterion_group!(benches, bench_fig5a);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Figure 5b — synthesis and verification cost per benchmark for powersets of intervals (k = 3),
+//! plus a small sweep over k showing the precision/cost trade-off of `IterSynth`.
+
+use anosy::prelude::*;
+use anosy::suite::benchmarks::{all_benchmarks, birthday};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn config() -> SynthConfig {
+    SynthConfig::default()
+}
+
+fn bench_fig5b(c: &mut Criterion) {
+    let rows = bench::fig5(bench::Fig5Domain::Powersets(3), &config());
+    eprintln!(
+        "\nFigure 5b — powerset of intervals with size 3{}",
+        bench::render_fig5(&rows)
+    );
+
+    let mut group = c.benchmark_group("fig5b_powerset3_synth");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for b in all_benchmarks() {
+        for kind in ApproxKind::ALL {
+            group.bench_function(format!("{}/{kind}", b.id.short()), |bencher| {
+                bencher.iter(|| {
+                    let mut synth = Synthesizer::with_config(config());
+                    black_box(
+                        synth.synth_powerset(&b.query, kind, 3).expect("synthesis succeeds"),
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+
+    // IterSynth scaling in k on the Birthday benchmark (the §5.4 cost/precision trade-off).
+    let mut sweep = c.benchmark_group("fig5b_itersynth_k_sweep");
+    sweep.sample_size(10);
+    sweep.measurement_time(std::time::Duration::from_secs(1));
+    sweep.warm_up_time(std::time::Duration::from_millis(300));
+    let b = birthday();
+    for k in [1usize, 2, 3, 5] {
+        sweep.bench_function(format!("B1/under/k{k}"), |bencher| {
+            bencher.iter(|| {
+                let mut synth = Synthesizer::with_config(config());
+                black_box(
+                    synth
+                        .synth_powerset(&b.query, ApproxKind::Under, k)
+                        .expect("synthesis succeeds"),
+                )
+            })
+        });
+    }
+    sweep.finish();
+}
+
+criterion_group!(benches, bench_fig5b);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Table 1 — cost of computing the exact ind. set sizes (model counting) per benchmark.
+//!
+//! The paper does not time this step (it is its ground truth), but it bounds everything else:
+//! posterior computation at runtime must be far cheaper than exact counting for ANOSY's "one-time
+//! synthesis, free posteriors" claim to pay off.
+
+use anosy::prelude::*;
+use anosy::suite::benchmarks::all_benchmarks;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_ground_truth(c: &mut Criterion) {
+    // Print the regenerated table once so the bench log doubles as the Table 1 report.
+    let mut solver = Solver::new();
+    let rows = bench::table1(&mut solver);
+    eprintln!("\n{}", bench::render_table1(&rows));
+
+    let mut group = c.benchmark_group("table1_ground_truth");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for b in all_benchmarks() {
+        group.bench_function(b.id.short(), |bencher| {
+            bencher.iter(|| {
+                let mut solver = Solver::new();
+                black_box(b.ground_truth(&mut solver).expect("counting fits the budget"))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ground_truth);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Regenerates the §6.1 precision comparison against the abstract-interpretation baseline
+//! (the stand-in for Prob).
+
+use anosy::prelude::*;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = if quick { bench::quick_synth_config() } else { SynthConfig::default() };
+    println!("§6.1 — precision of the True posterior from the full-space prior\n");
+    println!(
+        "{:<10} {:>15} {:>15} {:>15} {:>15}  {:>10} {:>10}",
+        "query", "exact", "baseline", "anosy-over", "anosy-under", "base err", "anosy err"
+    );
+    for c in bench::baseline_comparison(&config) {
+        println!(
+            "{:<10} {:>15} {:>15} {:>15} {:>15}  {:>9.1}% {:>9.1}%",
+            c.query,
+            bench::fmt_size(c.exact_true),
+            bench::fmt_size(c.baseline_true),
+            bench::fmt_size(c.anosy_over_true),
+            bench::fmt_size(c.anosy_under_true),
+            100.0 * c.baseline_error(),
+            100.0 * c.anosy_error(),
+        );
+    }
+}

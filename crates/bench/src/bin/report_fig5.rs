@@ -1,0 +1,41 @@
+//! Regenerates Figure 5: synthesized ind. set sizes, % difference from ground truth, and
+//! verification/synthesis times.
+//!
+//! Usage: `report_fig5 [intervals|powerset<k>] [--quick]`
+//! Defaults to both `intervals` (Fig. 5a) and `powerset3` (Fig. 5b).
+
+use anosy::prelude::*;
+use bench::{fig5, render_fig5, Fig5Domain};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let config = if quick { bench::quick_synth_config() } else { SynthConfig::default() };
+
+    let mut domains = Vec::new();
+    for a in args.iter().filter(|a| *a != "--quick") {
+        if a == "intervals" {
+            domains.push(Fig5Domain::Intervals);
+        } else if let Some(k) = a.strip_prefix("powerset").and_then(|k| k.parse::<usize>().ok()) {
+            domains.push(Fig5Domain::Powersets(k));
+        } else {
+            eprintln!("unknown argument `{a}` (expected `intervals`, `powerset<k>` or `--quick`)");
+            std::process::exit(2);
+        }
+    }
+    if domains.is_empty() {
+        domains = vec![Fig5Domain::Intervals, Fig5Domain::Powersets(3)];
+    }
+
+    for domain in domains {
+        let title = match domain {
+            Fig5Domain::Intervals => "Figure 5a — interval abstract domain".to_string(),
+            Fig5Domain::Powersets(k) => {
+                format!("Figure 5b — powerset of intervals with size {k}")
+            }
+        };
+        println!("\n{title}");
+        let rows = fig5(domain, &config);
+        print!("{}", render_fig5(&rows));
+    }
+}

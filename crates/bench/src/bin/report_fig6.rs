@@ -1,0 +1,29 @@
+//! Regenerates Figure 6: the secure-advertising survivor curves.
+//!
+//! Usage: `report_fig6 [--quick]`. The default runs the paper's configuration (50 queries,
+//! 20 runs, k ∈ {1, 3, 5, 7, 10}); `--quick` runs a scaled-down configuration suitable for smoke
+//! tests.
+
+use anosy::suite::{run_advertising, AdvertisingConfig};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = if quick {
+        let mut c = AdvertisingConfig::quick();
+        c.synth = bench::quick_synth_config();
+        c
+    } else {
+        AdvertisingConfig::paper()
+    };
+    println!(
+        "Figure 6 — secure advertising: {} queries, {} runs, policy size > {}, k = {:?}\n",
+        config.num_queries, config.runs, config.policy_min_size, config.powerset_sizes
+    );
+    match run_advertising(&config) {
+        Ok(outcomes) => print!("{}", bench::render_fig6(&outcomes, config.num_queries)),
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! Regenerates Table 1: the exact ind. set sizes of the five Mardziel et al. benchmarks.
+
+use anosy::prelude::*;
+
+fn main() {
+    let mut solver = Solver::new();
+    let rows = bench::table1(&mut solver);
+    println!("Table 1 — ground-truth ind. set sizes (true / false)\n");
+    print!("{}", bench::render_table1(&rows));
+    println!("\nsolver effort: {}", solver.stats());
+}

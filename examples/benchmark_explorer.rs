@@ -1,0 +1,49 @@
+//! Benchmark explorer: runs the synthesis + verification pipeline on the Mardziel et al.
+//! benchmarks (B1–B5) and prints Table-1-style ground truth next to the synthesized
+//! approximations, for both the interval and the powerset domain.
+//!
+//! Run with: `cargo run --release -p anosy --example benchmark_explorer [k]`
+//! where the optional `k` is the powerset size (default 3).
+
+use anosy::prelude::*;
+use anosy::suite::benchmarks::all_benchmarks;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let k: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(3);
+    let mut solver = Solver::new();
+    let mut synthesizer = Synthesizer::new();
+    let mut verifier = Verifier::new();
+
+    for benchmark in all_benchmarks() {
+        let (exact_true, exact_false) = benchmark.ground_truth(&mut solver)?;
+        println!("\n{} — {}", benchmark.id, benchmark.description);
+        println!(
+            "  secret: {} fields, {} possible values",
+            benchmark.field_count(),
+            benchmark.query.layout().space_size()
+        );
+        println!("  exact ind. sets: {exact_true} true / {exact_false} false");
+
+        for kind in ApproxKind::ALL {
+            let interval = synthesizer.synth_interval(&benchmark.query, kind)?;
+            let interval_ok = verifier.verify_indsets(&benchmark.query, &interval)?.is_verified();
+            let powerset = synthesizer.synth_powerset(&benchmark.query, kind, k)?;
+            let powerset_ok = verifier.verify_indsets(&benchmark.query, &powerset)?.is_verified();
+            println!(
+                "  {kind:>5}-approx  interval: {:>13} / {:<13} ({})",
+                interval.truthy().size(),
+                interval.falsy().size(),
+                if interval_ok { "verified" } else { "VERIFICATION FAILED" }
+            );
+            println!(
+                "               powerset{k}: {:>12} / {:<13} ({})",
+                powerset.truthy().size(),
+                powerset.falsy().size(),
+                if powerset_ok { "verified" } else { "VERIFICATION FAILED" }
+            );
+        }
+    }
+
+    println!("\nsolver effort so far: {}", synthesizer.solver_stats());
+    Ok(())
+}

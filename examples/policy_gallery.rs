@@ -1,0 +1,109 @@
+//! Policy gallery: the same query history evaluated under different quantitative policies, plus
+//! a k-ary (multi-output) query and the LIO-staged downgrade.
+//!
+//! Run with: `cargo run --release -p anosy --example policy_gallery`
+
+use anosy::core::{FnPolicy, KaryIndSets, KaryQuery};
+use anosy::prelude::*;
+
+fn build_session(
+    synthesizer: &mut Synthesizer,
+    layout: &SecretLayout,
+    policy: impl Policy<PowersetDomain> + 'static,
+) -> Result<AnosySession<PowersetDomain>, AnosyError> {
+    let mut session = AnosySession::new(layout.clone(), policy);
+    let nearby = |x: i64, y: i64| {
+        ((IntExpr::var(0) - x).abs() + (IntExpr::var(1) - y).abs()).le(100)
+    };
+    for (x, y) in [(200, 200), (300, 200), (400, 200), (150, 320)] {
+        let query = QueryDef::new(format!("nearby_{x}_{y}"), layout.clone(), nearby(x, y))?;
+        session.register_synthesized(synthesizer, &query, ApproxKind::Under, Some(3))?;
+    }
+    Ok(session)
+}
+
+fn run_history(session: &mut AnosySession<PowersetDomain>, secret: &Protected<Point>) -> usize {
+    let names: Vec<String> = session.registered_queries().iter().map(|s| s.to_string()).collect();
+    let mut authorized = 0;
+    for name in names {
+        match session.downgrade(secret, &name) {
+            Ok(_) => authorized += 1,
+            Err(_) => break,
+        }
+    }
+    authorized
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let layout = SecretLayout::builder().field("x", 0, 400).field("y", 0, 400).build();
+    let secret = Protected::new(Point::new(vec![300, 200]));
+    let mut synthesizer = Synthesizer::new();
+
+    println!("same query history, different quantitative policies:");
+    let policies: Vec<(&str, Box<dyn Fn(&mut Synthesizer) -> Result<AnosySession<PowersetDomain>, AnosyError>>)> = vec![
+        (
+            "size > 100 (the paper's qpolicy)",
+            Box::new(|s: &mut Synthesizer| {
+                build_session(s, &SecretLayout::builder().field("x", 0, 400).field("y", 0, 400).build(), MinSizePolicy::new(100))
+            }),
+        ),
+        (
+            "residual entropy > 12 bits",
+            Box::new(|s: &mut Synthesizer| {
+                build_session(s, &SecretLayout::builder().field("x", 0, 400).field("y", 0, 400).build(), MinEntropyPolicy::new(12.0))
+            }),
+        ),
+        (
+            "custom: Bayes vulnerability < 1%",
+            Box::new(|s: &mut Synthesizer| {
+                build_session(
+                    s,
+                    &SecretLayout::builder().field("x", 0, 400).field("y", 0, 400).build(),
+                    FnPolicy::new("bayes<1%", |k: &Knowledge<PowersetDomain>| {
+                        k.bayes_vulnerability() < 0.01
+                    }),
+                )
+            }),
+        ),
+    ];
+    for (name, build) in policies {
+        let mut session = build(&mut synthesizer)?;
+        let authorized = run_history(&mut session, &secret);
+        println!("  {name:<38} authorized {authorized} of 4 queries");
+    }
+
+    // A k-ary query: which quadrant of the map is the user in? (four outputs + otherwise).
+    println!("\nk-ary query: map quadrant (policy: size > 10,000)");
+    let quadrant = KaryQuery::new(
+        "quadrant",
+        layout.clone(),
+        vec![
+            Pred::and(vec![IntExpr::var(0).le(200), IntExpr::var(1).le(200)]),
+            Pred::and(vec![IntExpr::var(0).gt(200), IntExpr::var(1).le(200)]),
+            Pred::and(vec![IntExpr::var(0).le(200), IntExpr::var(1).gt(200)]),
+        ],
+    )?;
+    let indsets: KaryIndSets<PowersetDomain> =
+        KaryIndSets::synthesize(&mut synthesizer, &quadrant, ApproxKind::Under, Some(2))?;
+    let mut session: AnosySession<PowersetDomain> =
+        AnosySession::new(layout.clone(), MinSizePolicy::new(10_000));
+    session.register_kary(quadrant, indsets);
+    match session.downgrade_kary(&secret, "quadrant") {
+        Ok(output) => println!("  authorized: the user is in quadrant #{output}"),
+        Err(e) => println!("  refused: {e}"),
+    }
+
+    // Staging over the LIO substrate: the answer comes back as a *public* labeled value.
+    println!("\nLIO-staged downgrade:");
+    let mut lio = Lio::new(SecLevel::Public, SecLevel::Secret);
+    let labeled_secret = lio.label(SecLevel::Secret, Point::new(vec![300, 200]))?;
+    let mut session = build_session(&mut synthesizer, &layout, MinSizePolicy::new(100))?;
+    let answer = session.downgrade_labeled(&mut lio, &labeled_secret, "nearby_200_200")?;
+    println!(
+        "  nearby_200_200 -> {} at label {}, ambient context stays at {}",
+        answer.peek_tcb(),
+        answer.label(),
+        lio.current_label()
+    );
+    Ok(())
+}
