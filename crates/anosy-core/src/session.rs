@@ -337,10 +337,10 @@ mod tests {
         // nearby (400,200) is refused with a policy violation.
         let mut session = paper_session();
         let secret = Protected::new(Point::new(vec![300, 200]));
-        assert_eq!(session.downgrade(&secret, "nearby_200_200").unwrap(), true);
+        assert!(session.downgrade(&secret, "nearby_200_200").unwrap());
         let after_first = session.knowledge_of(&Point::new(vec![300, 200]));
         assert_eq!(after_first.size(), 6837);
-        assert_eq!(session.downgrade(&secret, "nearby_300_200").unwrap(), true);
+        assert!(session.downgrade(&secret, "nearby_300_200").unwrap());
         let after_second = session.knowledge_of(&Point::new(vec![300, 200]));
         assert!(after_second.size() <= after_first.size());
         assert!(after_second.size() > 100);
@@ -449,7 +449,7 @@ mod tests {
             .unwrap();
         // The declassified answer is public and the ambient context stays untainted.
         assert_eq!(*answer.label(), SecLevel::Public);
-        assert_eq!(*answer.peek_tcb(), true);
+        assert!(*answer.peek_tcb());
         assert_eq!(lio.current_label(), SecLevel::Public);
     }
 

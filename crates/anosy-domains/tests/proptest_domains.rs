@@ -121,4 +121,71 @@ proptest! {
         let bottom = PowersetDomain::bottom(&layout());
         prop_assert!(d.intersect(&bottom).is_empty());
     }
+
+    // The unconstrained pairs above exercise the laws mostly vacuously (random d1 ⊆ d2 is rare).
+    // Meets give guaranteed-subset pairs, so sizeLaw and subsetLaw are checked non-vacuously.
+
+    #[test]
+    fn interval_laws_hold_on_guaranteed_subset_pairs(d1 in arb_interval_domain(), d2 in arb_interval_domain()) {
+        let samples = all_points();
+        let meet = d1.intersect(&d2);
+        prop_assert!(meet.is_subset_of(&d1) && meet.is_subset_of(&d2));
+        for bigger in [&d1, &d2] {
+            prop_assert!(laws::check_size_law(&meet, bigger).is_ok());
+            prop_assert!(meet.size() <= bigger.size());
+            prop_assert!(laws::check_subset_law(&meet, bigger, &samples).is_ok());
+        }
+    }
+
+    #[test]
+    fn powerset_laws_hold_on_guaranteed_subset_pairs(d1 in arb_powerset(), d2 in arb_powerset()) {
+        let samples = all_points();
+        let meet = d1.intersect(&d2);
+        prop_assert!(meet.is_subset_of(&d1) && meet.is_subset_of(&d2));
+        for bigger in [&d1, &d2] {
+            prop_assert!(laws::check_size_law(&meet, bigger).is_ok());
+            prop_assert!(meet.size() <= bigger.size());
+            prop_assert!(laws::check_subset_law(&meet, bigger, &samples).is_ok());
+        }
+    }
+
+    /// Every law, on every ordered pair from a mixed collection that always includes ⊤, ⊥ and a
+    /// meet (so subset relations genuinely occur).
+    #[test]
+    fn interval_collection_has_no_law_violations(d1 in arb_interval_domain(), d2 in arb_interval_domain()) {
+        let elements = vec![
+            d1.intersect(&d2),
+            d1,
+            d2,
+            IntervalDomain::top(&layout()),
+            IntervalDomain::bottom(&layout()),
+        ];
+        let violations = laws::check_all_laws(&elements, &all_points());
+        prop_assert!(violations.is_empty(), "law violations: {violations:?}");
+    }
+
+    #[test]
+    fn powerset_collection_has_no_law_violations(d1 in arb_powerset(), d2 in arb_powerset()) {
+        let elements = vec![
+            d1.intersect(&d2),
+            d1,
+            d2,
+            PowersetDomain::top(&layout()),
+            PowersetDomain::bottom(&layout()),
+        ];
+        let violations = laws::check_all_laws(&elements, &all_points());
+        prop_assert!(violations.is_empty(), "law violations: {violations:?}");
+    }
+
+    /// A single interval and its powerset embedding agree on membership, size and subset checks.
+    #[test]
+    fn powerset_embedding_is_faithful(d in arb_interval_domain(), other in arb_interval_domain()) {
+        let embedded = PowersetDomain::from_interval(d.clone());
+        let other_embedded = PowersetDomain::from_interval(other.clone());
+        prop_assert_eq!(embedded.size(), d.size());
+        for p in all_points() {
+            prop_assert_eq!(embedded.contains(&p), d.contains(&p));
+        }
+        prop_assert_eq!(embedded.is_subset_of(&other_embedded), d.is_subset_of(&other));
+    }
 }

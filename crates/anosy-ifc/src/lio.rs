@@ -210,7 +210,7 @@ mod tests {
         assert_eq!(*result.label(), SecLevel::Secret);
         // The inner computation's taint must flow to the requested label.
         let err = lio.to_labeled(SecLevel::Public, |inner| {
-            inner.unlabel(&secret).map(|v| *v)
+            inner.unlabel(&secret).copied()
         });
         assert!(matches!(err, Err(IfcError::FlowViolation { .. })));
     }

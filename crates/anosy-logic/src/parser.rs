@@ -93,7 +93,7 @@ impl<'a> Parser<'a> {
             let boundary = self
                 .input
                 .get(after)
-                .map_or(true, |c| !c.is_ascii_alphanumeric() && *c != b'_');
+                .is_none_or(|c| !c.is_ascii_alphanumeric() && *c != b'_');
             if boundary {
                 self.pos = after;
                 return true;

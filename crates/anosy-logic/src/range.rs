@@ -115,6 +115,10 @@ impl Range {
     }
 
     /// Interval addition (saturating at the `i64` limits).
+    ///
+    /// Deliberately an inherent method, not `std::ops::Add`: interval arithmetic is approximate
+    /// (saturating, over-approximating), and the explicit call sites keep that visible.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, other: Range) -> Range {
         if self.empty || other.empty {
             return Range::empty();
@@ -126,6 +130,7 @@ impl Range {
     }
 
     /// Interval subtraction (saturating).
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, other: Range) -> Range {
         if self.empty || other.empty {
             return Range::empty();
@@ -137,6 +142,7 @@ impl Range {
     }
 
     /// Interval negation.
+    #[allow(clippy::should_implement_trait)]
     pub fn neg(self) -> Range {
         if self.empty {
             return Range::empty();
@@ -155,6 +161,7 @@ impl Range {
     }
 
     /// General interval multiplication (saturating).
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, other: Range) -> Range {
         if self.empty || other.empty {
             return Range::empty();

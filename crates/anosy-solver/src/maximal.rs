@@ -14,21 +14,16 @@ use crate::SolverError;
 use anosy_logic::{simplify_pred, IntBox, Point, Pred, Range};
 
 /// How [`crate::Solver::maximal_true_box`] grows the box around the seed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum ExpansionStrategy {
     /// Uniform inflation (largest feasible radius found by binary search) followed by a per-face
     /// fill sweep. Produces balanced boxes, mirroring the Pareto objectives the paper hands to
     /// Z3. This is the default.
+    #[default]
     Pareto,
     /// Each face is grown to its maximum in a fixed order. Cheaper but tends to produce slivers;
     /// kept as an ablation baseline (see DESIGN.md §5).
     Greedy,
-}
-
-impl Default for ExpansionStrategy {
-    fn default() -> Self {
-        ExpansionStrategy::Pareto
-    }
 }
 
 /// One face of the box: dimension index plus which bound we are pushing.

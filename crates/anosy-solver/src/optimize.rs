@@ -104,7 +104,7 @@ pub(crate) fn optimize(
         match pred.eval_abstract(&narrowed) {
             TriBool::True => {
                 let candidate = if maximize { narrowed.dim(var).hi() } else { narrowed.dim(var).lo() };
-                if best.map_or(true, |b| better(candidate, b)) {
+                if best.is_none_or(|b| better(candidate, b)) {
                     best = Some(candidate);
                 }
                 continue;
@@ -119,7 +119,7 @@ pub(crate) fn optimize(
             let point = narrowed.min_corner().expect("singleton box has a corner");
             if pred.eval(&point).unwrap_or(false) {
                 let candidate = point[var];
-                if best.map_or(true, |b| better(candidate, b)) {
+                if best.is_none_or(|b| better(candidate, b)) {
                     best = Some(candidate);
                 }
             }

@@ -357,7 +357,8 @@ mod tests {
         // -2 * x >= 6  ⇒  x <= -3, impossible over [0, 400].
         let neg = (IntExpr::var(0) * -2).ge(6);
         assert!(propagate(&neg, &space(400), 4).is_none());
-        // 0 * x == 1 is unsatisfiable.
+        // 0 * x == 1 is unsatisfiable (the zero coefficient is the point of the test).
+        #[allow(clippy::erasing_op)]
         let zero = (IntExpr::var(0) * 0).eq(1);
         assert!(propagate(&zero, &space(400), 4).is_none());
     }

@@ -32,7 +32,7 @@ impl<'a> SearchCtx<'a> {
             return Err(SolverError::BudgetExhausted { limit: "node", explored: self.nodes });
         }
         // Checking the clock on every node would dominate small searches.
-        if self.nodes % 1024 == 0 && Instant::now() > self.deadline {
+        if self.nodes.is_multiple_of(1024) && Instant::now() > self.deadline {
             return Err(SolverError::BudgetExhausted { limit: "time", explored: self.nodes });
         }
         Ok(())

@@ -226,7 +226,7 @@ impl Synthesizer {
                     None => boxed_pred,
                     Some(c) => c.or_else(boxed_pred),
                 });
-                let is_better = best.as_ref().map_or(true, |b| boxed.count() > b.count());
+                let is_better = best.as_ref().is_none_or(|b| boxed.count() > b.count());
                 if is_better {
                     best = Some(boxed);
                 }

@@ -1,19 +1,21 @@
 //! Regenerates Figure 5: synthesized ind. set sizes, % difference from ground truth, and
 //! verification/synthesis times.
 //!
-//! Usage: `report_fig5 [intervals|powerset<k>] [--quick]`
-//! Defaults to both `intervals` (Fig. 5a) and `powerset3` (Fig. 5b).
+//! Usage: `report_fig5 [intervals|powerset<k>] [--quick] [--json]`
+//! Defaults to both `intervals` (Fig. 5a) and `powerset3` (Fig. 5b). With `--json` the rows are
+//! printed as a JSON document instead of the aligned table (used to record `BENCH_seed.json`).
 
 use anosy::prelude::*;
-use bench::{fig5, render_fig5, Fig5Domain};
+use bench::{fig5, fig5_rows_to_json, render_fig5, Fig5Domain};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
     let config = if quick { bench::quick_synth_config() } else { SynthConfig::default() };
 
     let mut domains = Vec::new();
-    for a in args.iter().filter(|a| *a != "--quick") {
+    for a in args.iter().filter(|a| *a != "--quick" && *a != "--json") {
         if a == "intervals" {
             domains.push(Fig5Domain::Intervals);
         } else if let Some(k) = a.strip_prefix("powerset").and_then(|k| k.parse::<usize>().ok()) {
@@ -26,16 +28,28 @@ fn main() {
     if domains.is_empty() {
         domains = vec![Fig5Domain::Intervals, Fig5Domain::Powersets(3)];
     }
+    if json && domains.len() > 1 {
+        // Concatenated top-level documents would not be valid JSON.
+        eprintln!("--json requires exactly one domain (e.g. `intervals --json`)");
+        std::process::exit(2);
+    }
 
     for domain in domains {
-        let title = match domain {
-            Fig5Domain::Intervals => "Figure 5a — interval abstract domain".to_string(),
-            Fig5Domain::Powersets(k) => {
-                format!("Figure 5b — powerset of intervals with size {k}")
+        let (title, label) = match domain {
+            Fig5Domain::Intervals => {
+                ("Figure 5a — interval abstract domain".to_string(), "fig5a_intervals".to_string())
             }
+            Fig5Domain::Powersets(k) => (
+                format!("Figure 5b — powerset of intervals with size {k}"),
+                format!("fig5b_powerset{k}"),
+            ),
         };
-        println!("\n{title}");
         let rows = fig5(domain, &config);
-        print!("{}", render_fig5(&rows));
+        if json {
+            print!("{}", fig5_rows_to_json(&label, &rows));
+        } else {
+            println!("\n{title}");
+            print!("{}", render_fig5(&rows));
+        }
     }
 }

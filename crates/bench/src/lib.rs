@@ -195,6 +195,37 @@ pub fn render_fig5(rows: &[Fig5Row]) -> String {
     out
 }
 
+/// Renders Figure 5 rows as a small JSON document, used to check in benchmark baselines
+/// (`BENCH_seed.json`). Hand-rolled: the workspace carries no serde dependency, and every field
+/// is a number or a short identifier.
+pub fn fig5_rows_to_json(domain_label: &str, rows: &[Fig5Row]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"figure\": \"{domain_label}\",\n"));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\"id\": \"{}\", \"kind\": \"{}\", ",
+                "\"true_size\": {}, \"false_size\": {}, ",
+                "\"diff_true_percent\": {:.4}, \"diff_false_percent\": {:.4}, ",
+                "\"synth_seconds\": {:.6}, \"verify_seconds\": {:.6}, \"verified\": {}}}{}\n"
+            ),
+            r.id,
+            r.kind,
+            r.sizes.0,
+            r.sizes.1,
+            r.diff_percent.0,
+            r.diff_percent.1,
+            r.synth_time.as_secs_f64(),
+            r.verify_time.as_secs_f64(),
+            r.verified,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// A quick synthesis configuration used by smoke tests and the CI-friendly benches.
 pub fn quick_synth_config() -> SynthConfig {
     SynthConfig::new().with_solver(SolverConfig::for_tests()).with_seeds(1)
@@ -282,6 +313,28 @@ mod tests {
         assert!(row_p.sizes.1 >= row.sizes.1);
         let text = render_fig5(&[row, row_p]);
         assert!(text.contains("under-approximation"));
+    }
+
+    #[test]
+    fn fig5_json_has_one_object_per_row_and_parseable_shape() {
+        let rows = vec![Fig5Row {
+            id: "B1".to_string(),
+            kind: ApproxKind::Under,
+            sizes: (259, 9620),
+            diff_percent: (0.0, 27.37),
+            verify_time: Duration::from_micros(7),
+            synth_time: Duration::from_micros(65),
+            verified: true,
+        }];
+        let json = fig5_rows_to_json("fig5a_intervals", &rows);
+        assert_eq!(json.matches("{\"id\"").count(), rows.len());
+        assert!(json.contains("\"figure\": \"fig5a_intervals\""));
+        assert!(json.contains("\"true_size\": 259"));
+        assert!(json.contains("\"verified\": true"));
+        // Crude but dependency-free well-formedness checks.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(!json.contains(",\n  ]"), "no trailing comma before the array close");
     }
 
     #[test]

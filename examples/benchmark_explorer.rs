@@ -10,8 +10,12 @@ use anosy::suite::benchmarks::all_benchmarks;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let k: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(3);
-    let mut solver = Solver::new();
-    let mut synthesizer = Synthesizer::new();
+    run(k, SynthConfig::default())
+}
+
+fn run(k: usize, config: SynthConfig) -> Result<(), Box<dyn std::error::Error>> {
+    let mut solver = Solver::with_config(config.solver.clone());
+    let mut synthesizer = Synthesizer::with_config(config);
     let mut verifier = Verifier::new();
 
     for benchmark in all_benchmarks() {
@@ -46,4 +50,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\nsolver effort so far: {}", synthesizer.solver_stats());
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The doc-facing entry point must keep running over all five benchmarks (small powerset,
+    /// test-sized solver budgets).
+    #[test]
+    fn explorer_runs_all_benchmarks_to_completion() {
+        let config = SynthConfig::new().with_solver(SolverConfig::for_tests()).with_seeds(1);
+        run(2, config).expect("the benchmark explorer succeeds");
+    }
 }

@@ -34,13 +34,20 @@ fn run_history(session: &mut AnosySession<PowersetDomain>, secret: &Protected<Po
     authorized
 }
 
+/// A named recipe producing a fresh session with one concrete policy installed.
+type PolicyRecipe =
+    Box<dyn Fn(&mut Synthesizer) -> Result<AnosySession<PowersetDomain>, AnosyError>>;
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    run(Synthesizer::new())
+}
+
+fn run(mut synthesizer: Synthesizer) -> Result<(), Box<dyn std::error::Error>> {
     let layout = SecretLayout::builder().field("x", 0, 400).field("y", 0, 400).build();
     let secret = Protected::new(Point::new(vec![300, 200]));
-    let mut synthesizer = Synthesizer::new();
 
     println!("same query history, different quantitative policies:");
-    let policies: Vec<(&str, Box<dyn Fn(&mut Synthesizer) -> Result<AnosySession<PowersetDomain>, AnosyError>>)> = vec![
+    let policies: Vec<(&str, PolicyRecipe)> = vec![
         (
             "size > 100 (the paper's qpolicy)",
             Box::new(|s: &mut Synthesizer| {
@@ -106,4 +113,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         lio.current_label()
     );
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The doc-facing policy tour must keep running to completion with test-sized budgets.
+    #[test]
+    fn gallery_runs_to_completion() {
+        let synthesizer = Synthesizer::with_config(
+            SynthConfig::new().with_solver(SolverConfig::for_tests()).with_seeds(2),
+        );
+        run(synthesizer).expect("the policy gallery succeeds");
+    }
 }

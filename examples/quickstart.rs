@@ -10,6 +10,10 @@
 use anosy::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    run(Synthesizer::new())
+}
+
+fn run(mut synthesizer: Synthesizer) -> Result<(), Box<dyn std::error::Error>> {
     // The secret: the user's location in a 400 × 400 grid (the paper's UserLoc).
     let layout = SecretLayout::builder().field("x", 0, 400).field("y", 0, 400).build();
     println!("secret space: {layout} ({} possible locations)", layout.space_size());
@@ -21,7 +25,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let origins = [(200i64, 200i64), (300, 200), (400, 200)];
 
     // "Compile time": synthesize + verify the knowledge approximations and register them.
-    let mut synthesizer = Synthesizer::new();
     let mut session: AnosySession<PowersetDomain> =
         AnosySession::new(layout.clone(), MinSizePolicy::new(100));
     for (x, y) in origins {
@@ -59,4 +62,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         session.knowledge_of(&secret_point).size()
     );
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The doc-facing walkthrough must keep running to completion (with test-sized solver
+    /// budgets, so a regression surfaces as an error instead of a hang).
+    #[test]
+    fn quickstart_runs_to_completion() {
+        let synthesizer = Synthesizer::with_config(
+            SynthConfig::new().with_solver(SolverConfig::for_tests()).with_seeds(2),
+        );
+        run(synthesizer).expect("the quickstart walkthrough succeeds");
+    }
 }

@@ -21,14 +21,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         c.powerset_sizes = vec![1, 3, 5];
         c
     };
+    run(&config)
+}
 
+fn run(config: &AdvertisingConfig) -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "secure advertising: {} sequential nearby queries, {} randomized executions, policy size > {}",
         config.num_queries, config.runs, config.policy_min_size
     );
     println!("powerset sizes k = {:?}\n", config.powerset_sizes);
 
-    let outcomes = run_advertising(&config)?;
+    let outcomes = run_advertising(config)?;
     println!("instances still authorized at the i-th query (i = 1..{}):", config.num_queries);
     for outcome in &outcomes {
         let curve = outcome.survivor_curve(config.num_queries);
@@ -44,4 +47,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nLarger powersets track knowledge more precisely and therefore authorize more");
     println!("sequential declassifications before the policy trips — the Figure 6 effect.");
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anosy::prelude::{SolverConfig, SynthConfig};
+
+    /// The doc-facing entry point must keep running to completion on a small configuration.
+    #[test]
+    fn reduced_experiment_runs_to_completion() {
+        let mut config = AdvertisingConfig::quick();
+        config.synth = SynthConfig::new().with_solver(SolverConfig::for_tests()).with_seeds(1);
+        run(&config).expect("the reduced advertising experiment succeeds");
+    }
 }

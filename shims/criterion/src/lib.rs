@@ -1,0 +1,246 @@
+//! Offline stand-in for the crates-io `criterion` crate.
+//!
+//! The build environment has no registry access, so this workspace ships a minimal wall-clock
+//! benchmark harness exposing the subset of the criterion 0.5 API the `bench` crate uses:
+//! [`Criterion::benchmark_group`], group tuning knobs (`sample_size`, `measurement_time`,
+//! `warm_up_time`), [`BenchmarkGroup::bench_function`], [`Bencher::iter`] and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. There is no statistical analysis or HTML
+//! report: each benchmark runs `sample_size` timed iterations (after one warm-up iteration,
+//! stopping early once `measurement_time` is spent) and prints the mean, min and max per
+//! iteration. `--list` and filter arguments from `cargo bench` are honored well enough for CI.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// The benchmark manager handed to `criterion_group!` functions.
+pub struct Criterion {
+    filter: Option<String>,
+    list_only: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` forwards its trailing arguments; honor `--list` and a name filter,
+        // ignore harness flags we don't implement.
+        let mut filter = None;
+        let mut list_only = false;
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--list" => list_only = true,
+                s if s.starts_with("--") => {
+                    // Unimplemented harness flags. Consume the value of the value-taking ones so
+                    // it is not mistaken for a name filter (which would silently match nothing).
+                    const VALUE_FLAGS: &[&str] = &[
+                        "--sample-size",
+                        "--measurement-time",
+                        "--warm-up-time",
+                        "--save-baseline",
+                        "--baseline",
+                        "--profile-time",
+                        "--color",
+                        "--format",
+                        "--logfile",
+                    ];
+                    if VALUE_FLAGS.contains(&s) {
+                        let _ = args.next();
+                    }
+                }
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Criterion { filter, list_only }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+
+    fn should_run(&self, full_id: &str) -> bool {
+        match &self.filter {
+            Some(f) => full_id.contains(f.as_str()),
+            None => true,
+        }
+    }
+}
+
+/// A group of benchmarks sharing tuning knobs.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Caps the total measurement time per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark: warm-up iterations run (at least one) until the
+    /// budget is spent, as in real criterion.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let full_id =
+            if self.name.is_empty() { id } else { format!("{}/{}", self.name, id) };
+        if self.criterion.list_only {
+            println!("{full_id}: bench");
+            return self;
+        }
+        if !self.criterion.should_run(&full_id) {
+            return self;
+        }
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+        };
+        f(&mut bencher);
+        let samples = &bencher.samples;
+        if samples.is_empty() {
+            println!("{full_id:<60} (no samples)");
+            return self;
+        }
+        let total: Duration = samples.iter().sum();
+        let mean = total / samples.len() as u32;
+        let min = samples.iter().min().copied().unwrap_or_default();
+        let max = samples.iter().max().copied().unwrap_or_default();
+        println!(
+            "{full_id:<60} mean {:>12?}  min {:>12?}  max {:>12?}  ({} samples)",
+            mean,
+            min,
+            max,
+            samples.len()
+        );
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; reporting happens per benchmark).
+    pub fn finish(&mut self) {}
+}
+
+/// Runs and times the benchmarked closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Bencher {
+    /// Times `f` over the configured number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up until the budget is spent (at least one iteration).
+        let warm_up_started = Instant::now();
+        loop {
+            std::hint::black_box(f());
+            if warm_up_started.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        let started = Instant::now();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            self.samples.push(t0.elapsed());
+            if started.elapsed() >= self.measurement_time {
+                break;
+            }
+        }
+    }
+}
+
+/// Declares a function that runs a list of benchmark functions with a fresh [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the `main` of a custom-harness bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_the_requested_samples() {
+        let mut c = Criterion { filter: None, list_only: false };
+        let mut calls = 0usize;
+        {
+            let mut group = c.benchmark_group("g");
+            group
+                .sample_size(5)
+                .measurement_time(Duration::from_secs(5))
+                .warm_up_time(Duration::ZERO);
+            group.bench_function("count_calls", |b| {
+                b.iter(|| {
+                    calls += 1;
+                })
+            });
+            group.finish();
+        }
+        // one warm-up (zero budget still runs one) + five timed iterations
+        assert_eq!(calls, 6);
+    }
+
+    #[test]
+    fn filters_skip_non_matching_benchmarks() {
+        let mut c = Criterion { filter: Some("wanted".into()), list_only: false };
+        let mut ran = false;
+        let mut group = c.benchmark_group("g");
+        group.bench_function("other", |b| b.iter(|| ran = true));
+        group.finish();
+        assert!(!ran);
+    }
+}

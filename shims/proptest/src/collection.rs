@@ -1,0 +1,48 @@
+//! Strategies for collections.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// A strategy for `Vec`s whose length is drawn from `sizes` and whose elements come from
+/// `element` (mirrors `proptest::collection::vec`).
+pub fn vec<S: Strategy>(element: S, sizes: Range<usize>) -> VecStrategy<S> {
+    assert!(sizes.start < sizes.end, "empty size range");
+    VecStrategy { element, sizes }
+}
+
+/// See [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    sizes: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.sizes.end - self.sizes.start) as u64;
+        let len = self.sizes.start + rng.below(span.max(1)) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_and_elements_respect_their_ranges() {
+        let mut rng = TestRng::for_case("collection_tests", 0);
+        let strat = vec(0i64..=9, 2..5);
+        let mut lens_seen = [false; 5];
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            lens_seen[v.len()] = true;
+            assert!(v.iter().all(|x| (0..=9).contains(x)));
+        }
+        assert!(lens_seen[2] && lens_seen[3] && lens_seen[4]);
+    }
+}

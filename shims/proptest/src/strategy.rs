@@ -1,0 +1,265 @@
+//! Value-generation strategies (no shrinking — see the crate docs).
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of one type from a [`TestRng`].
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// A strategy applying `f` to every generated value.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// A strategy generating an intermediate value and then sampling the strategy `f` derives
+    /// from it.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erases the strategy (needed by [`prop_oneof!`](crate::prop_oneof)).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Always generates a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// A weighted choice among strategies of a common value type.
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total_weight: u64,
+}
+
+impl<T> Union<T> {
+    /// A union of the given `(weight, strategy)` arms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every weight is zero or no arm is given.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total_weight: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total_weight > 0, "prop_oneof! needs at least one arm with nonzero weight");
+        Union { arms, total_weight }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut roll = rng.below(self.total_weight);
+        for (weight, strat) in &self.arms {
+            if roll < *weight as u64 {
+                return strat.generate(rng);
+            }
+            roll -= *weight as u64;
+        }
+        unreachable!("roll is below the total weight")
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot generate from an empty range");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                let offset = (rng.next_u64() as u128 % span) as i128;
+                (lo as i128 + offset) as $t
+            }
+        }
+
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot generate from an empty range");
+                (self.start..=(self.end - 1)).generate(rng)
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(i64, u64, i32, u32, usize, i16, u16, i8, u8);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// A strategy defined by a plain function over the RNG — handy for custom recursive generators.
+pub struct FromFn<T, F: Fn(&mut TestRng) -> T>(F);
+
+impl<T, F: Fn(&mut TestRng) -> T> Strategy for FromFn<T, F> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Wraps a generation function as a [`Strategy`].
+pub fn from_fn<T, F: Fn(&mut TestRng) -> T>(f: F) -> FromFn<T, F> {
+    FromFn(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("strategy_tests", 0)
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds_and_hit_endpoints() {
+        let mut rng = rng();
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..400 {
+            let x = (0i64..=5).generate(&mut rng);
+            assert!((0..=5).contains(&x));
+            lo_seen |= x == 0;
+            hi_seen |= x == 5;
+            let y = (3usize..7).generate(&mut rng);
+            assert!((3..7).contains(&y));
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn map_and_flat_map_compose() {
+        let mut rng = rng();
+        let even = (0i64..=10).prop_map(|x| x * 2);
+        for _ in 0..50 {
+            assert_eq!(even.generate(&mut rng) % 2, 0);
+        }
+        let pair_in_order =
+            (0i64..=10).prop_flat_map(|lo| (Just(lo), lo..=10)).prop_map(|(lo, hi)| (lo, hi));
+        for _ in 0..50 {
+            let (lo, hi) = pair_in_order.generate(&mut rng);
+            assert!(lo <= hi);
+        }
+    }
+
+    #[test]
+    fn union_respects_zero_weight_arms() {
+        let mut rng = rng();
+        let u = Union::new(vec![(0, Just(1i64).boxed()), (5, Just(2i64).boxed())]);
+        for _ in 0..50 {
+            assert_eq!(u.generate(&mut rng), 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero weight")]
+    fn union_of_nothing_panics() {
+        let _ = Union::<i64>::new(vec![]);
+    }
+
+    #[test]
+    fn tuples_generate_componentwise() {
+        let mut rng = rng();
+        let (a, b, c) = (0i64..=1, 10i64..=11, 20i64..=21).generate(&mut rng);
+        assert!((0..=1).contains(&a));
+        assert!((10..=11).contains(&b));
+        assert!((20..=21).contains(&c));
+    }
+}

@@ -1,0 +1,127 @@
+//! The deterministic runner behind the [`proptest!`](crate::proptest) macro.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::fmt;
+
+/// Configuration of a property test (case count).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The number of cases a test will actually run: the configured count, unless the
+/// `PROPTEST_CASES` environment variable overrides it (the expensive CI lane sets it higher).
+pub fn resolved_cases(config: &ProptestConfig) -> u32 {
+    match std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()) {
+        Some(n) if n > 0 => n,
+        _ => config.cases,
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property is false for the generated input.
+    Fail(String),
+    /// The generated input was rejected as uninteresting (kept for API compatibility).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failed case with the given explanation.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A rejected case with the given explanation.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "{r}"),
+            TestCaseError::Reject(r) => write!(f, "input rejected: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// The value source handed to strategies.
+///
+/// Streams are derived from the *test name* and the case index only, so runs are reproducible
+/// across processes, platforms and test orderings.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// The generator for one case of one named test.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        // FNV-1a over the test name, mixed with the case index.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { inner: StdRng::seed_from_u64(hash ^ ((case as u64) << 32 | case as u64)) }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// A uniform value in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty choice");
+        self.next_u64() % bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name_and_case() {
+        let mut a = TestRng::for_case("some_test", 3);
+        let mut b = TestRng::for_case("some_test", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::for_case("some_test", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+        let mut d = TestRng::for_case("other_test", 3);
+        let mut e = TestRng::for_case("some_test", 3);
+        e.next_u64();
+        assert_ne!(d.next_u64(), e.next_u64());
+    }
+
+    #[test]
+    fn env_override_takes_precedence_when_set() {
+        // The override is read per call; the default path is what unit tests exercise.
+        let config = ProptestConfig::with_cases(7);
+        if std::env::var("PROPTEST_CASES").is_err() {
+            assert_eq!(resolved_cases(&config), 7);
+        }
+        assert_eq!(ProptestConfig::default().cases, 64);
+    }
+}

@@ -1,0 +1,76 @@
+//! Paper-scale randomized sweeps — the slow half of the two-speed test discipline.
+//!
+//! The default `cargo test -q` profile keeps everything deterministic and fast
+//! (`SolverConfig::for_tests()`, few proptest cases, reduced workloads). The tests in this file
+//! run the *paper-scale* configurations with default solver budgets instead; they are `#[ignore]`d
+//! unless the `expensive-tests` feature is enabled:
+//!
+//! ```text
+//! cargo test --features expensive-tests            # runs them by default
+//! cargo test -- --include-ignored                  # or opt in without the feature
+//! ```
+
+use anosy::prelude::*;
+use anosy::suite::{run_advertising, AdvertisingConfig};
+
+#[cfg_attr(
+    not(feature = "expensive-tests"),
+    ignore = "paper-scale; enable with --features expensive-tests"
+)]
+#[test]
+fn advertising_at_paper_scale_matches_figure_6_shape() {
+    let outcomes = run_advertising(&AdvertisingConfig::paper()).expect("paper config runs");
+    assert_eq!(outcomes.len(), 5);
+    let mut previous_mean = 0.0;
+    for o in &outcomes {
+        assert_eq!(o.authorized_per_run.len(), 20);
+        let curve = o.survivor_curve(50);
+        assert!(curve.windows(2).all(|w| w[0] >= w[1]), "survivor curve must be non-increasing");
+        // The Figure 6 trend: larger powersets authorize at least as many queries on average.
+        assert!(
+            o.mean_authorized() >= previous_mean,
+            "k={} mean {} dropped below {previous_mean}",
+            o.k,
+            o.mean_authorized()
+        );
+        previous_mean = o.mean_authorized();
+    }
+}
+
+#[cfg_attr(
+    not(feature = "expensive-tests"),
+    ignore = "paper-scale; enable with --features expensive-tests"
+)]
+#[test]
+fn all_benchmarks_verify_in_both_domains_at_default_budgets() {
+    let mut synth = Synthesizer::new();
+    let mut verifier = Verifier::new();
+    for b in anosy::suite::all_benchmarks() {
+        for kind in ApproxKind::ALL {
+            let interval = synth.synth_interval(&b.query, kind).expect("interval synthesis");
+            assert!(
+                verifier.verify_indsets(&b.query, &interval).expect("verification").is_verified(),
+                "{:?}/{kind} interval approximation failed verification",
+                b.id
+            );
+            let powerset = synth.synth_powerset(&b.query, kind, 5).expect("powerset synthesis");
+            assert!(
+                verifier.verify_indsets(&b.query, &powerset).expect("verification").is_verified(),
+                "{:?}/{kind} powerset-5 approximation failed verification",
+                b.id
+            );
+        }
+    }
+}
+
+#[cfg_attr(
+    not(feature = "expensive-tests"),
+    ignore = "paper-scale; enable with --features expensive-tests"
+)]
+#[test]
+fn paper_scale_downgrade_sequence_is_reproducible() {
+    // Two full paper-scale runs must agree exactly (the whole pipeline is deterministic).
+    let a = run_advertising(&AdvertisingConfig::paper()).expect("paper config runs");
+    let b = run_advertising(&AdvertisingConfig::paper()).expect("paper config runs");
+    assert_eq!(a, b);
+}
