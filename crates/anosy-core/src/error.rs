@@ -1,8 +1,8 @@
 //! Errors of the bounded downgrade.
 
 use anosy_ifc::IfcError;
-use anosy_synth::SynthError;
 use anosy_solver::SolverError;
+use anosy_synth::SynthError;
 use std::fmt;
 
 /// Errors raised by [`crate::AnosySession`] operations.

@@ -170,12 +170,8 @@ mod tests {
 
     /// Age bands: minor (< 18), adult (< 65), otherwise senior.
     fn age_bands() -> KaryQuery {
-        KaryQuery::new(
-            "age_band",
-            layout(),
-            vec![IntExpr::var(0).lt(18), IntExpr::var(0).lt(65)],
-        )
-        .unwrap()
+        KaryQuery::new("age_band", layout(), vec![IntExpr::var(0).lt(18), IntExpr::var(0).lt(65)])
+            .unwrap()
     }
 
     #[test]
@@ -188,9 +184,8 @@ mod tests {
         // Effective predicates partition the space.
         let space = layout().space();
         for p in space.points() {
-            let matching: Vec<usize> = (0..q.output_count())
-                .filter(|&i| q.output_pred(i).eval(&p).unwrap())
-                .collect();
+            let matching: Vec<usize> =
+                (0..q.output_count()).filter(|&i| q.output_pred(i).eval(&p).unwrap()).collect();
             assert_eq!(matching, vec![q.output(&p)], "at {p}");
         }
     }

@@ -101,12 +101,7 @@ impl<D: AbstractDomain> Knowledge<D> {
 
 impl<D: AbstractDomain> fmt::Display for Knowledge<D> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "knowledge of {} secrets ({:.1} bits)",
-            self.size(),
-            self.shannon_entropy()
-        )
+        write!(f, "knowledge of {} secrets ({:.1} bits)", self.size(), self.shannon_entropy())
     }
 }
 

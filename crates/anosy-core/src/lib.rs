@@ -17,6 +17,14 @@
 //!   executed only if both pass;
 //! * [`KaryQuery`] — the §5.1 extension to queries with finitely many (more than two) outputs.
 //!
+//! Sessions are built for serving: each [`AnosySession`] owns a hash-consed
+//! [`TermStore`](anosy_logic::TermStore) into which registered query predicates are interned,
+//! and a **synthesis cache** keyed by `(interned predicate, layout, direction, members)`.
+//! Re-registering an already-synthesized query — the pattern of serving the same query set to
+//! millions of users — is a cache hit that skips synthesis, verification and every solver
+//! search; [`AnosySession::stats`] surfaces the hit/miss and authorize/refuse counters
+//! ([`SessionStats`]).
+//!
 //! # Example
 //!
 //! ```
@@ -64,4 +72,4 @@ pub use kary::{KaryIndSets, KaryQuery};
 pub use knowledge::Knowledge;
 pub use policy::{AllowAll, AndPolicy, FnPolicy, MinEntropyPolicy, MinSizePolicy, Policy};
 pub use qinfo::QInfo;
-pub use session::{AnosySession, AsSecretPoint, SynthesizeInto};
+pub use session::{AnosySession, AsSecretPoint, SessionStats, SynthesizeInto};

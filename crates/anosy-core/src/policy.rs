@@ -197,8 +197,7 @@ mod tests {
 
     #[test]
     fn fn_policy_wraps_custom_predicates() {
-        let policy: FnPolicy<IntervalDomain> =
-            FnPolicy::new("even-sized", |k| k.size() % 2 == 0);
+        let policy: FnPolicy<IntervalDomain> = FnPolicy::new("even-sized", |k| k.size() % 2 == 0);
         assert!(policy.allows(&knowledge_of_size(4)));
         assert!(!policy.allows(&knowledge_of_size(3)));
         assert_eq!(Policy::<IntervalDomain>::name(&policy), "even-sized");

@@ -3,12 +3,61 @@
 use crate::{AnosyError, KaryIndSets, KaryQuery, Knowledge, Policy, QInfo};
 use anosy_domains::{AbstractDomain, IntervalDomain, PowersetDomain, Secret};
 use anosy_ifc::{Label, Labeled, Lio, Protected, Unprotect};
-use anosy_logic::{Point, SecretLayout};
+use anosy_logic::{Point, PredId, SecretLayout, TermStore};
 use anosy_solver::SolverConfig;
 use anosy_synth::{ApproxKind, IndSets, QueryDef, SynthError, Synthesizer};
 use anosy_verify::Verifier;
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+
+/// Counters accumulated by an [`AnosySession`] across registrations and downgrades.
+///
+/// The synthesis-cache counters are the serving-path metric: under the
+/// millions-of-users pattern (many sessions repeatedly registering and downgrading the same
+/// query set) every hit means an entire synthesize-and-verify pipeline — solver searches
+/// included — was skipped.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// `register_synthesized` calls answered from the synthesis cache (no solver work at all).
+    pub synth_cache_hits: u64,
+    /// `register_synthesized` calls that ran the full synthesize-and-verify pipeline.
+    pub synth_cache_misses: u64,
+    /// Downgrades that were authorized and executed.
+    pub downgrades_authorized: u64,
+    /// Downgrades refused by the policy (before query execution, per §3).
+    pub downgrades_refused: u64,
+}
+
+impl SessionStats {
+    /// Fraction of `register_synthesized` calls served from the cache, in `[0, 1]`.
+    pub fn cache_hit_ratio(&self) -> f64 {
+        let total = self.synth_cache_hits + self.synth_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.synth_cache_hits as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for SessionStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} cache hits / {} misses, {} downgrades authorized, {} refused",
+            self.synth_cache_hits,
+            self.synth_cache_misses,
+            self.downgrades_authorized,
+            self.downgrades_refused
+        )
+    }
+}
+
+/// Key of the session's synthesis cache: the canonical (interned) query predicate, the layout it
+/// ranges over, the approximation direction and the powerset member budget. The query *name* is
+/// deliberately absent — two differently-named registrations of the same predicate share one
+/// synthesis.
+type SynthCacheKey = (PredId, SecretLayout, ApproxKind, Option<usize>);
 
 /// Types that can serve as the secret in a downgrade call by exposing their [`Point`] encoding.
 pub trait AsSecretPoint {
@@ -69,6 +118,12 @@ pub struct AnosySession<D: AbstractDomain> {
     secrets: HashMap<Point, Knowledge<D>>,
     queries: BTreeMap<String, QInfo<D>>,
     kary_queries: BTreeMap<String, (KaryQuery, KaryIndSets<D>)>,
+    /// The session's hash-consed term store: query predicates are interned here so the synthesis
+    /// cache can key on canonical ids instead of deep trees.
+    store: TermStore,
+    /// Already-synthesized (and verified) ind. sets, reused on re-registration.
+    synth_cache: HashMap<SynthCacheKey, IndSets<D>>,
+    stats: SessionStats,
 }
 
 impl<D: AbstractDomain> AnosySession<D> {
@@ -80,12 +135,31 @@ impl<D: AbstractDomain> AnosySession<D> {
             secrets: HashMap::new(),
             queries: BTreeMap::new(),
             kary_queries: BTreeMap::new(),
+            store: TermStore::new(),
+            synth_cache: HashMap::new(),
+            stats: SessionStats::default(),
         }
     }
 
     /// The declared secret space.
     pub fn layout(&self) -> &SecretLayout {
         &self.layout
+    }
+
+    /// Counters accumulated since construction (cache hits/misses, downgrade outcomes).
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// The session's term store (interned query predicates; also exposes
+    /// [`anosy_logic::StoreStats`] via [`TermStore::stats`]).
+    pub fn store(&self) -> &TermStore {
+        &self.store
+    }
+
+    /// Number of distinct `(query, direction, members)` synthesis results currently cached.
+    pub fn synth_cache_len(&self) -> usize {
+        self.synth_cache.len()
     }
 
     /// Name of the enforced policy (for reports and error messages).
@@ -111,10 +185,7 @@ impl<D: AbstractDomain> AnosySession<D> {
     /// The knowledge currently associated with a secret (the initial `⊤` knowledge if the secret
     /// has not been involved in any downgrade yet).
     pub fn knowledge_of(&self, secret: &Point) -> Knowledge<D> {
-        self.secrets
-            .get(secret)
-            .cloned()
-            .unwrap_or_else(|| Knowledge::initial(&self.layout))
+        self.secrets.get(secret).cloned().unwrap_or_else(|| Knowledge::initial(&self.layout))
     }
 
     /// Forgets all tracked knowledge (e.g. between experiment runs). Registered queries are kept.
@@ -152,6 +223,7 @@ impl<D: AbstractDomain> AnosySession<D> {
         let knowledge_true = Knowledge::from_domain(post_true);
         let knowledge_false = Knowledge::from_domain(post_false);
         if !(self.policy.allows(&knowledge_true) && self.policy.allows(&knowledge_false)) {
+            self.stats.downgrades_refused += 1;
             return Err(AnosyError::PolicyViolation {
                 query: query_name.to_string(),
                 policy: self.policy.name(),
@@ -162,6 +234,7 @@ impl<D: AbstractDomain> AnosySession<D> {
         let response = qinfo.ask(&point);
         let posterior = if response { knowledge_true } else { knowledge_false };
         self.secrets.insert(point, posterior);
+        self.stats.downgrades_authorized += 1;
         Ok(response)
     }
 
@@ -227,12 +300,10 @@ impl<D: AbstractDomain> AnosySession<D> {
             return Err(AnosyError::SecretOutsideLayout);
         }
         let prior = self.knowledge_of(&point);
-        let posteriors: Vec<Knowledge<D>> = indsets
-            .posterior(prior.domain())
-            .into_iter()
-            .map(Knowledge::from_domain)
-            .collect();
+        let posteriors: Vec<Knowledge<D>> =
+            indsets.posterior(prior.domain()).into_iter().map(Knowledge::from_domain).collect();
         if let Some(violating) = posteriors.iter().find(|k| !self.policy.allows(k)) {
+            self.stats.downgrades_refused += 1;
             return Err(AnosyError::PolicyViolation {
                 query: query_name.to_string(),
                 policy: self.policy.name(),
@@ -242,6 +313,7 @@ impl<D: AbstractDomain> AnosySession<D> {
         }
         let output = query.output(&point);
         self.secrets.insert(point, posteriors[output].clone());
+        self.stats.downgrades_authorized += 1;
         Ok(output)
     }
 }
@@ -249,6 +321,12 @@ impl<D: AbstractDomain> AnosySession<D> {
 impl<D: AbstractDomain + SynthesizeInto> AnosySession<D> {
     /// Synthesizes, verifies and registers a query in one step — the runtime analogue of the
     /// paper's compile-time plugin pass.
+    ///
+    /// Results are cached per session, keyed by the *interned* query predicate (plus layout,
+    /// direction and member budget): re-registering a query whose synthesis is already cached —
+    /// the repeated-downgrade serving pattern — skips synthesis, verification and every solver
+    /// search, and only re-registers the stored [`QInfo`]. Hits and misses are counted in
+    /// [`AnosySession::stats`].
     ///
     /// # Errors
     ///
@@ -264,6 +342,14 @@ impl<D: AbstractDomain + SynthesizeInto> AnosySession<D> {
         kind: ApproxKind,
         members: Option<usize>,
     ) -> Result<(), AnosyError> {
+        let pred_id = self.store.intern_pred(query.pred());
+        let key = (pred_id, query.layout().clone(), kind, members);
+        if let Some(cached) = self.synth_cache.get(&key) {
+            self.stats.synth_cache_hits += 1;
+            self.register(QInfo::new(query.clone(), cached.clone()));
+            return Ok(());
+        }
+        self.stats.synth_cache_misses += 1;
         let indsets = D::synthesize(synth, query, kind, members)?;
         let mut verifier = Verifier::with_config(SolverConfig::default());
         let report = verifier.verify_indsets(query, &indsets)?;
@@ -273,6 +359,7 @@ impl<D: AbstractDomain + SynthesizeInto> AnosySession<D> {
                 report: report.to_string(),
             });
         }
+        self.synth_cache.insert(key, indsets.clone());
         self.register(QInfo::new(query.clone(), indsets));
         Ok(())
     }
@@ -286,6 +373,8 @@ impl<D: AbstractDomain> fmt::Debug for AnosySession<D> {
             .field("queries", &self.queries.len())
             .field("kary_queries", &self.kary_queries.len())
             .field("tracked_secrets", &self.secrets.len())
+            .field("synth_cache", &self.synth_cache.len())
+            .field("stats", &self.stats)
             .finish()
     }
 }
@@ -320,13 +409,10 @@ mod tests {
                 IntervalDomain::from_intervals(vec![AInt::new(0, 400), AInt::new(0, 99)]),
             ),
         ));
-        let mut synth = Synthesizer::with_config(
-            SynthConfig::new().with_solver(SolverConfig::for_tests()),
-        );
+        let mut synth =
+            Synthesizer::with_config(SynthConfig::new().with_solver(SolverConfig::for_tests()));
         for q in [nearby(300, 200), nearby(400, 200)] {
-            session
-                .register_synthesized(&mut synth, &q, ApproxKind::Under, None)
-                .unwrap();
+            session.register_synthesized(&mut synth, &q, ApproxKind::Under, None).unwrap();
         }
         session
     }
@@ -444,9 +530,7 @@ mod tests {
         let mut session = paper_session();
         let mut lio = Lio::new(SecLevel::Public, SecLevel::Secret);
         let labeled = lio.label(SecLevel::Secret, Point::new(vec![300, 200])).unwrap();
-        let answer = session
-            .downgrade_labeled(&mut lio, &labeled, "nearby_200_200")
-            .unwrap();
+        let answer = session.downgrade_labeled(&mut lio, &labeled, "nearby_200_200").unwrap();
         // The declassified answer is public and the ambient context stays untainted.
         assert_eq!(*answer.label(), SecLevel::Public);
         assert!(*answer.peek_tcb());
@@ -459,9 +543,8 @@ mod tests {
         // domain authorizes at least as many downgrades as the interval domain.
         let origins = [(200, 200), (260, 220), (150, 260), (240, 160), (300, 200)];
         let secret = Protected::new(Point::new(vec![230, 210]));
-        let mut synth = Synthesizer::with_config(
-            SynthConfig::new().with_solver(SolverConfig::for_tests()),
-        );
+        let mut synth =
+            Synthesizer::with_config(SynthConfig::new().with_solver(SolverConfig::for_tests()));
 
         let mut interval_session: AnosySession<IntervalDomain> =
             AnosySession::new(loc_layout(), MinSizePolicy::new(100));
@@ -469,9 +552,7 @@ mod tests {
             AnosySession::new(loc_layout(), MinSizePolicy::new(100));
         for (x, y) in origins {
             let q = nearby(x, y);
-            interval_session
-                .register_synthesized(&mut synth, &q, ApproxKind::Under, None)
-                .unwrap();
+            interval_session.register_synthesized(&mut synth, &q, ApproxKind::Under, None).unwrap();
             powerset_session
                 .register_synthesized(&mut synth, &q, ApproxKind::Under, Some(3))
                 .unwrap();
@@ -487,12 +568,72 @@ mod tests {
             }
             n
         };
-        let interval_count =
-            count(&mut |name| interval_session.downgrade(&secret, name).is_ok());
-        let powerset_count =
-            count(&mut |name| powerset_session.downgrade(&secret, name).is_ok());
+        let interval_count = count(&mut |name| interval_session.downgrade(&secret, name).is_ok());
+        let powerset_count = count(&mut |name| powerset_session.downgrade(&secret, name).is_ok());
         assert!(powerset_count >= interval_count);
         assert!(powerset_count >= 1);
+    }
+
+    #[test]
+    fn repeated_registration_is_served_from_the_synthesis_cache() {
+        // The millions-of-users serving pattern: the same query is registered (and then
+        // downgraded) over and over. After the first synthesis, a repeat registration plus
+        // downgrade must perform **zero** new solver work — asserted on the solver's node
+        // counter, not just wall-clock.
+        let mut session: AnosySession<IntervalDomain> =
+            AnosySession::new(loc_layout(), MinSizePolicy::new(100));
+        let mut synth =
+            Synthesizer::with_config(SynthConfig::new().with_solver(SolverConfig::for_tests()));
+        let query = nearby(200, 200);
+        session.register_synthesized(&mut synth, &query, ApproxKind::Under, None).unwrap();
+        assert_eq!(session.stats().synth_cache_hits, 0);
+        assert_eq!(session.stats().synth_cache_misses, 1);
+        let nodes_after_first = synth.solver_stats().nodes_explored;
+        assert!(nodes_after_first > 0, "first synthesis must actually search");
+
+        // Second registration of the same query: a cache hit, zero new solver nodes.
+        session.register_synthesized(&mut synth, &query, ApproxKind::Under, None).unwrap();
+        assert_eq!(session.stats().synth_cache_hits, 1);
+        assert_eq!(session.stats().synth_cache_misses, 1);
+        assert_eq!(
+            synth.solver_stats().nodes_explored,
+            nodes_after_first,
+            "cached registration must not touch the solver"
+        );
+
+        // The downgrade path itself also performs no solver work (posteriors are domain meets).
+        let secret = Protected::new(Point::new(vec![300, 200]));
+        assert!(session.downgrade(&secret, "nearby_200_200").unwrap());
+        assert_eq!(synth.solver_stats().nodes_explored, nodes_after_first);
+        assert_eq!(session.stats().downgrades_authorized, 1);
+        assert_eq!(session.synth_cache_len(), 1);
+        assert!((session.stats().cache_hit_ratio() - 0.5).abs() < 1e-12);
+
+        // A differently-*named* registration of the same predicate still hits: the cache key is
+        // the interned predicate, not the name.
+        let renamed =
+            QueryDef::new("same_diamond_other_name", loc_layout(), query.pred().clone()).unwrap();
+        session.register_synthesized(&mut synth, &renamed, ApproxKind::Under, None).unwrap();
+        assert_eq!(session.stats().synth_cache_hits, 2);
+        assert_eq!(synth.solver_stats().nodes_explored, nodes_after_first);
+
+        // A different direction is a different cache entry.
+        session.register_synthesized(&mut synth, &query, ApproxKind::Over, None).unwrap();
+        assert_eq!(session.stats().synth_cache_misses, 2);
+        assert_eq!(session.synth_cache_len(), 2);
+        assert!(session.stats().to_string().contains("cache hits"));
+    }
+
+    #[test]
+    fn refusals_are_counted_in_session_stats() {
+        let mut session = paper_session();
+        let secret = Protected::new(Point::new(vec![300, 200]));
+        assert!(session.downgrade(&secret, "nearby_200_200").unwrap());
+        assert!(session.downgrade(&secret, "nearby_300_200").unwrap());
+        assert!(session.downgrade(&secret, "nearby_400_200").is_err());
+        let stats = session.stats();
+        assert_eq!(stats.downgrades_authorized, 2);
+        assert_eq!(stats.downgrades_refused, 1);
     }
 
     #[test]

@@ -68,8 +68,7 @@ impl IntervalDomain {
 
     /// The corresponding solver box, or `None` for the empty domain.
     pub fn to_box(&self) -> Option<IntBox> {
-        self.intervals()
-            .map(|dims| IntBox::new(dims.iter().map(AInt::to_range).collect()))
+        self.intervals().map(|dims| IntBox::new(dims.iter().map(AInt::to_range).collect()))
     }
 }
 
@@ -152,11 +151,7 @@ impl AbstractDomain for IntervalDomain {
             return IntervalDomain::empty(boxed.arity());
         }
         IntervalDomain::from_intervals(
-            boxed
-                .dims()
-                .iter()
-                .map(|r| AInt::new(r.lo(), r.hi()))
-                .collect(),
+            boxed.dims().iter().map(|r| AInt::new(r.lo(), r.hi())).collect(),
         )
     }
 }

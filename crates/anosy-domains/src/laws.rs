@@ -144,7 +144,11 @@ mod tests {
         let elements = vec![
             PowersetDomain::top(&l),
             PowersetDomain::bottom(&l),
-            PowersetDomain::new(2, vec![interval((0, 5), (0, 5)), interval((8, 12), (8, 12))], vec![]),
+            PowersetDomain::new(
+                2,
+                vec![interval((0, 5), (0, 5)), interval((8, 12), (8, 12))],
+                vec![],
+            ),
             PowersetDomain::new(
                 2,
                 vec![interval((0, 10), (0, 10))],

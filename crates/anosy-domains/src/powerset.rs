@@ -178,13 +178,7 @@ impl AbstractDomain for PowersetDomain {
         let mut iter = boxes.into_iter();
         let first = iter.next()?;
         Some(iter.fold(first, |acc, b| {
-            IntBox::new(
-                acc.dims()
-                    .iter()
-                    .zip(b.dims().iter())
-                    .map(|(x, y)| x.hull(*y))
-                    .collect(),
-            )
+            IntBox::new(acc.dims().iter().zip(b.dims().iter()).map(|(x, y)| x.hull(*y)).collect())
         }))
     }
 
@@ -350,11 +344,8 @@ mod tests {
         assert_eq!(d.includes().len(), 1);
         assert!(d.excludes().is_empty());
         // An include that is entirely excluded disappears too.
-        let gone = PowersetDomain::new(
-            2,
-            vec![interval((0, 2), (0, 2))],
-            vec![interval((0, 2), (0, 2))],
-        );
+        let gone =
+            PowersetDomain::new(2, vec![interval((0, 2), (0, 2))], vec![interval((0, 2), (0, 2))]);
         assert!(gone.is_empty());
         assert!(gone.includes().is_empty());
     }
@@ -393,11 +384,8 @@ mod tests {
 
     #[test]
     fn display_renders_both_lists() {
-        let d = PowersetDomain::new(
-            2,
-            vec![interval((0, 5), (0, 5))],
-            vec![interval((1, 2), (1, 2))],
-        );
+        let d =
+            PowersetDomain::new(2, vec![interval((0, 5), (0, 5))], vec![interval((1, 2), (1, 2))]);
         let s = d.to_string();
         assert!(s.contains('⋃'));
         assert!(s.contains('\\'));

@@ -136,13 +136,12 @@ mod tests {
     #[test]
     fn subtract_boxes_handles_multiple_overlapping_subtrahends() {
         let a = boxed(&[(0, 9), (0, 9)]);
-        let subs = vec![boxed(&[(0, 4), (0, 9)]), boxed(&[(3, 9), (0, 3)]), boxed(&[(8, 9), (8, 9)])];
+        let subs =
+            vec![boxed(&[(0, 4), (0, 9)]), boxed(&[(3, 9), (0, 3)]), boxed(&[(8, 9), (8, 9)])];
         let pieces = subtract_boxes(&a, &subs);
         let universe = a.clone();
-        let expected = universe
-            .points()
-            .filter(|p| !subs.iter().any(|b| b.contains_point(p)))
-            .count() as u128;
+        let expected =
+            universe.points().filter(|p| !subs.iter().any(|b| b.contains_point(p))).count() as u128;
         assert_eq!(pieces.iter().map(IntBox::count).sum::<u128>(), expected);
         for p in &pieces {
             for s in &subs {

@@ -46,7 +46,10 @@ mod tests {
         let e = IfcError::FlowViolation { from: "Secret".into(), to: "Public".into() };
         assert!(e.to_string().contains("Secret"));
         assert!(e.to_string().contains("Public"));
-        let c = IfcError::ClearanceViolation { requested: "TopSecret".into(), clearance: "Secret".into() };
+        let c = IfcError::ClearanceViolation {
+            requested: "TopSecret".into(),
+            clearance: "Secret".into(),
+        };
         assert!(c.to_string().contains("clearance"));
     }
 }

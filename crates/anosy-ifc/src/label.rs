@@ -108,9 +108,9 @@ impl Label for ReadersLabel {
 
     fn can_flow_to(&self, other: &Self) -> bool {
         match (&self.readers, &other.readers) {
-            (None, _) => true,                       // public flows anywhere
-            (Some(_), None) => false,                // restricted data may not become public
-            (Some(a), Some(b)) => b.is_subset(a),    // audience may only shrink
+            (None, _) => true,                    // public flows anywhere
+            (Some(_), None) => false,             // restricted data may not become public
+            (Some(a), Some(b)) => b.is_subset(a), // audience may only shrink
         }
     }
 

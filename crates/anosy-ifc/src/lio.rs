@@ -22,10 +22,7 @@ impl<L: Label> Lio<L> {
     ///
     /// Panics if the initial label does not flow to the clearance.
     pub fn new(current: L, clearance: L) -> Self {
-        assert!(
-            current.can_flow_to(&clearance),
-            "initial label must be below the clearance"
-        );
+        assert!(current.can_flow_to(&clearance), "initial label must be below the clearance");
         Lio { current, clearance }
     }
 
@@ -113,10 +110,7 @@ impl<L: Label> Lio<L> {
         if self.current.can_flow_to(label) {
             Ok(())
         } else {
-            Err(IfcError::FlowViolation {
-                from: self.current.to_string(),
-                to: label.to_string(),
-            })
+            Err(IfcError::FlowViolation { from: self.current.to_string(), to: label.to_string() })
         }
     }
 
@@ -184,10 +178,7 @@ mod tests {
     #[test]
     fn clearance_bounds_both_label_and_unlabel() {
         let mut lio = Lio::new(SecLevel::Public, SecLevel::Public);
-        assert!(matches!(
-            lio.label(SecLevel::Secret, 1),
-            Err(IfcError::ClearanceViolation { .. })
-        ));
+        assert!(matches!(lio.label(SecLevel::Secret, 1), Err(IfcError::ClearanceViolation { .. })));
         let secret = Labeled::new(SecLevel::Secret, 1);
         assert!(matches!(lio.unlabel(&secret), Err(IfcError::ClearanceViolation { .. })));
         // A failed unlabel must not taint the context.
@@ -209,18 +200,14 @@ mod tests {
         assert_eq!(*result.peek_tcb(), 20);
         assert_eq!(*result.label(), SecLevel::Secret);
         // The inner computation's taint must flow to the requested label.
-        let err = lio.to_labeled(SecLevel::Public, |inner| {
-            inner.unlabel(&secret).copied()
-        });
+        let err = lio.to_labeled(SecLevel::Public, |inner| inner.unlabel(&secret).copied());
         assert!(matches!(err, Err(IfcError::FlowViolation { .. })));
     }
 
     #[test]
     fn works_with_the_readers_lattice_too() {
         let mut lio = Lio::<ReadersLabel>::unrestricted();
-        let for_alice = lio
-            .label(ReadersLabel::readable_by(["alice"]), "medical record")
-            .unwrap();
+        let for_alice = lio.label(ReadersLabel::readable_by(["alice"]), "medical record").unwrap();
         let _ = lio.unlabel(&for_alice).unwrap();
         // After reading Alice's data the context may not emit to Bob's audience.
         assert!(lio.guard_write(&ReadersLabel::readable_by(["bob"])).is_err());

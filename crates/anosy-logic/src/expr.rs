@@ -189,9 +189,9 @@ impl IntExpr {
     pub fn eval(&self, point: &Point) -> Result<i64, EvalError> {
         match self {
             IntExpr::Const(c) => Ok(*c),
-            IntExpr::Var(i) => point
-                .get(*i)
-                .ok_or(EvalError::UnknownVariable { index: *i, arity: point.arity() }),
+            IntExpr::Var(i) => {
+                point.get(*i).ok_or(EvalError::UnknownVariable { index: *i, arity: point.arity() })
+            }
             IntExpr::Add(a, b) => a
                 .eval(point)?
                 .checked_add(b.eval(point)?)
@@ -200,14 +200,12 @@ impl IntExpr {
                 .eval(point)?
                 .checked_sub(b.eval(point)?)
                 .ok_or(EvalError::Overflow { operation: "subtraction" }),
-            IntExpr::Neg(a) => a
-                .eval(point)?
-                .checked_neg()
-                .ok_or(EvalError::Overflow { operation: "negation" }),
-            IntExpr::Scale(k, a) => a
-                .eval(point)?
-                .checked_mul(*k)
-                .ok_or(EvalError::Overflow { operation: "scaling" }),
+            IntExpr::Neg(a) => {
+                a.eval(point)?.checked_neg().ok_or(EvalError::Overflow { operation: "negation" })
+            }
+            IntExpr::Scale(k, a) => {
+                a.eval(point)?.checked_mul(*k).ok_or(EvalError::Overflow { operation: "scaling" })
+            }
             IntExpr::Abs(a) => a
                 .eval(point)?
                 .checked_abs()
@@ -412,10 +410,7 @@ mod tests {
     #[test]
     fn unknown_variable_is_reported() {
         let e = IntExpr::var(2);
-        assert_eq!(
-            e.eval(&point(&[1, 2])),
-            Err(EvalError::UnknownVariable { index: 2, arity: 2 })
-        );
+        assert_eq!(e.eval(&point(&[1, 2])), Err(EvalError::UnknownVariable { index: 2, arity: 2 }));
     }
 
     #[test]

@@ -115,11 +115,7 @@ impl SecretLayout {
 
     /// Clamps an arbitrary point of the right arity into the secret space.
     pub fn clamp(&self, point: &Point) -> Point {
-        self.fields
-            .iter()
-            .zip(point.iter())
-            .map(|(f, v)| v.clamp(f.lo, f.hi))
-            .collect()
+        self.fields.iter().zip(point.iter()).map(|(f, v)| v.clamp(f.lo, f.hi)).collect()
     }
 }
 

@@ -12,8 +12,13 @@
 //! * concrete evaluation ([`Pred::eval`], [`IntExpr::eval`]) on [`Point`]s;
 //! * abstract (interval, three-valued) evaluation ([`Pred::eval_abstract`]) on [`IntBox`]es,
 //!   which is the pruning engine used by the `anosy-solver` crate;
-//! * normal forms ([`Pred::nnf`], constant folding) and a small surface [`parser`] so examples
-//!   and tests can write queries as text.
+//! * normal forms ([`simplify_pred`], constant folding) and a small surface parser so examples
+//!   and tests can write queries as text;
+//! * a hash-consed [`TermStore`] interning both syntaxes behind copyable [`ExprId`]/[`PredId`]
+//!   handles with O(1) equality/hashing, structural sharing and store-resident memo tables for
+//!   simplification, free variables and interval range analysis — the representation every hot
+//!   consumer (solver, synthesizer, verifier, sessions) works on. The tree types remain the
+//!   construction/display layer; see the [`store`] module docs for the migration story.
 //!
 //! # Example
 //!
@@ -47,6 +52,7 @@ mod parser;
 mod point;
 mod pred;
 mod range;
+pub mod store;
 mod tribool;
 
 pub use error::{EvalError, ParseError};
@@ -57,4 +63,5 @@ pub use parser::{parse_pred, parse_pred_with_layout};
 pub use point::Point;
 pub use pred::Pred;
 pub use range::{IntBox, Range};
+pub use store::{ExprId, ExprNode, PredId, PredNode, PredShape, StoreStats, TermStore};
 pub use tribool::TriBool;

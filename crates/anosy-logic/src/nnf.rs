@@ -195,11 +195,7 @@ mod tests {
 
     #[test]
     fn constants_are_folded() {
-        let q = Pred::and(vec![
-            Pred::True,
-            IntExpr::constant(2).le(3),
-            IntExpr::var(0).ge(0),
-        ]);
+        let q = Pred::and(vec![Pred::True, IntExpr::constant(2).le(3), IntExpr::var(0).ge(0)]);
         let s = simplify_pred(&q);
         assert_eq!(s, IntExpr::var(0).ge(0));
         let contradiction = Pred::and(vec![IntExpr::var(0).ge(0), Pred::False]);

@@ -90,10 +90,8 @@ impl<'a> Parser<'a> {
         let bytes = kw.as_bytes();
         if self.input[self.pos..].starts_with(bytes) {
             let after = self.pos + bytes.len();
-            let boundary = self
-                .input
-                .get(after)
-                .is_none_or(|c| !c.is_ascii_alphanumeric() && *c != b'_');
+            let boundary =
+                self.input.get(after).is_none_or(|c| !c.is_ascii_alphanumeric() && *c != b'_');
             if boundary {
                 self.pos = after;
                 return true;

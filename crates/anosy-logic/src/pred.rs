@@ -135,12 +135,10 @@ impl Pred {
                 }
             }
             Pred::Not(p) => p.eval_abstract(boxed).negate(),
-            Pred::And(ps) => ps
-                .iter()
-                .fold(TriBool::True, |acc, p| acc.and(p.eval_abstract(boxed))),
-            Pred::Or(ps) => ps
-                .iter()
-                .fold(TriBool::False, |acc, p| acc.or(p.eval_abstract(boxed))),
+            Pred::And(ps) => {
+                ps.iter().fold(TriBool::True, |acc, p| acc.and(p.eval_abstract(boxed)))
+            }
+            Pred::Or(ps) => ps.iter().fold(TriBool::False, |acc, p| acc.or(p.eval_abstract(boxed))),
             Pred::Implies(a, b) => a.eval_abstract(boxed).implies(b.eval_abstract(boxed)),
             Pred::Iff(a, b) => {
                 let ra = a.eval_abstract(boxed);

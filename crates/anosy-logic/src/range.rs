@@ -329,8 +329,7 @@ impl IntBox {
 
     /// Returns `true` if `p` lies in the box.
     pub fn contains_point(&self, p: &Point) -> bool {
-        p.arity() == self.arity()
-            && self.dims.iter().zip(p.iter()).all(|(r, v)| r.contains(v))
+        p.arity() == self.arity() && self.dims.iter().zip(p.iter()).all(|(r, v)| r.contains(v))
     }
 
     /// Returns `true` if `other` is fully contained in `self`.
@@ -347,9 +346,7 @@ impl IntBox {
     /// Componentwise intersection.
     pub fn intersect(&self, other: &IntBox) -> IntBox {
         assert_eq!(self.arity(), other.arity(), "boxes must have equal arity");
-        IntBox::new(
-            self.dims.iter().zip(other.dims.iter()).map(|(a, b)| a.intersect(*b)).collect(),
-        )
+        IntBox::new(self.dims.iter().zip(other.dims.iter()).map(|(a, b)| a.intersect(*b)).collect())
     }
 
     /// The lexicographically smallest point of the box, if non-empty.

@@ -12,7 +12,7 @@
 //!   printable fragment) and semantically on random points.
 
 use anosy_logic::{
-    is_nnf, parse_pred, simplify_pred, IntBox, IntExpr, Point, Pred, Range, TriBool,
+    is_nnf, parse_pred, simplify_pred, IntBox, IntExpr, Point, Pred, Range, TermStore, TriBool,
 };
 use proptest::prelude::*;
 
@@ -172,5 +172,65 @@ proptest! {
     fn is_nnf_rejects_negation_wrappers(p in arb_pred(2)) {
         prop_assert!(!is_nnf(&p.clone().negate().negate()));
         prop_assert!(is_nnf(&simplify_pred(&p)));
+    }
+
+    /// Interning is semantics-preserving: `intern → eval` and `intern → lower → eval` both agree
+    /// with direct tree evaluation on random points, and lowering reconstructs the exact tree.
+    #[test]
+    fn interning_preserves_evaluation(p in arb_pred(3), points in proptest::collection::vec(arb_point(), 1..8)) {
+        let mut store = TermStore::new();
+        let id = store.intern_pred(&p);
+        let lowered = store.pred_to_tree(id);
+        prop_assert_eq!(&lowered, &p, "lowering must reconstruct the interned tree");
+        for point in &points {
+            let direct = p.eval(point);
+            let via_store = store.eval_pred(id, point);
+            let via_lowered = lowered.eval(point);
+            prop_assert_eq!(via_store.as_ref().ok(), direct.as_ref().ok(),
+                "store eval differs at {}", point);
+            prop_assert_eq!(via_lowered.as_ref().ok(), direct.as_ref().ok(),
+                "lowered eval differs at {}", point);
+        }
+    }
+
+    /// Interning twice — and interning the lowered tree — yields the same id (hash-consing is
+    /// stable across the lowering round-trip).
+    #[test]
+    fn interning_is_stable_across_round_trips(p in arb_pred(3)) {
+        let mut store = TermStore::new();
+        let first = store.intern_pred(&p);
+        let second = store.intern_pred(&p);
+        prop_assert_eq!(first, second);
+        let lowered = store.pred_to_tree(first);
+        let third = store.intern_pred(&lowered);
+        prop_assert_eq!(first, third);
+    }
+
+    /// Store simplification agrees with tree simplification and is idempotent **as ids**:
+    /// simplifying twice returns the id the first pass produced.
+    #[test]
+    fn store_simplification_is_idempotent_and_agrees_with_trees(p in arb_pred(3)) {
+        let mut store = TermStore::new();
+        let id = store.intern_pred(&p);
+        let once = store.simplify(id);
+        prop_assert_eq!(store.simplify(once), once, "simplify must be idempotent on ids");
+        prop_assert!(store.is_nnf(once));
+        let via_tree = simplify_pred(&p);
+        let via_tree_id = store.intern_pred(&via_tree);
+        prop_assert_eq!(once, via_tree_id, "store and tree simplification must coincide");
+    }
+
+    /// The store's memoized abstract evaluator matches the tree evaluator on singleton boxes
+    /// (where it must decide exactly like the concrete semantics).
+    #[test]
+    fn store_abstract_evaluation_agrees_on_points(p in arb_pred(3), point in arb_point()) {
+        if let Ok(expected) = p.eval(&point) {
+            let mut store = TermStore::new();
+            let id = store.intern_pred(&p);
+            let boxed = singleton_box(&point);
+            prop_assert_eq!(store.eval_abstract_pred(id, &boxed), p.eval_abstract(&boxed));
+            let simplified = store.simplify(id);
+            prop_assert_eq!(store.eval_abstract_pred(simplified, &boxed).to_option(), Some(expected));
+        }
     }
 }

@@ -4,15 +4,15 @@
 //! of exact posteriors; it is also used by tests to cross-check the sizes reported by the
 //! abstract domains.
 
-use crate::propagate::propagate;
+use crate::propagate::propagate_id;
 use crate::solver::SearchCtx;
 use crate::SolverError;
-use anosy_logic::{IntBox, Pred, TriBool};
+use anosy_logic::{IntBox, PredId, TriBool};
 
 /// Counts the models of `pred` inside `space`, exactly.
 pub(crate) fn count_models(
     ctx: &mut SearchCtx<'_>,
-    pred: &Pred,
+    pred: PredId,
     space: &IntBox,
 ) -> Result<u128, SolverError> {
     if space.is_empty() {
@@ -22,14 +22,14 @@ pub(crate) fn count_models(
     let mut stack = vec![space.clone()];
     while let Some(current) = stack.pop() {
         ctx.tick()?;
-        let narrowed = match propagate(pred, &current, ctx.propagation_rounds()) {
+        let narrowed = match propagate_id(ctx.store, pred, &current, ctx.propagation_rounds()) {
             Some(b) => b,
             None => {
                 ctx.pruned += 1;
                 continue;
             }
         };
-        match pred.eval_abstract(&narrowed) {
+        match ctx.store.eval_abstract_pred(pred, &narrowed) {
             TriBool::True => {
                 total += narrowed.count();
                 continue;
@@ -42,7 +42,7 @@ pub(crate) fn count_models(
         }
         if narrowed.is_singleton() {
             let point = narrowed.min_corner().expect("singleton box has a corner");
-            if pred.eval(&point).unwrap_or(false) {
+            if ctx.store.eval_pred(pred, &point).unwrap_or(false) {
                 total += 1;
             }
             continue;
@@ -61,7 +61,7 @@ pub(crate) fn count_models(
 mod tests {
     use super::*;
     use crate::{Solver, SolverConfig};
-    use anosy_logic::{IntExpr, Point, Range, SecretLayout};
+    use anosy_logic::{IntExpr, Point, Pred, Range, SecretLayout};
 
     fn solver() -> Solver {
         Solver::with_config(SolverConfig::for_tests())
@@ -113,9 +113,8 @@ mod tests {
         let space = layout.space();
         let pred = (IntExpr::var(0) - IntExpr::var(1)).abs().le(4);
         let t = s.count_models(&pred, &space).unwrap();
-        let f = s
-            .count_models(&anosy_logic::simplify_pred(&pred.clone().negate()), &space)
-            .unwrap();
+        let f =
+            s.count_models(&anosy_logic::simplify_pred(&pred.clone().negate()), &space).unwrap();
         assert_eq!(t + f, space.count());
     }
 

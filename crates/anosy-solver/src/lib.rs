@@ -22,6 +22,14 @@
 //! * [`Solver::maximal_true_box`] — grow an inclusion-maximal box of models around a seed with
 //!   round-robin (Pareto-style) expansion (used for under-approximation synthesis).
 //!
+//! Internally every search operates on the solver's hash-consed
+//! [`TermStore`](anosy_logic::TermStore): predicates are interned once per solver (O(1) equality
+//! and hashing by [`PredId`](anosy_logic::PredId)), normalization/negation are memoized, and the
+//! interval range analyses behind constraint propagation are cached by `(term, box)` and reused
+//! across search nodes and across queries. [`Solver::store_stats`] surfaces the hit/miss
+//! counters; [`Solver::intern_simplified`] exposes the canonical id of a predicate so callers
+//! (synthesizer, verifier) can deduplicate candidate terms by id instead of deep comparison.
+//!
 //! # Example
 //!
 //! ```

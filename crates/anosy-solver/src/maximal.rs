@@ -11,7 +11,7 @@
 use crate::sat;
 use crate::solver::SearchCtx;
 use crate::SolverError;
-use anosy_logic::{simplify_pred, IntBox, Point, Pred, Range};
+use anosy_logic::{IntBox, Point, PredId, Range};
 
 /// How [`crate::Solver::maximal_true_box`] grows the box around the seed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -36,19 +36,20 @@ enum Face {
 /// Grows an inclusion-maximal all-models box around `seed`.
 pub(crate) fn maximal_true_box(
     ctx: &mut SearchCtx<'_>,
-    pred: &Pred,
+    pred: PredId,
     space: &IntBox,
     seed: &Point,
     strategy: ExpansionStrategy,
 ) -> Result<Option<IntBox>, SolverError> {
-    if !space.contains_point(seed) || !pred.eval(seed).unwrap_or(false) {
+    if !space.contains_point(seed) || !ctx.store.eval_pred(pred, seed).unwrap_or(false) {
         return Ok(None);
     }
-    let negated = simplify_pred(&pred.clone().negate());
+    // Memoized in the store: growing many boxes for the same query negates the query once.
+    let negated = ctx.store.negate_simplified(pred);
     let mut current = IntBox::new(seed.iter().map(Range::singleton).collect());
 
     if strategy == ExpansionStrategy::Pareto {
-        current = inflate_uniformly(ctx, &negated, space, &current)?;
+        current = inflate_uniformly(ctx, negated, space, &current)?;
     }
     // Per-face fill: repeat sweeps until no face can grow any further. A single sweep suffices
     // for Greedy semantics, but repeating is what certifies inclusion-maximality for both
@@ -63,7 +64,7 @@ pub(crate) fn maximal_true_box(
             if max_step == 0 {
                 continue;
             }
-            let step = largest_feasible_step(ctx, &negated, &current, face, max_step)?;
+            let step = largest_feasible_step(ctx, negated, &current, face, max_step)?;
             if step > 0 {
                 current = extend(&current, face, step);
                 grew = true;
@@ -84,7 +85,7 @@ fn faces(arity: usize) -> Vec<Face> {
 /// every face outward by `min(r, distance to the space boundary)` contains only models.
 fn inflate_uniformly(
     ctx: &mut SearchCtx<'_>,
-    negated: &Pred,
+    negated: PredId,
     space: &IntBox,
     current: &IntBox,
 ) -> Result<IntBox, SolverError> {
@@ -187,7 +188,7 @@ fn slab(current: &IntBox, face: Face, step: u128) -> IntBox {
 /// followed by binary search, so it needs `O(log max_step)` validity checks.
 fn largest_feasible_step(
     ctx: &mut SearchCtx<'_>,
-    negated: &Pred,
+    negated: PredId,
     current: &IntBox,
     face: Face,
     max_step: u128,
@@ -230,18 +231,18 @@ fn largest_feasible_step(
 /// models of `pred`.
 pub(crate) fn is_inclusion_maximal(
     ctx: &mut SearchCtx<'_>,
-    pred: &Pred,
+    pred: PredId,
     space: &IntBox,
     candidate: &IntBox,
 ) -> Result<bool, SolverError> {
-    let negated = simplify_pred(&pred.clone().negate());
+    let negated = ctx.store.negate_simplified(pred);
     for face in faces(space.arity()) {
         let limit = face_limit(face, space);
         if available(face, candidate, limit) == 0 {
             continue;
         }
         let slab = slab(candidate, face, 1);
-        if sat::find_model(ctx, &negated, &slab)?.is_none() {
+        if sat::find_model(ctx, negated, &slab)?.is_none() {
             return Ok(false);
         }
     }
@@ -252,7 +253,7 @@ pub(crate) fn is_inclusion_maximal(
 mod tests {
     use super::*;
     use crate::{Solver, SolverConfig};
-    use anosy_logic::{IntExpr, SecretLayout};
+    use anosy_logic::{IntExpr, Pred, SecretLayout};
 
     fn solver() -> Solver {
         Solver::with_config(SolverConfig::for_tests())
@@ -268,10 +269,7 @@ mod tests {
 
     fn assert_all_models(pred: &Pred, boxed: &IntBox) {
         let mut s = solver();
-        assert!(
-            s.is_valid(pred, boxed).unwrap(),
-            "box {boxed} contains a non-model of {pred}"
-        );
+        assert!(s.is_valid(pred, boxed).unwrap(), "box {boxed} contains a non-model of {pred}");
     }
 
     #[test]
@@ -283,7 +281,12 @@ mod tests {
             .unwrap()
             .is_none());
         assert!(s
-            .maximal_true_box(&q, &loc_space(), &Point::new(vec![999, 999]), ExpansionStrategy::Pareto)
+            .maximal_true_box(
+                &q,
+                &loc_space(),
+                &Point::new(vec![999, 999]),
+                ExpansionStrategy::Pareto
+            )
             .unwrap()
             .is_none());
     }
@@ -293,7 +296,12 @@ mod tests {
         let mut s = solver();
         let q = nearby(200, 200);
         let b = s
-            .maximal_true_box(&q, &loc_space(), &Point::new(vec![200, 200]), ExpansionStrategy::Pareto)
+            .maximal_true_box(
+                &q,
+                &loc_space(),
+                &Point::new(vec![200, 200]),
+                ExpansionStrategy::Pareto,
+            )
             .unwrap()
             .unwrap();
         assert_all_models(&q, &b);
@@ -352,22 +360,21 @@ mod tests {
             .unwrap()
             .unwrap();
         assert_all_models(&q, &greedy);
-        assert!(
-            pareto.count() > greedy.count(),
-            "pareto {pareto} should beat greedy {greedy}"
-        );
+        assert!(pareto.count() > greedy.count(), "pareto {pareto} should beat greedy {greedy}");
     }
 
     #[test]
     fn box_predicates_are_recovered_exactly() {
         // If the query itself is a box, the maximal box is that box.
         let mut s = solver();
-        let q = Pred::and(vec![
-            IntExpr::var(0).between(50, 80),
-            IntExpr::var(1).between(10, 350),
-        ]);
+        let q = Pred::and(vec![IntExpr::var(0).between(50, 80), IntExpr::var(1).between(10, 350)]);
         let b = s
-            .maximal_true_box(&q, &loc_space(), &Point::new(vec![60, 100]), ExpansionStrategy::Pareto)
+            .maximal_true_box(
+                &q,
+                &loc_space(),
+                &Point::new(vec![60, 100]),
+                ExpansionStrategy::Pareto,
+            )
             .unwrap()
             .unwrap();
         assert_eq!(b.dim(0), Range::new(50, 80));

@@ -4,10 +4,10 @@
 //! over the models of the query?". Over-approximation synthesis (§5.3) is exactly one such pair
 //! of questions per secret field.
 
-use crate::propagate::propagate;
+use crate::propagate::propagate_id;
 use crate::solver::SearchCtx;
 use crate::SolverError;
-use anosy_logic::{IntBox, Pred, TriBool};
+use anosy_logic::{IntBox, PredId, TriBool};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -48,7 +48,7 @@ impl Ord for Entry {
 /// Returns the optimum, or `None` when the predicate has no model in the space.
 pub(crate) fn optimize(
     ctx: &mut SearchCtx<'_>,
-    pred: &Pred,
+    pred: PredId,
     space: &IntBox,
     var: usize,
     maximize: bool,
@@ -94,16 +94,17 @@ pub(crate) fn optimize(
                 break;
             }
         }
-        let narrowed = match propagate(pred, &current, ctx.propagation_rounds()) {
+        let narrowed = match propagate_id(ctx.store, pred, &current, ctx.propagation_rounds()) {
             Some(b) => b,
             None => {
                 ctx.pruned += 1;
                 continue;
             }
         };
-        match pred.eval_abstract(&narrowed) {
+        match ctx.store.eval_abstract_pred(pred, &narrowed) {
             TriBool::True => {
-                let candidate = if maximize { narrowed.dim(var).hi() } else { narrowed.dim(var).lo() };
+                let candidate =
+                    if maximize { narrowed.dim(var).hi() } else { narrowed.dim(var).lo() };
                 if best.is_none_or(|b| better(candidate, b)) {
                     best = Some(candidate);
                 }
@@ -117,7 +118,7 @@ pub(crate) fn optimize(
         }
         if narrowed.is_singleton() {
             let point = narrowed.min_corner().expect("singleton box has a corner");
-            if pred.eval(&point).unwrap_or(false) {
+            if ctx.store.eval_pred(pred, &point).unwrap_or(false) {
                 let candidate = point[var];
                 if best.is_none_or(|b| better(candidate, b)) {
                     best = Some(candidate);
@@ -146,7 +147,7 @@ pub(crate) fn optimize(
 mod tests {
     use super::*;
     use crate::{Solver, SolverConfig};
-    use anosy_logic::{IntExpr, SecretLayout};
+    use anosy_logic::{IntExpr, Pred, SecretLayout};
 
     fn solver() -> Solver {
         Solver::with_config(SolverConfig::for_tests())
@@ -207,11 +208,8 @@ mod tests {
         ];
         for pred in preds {
             for var in 0..2 {
-                let models: Vec<i64> = space
-                    .points()
-                    .filter(|p| pred.eval(p).unwrap())
-                    .map(|p| p[var])
-                    .collect();
+                let models: Vec<i64> =
+                    space.points().filter(|p| pred.eval(p).unwrap()).map(|p| p[var]).collect();
                 let expected_max = models.iter().copied().max();
                 let expected_min = models.iter().copied().min();
                 assert_eq!(s.maximize(&pred, &space, var).unwrap(), expected_max, "max {pred}");

@@ -5,8 +5,17 @@
 //! contract: **narrowing never removes a model** — every point of the input box that satisfies
 //! the predicate is still in the output box (this is what makes it usable for exact model
 //! counting).
+//!
+//! The narrowing procedures operate on interned [`PredId`]/[`ExprId`] terms so that the range
+//! analyses they perform ([`TermStore::eval_abstract_expr`]) are memoized in the store and reused
+//! across fixed-point rounds and across search nodes that revisit the same `(term, box)` pair.
+//! The tree-level entry point [`propagate`] (exported as [`crate::narrow_box`]) interns into a
+//! private store, which keeps the abstract-interpretation baseline in `anosy-suite` working
+//! unchanged.
 
-use anosy_logic::{CmpOp, IntBox, IntExpr, Pred, Range, TriBool};
+use anosy_logic::{
+    CmpOp, ExprId, ExprNode, IntBox, Pred, PredId, PredShape, Range, TermStore, TriBool,
+};
 
 /// Narrows `boxed` with respect to `pred`, iterating to a (bounded) fixed point.
 ///
@@ -14,12 +23,24 @@ use anosy_logic::{CmpOp, IntBox, IntExpr, Pred, Range, TriBool};
 /// (as [`crate::narrow_box`]) because forward conditioning with a single narrowing pass is
 /// exactly what the abstract-interpretation baseline in `anosy-suite` needs.
 pub fn propagate(pred: &Pred, boxed: &IntBox, rounds: usize) -> Option<IntBox> {
+    let mut store = TermStore::new();
+    let id = store.intern_pred(pred);
+    propagate_id(&mut store, id, boxed, rounds)
+}
+
+/// Id-based narrowing over a shared store: the form every solver search uses.
+pub(crate) fn propagate_id(
+    store: &mut TermStore,
+    pred: PredId,
+    boxed: &IntBox,
+    rounds: usize,
+) -> Option<IntBox> {
     let mut current = boxed.clone();
     if current.is_empty() {
         return None;
     }
     for _ in 0..rounds.max(1) {
-        let next = narrow_pred(pred, &current)?;
+        let next = narrow_pred(store, pred, &current)?;
         if next == current {
             return Some(next);
         }
@@ -33,34 +54,32 @@ pub fn propagate(pred: &Pred, boxed: &IntBox, rounds: usize) -> Option<IntBox> {
 
 /// Componentwise hull of two boxes of equal arity.
 fn box_hull(a: &IntBox, b: &IntBox) -> IntBox {
-    IntBox::new(
-        a.dims()
-            .iter()
-            .zip(b.dims().iter())
-            .map(|(x, y)| x.hull(*y))
-            .collect(),
-    )
+    IntBox::new(a.dims().iter().zip(b.dims().iter()).map(|(x, y)| x.hull(*y)).collect())
 }
 
-fn narrow_pred(pred: &Pred, boxed: &IntBox) -> Option<IntBox> {
-    match pred {
-        Pred::True => Some(boxed.clone()),
-        Pred::False => None,
-        Pred::Cmp(op, a, b) => narrow_cmp(*op, a, b, boxed),
-        Pred::And(ps) => {
+fn narrow_pred(store: &mut TermStore, pred: PredId, boxed: &IntBox) -> Option<IntBox> {
+    // `pred_shape` avoids cloning connective child vectors on this hot path; children are
+    // fetched by index instead.
+    match store.pred_shape(pred) {
+        PredShape::True => Some(boxed.clone()),
+        PredShape::False => None,
+        PredShape::Cmp(op, a, b) => narrow_cmp(store, op, a, b, boxed),
+        PredShape::And(len) => {
             let mut current = boxed.clone();
-            for p in ps {
-                current = narrow_pred(p, &current)?;
+            for i in 0..len {
+                let child = store.pred_child(pred, i);
+                current = narrow_pred(store, child, &current)?;
                 if current.is_empty() {
                     return None;
                 }
             }
             Some(current)
         }
-        Pred::Or(ps) => {
+        PredShape::Or(len) => {
             let mut acc: Option<IntBox> = None;
-            for p in ps {
-                if let Some(narrowed) = narrow_pred(p, boxed) {
+            for i in 0..len {
+                let child = store.pred_child(pred, i);
+                if let Some(narrowed) = narrow_pred(store, child, boxed) {
                     acc = Some(match acc {
                         None => narrowed,
                         Some(prev) => box_hull(&prev, &narrowed),
@@ -70,50 +89,58 @@ fn narrow_pred(pred: &Pred, boxed: &IntBox) -> Option<IntBox> {
             acc
         }
         // Non-NNF connectives: fall back to the abstract evaluator, which is still sound.
-        Pred::Not(_) | Pred::Implies(..) | Pred::Iff(..) => match pred.eval_abstract(boxed) {
-            TriBool::False => None,
-            _ => Some(boxed.clone()),
-        },
+        PredShape::Not(_) | PredShape::Implies(..) | PredShape::Iff(..) => {
+            match store.eval_abstract_pred(pred, boxed) {
+                TriBool::False => None,
+                _ => Some(boxed.clone()),
+            }
+        }
     }
 }
 
-fn narrow_cmp(op: CmpOp, lhs: &IntExpr, rhs: &IntExpr, boxed: &IntBox) -> Option<IntBox> {
-    // Fast path via the abstract evaluator.
-    let ra = lhs.eval_abstract(boxed);
-    let rb = rhs.eval_abstract(boxed);
+fn narrow_cmp(
+    store: &mut TermStore,
+    op: CmpOp,
+    lhs: ExprId,
+    rhs: ExprId,
+    boxed: &IntBox,
+) -> Option<IntBox> {
+    // Fast path via the (memoized) abstract evaluator.
+    let ra = store.eval_abstract_expr(lhs, boxed);
+    let rb = store.eval_abstract_expr(rhs, boxed);
     match op {
         CmpOp::Le => {
             if ra.le(rb) == TriBool::False {
                 return None;
             }
-            let narrowed = narrow_expr(lhs, boxed, Range::new(i64::MIN, rb.hi()))?;
-            let ra2 = lhs.eval_abstract(&narrowed);
-            narrow_expr(rhs, &narrowed, Range::new(ra2.lo(), i64::MAX))
+            let narrowed = narrow_expr(store, lhs, boxed, Range::new(i64::MIN, rb.hi()))?;
+            let ra2 = store.eval_abstract_expr(lhs, &narrowed);
+            narrow_expr(store, rhs, &narrowed, Range::new(ra2.lo(), i64::MAX))
         }
         CmpOp::Lt => {
             if ra.lt(rb) == TriBool::False {
                 return None;
             }
             let hi = rb.hi().saturating_sub(1);
-            let narrowed = narrow_expr(lhs, boxed, Range::new(i64::MIN, hi))?;
-            let ra2 = lhs.eval_abstract(&narrowed);
-            narrow_expr(rhs, &narrowed, Range::new(ra2.lo().saturating_add(1), i64::MAX))
+            let narrowed = narrow_expr(store, lhs, boxed, Range::new(i64::MIN, hi))?;
+            let ra2 = store.eval_abstract_expr(lhs, &narrowed);
+            narrow_expr(store, rhs, &narrowed, Range::new(ra2.lo().saturating_add(1), i64::MAX))
         }
-        CmpOp::Ge => narrow_cmp(CmpOp::Le, rhs, lhs, boxed),
-        CmpOp::Gt => narrow_cmp(CmpOp::Lt, rhs, lhs, boxed),
+        CmpOp::Ge => narrow_cmp(store, CmpOp::Le, rhs, lhs, boxed),
+        CmpOp::Gt => narrow_cmp(store, CmpOp::Lt, rhs, lhs, boxed),
         CmpOp::Eq => {
             let common = ra.intersect(rb);
             if common.is_empty() {
                 return None;
             }
-            let narrowed = narrow_expr(lhs, boxed, common)?;
-            let ra2 = lhs.eval_abstract(&narrowed);
-            let rb2 = rhs.eval_abstract(&narrowed);
+            let narrowed = narrow_expr(store, lhs, boxed, common)?;
+            let ra2 = store.eval_abstract_expr(lhs, &narrowed);
+            let rb2 = store.eval_abstract_expr(rhs, &narrowed);
             let common2 = ra2.intersect(rb2);
             if common2.is_empty() {
                 return None;
             }
-            narrow_expr(rhs, &narrowed, common2)
+            narrow_expr(store, rhs, &narrowed, common2)
         }
         CmpOp::Ne => {
             // Boxes cannot represent a "hole"; only prune the definitely-false case.
@@ -157,118 +184,123 @@ fn clamp_i128(v: i128) -> i64 {
 /// Narrows `boxed` to the points where `expr` *may* evaluate to a value inside `required`.
 ///
 /// Returns `None` when no point of the box can produce a value in `required`.
-fn narrow_expr(expr: &IntExpr, boxed: &IntBox, required: Range) -> Option<IntBox> {
+fn narrow_expr(
+    store: &mut TermStore,
+    expr: ExprId,
+    boxed: &IntBox,
+    required: Range,
+) -> Option<IntBox> {
     if required.is_empty() {
         return None;
     }
-    match expr {
-        IntExpr::Const(c) => {
-            if required.contains(*c) {
+    match store.expr_node(expr).clone() {
+        ExprNode::Const(c) => {
+            if required.contains(c) {
                 Some(boxed.clone())
             } else {
                 None
             }
         }
-        IntExpr::Var(i) => {
-            if *i >= boxed.arity() {
+        ExprNode::Var(i) => {
+            if i >= boxed.arity() {
                 // Unknown variable: cannot narrow, stay sound.
                 return Some(boxed.clone());
             }
-            let new_range = boxed.dim(*i).intersect(required);
+            let new_range = boxed.dim(i).intersect(required);
             if new_range.is_empty() {
                 None
             } else {
-                Some(boxed.with_dim(*i, new_range))
+                Some(boxed.with_dim(i, new_range))
             }
         }
-        IntExpr::Add(a, b) => {
-            let ra = a.eval_abstract(boxed);
-            let rb = b.eval_abstract(boxed);
+        ExprNode::Add(a, b) => {
+            let ra = store.eval_abstract_expr(a, boxed);
+            let rb = store.eval_abstract_expr(b, boxed);
             if ra.add(rb).intersect(required).is_empty() {
                 return None;
             }
-            let narrowed = narrow_expr(a, boxed, required.sub(rb))?;
-            let ra2 = a.eval_abstract(&narrowed);
-            narrow_expr(b, &narrowed, required.sub(ra2))
+            let narrowed = narrow_expr(store, a, boxed, required.sub(rb))?;
+            let ra2 = store.eval_abstract_expr(a, &narrowed);
+            narrow_expr(store, b, &narrowed, required.sub(ra2))
         }
-        IntExpr::Sub(a, b) => {
-            let ra = a.eval_abstract(boxed);
-            let rb = b.eval_abstract(boxed);
+        ExprNode::Sub(a, b) => {
+            let ra = store.eval_abstract_expr(a, boxed);
+            let rb = store.eval_abstract_expr(b, boxed);
             if ra.sub(rb).intersect(required).is_empty() {
                 return None;
             }
             // a - b ∈ required  ⇒  a ∈ required + b  and  b ∈ a - required
-            let narrowed = narrow_expr(a, boxed, required.add(rb))?;
-            let ra2 = a.eval_abstract(&narrowed);
-            narrow_expr(b, &narrowed, ra2.sub(required))
+            let narrowed = narrow_expr(store, a, boxed, required.add(rb))?;
+            let ra2 = store.eval_abstract_expr(a, &narrowed);
+            narrow_expr(store, b, &narrowed, ra2.sub(required))
         }
-        IntExpr::Neg(a) => narrow_expr(a, boxed, required.neg()),
-        IntExpr::Scale(k, a) => {
-            if *k == 0 {
+        ExprNode::Neg(a) => narrow_expr(store, a, boxed, required.neg()),
+        ExprNode::Scale(k, a) => {
+            if k == 0 {
                 return if required.contains(0) { Some(boxed.clone()) } else { None };
             }
-            let (lo, hi) = if *k > 0 {
+            let (lo, hi) = if k > 0 {
                 (
-                    ceil_div(required.lo() as i128, *k as i128),
-                    floor_div(required.hi() as i128, *k as i128),
+                    ceil_div(required.lo() as i128, k as i128),
+                    floor_div(required.hi() as i128, k as i128),
                 )
             } else {
                 (
-                    ceil_div(required.hi() as i128, *k as i128),
-                    floor_div(required.lo() as i128, *k as i128),
+                    ceil_div(required.hi() as i128, k as i128),
+                    floor_div(required.lo() as i128, k as i128),
                 )
             };
             if lo > hi {
                 return None;
             }
-            narrow_expr(a, boxed, Range::new(clamp_i128(lo), clamp_i128(hi)))
+            narrow_expr(store, a, boxed, Range::new(clamp_i128(lo), clamp_i128(hi)))
         }
-        IntExpr::Abs(a) => {
+        ExprNode::Abs(a) => {
             let feasible = required.intersect(Range::new(0, i64::MAX));
             if feasible.is_empty() {
                 return None;
             }
-            let ra = a.eval_abstract(boxed);
+            let ra = store.eval_abstract_expr(a, boxed);
             if ra.lo() >= 0 {
-                narrow_expr(a, boxed, feasible)
+                narrow_expr(store, a, boxed, feasible)
             } else if ra.hi() <= 0 {
-                narrow_expr(a, boxed, feasible.neg())
+                narrow_expr(store, a, boxed, feasible.neg())
             } else {
                 // |a| <= feasible.hi  ⇒  a ∈ [-hi, hi]; the "hole" below feasible.lo cannot be
                 // represented by a single interval, so we keep only the outer bound.
-                narrow_expr(a, boxed, Range::new(-feasible.hi(), feasible.hi()))
+                narrow_expr(store, a, boxed, Range::new(-feasible.hi(), feasible.hi()))
             }
         }
-        IntExpr::Min(a, b) => {
+        ExprNode::Min(a, b) => {
             // min(a, b) >= required.lo ⇒ both operands >= required.lo.
             let lower = Range::new(required.lo(), i64::MAX);
-            let ra = a.eval_abstract(boxed);
-            let rb = b.eval_abstract(boxed);
+            let ra = store.eval_abstract_expr(a, boxed);
+            let rb = store.eval_abstract_expr(b, boxed);
             if ra.min(rb).intersect(required).is_empty() {
                 return None;
             }
-            let narrowed = narrow_expr(a, boxed, lower)?;
-            narrow_expr(b, &narrowed, lower)
+            let narrowed = narrow_expr(store, a, boxed, lower)?;
+            narrow_expr(store, b, &narrowed, lower)
         }
-        IntExpr::Max(a, b) => {
+        ExprNode::Max(a, b) => {
             // max(a, b) <= required.hi ⇒ both operands <= required.hi.
             let upper = Range::new(i64::MIN, required.hi());
-            let ra = a.eval_abstract(boxed);
-            let rb = b.eval_abstract(boxed);
+            let ra = store.eval_abstract_expr(a, boxed);
+            let rb = store.eval_abstract_expr(b, boxed);
             if ra.max(rb).intersect(required).is_empty() {
                 return None;
             }
-            let narrowed = narrow_expr(a, boxed, upper)?;
-            narrow_expr(b, &narrowed, upper)
+            let narrowed = narrow_expr(store, a, boxed, upper)?;
+            narrow_expr(store, b, &narrowed, upper)
         }
-        IntExpr::Ite(c, t, e) => match c.eval_abstract(boxed) {
-            TriBool::True => narrow_expr(t, boxed, required),
-            TriBool::False => narrow_expr(e, boxed, required),
+        ExprNode::Ite(c, t, e) => match store.eval_abstract_pred(c, boxed) {
+            TriBool::True => narrow_expr(store, t, boxed, required),
+            TriBool::False => narrow_expr(store, e, boxed, required),
             TriBool::Unknown => {
                 // Either branch may apply; we can only prune if *neither* branch can reach the
                 // required range.
-                let rt = t.eval_abstract(boxed);
-                let re = e.eval_abstract(boxed);
+                let rt = store.eval_abstract_expr(t, boxed);
+                let re = store.eval_abstract_expr(e, boxed);
                 if rt.intersect(required).is_empty() && re.intersect(required).is_empty() {
                     None
                 } else {
@@ -282,7 +314,7 @@ fn narrow_expr(expr: &IntExpr, boxed: &IntBox, required: Range) -> Option<IntBox
 #[cfg(test)]
 mod tests {
     use super::*;
-    use anosy_logic::{simplify_pred, Point, SecretLayout};
+    use anosy_logic::{simplify_pred, IntExpr, Point, SecretLayout};
 
     fn space(side: i64) -> IntBox {
         IntBox::new(vec![Range::new(0, side), Range::new(0, side)])
@@ -330,6 +362,28 @@ mod tests {
     }
 
     #[test]
+    fn id_based_narrowing_agrees_with_the_tree_wrapper_and_reuses_ranges() {
+        let mut store = TermStore::new();
+        // A deep arithmetic spine (well past the store's memo depth gate), so the range
+        // analyses behind narrowing are memoized and reused across runs.
+        let mut sum = (IntExpr::var(0) - 0).abs();
+        for i in 1..8i64 {
+            sum = sum + (IntExpr::var((i % 2) as usize) - 50 * i).abs();
+        }
+        let pred = sum.le(1500);
+        let id = store.intern_pred(&pred);
+        let first = propagate_id(&mut store, id, &space(400), 8);
+        assert_eq!(first, propagate(&pred, &space(400), 8));
+        // Running the same narrowing again over the shared store is answered mostly from the
+        // (id, box) range memo.
+        let misses = store.stats().range_misses;
+        let second = propagate_id(&mut store, id, &space(400), 8);
+        assert_eq!(first, second);
+        assert_eq!(store.stats().range_misses, misses, "re-run should not re-analyze ranges");
+        assert!(store.stats().range_hits > 0);
+    }
+
+    #[test]
     fn contradictions_prune_the_whole_box() {
         let pred = Pred::and(vec![IntExpr::var(0).le(10), IntExpr::var(0).ge(20)]);
         assert!(propagate(&pred, &space(400), 4).is_none());
@@ -340,10 +394,7 @@ mod tests {
 
     #[test]
     fn disjunction_narrows_to_the_hull_of_branches() {
-        let pred = Pred::or(vec![
-            IntExpr::var(0).between(2, 4),
-            IntExpr::var(0).between(10, 12),
-        ]);
+        let pred = Pred::or(vec![IntExpr::var(0).between(2, 4), IntExpr::var(0).between(10, 12)]);
         let narrowed = propagate(&pred, &space(400), 4).unwrap();
         assert_eq!(narrowed.dim(0), Range::new(2, 12));
     }

@@ -1,14 +1,14 @@
-//! Satisfiability: depth-first branch-and-prune model search.
+//! Satisfiability: depth-first branch-and-prune model search, over interned predicates.
 
-use crate::propagate::propagate;
+use crate::propagate::propagate_id;
 use crate::solver::SearchCtx;
 use crate::SolverError;
-use anosy_logic::{IntBox, Point, Pred, TriBool};
+use anosy_logic::{IntBox, Point, PredId, TriBool};
 
 /// Finds a model of `pred` inside `space`, or proves there is none.
 pub(crate) fn find_model(
     ctx: &mut SearchCtx<'_>,
-    pred: &Pred,
+    pred: PredId,
     space: &IntBox,
 ) -> Result<Option<Point>, SolverError> {
     if space.is_empty() {
@@ -17,14 +17,14 @@ pub(crate) fn find_model(
     let mut stack = vec![space.clone()];
     while let Some(current) = stack.pop() {
         ctx.tick()?;
-        let narrowed = match propagate(pred, &current, ctx.propagation_rounds()) {
+        let narrowed = match propagate_id(ctx.store, pred, &current, ctx.propagation_rounds()) {
             Some(b) => b,
             None => {
                 ctx.pruned += 1;
                 continue;
             }
         };
-        match pred.eval_abstract(&narrowed) {
+        match ctx.store.eval_abstract_pred(pred, &narrowed) {
             TriBool::True => {
                 return Ok(narrowed.min_corner());
             }
@@ -36,7 +36,7 @@ pub(crate) fn find_model(
         }
         if narrowed.is_singleton() {
             let point = narrowed.min_corner().expect("singleton box has a corner");
-            if pred.eval(&point).unwrap_or(false) {
+            if ctx.store.eval_pred(pred, &point).unwrap_or(false) {
                 return Ok(Some(point));
             }
             ctx.pruned += 1;
@@ -57,7 +57,7 @@ pub(crate) fn find_model(
 mod tests {
     use super::*;
     use crate::{Solver, SolverConfig};
-    use anosy_logic::{IntExpr, SecretLayout};
+    use anosy_logic::{IntExpr, Pred, SecretLayout};
 
     fn solver() -> Solver {
         Solver::with_config(SolverConfig::for_tests())

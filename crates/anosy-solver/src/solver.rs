@@ -4,24 +4,30 @@ use crate::{
     count, maximal, optimize, sat, validity, ExpansionStrategy, SolverConfig, SolverError,
     SolverStats, ValidityOutcome,
 };
-use anosy_logic::{simplify_pred, IntBox, Point, Pred, Range};
+use anosy_logic::{IntBox, Point, Pred, PredId, Range, StoreStats, TermStore};
 use std::time::{Duration, Instant};
 
 /// Budget-tracking context threaded through every search.
+///
+/// Besides the node/time budgets it carries the solver's [`TermStore`], so every procedure
+/// works on interned ids and the store's memoized range analyses are shared across search nodes
+/// (and across queries: the store lives as long as the [`Solver`]).
 pub(crate) struct SearchCtx<'a> {
     config: &'a SolverConfig,
     deadline: Instant,
     pub(crate) nodes: u64,
     pub(crate) pruned: u64,
+    pub(crate) store: &'a mut TermStore,
 }
 
 impl<'a> SearchCtx<'a> {
-    fn new(config: &'a SolverConfig) -> Self {
+    fn new(config: &'a SolverConfig, store: &'a mut TermStore) -> Self {
         SearchCtx {
             config,
             deadline: Instant::now() + config.time_budget,
             nodes: 0,
             pruned: 0,
+            store,
         }
     }
 
@@ -66,6 +72,7 @@ impl<'a> SearchCtx<'a> {
 pub struct Solver {
     config: SolverConfig,
     stats: SolverStats,
+    store: TermStore,
 }
 
 impl Solver {
@@ -76,7 +83,7 @@ impl Solver {
 
     /// Creates a solver with an explicit configuration.
     pub fn with_config(config: SolverConfig) -> Self {
-        Solver { config, stats: SolverStats::new() }
+        Solver { config, stats: SolverStats::new(), store: TermStore::new() }
     }
 
     /// The active configuration.
@@ -89,36 +96,67 @@ impl Solver {
         &self.stats
     }
 
-    /// Clears the accumulated statistics.
-    pub fn reset_stats(&mut self) {
-        self.stats = SolverStats::new();
+    /// Hit/miss counters of the solver's [`TermStore`] memo tables (interning dedup, memoized
+    /// simplification, free variables and range analyses).
+    pub fn store_stats(&self) -> StoreStats {
+        self.store.stats()
     }
 
-    fn check_arity(pred: &Pred, space: &IntBox) -> Result<(), SolverError> {
-        if let Some(max_index) = pred.free_vars().into_iter().max() {
+    /// The solver's term store (read access: node counts, reconstruction).
+    pub fn store(&self) -> &TermStore {
+        &self.store
+    }
+
+    /// The solver's term store (intern further terms into the shared arena — e.g. candidate
+    /// predicates the synthesizer wants deduplicated by id).
+    pub fn store_mut(&mut self) -> &mut TermStore {
+        &mut self.store
+    }
+
+    /// Interns `pred` into the solver's store and returns its simplified id — the canonical
+    /// handle under which the solver searches it. Two predicates receive the same id exactly
+    /// when their simplified forms are structurally equal.
+    pub fn intern_simplified(&mut self, pred: &Pred) -> PredId {
+        let id = self.store.intern_pred(pred);
+        self.store.simplify(id)
+    }
+
+    /// Clears the accumulated statistics (search counters and store counters).
+    pub fn reset_stats(&mut self) {
+        self.stats = SolverStats::new();
+        self.store.reset_stats();
+    }
+
+    fn run_id<T>(
+        &mut self,
+        pred: PredId,
+        space: &IntBox,
+        f: impl FnOnce(&mut SearchCtx<'_>, PredId, &IntBox) -> Result<T, SolverError>,
+    ) -> Result<T, SolverError> {
+        let started = Instant::now();
+        if let Some(max_index) = self.store.max_free_var(pred) {
             if max_index >= space.arity() {
                 return Err(SolverError::ArityMismatch { max_index, arity: space.arity() });
             }
         }
-        Ok(())
+        let normalized = self.store.simplify(pred);
+        let mut ctx = SearchCtx::new(&self.config, &mut self.store);
+        let result = f(&mut ctx, normalized, space);
+        self.stats.nodes_explored += ctx.nodes;
+        self.stats.nodes_pruned += ctx.pruned;
+        self.stats.queries += 1;
+        self.stats.total_time += saturating_elapsed(started);
+        result
     }
 
     fn run<T>(
         &mut self,
         pred: &Pred,
         space: &IntBox,
-        f: impl FnOnce(&mut SearchCtx<'_>, &Pred, &IntBox) -> Result<T, SolverError>,
+        f: impl FnOnce(&mut SearchCtx<'_>, PredId, &IntBox) -> Result<T, SolverError>,
     ) -> Result<T, SolverError> {
-        Self::check_arity(pred, space)?;
-        let started = Instant::now();
-        let normalized = simplify_pred(pred);
-        let mut ctx = SearchCtx::new(&self.config);
-        let result = f(&mut ctx, &normalized, space);
-        self.stats.nodes_explored += ctx.nodes;
-        self.stats.nodes_pruned += ctx.pruned;
-        self.stats.queries += 1;
-        self.stats.total_time += saturating_elapsed(started);
-        result
+        let id = self.store.intern_pred(pred);
+        self.run_id(id, space, f)
     }
 
     /// Finds a point of `space` satisfying `pred`, if one exists.
@@ -127,8 +165,23 @@ impl Solver {
     ///
     /// Returns [`SolverError::ArityMismatch`] if the predicate mentions fields outside the space
     /// and [`SolverError::BudgetExhausted`] if the configured limits are hit.
-    pub fn find_model(&mut self, pred: &Pred, space: &IntBox) -> Result<Option<Point>, SolverError> {
+    pub fn find_model(
+        &mut self,
+        pred: &Pred,
+        space: &IntBox,
+    ) -> Result<Option<Point>, SolverError> {
         self.run(pred, space, sat::find_model)
+    }
+
+    /// Id-native [`Solver::find_model`]: takes a predicate already interned in this solver's
+    /// store, skipping the per-call interning walk. This is the entry point the synthesizer's
+    /// refinement loops use — they build candidate predicates directly in the store.
+    pub fn find_model_id(
+        &mut self,
+        pred: PredId,
+        space: &IntBox,
+    ) -> Result<Option<Point>, SolverError> {
+        self.run_id(pred, space, sat::find_model)
     }
 
     /// Returns `true` if some point of `space` satisfies `pred`.
@@ -163,6 +216,28 @@ impl Solver {
         Ok(matches!(self.check_validity(pred, space)?, ValidityOutcome::Valid))
     }
 
+    /// Id-native [`Solver::check_validity`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Solver::find_model`].
+    pub fn check_validity_id(
+        &mut self,
+        pred: PredId,
+        space: &IntBox,
+    ) -> Result<ValidityOutcome, SolverError> {
+        self.run_id(pred, space, validity::check_validity)
+    }
+
+    /// Id-native [`Solver::is_valid`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Solver::find_model`].
+    pub fn is_valid_id(&mut self, pred: PredId, space: &IntBox) -> Result<bool, SolverError> {
+        Ok(matches!(self.check_validity_id(pred, space)?, ValidityOutcome::Valid))
+    }
+
     /// Counts the points of `space` that satisfy `pred`, exactly.
     ///
     /// # Errors
@@ -170,6 +245,15 @@ impl Solver {
     /// See [`Solver::find_model`].
     pub fn count_models(&mut self, pred: &Pred, space: &IntBox) -> Result<u128, SolverError> {
         self.run(pred, space, count::count_models)
+    }
+
+    /// Id-native [`Solver::count_models`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Solver::find_model`].
+    pub fn count_models_id(&mut self, pred: PredId, space: &IntBox) -> Result<u128, SolverError> {
+        self.run_id(pred, space, count::count_models)
     }
 
     /// Largest value of variable `var` over the models of `pred` in `space`, or `None` if the
@@ -202,6 +286,34 @@ impl Solver {
         self.run(pred, space, |ctx, p, s| optimize::optimize(ctx, p, s, var, false))
     }
 
+    /// Id-native [`Solver::maximize`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Solver::find_model`].
+    pub fn maximize_id(
+        &mut self,
+        pred: PredId,
+        space: &IntBox,
+        var: usize,
+    ) -> Result<Option<i64>, SolverError> {
+        self.run_id(pred, space, |ctx, p, s| optimize::optimize(ctx, p, s, var, true))
+    }
+
+    /// Id-native [`Solver::minimize`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Solver::find_model`].
+    pub fn minimize_id(
+        &mut self,
+        pred: PredId,
+        space: &IntBox,
+        var: usize,
+    ) -> Result<Option<i64>, SolverError> {
+        self.run_id(pred, space, |ctx, p, s| optimize::optimize(ctx, p, s, var, false))
+    }
+
     /// The tightest box containing **all** models of `pred` in `space` (the optimal single-interval
     /// over-approximation of the ind. set), or `None` if there are no models.
     ///
@@ -213,10 +325,25 @@ impl Solver {
         pred: &Pred,
         space: &IntBox,
     ) -> Result<Option<IntBox>, SolverError> {
+        let id = self.store.intern_pred(pred);
+        self.bounding_true_box_id(id, space)
+    }
+
+    /// Id-native [`Solver::bounding_true_box`]: the predicate is interned once, not once per
+    /// optimization direction and variable.
+    ///
+    /// # Errors
+    ///
+    /// See [`Solver::find_model`].
+    pub fn bounding_true_box_id(
+        &mut self,
+        pred: PredId,
+        space: &IntBox,
+    ) -> Result<Option<IntBox>, SolverError> {
         let mut dims = Vec::with_capacity(space.arity());
         for var in 0..space.arity() {
-            let lo = self.minimize(pred, space, var)?;
-            let hi = self.maximize(pred, space, var)?;
+            let lo = self.minimize_id(pred, space, var)?;
+            let hi = self.maximize_id(pred, space, var)?;
             match (lo, hi) {
                 (Some(lo), Some(hi)) => dims.push(Range::new(lo, hi)),
                 _ => return Ok(None),
@@ -238,11 +365,12 @@ impl Solver {
         space: &IntBox,
         candidate: &IntBox,
     ) -> Result<bool, SolverError> {
-        if !self.is_valid(pred, candidate)? {
+        let id = self.store.intern_pred(pred);
+        if !self.is_valid_id(id, candidate)? {
             return Ok(false);
         }
         let candidate = candidate.clone();
-        self.run(pred, space, move |ctx, p, s| {
+        self.run_id(id, space, move |ctx, p, s| {
             maximal::is_inclusion_maximal(ctx, p, s, &candidate)
         })
     }
@@ -261,8 +389,24 @@ impl Solver {
         seed: &Point,
         strategy: ExpansionStrategy,
     ) -> Result<Option<IntBox>, SolverError> {
+        let id = self.store.intern_pred(pred);
+        self.maximal_true_box_id(id, space, seed, strategy)
+    }
+
+    /// Id-native [`Solver::maximal_true_box`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Solver::find_model`].
+    pub fn maximal_true_box_id(
+        &mut self,
+        pred: PredId,
+        space: &IntBox,
+        seed: &Point,
+        strategy: ExpansionStrategy,
+    ) -> Result<Option<IntBox>, SolverError> {
         let seed = seed.clone();
-        self.run(pred, space, move |ctx, p, s| {
+        self.run_id(pred, space, move |ctx, p, s| {
             maximal::maximal_true_box(ctx, p, s, &seed, strategy)
         })
     }

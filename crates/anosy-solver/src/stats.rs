@@ -63,8 +63,18 @@ mod tests {
 
     #[test]
     fn absorb_accumulates() {
-        let mut a = SolverStats { nodes_explored: 10, nodes_pruned: 4, queries: 1, total_time: Duration::from_millis(5) };
-        let b = SolverStats { nodes_explored: 20, nodes_pruned: 6, queries: 2, total_time: Duration::from_millis(7) };
+        let mut a = SolverStats {
+            nodes_explored: 10,
+            nodes_pruned: 4,
+            queries: 1,
+            total_time: Duration::from_millis(5),
+        };
+        let b = SolverStats {
+            nodes_explored: 20,
+            nodes_pruned: 6,
+            queries: 2,
+            total_time: Duration::from_millis(7),
+        };
         a.absorb(&b);
         assert_eq!(a.nodes_explored, 30);
         assert_eq!(a.nodes_pruned, 10);

@@ -3,7 +3,7 @@
 use crate::sat;
 use crate::solver::SearchCtx;
 use crate::SolverError;
-use anosy_logic::{simplify_pred, IntBox, Point, Pred};
+use anosy_logic::{IntBox, Point, PredId};
 
 /// Result of a validity check.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -29,14 +29,15 @@ impl ValidityOutcome {
     }
 }
 
-/// Checks validity by searching for a model of the negation.
+/// Checks validity by searching for a model of the negation. The negated NNF is memoized in the
+/// store, so revalidating the same predicate skips the rewrite entirely.
 pub(crate) fn check_validity(
     ctx: &mut SearchCtx<'_>,
-    pred: &Pred,
+    pred: PredId,
     space: &IntBox,
 ) -> Result<ValidityOutcome, SolverError> {
-    let negated = simplify_pred(&pred.clone().negate());
-    Ok(match sat::find_model(ctx, &negated, space)? {
+    let negated = ctx.store.negate_simplified(pred);
+    Ok(match sat::find_model(ctx, negated, space)? {
         None => ValidityOutcome::Valid,
         Some(point) => ValidityOutcome::CounterExample(point),
     })
@@ -46,7 +47,7 @@ pub(crate) fn check_validity(
 mod tests {
     use super::*;
     use crate::{Solver, SolverConfig};
-    use anosy_logic::{IntExpr, Range, SecretLayout};
+    use anosy_logic::{IntExpr, Pred, Range, SecretLayout};
 
     fn solver() -> Solver {
         Solver::with_config(SolverConfig::for_tests())

@@ -133,12 +133,7 @@ pub fn run_advertising(config: &AdvertisingConfig) -> Result<Vec<AdvertisingOutc
     // One restaurant location per query, shared by every run and every k (as in the paper, the
     // query sequence is the restaurant chain's branches).
     let restaurants: Vec<(i64, i64)> = (0..config.num_queries)
-        .map(|_| {
-            (
-                rng.gen_range(0..=config.space_side),
-                rng.gen_range(0..=config.space_side),
-            )
-        })
+        .map(|_| (rng.gen_range(0..=config.space_side), rng.gen_range(0..=config.space_side)))
         .collect();
     let user_locations: Vec<Point> = (0..config.runs)
         .map(|_| {
@@ -153,8 +148,8 @@ pub fn run_advertising(config: &AdvertisingConfig) -> Result<Vec<AdvertisingOutc
         .iter()
         .enumerate()
         .map(|(i, (x, y))| {
-            let pred = ((IntExpr::var(0) - *x).abs() + (IntExpr::var(1) - *y).abs())
-                .le(config.radius);
+            let pred =
+                ((IntExpr::var(0) - *x).abs() + (IntExpr::var(1) - *y).abs()).le(config.radius);
             QueryDef::new(format!("nearby_{i}_{x}_{y}"), layout.clone(), pred)
                 .expect("generated query is well-formed")
         })

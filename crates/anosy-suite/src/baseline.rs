@@ -31,10 +31,7 @@ pub fn ai_posterior(query: &QueryDef, prior: &IntervalDomain) -> (IntervalDomain
             None => IntervalDomain::empty(arity),
         }
     };
-    (
-        condition(query.pred().clone()),
-        condition(query.pred().clone().negate()),
-    )
+    (condition(query.pred().clone()), condition(query.pred().clone().negate()))
 }
 
 /// Precision comparison between the baseline and ANOSY's synthesized approximations for one
@@ -111,9 +108,8 @@ mod tests {
             assert!(post_f.size() >= exact_f, "{}: baseline False too small", query.name());
             // And every exact model is inside the baseline posterior (soundness, spot-checked by
             // the solver).
-            let holds = solver
-                .is_valid(&query.pred().clone().implies(post_t.to_pred()), &space)
-                .unwrap();
+            let holds =
+                solver.is_valid(&query.pred().clone().implies(post_t.to_pred()), &space).unwrap();
             assert!(holds, "{}: baseline True posterior misses models", query.name());
         }
     }

@@ -1,6 +1,6 @@
 //! The Mardziel et al. benchmark suite as used by the paper (Table 1, Fig. 5).
 //!
-//! The paper reuses the secret-space bounds of Mardziel et al. [25] but does not restate them.
+//! The paper reuses the secret-space bounds of Mardziel et al. \[25\] but does not restate them.
 //! Where the published Table 1 sizes pin the bounds down (B1 Birthday, B3 Photo) we use exactly
 //! those; for the remaining benchmarks we choose bounds of the same order of magnitude and record
 //! the deviation in EXPERIMENTS.md. Every benchmark is a boolean query over a product of bounded
@@ -93,16 +93,14 @@ impl Benchmark {
 /// B1 — Birthday: `today <= bday < today + 7` with `today = 260`, over bday ∈ [0, 364] and
 /// byear ∈ [1956, 1992]. These bounds reproduce Table 1 exactly (259 / 13246).
 pub fn birthday() -> Benchmark {
-    let layout = SecretLayout::builder()
-        .field("bday", 0, 364)
-        .field("byear", 1956, 1992)
-        .build();
+    let layout = SecretLayout::builder().field("bday", 0, 364).field("byear", 1956, 1992).build();
     let today = 260;
     let bday = IntExpr::var(0);
     let pred = Pred::and(vec![bday.clone().ge(today), bday.lt(today + 7)]);
     Benchmark {
         id: BenchmarkId::Birthday,
-        description: "checks if a user's birthday, the secret, is within the next 7 days of a fixed day",
+        description:
+            "checks if a user's birthday, the secret, is within the next 7 days of a fixed day",
         query: QueryDef::new("birthday", layout, pred).expect("benchmark query is well-formed"),
         paper_true_size: 259,
         paper_false_size: 13_246,
@@ -120,10 +118,7 @@ pub fn ship() -> Benchmark {
         .field("capacity", 0, 24)
         .build();
     let distance = (IntExpr::var(0) - 500).abs() + (IntExpr::var(1) - 500).abs();
-    let pred = Pred::and(vec![
-        distance.clone().le(300),
-        (IntExpr::var(2) * 40).ge(distance),
-    ]);
+    let pred = Pred::and(vec![distance.clone().le(300), (IntExpr::var(2) * 40).ge(distance)]);
     Benchmark {
         id: BenchmarkId::Ship,
         description: "calculates if a ship can aid an island based on the island's location and the ship's onboard capacity",

@@ -19,6 +19,6 @@ pub mod advertising;
 pub mod baseline;
 pub mod benchmarks;
 
-pub use advertising::{AdvertisingConfig, AdvertisingOutcome, run_advertising};
+pub use advertising::{run_advertising, AdvertisingConfig, AdvertisingOutcome};
 pub use baseline::{ai_posterior, BaselineComparison};
 pub use benchmarks::{all_benchmarks, Benchmark, BenchmarkId};

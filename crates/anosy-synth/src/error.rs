@@ -34,10 +34,9 @@ impl fmt::Display for SynthError {
             SynthError::InvalidQuery { name, reason } => {
                 write!(f, "query `{name}` is invalid: {reason}")
             }
-            SynthError::RegionExhausted { synthesized, requested } => write!(
-                f,
-                "region exhausted after {synthesized} of {requested} powerset members"
-            ),
+            SynthError::RegionExhausted { synthesized, requested } => {
+                write!(f, "region exhausted after {synthesized} of {requested} powerset members")
+            }
         }
     }
 }

@@ -51,4 +51,4 @@ pub use error::SynthError;
 pub use indset::{ApproxKind, IndSets};
 pub use query::{QueryDef, QueryRegistry};
 pub use sketch::{Hole, Sketch};
-pub use synthesizer::Synthesizer;
+pub use synthesizer::{SynthStats, Synthesizer};

@@ -48,9 +48,7 @@ impl Sketch {
     /// All holes of the sketch, filled or not, in field order (lower before upper).
     pub fn holes(&self) -> Vec<Hole> {
         (0..self.arity)
-            .flat_map(|field| {
-                [Hole { field, is_lower: true }, Hole { field, is_lower: false }]
-            })
+            .flat_map(|field| [Hole { field, is_lower: true }, Hole { field, is_lower: false }])
             .collect()
     }
 

@@ -2,8 +2,23 @@
 
 use crate::{ApproxKind, IndSets, QueryDef, Sketch, SynthConfig, SynthError};
 use anosy_domains::{AbstractDomain, IntervalDomain, PowersetDomain};
-use anosy_logic::{simplify_pred, IntBox, Point, Pred, SecretLayout};
+use anosy_logic::{IntBox, Point, PredId, SecretLayout, StoreStats};
 use anosy_solver::{Solver, SolverStats};
+use std::collections::HashSet;
+
+/// Counters for candidate handling during synthesis.
+///
+/// Candidate boxes grown from different seeds (and the members enumerated by `IterSynth`) are
+/// interned into the solver's term store, so two candidates denoting the same region are
+/// detected by a single id comparison instead of a deep tree comparison; detected duplicates
+/// skip their redundant coverage bookkeeping.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SynthStats {
+    /// Candidate boxes grown (across all seeds, regions and `IterSynth` iterations).
+    pub candidate_boxes: u64,
+    /// Candidates whose interned id matched an earlier candidate of the same region.
+    pub duplicate_candidates: u64,
+}
 
 /// Synthesizes correct-by-construction knowledge approximations for declassification queries.
 ///
@@ -15,6 +30,7 @@ use anosy_solver::{Solver, SolverStats};
 pub struct Synthesizer {
     config: SynthConfig,
     solver: Solver,
+    stats: SynthStats,
 }
 
 impl Synthesizer {
@@ -26,7 +42,7 @@ impl Synthesizer {
     /// Creates a synthesizer with an explicit configuration.
     pub fn with_config(config: SynthConfig) -> Self {
         let solver = Solver::with_config(config.solver.clone());
-        Synthesizer { config, solver }
+        Synthesizer { config, solver, stats: SynthStats::default() }
     }
 
     /// The active configuration.
@@ -37,6 +53,17 @@ impl Synthesizer {
     /// Statistics of the underlying solver (search effort across all synthesis calls so far).
     pub fn solver_stats(&self) -> &SolverStats {
         self.solver.stats()
+    }
+
+    /// Hit/miss counters of the solver's term-store memo tables (interning dedup, memoized
+    /// simplification and range analyses) accumulated across synthesis calls.
+    pub fn store_stats(&self) -> StoreStats {
+        self.solver.store_stats()
+    }
+
+    /// Candidate interning counters (see [`SynthStats`]).
+    pub fn synth_stats(&self) -> SynthStats {
+        self.stats
     }
 
     /// Generates the synthesis sketch for one abstract-domain hole of `query` (§5.2). The
@@ -62,11 +89,21 @@ impl Synthesizer {
         kind: ApproxKind,
     ) -> Result<IndSets<IntervalDomain>, SynthError> {
         let space = query.layout().space();
-        let positive = simplify_pred(query.pred());
-        let negative = simplify_pred(&query.pred().clone().negate());
-        let truthy = self.synth_region_interval(&positive, &space, query.layout(), kind)?;
-        let falsy = self.synth_region_interval(&negative, &space, query.layout(), kind)?;
+        let (positive, negative) = self.intern_regions(query);
+        let truthy = self.synth_region_interval(positive, &space, query.layout(), kind)?;
+        let falsy = self.synth_region_interval(negative, &space, query.layout(), kind)?;
         Ok(IndSets::new(kind, truthy, falsy))
+    }
+
+    /// Interns the query predicate once and returns the canonical ids of its True and False
+    /// regions. All downstream synthesis works on these ids: candidate refinements are built
+    /// directly in the store, and the solver is driven through its id-native API.
+    fn intern_regions(&mut self, query: &QueryDef) -> (PredId, PredId) {
+        let store = self.solver.store_mut();
+        let raw = store.intern_pred(query.pred());
+        let positive = store.simplify(raw);
+        let negative = store.negate_simplified(raw);
+        (positive, negative)
     }
 
     /// Synthesizes powerset-domain ind. sets with at most `k` synthesized members per region
@@ -93,23 +130,22 @@ impl Synthesizer {
     ) -> Result<IndSets<PowersetDomain>, SynthError> {
         assert!(k > 0, "a powerset needs at least one member");
         let space = query.layout().space();
-        let positive = simplify_pred(query.pred());
-        let negative = simplify_pred(&query.pred().clone().negate());
-        let truthy = self.synth_region_powerset(&positive, &space, query.layout(), kind, k)?;
-        let falsy = self.synth_region_powerset(&negative, &space, query.layout(), kind, k)?;
+        let (positive, negative) = self.intern_regions(query);
+        let truthy = self.synth_region_powerset(positive, &space, query.layout(), kind, k)?;
+        let falsy = self.synth_region_powerset(negative, &space, query.layout(), kind, k)?;
         Ok(IndSets::new(kind, truthy, falsy))
     }
 
     /// Synthesizes a single interval-domain approximation of the region `pred` within `space`.
     fn synth_region_interval(
         &mut self,
-        pred: &Pred,
+        pred: PredId,
         space: &IntBox,
         layout: &SecretLayout,
         kind: ApproxKind,
     ) -> Result<IntervalDomain, SynthError> {
         let result = match kind {
-            ApproxKind::Over => self.solver.bounding_true_box(pred, space)?,
+            ApproxKind::Over => self.solver.bounding_true_box_id(pred, space)?,
             ApproxKind::Under => self.best_true_box(pred, space)?,
         };
         Ok(match result {
@@ -121,7 +157,7 @@ impl Synthesizer {
     /// Synthesizes a powerset approximation of the region `pred` within `space`.
     fn synth_region_powerset(
         &mut self,
-        pred: &Pred,
+        pred: PredId,
         space: &IntBox,
         layout: &SecretLayout,
         kind: ApproxKind,
@@ -133,23 +169,42 @@ impl Synthesizer {
         }
     }
 
+    /// Interns a synthesized member box and conjoins its negation onto the running refinement
+    /// predicate, entirely inside the store (no tree building).
+    fn refine_with_member(&mut self, refined: PredId, member: &IntervalDomain) -> (PredId, PredId) {
+        let store = self.solver.store_mut();
+        let member_id = store.intern_pred(&member.to_pred());
+        let not_member = store.mk_not(member_id);
+        let next = store.mk_and(vec![refined, not_member]);
+        (member_id, next)
+    }
+
     /// `IterSynth` for under-approximations: grow the inclusion list with disjoint
     /// inclusion-maximal boxes of the not-yet-covered region.
     fn iter_synth_under(
         &mut self,
-        pred: &Pred,
+        pred: PredId,
         space: &IntBox,
         layout: &SecretLayout,
         k: usize,
     ) -> Result<PowersetDomain, SynthError> {
         let mut powerset = PowersetDomain::bottom(layout);
-        let mut remaining = pred.clone();
+        let mut remaining = pred;
+        let mut members = HashSet::new();
         for _ in 0..k {
-            let Some(boxed) = self.best_true_box(&simplify_pred(&remaining), space)? else {
+            let target = self.solver.store_mut().simplify(remaining);
+            let Some(boxed) = self.best_true_box(target, space)? else {
                 break; // region exhausted: the powerset is already exact
             };
             let member = IntervalDomain::from_box(&boxed);
-            remaining = remaining.and_also(member.to_pred().negate());
+            let (member_id, refined) = self.refine_with_member(remaining, &member);
+            if !members.insert(member_id) {
+                // A member can only recur if the solver failed to respect the exclusion; an id
+                // check catches it in O(1) and stops the enumeration from spinning.
+                self.stats.duplicate_candidates += 1;
+                break;
+            }
+            remaining = refined;
             powerset.push_include(member);
         }
         Ok(powerset)
@@ -159,25 +214,37 @@ impl Synthesizer {
     /// list with disjoint boxes that provably contain no model.
     fn iter_synth_over(
         &mut self,
-        pred: &Pred,
+        pred: PredId,
         space: &IntBox,
         layout: &SecretLayout,
         k: usize,
     ) -> Result<PowersetDomain, SynthError> {
-        let Some(outer) = self.solver.bounding_true_box(pred, space)? else {
+        let Some(outer) = self.solver.bounding_true_box_id(pred, space)? else {
             return Ok(PowersetDomain::bottom(layout));
         };
         let outer_domain = IntervalDomain::from_box(&outer);
         let mut powerset = PowersetDomain::from_interval(outer_domain.clone());
         // The region that may still be carved away: inside the bounding box, outside the models,
         // not yet excluded.
-        let mut carvable = outer_domain.to_pred().and_also(pred.clone().negate());
+        let mut carvable = {
+            let store = self.solver.store_mut();
+            let outer_id = store.intern_pred(&outer_domain.to_pred());
+            let not_pred = store.mk_not(pred);
+            store.mk_and(vec![outer_id, not_pred])
+        };
+        let mut members = HashSet::new();
         for _ in 1..k {
-            let Some(boxed) = self.best_true_box(&simplify_pred(&carvable), &outer)? else {
+            let target = self.solver.store_mut().simplify(carvable);
+            let Some(boxed) = self.best_true_box(target, &outer)? else {
                 break; // nothing left to carve: the over-approximation is as tight as this shape allows
             };
             let member = IntervalDomain::from_box(&boxed);
-            carvable = carvable.and_also(member.to_pred().negate());
+            let (member_id, refined) = self.refine_with_member(carvable, &member);
+            if !members.insert(member_id) {
+                self.stats.duplicate_candidates += 1;
+                break;
+            }
+            carvable = refined;
             powerset.push_exclude(member);
         }
         Ok(powerset)
@@ -191,18 +258,22 @@ impl Synthesizer {
     /// benchmarks' this is the best starting point), falling back to an arbitrary model;
     /// subsequent seeds are models outside everything grown so far, which is what lets point-wise
     /// (disjoint-union) queries profit from several seeds.
-    fn best_true_box(&mut self, pred: &Pred, space: &IntBox) -> Result<Option<IntBox>, SynthError> {
-        let Some(fallback_seed) = self.solver.find_model(pred, space)? else {
+    fn best_true_box(
+        &mut self,
+        pred: PredId,
+        space: &IntBox,
+    ) -> Result<Option<IntBox>, SynthError> {
+        let Some(fallback_seed) = self.solver.find_model_id(pred, space)? else {
             return Ok(None);
         };
-        let first_seed = match self.solver.bounding_true_box(pred, space)? {
+        let first_seed = match self.solver.bounding_true_box_id(pred, space)? {
             Some(bb) => {
                 let center: Point = bb
                     .dims()
                     .iter()
                     .map(|r| r.lo() + ((r.hi() as i128 - r.lo() as i128) / 2) as i64)
                     .collect();
-                if pred.eval(&center).unwrap_or(false) {
+                if self.solver.store().eval_pred(pred, &center).unwrap_or(false) {
                     center
                 } else {
                     fallback_seed
@@ -211,33 +282,45 @@ impl Synthesizer {
             None => fallback_seed,
         };
         let mut best: Option<IntBox> = None;
-        let mut covered: Option<Pred> = None;
+        // Ids of the candidate boxes grown so far; doubles as the coverage set for seed
+        // diversification and as the duplicate check (a box regrown from a different seed is a
+        // single `u32` comparison away from being recognized).
+        let mut covered: Vec<PredId> = Vec::new();
         let mut seeds_used = 0;
         let mut next_seed = Some(first_seed);
         while seeds_used < self.config.seeds {
             let Some(seed) = next_seed.take() else { break };
             seeds_used += 1;
-            let grown = self
-                .solver
-                .maximal_true_box(pred, space, &seed, self.config.strategy)?;
+            let grown =
+                self.solver.maximal_true_box_id(pred, space, &seed, self.config.strategy)?;
             if let Some(boxed) = grown {
                 let boxed_pred = IntervalDomain::from_box(&boxed).to_pred();
-                covered = Some(match covered {
-                    None => boxed_pred,
-                    Some(c) => c.or_else(boxed_pred),
-                });
-                let is_better = best.as_ref().is_none_or(|b| boxed.count() > b.count());
-                if is_better {
-                    best = Some(boxed);
+                let candidate_id = self.solver.store_mut().intern_pred(&boxed_pred);
+                self.stats.candidate_boxes += 1;
+                if !covered.contains(&candidate_id) {
+                    covered.push(candidate_id);
+                    let is_better = best.as_ref().is_none_or(|b| boxed.count() > b.count());
+                    if is_better {
+                        best = Some(boxed);
+                    }
+                } else {
+                    self.stats.duplicate_candidates += 1;
                 }
             }
             if seeds_used < self.config.seeds {
                 // Diversify: the next seed must be a model not covered by any box grown so far.
-                let uncovered = match &covered {
-                    None => pred.clone(),
-                    Some(c) => pred.clone().and_also(c.clone().negate()),
+                let uncovered = {
+                    let store = self.solver.store_mut();
+                    if covered.is_empty() {
+                        pred
+                    } else {
+                        let union = store.mk_or(covered.clone());
+                        let outside = store.mk_not(union);
+                        let conj = store.mk_and(vec![pred, outside]);
+                        store.simplify(conj)
+                    }
                 };
-                next_seed = self.solver.find_model(&simplify_pred(&uncovered), space)?;
+                next_seed = self.solver.find_model_id(uncovered, space)?;
             }
         }
         Ok(best)
@@ -260,7 +343,7 @@ impl Default for Synthesizer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use anosy_logic::IntExpr;
+    use anosy_logic::{IntExpr, Pred};
     use anosy_solver::SolverConfig;
 
     fn test_config() -> SynthConfig {
@@ -280,9 +363,8 @@ mod tests {
         let mut solver = Solver::with_config(SolverConfig::for_tests());
         let space = query.layout().space();
         // truthy ⇒ query, falsy ⇒ ¬query
-        let t_ok = solver
-            .is_valid(&ind.truthy().to_pred().implies(query.pred().clone()), &space)
-            .unwrap();
+        let t_ok =
+            solver.is_valid(&ind.truthy().to_pred().implies(query.pred().clone()), &space).unwrap();
         let f_ok = solver
             .is_valid(&ind.falsy().to_pred().implies(query.pred().clone().negate()), &space)
             .unwrap();
@@ -294,9 +376,8 @@ mod tests {
         let mut solver = Solver::with_config(SolverConfig::for_tests());
         let space = query.layout().space();
         // query ⇒ truthy, ¬query ⇒ falsy
-        let t_ok = solver
-            .is_valid(&query.pred().clone().implies(ind.truthy().to_pred()), &space)
-            .unwrap();
+        let t_ok =
+            solver.is_valid(&query.pred().clone().implies(ind.truthy().to_pred()), &space).unwrap();
         let f_ok = solver
             .is_valid(&query.pred().clone().negate().implies(ind.falsy().to_pred()), &space)
             .unwrap();
@@ -355,10 +436,8 @@ mod tests {
     #[test]
     fn box_shaped_queries_are_synthesized_exactly() {
         let layout = loc_layout();
-        let pred = Pred::and(vec![
-            IntExpr::var(0).between(100, 150),
-            IntExpr::var(1).between(20, 380),
-        ]);
+        let pred =
+            Pred::and(vec![IntExpr::var(0).between(100, 150), IntExpr::var(1).between(20, 380)]);
         let query = QueryDef::new("box", layout, pred).unwrap();
         let mut synth = Synthesizer::with_config(test_config());
         for kind in ApproxKind::ALL {
@@ -419,5 +498,37 @@ mod tests {
         let _ = synth.synth_interval(&nearby_query(), ApproxKind::Under).unwrap();
         assert!(synth.solver_stats().queries > 0);
         assert_eq!(synth.seed_from(&[1, 2]), Point::new(vec![1, 2]));
+    }
+
+    #[test]
+    fn candidates_are_interned_and_store_memoization_is_exercised() {
+        let mut synth = Synthesizer::with_config(test_config().with_seeds(3));
+        let _ = synth.synth_powerset(&nearby_query(), ApproxKind::Under, 3).unwrap();
+        let stats = synth.synth_stats();
+        assert!(stats.candidate_boxes > 0, "synthesis grew no candidate boxes");
+        // The seed-diversification loop never regrows a covered box, so no duplicates here; the
+        // counter existing and staying zero is the interesting property.
+        assert_eq!(stats.duplicate_candidates, 0);
+        let store = synth.store_stats();
+        assert!(store.preds_interned > 0);
+        assert!(
+            store.cache_hits() > 0,
+            "synthesis search should reuse memoized analyses ({} hits / {} misses)",
+            store.cache_hits(),
+            store.cache_misses()
+        );
+    }
+
+    #[test]
+    fn identical_queries_share_interned_candidates() {
+        // Synthesizing the same query twice reuses every interned term: the second run creates
+        // almost no new nodes in the store (a handful of fresh simplification intermediates are
+        // allowed), which is the structural-sharing property the arena exists for.
+        let mut synth = Synthesizer::with_config(test_config());
+        let _ = synth.synth_interval(&nearby_query(), ApproxKind::Under).unwrap();
+        let after_first = synth.store_stats().preds_interned;
+        let _ = synth.synth_interval(&nearby_query(), ApproxKind::Under).unwrap();
+        let after_second = synth.store_stats().preds_interned;
+        assert_eq!(after_second, after_first, "re-synthesis interned new predicates");
     }
 }

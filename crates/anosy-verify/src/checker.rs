@@ -2,16 +2,27 @@
 
 use crate::{ObligationOutcome, ObligationResult, RefinementSpec, VerificationReport};
 use anosy_domains::{laws, AbstractDomain};
-use anosy_logic::{Point, SecretLayout};
+use anosy_logic::{IntBox, Point, PredId, SecretLayout, StoreStats};
 use anosy_solver::{Solver, SolverConfig, SolverError, ValidityOutcome};
 use anosy_synth::{ApproxKind, IndSets, QueryDef};
+use std::collections::HashMap;
 use std::time::Instant;
 
 /// Checks synthesized (or hand-written) knowledge approximations against their refinement
 /// specifications — the role Liquid Haskell plays in the paper's pipeline (§2.3, Step IV).
+///
+/// Obligations are canonicalized into the solver's hash-consed term store before being
+/// discharged: two obligations whose simplified forms are id-equal share one solver run, and an
+/// obligation that simplifies to `true` is accepted without any search. The deep tree
+/// comparisons the checker previously performed are now `u32` id comparisons.
 #[derive(Debug)]
 pub struct Verifier {
     solver: Solver,
+    /// Obligations discharged so far this session, keyed by canonical (simplified) id and the
+    /// space they were quantified over (validity depends on both).
+    discharged: HashMap<(PredId, IntBox), ObligationOutcome>,
+    /// Obligations answered from `discharged` instead of a fresh solver run.
+    dedup_hits: u64,
 }
 
 impl Verifier {
@@ -22,7 +33,17 @@ impl Verifier {
 
     /// Creates a verifier with explicit solver budgets.
     pub fn with_config(config: SolverConfig) -> Self {
-        Verifier { solver: Solver::with_config(config) }
+        Verifier { solver: Solver::with_config(config), discharged: HashMap::new(), dedup_hits: 0 }
+    }
+
+    /// Number of obligations answered from the id-keyed result cache instead of a solver run.
+    pub fn dedup_hits(&self) -> u64 {
+        self.dedup_hits
+    }
+
+    /// Hit/miss counters of the underlying solver's term-store memo tables.
+    pub fn store_stats(&self) -> StoreStats {
+        self.solver.store_stats()
     }
 
     /// Discharges every obligation of a specification.
@@ -35,19 +56,43 @@ impl Verifier {
     ///
     /// Returns [`SolverError::ArityMismatch`] if an obligation mentions fields outside the
     /// specification's layout (a malformed spec rather than a failed proof).
-    pub fn verify_spec(&mut self, spec: &RefinementSpec) -> Result<VerificationReport, SolverError> {
+    pub fn verify_spec(
+        &mut self,
+        spec: &RefinementSpec,
+    ) -> Result<VerificationReport, SolverError> {
         let started = Instant::now();
         let space = spec.layout.space();
         let mut results = Vec::with_capacity(spec.obligations.len());
         for obligation in &spec.obligations {
             let o_started = Instant::now();
-            let outcome = match self.solver.check_validity(&obligation.pred, &space) {
-                Ok(ValidityOutcome::Valid) => ObligationOutcome::Valid,
-                Ok(ValidityOutcome::CounterExample(p)) => ObligationOutcome::CounterExample(p),
-                Err(SolverError::BudgetExhausted { limit, explored }) => ObligationOutcome::Undecided(
-                    format!("solver {limit} budget exhausted after {explored} boxes"),
-                ),
-                Err(other) => return Err(other),
+            // Canonicalize: obligations are compared (against each other and against `true`) by
+            // interned id, not by deep tree equality. Validity depends on the quantified space,
+            // so the cache key carries it; counterexamples stay valid across specs that share it.
+            let id = self.solver.intern_simplified(&obligation.pred);
+            let trivially_true = id == self.solver.store_mut().mk_true();
+            let key = (id, space.clone());
+            let outcome = if trivially_true {
+                ObligationOutcome::Valid
+            } else if let Some(cached) = self.discharged.get(&key) {
+                self.dedup_hits += 1;
+                cached.clone()
+            } else {
+                let fresh = match self.solver.check_validity_id(id, &space) {
+                    Ok(ValidityOutcome::Valid) => ObligationOutcome::Valid,
+                    Ok(ValidityOutcome::CounterExample(p)) => ObligationOutcome::CounterExample(p),
+                    Err(SolverError::BudgetExhausted { limit, explored }) => {
+                        ObligationOutcome::Undecided(format!(
+                            "solver {limit} budget exhausted after {explored} boxes"
+                        ))
+                    }
+                    Err(other) => return Err(other),
+                };
+                // Budget exhaustion is not a verdict: leave it uncached so a later attempt (or a
+                // verifier with larger budgets reusing this report) can retry.
+                if !matches!(fresh, ObligationOutcome::Undecided(_)) {
+                    self.discharged.insert(key, fresh.clone());
+                }
+                fresh
             };
             results.push(ObligationResult {
                 name: obligation.name.clone(),
@@ -166,13 +211,7 @@ fn law_sample_points<D: AbstractDomain>(layout: &SecretLayout, elements: &[D]) -
         if arity <= 12 {
             for mask in 0..(1u32 << arity.min(12)) {
                 let p: Point = (0..arity)
-                    .map(|d| {
-                        if mask & (1 << d) == 0 {
-                            b.dim(d).lo()
-                        } else {
-                            b.dim(d).hi()
-                        }
-                    })
+                    .map(|d| if mask & (1 << d) == 0 { b.dim(d).lo() } else { b.dim(d).hi() })
                     .collect();
                 points.push(p);
             }
@@ -224,6 +263,47 @@ mod tests {
     }
 
     #[test]
+    fn repeated_obligations_are_deduplicated_by_id() {
+        // Re-verifying the same ind. sets submits obligations whose canonical ids are already in
+        // the discharged cache: the second report is produced without any new solver search.
+        let indsets = IndSets::new(
+            ApproxKind::Under,
+            IntervalDomain::from_intervals(vec![AInt::new(121, 279), AInt::new(179, 221)]),
+            IntervalDomain::from_intervals(vec![AInt::new(0, 400), AInt::new(0, 99)]),
+        );
+        let mut v = verifier();
+        let first = v.verify_indsets(&nearby_query(), &indsets).unwrap();
+        assert!(first.is_verified());
+        assert_eq!(v.dedup_hits(), 0);
+        let nodes_after_first = v.solver.stats().nodes_explored;
+        let second = v.verify_indsets(&nearby_query(), &indsets).unwrap();
+        assert!(second.is_verified());
+        assert_eq!(v.dedup_hits(), 2, "both obligations should be cache hits");
+        assert_eq!(
+            v.solver.stats().nodes_explored,
+            nodes_after_first,
+            "cached obligations must not search"
+        );
+    }
+
+    #[test]
+    fn trivially_true_obligations_skip_the_solver() {
+        use anosy_logic::Pred;
+        let spec = RefinementSpec {
+            description: "tautology".into(),
+            layout: loc_layout(),
+            obligations: vec![crate::Obligation::new(
+                "true: anything implies itself",
+                IntExpr::var(0).le(7).implies(IntExpr::var(0).le(7).or_else(Pred::True)),
+            )],
+        };
+        let mut v = verifier();
+        let report = v.verify_spec(&spec).unwrap();
+        assert!(report.is_verified());
+        assert_eq!(v.solver.stats().queries, 0, "simplification alone should discharge it");
+    }
+
+    #[test]
     fn broken_indsets_produce_counterexamples() {
         // Stretch the True set one unit too far: (120, 179) is 81 + 21 = 102 > 100 away.
         let indsets = IndSets::new(
@@ -241,7 +321,8 @@ mod tests {
     #[test]
     fn synthesized_approximations_verify_for_all_kinds_and_domains() {
         let query = nearby_query();
-        let mut synth = Synthesizer::with_config(SynthConfig::new().with_solver(SolverConfig::for_tests()));
+        let mut synth =
+            Synthesizer::with_config(SynthConfig::new().with_solver(SolverConfig::for_tests()));
         let mut verifier = verifier();
         for kind in ApproxKind::ALL {
             let interval = synth.synth_interval(&query, kind).unwrap();
@@ -254,7 +335,8 @@ mod tests {
     #[test]
     fn posterior_specification_is_checked() {
         let query = nearby_query();
-        let mut synth = Synthesizer::with_config(SynthConfig::new().with_solver(SolverConfig::for_tests()));
+        let mut synth =
+            Synthesizer::with_config(SynthConfig::new().with_solver(SolverConfig::for_tests()));
         let ind = synth.synth_interval(&query, ApproxKind::Under).unwrap();
         let prior = IntervalDomain::from_intervals(vec![AInt::new(100, 200), AInt::new(100, 300)]);
         let (post_t, post_f) = ind.posterior(&prior);

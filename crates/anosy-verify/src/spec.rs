@@ -91,10 +91,7 @@ impl RefinementSpec {
                 ),
             ],
             ApproxKind::Over => vec![
-                Obligation::new(
-                    "over/true: query ∧ prior ⇒ post",
-                    in_true.implies(posterior_true),
-                ),
+                Obligation::new("over/true: query ∧ prior ⇒ post", in_true.implies(posterior_true)),
                 Obligation::new(
                     "over/false: ¬query ∧ prior ⇒ post",
                     in_false.implies(posterior_false),

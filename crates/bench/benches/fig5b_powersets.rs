@@ -12,10 +12,7 @@ fn config() -> SynthConfig {
 
 fn bench_fig5b(c: &mut Criterion) {
     let rows = bench::fig5(bench::Fig5Domain::Powersets(3), &config());
-    eprintln!(
-        "\nFigure 5b — powerset of intervals with size 3{}",
-        bench::render_fig5(&rows)
-    );
+    eprintln!("\nFigure 5b — powerset of intervals with size 3{}", bench::render_fig5(&rows));
 
     let mut group = c.benchmark_group("fig5b_powerset3_synth");
     group.sample_size(10);
@@ -26,9 +23,7 @@ fn bench_fig5b(c: &mut Criterion) {
             group.bench_function(format!("{}/{kind}", b.id.short()), |bencher| {
                 bencher.iter(|| {
                     let mut synth = Synthesizer::with_config(config());
-                    black_box(
-                        synth.synth_powerset(&b.query, kind, 3).expect("synthesis succeeds"),
-                    )
+                    black_box(synth.synth_powerset(&b.query, kind, 3).expect("synthesis succeeds"))
                 })
             });
         }

@@ -1,0 +1,130 @@
+//! Term-representation micro-benchmarks: tree vs hash-consed store.
+//!
+//! Measures the three operations the tentpole refactor moved from deep-tree work to O(1) id
+//! work, on deep (depth ≥ 12) predicates:
+//!
+//! * **equality** — `Pred == Pred` (recursive structural walk) vs `PredId == PredId` (`u32`);
+//! * **hashing** — hashing the whole tree vs hashing the id;
+//! * **repeated simplification** — `simplify_pred` rebuilding the NNF every call vs
+//!   `TermStore::simplify` answering from the store-resident memo table.
+//!
+//! Besides the per-benchmark timings, an explicit `speedup` line is printed per pair so the
+//! interned-vs-tree ratio (the acceptance criterion is ≥ 10× for equality/hash) can be read
+//! straight from the bench log.
+
+use anosy::logic::{simplify_pred, IntExpr, Pred, TermStore};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// A predicate of nesting depth `depth` (well beyond the ≥ 12 the acceptance criterion asks
+/// for): alternating conjunctions/disjunctions of diamond queries over shifted centres, so no
+/// two spine levels are identical and structural comparison must walk everything.
+fn deep_pred(depth: usize) -> Pred {
+    let diamond = |k: i64| {
+        ((IntExpr::var(0) - (200 + k)).abs() + (IntExpr::var(1) - (200 - k)).abs()).le(100 + k)
+    };
+    let mut pred = diamond(0);
+    for level in 1..depth as i64 {
+        let next = diamond(level);
+        pred = if level % 2 == 0 {
+            Pred::and(vec![pred, next])
+        } else {
+            Pred::or(vec![pred, next.negate()])
+        };
+    }
+    pred
+}
+
+const DEPTH: usize = 14;
+
+/// Times `f` over `iters` iterations and returns nanoseconds per iteration.
+fn ns_per_iter<O>(iters: u32, mut f: impl FnMut() -> O) -> f64 {
+    // One warm-up pass keeps first-touch effects out of the measurement.
+    black_box(f());
+    let started = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    started.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn report_speedup(label: &str, tree_ns: f64, interned_ns: f64) {
+    eprintln!(
+        "term_ops speedup/{label}: tree {tree_ns:.1} ns vs interned {interned_ns:.1} ns  →  {:.0}×",
+        tree_ns / interned_ns.max(0.1)
+    );
+}
+
+fn bench_term_ops(c: &mut Criterion) {
+    // Two structurally equal but physically distinct trees: deep equality cannot shortcut
+    // through shared `Arc`s.
+    let tree_a = deep_pred(DEPTH);
+    let tree_b = deep_pred(DEPTH);
+    assert!(tree_a == tree_b && tree_a.node_count() > 100);
+
+    let mut store = TermStore::new();
+    let id_a = store.intern_pred(&tree_a);
+    let id_b = store.intern_pred(&tree_b);
+    assert_eq!(id_a, id_b, "hash-consing must collapse equal trees");
+
+    let mut group = c.benchmark_group("term_ops");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.warm_up_time(std::time::Duration::from_millis(100));
+
+    group.bench_function("equality/tree_deep", |b| {
+        b.iter(|| black_box(&tree_a) == black_box(&tree_b))
+    });
+    group.bench_function("equality/interned_id", |b| b.iter(|| black_box(id_a) == black_box(id_b)));
+
+    group.bench_function("hashing/tree_deep", |b| {
+        b.iter(|| {
+            let mut h = DefaultHasher::new();
+            black_box(&tree_a).hash(&mut h);
+            black_box(h.finish())
+        })
+    });
+    group.bench_function("hashing/interned_id", |b| {
+        b.iter(|| {
+            let mut h = DefaultHasher::new();
+            black_box(id_a).hash(&mut h);
+            black_box(h.finish())
+        })
+    });
+
+    group.bench_function("simplify/tree_repeated", |b| {
+        b.iter(|| black_box(simplify_pred(black_box(&tree_a))))
+    });
+    group.bench_function("simplify/store_memoized", |b| {
+        b.iter(|| black_box(store.simplify(black_box(id_a))))
+    });
+    group.finish();
+
+    // Explicit ratios for the bench log (amortized over many iterations so the id operations,
+    // which are sub-nanosecond, still register).
+    let eq_tree = ns_per_iter(10_000, || black_box(&tree_a) == black_box(&tree_b));
+    let eq_id = ns_per_iter(1_000_000, || black_box(id_a) == black_box(id_b));
+    report_speedup("equality(depth=14)", eq_tree, eq_id);
+
+    let hash_tree = ns_per_iter(10_000, || {
+        let mut h = DefaultHasher::new();
+        black_box(&tree_a).hash(&mut h);
+        h.finish()
+    });
+    let hash_id = ns_per_iter(1_000_000, || {
+        let mut h = DefaultHasher::new();
+        black_box(id_a).hash(&mut h);
+        h.finish()
+    });
+    report_speedup("hashing(depth=14)", hash_tree, hash_id);
+
+    let simp_tree = ns_per_iter(2_000, || simplify_pred(black_box(&tree_a)));
+    let simp_store = ns_per_iter(200_000, || store.simplify(black_box(id_a)));
+    report_speedup("repeated-simplify(depth=14)", simp_tree, simp_store);
+}
+
+criterion_group!(term_ops, bench_term_ops);
+criterion_main!(term_ops);

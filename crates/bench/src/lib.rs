@@ -70,6 +70,12 @@ pub struct Fig5Row {
     pub synth_time: Duration,
     /// Whether verification succeeded (it always should).
     pub verified: bool,
+    /// Solver search nodes explored during synthesis (search effort behind `synth_time`).
+    pub synth_nodes: u64,
+    /// Term-store memo-table hits during synthesis (interned-representation reuse).
+    pub cache_hits: u64,
+    /// Term-store memo-table misses during synthesis.
+    pub cache_misses: u64,
 }
 
 fn percent_diff(approx: u128, exact: u128) -> f64 {
@@ -88,9 +94,7 @@ pub fn fig5_row(
     synth_config: &SynthConfig,
 ) -> Fig5Row {
     let mut solver = Solver::with_config(synth_config.solver.clone());
-    let exact = benchmark
-        .ground_truth(&mut solver)
-        .expect("ground-truth counting fits the budget");
+    let exact = benchmark.ground_truth(&mut solver).expect("ground-truth counting fits the budget");
 
     let mut synthesizer = Synthesizer::with_config(synth_config.clone());
     let mut verifier = Verifier::with_config(synth_config.solver.clone());
@@ -120,6 +124,7 @@ pub fn fig5_row(
             ((ind.truthy().size(), ind.falsy().size()), synth_time, report)
         }
     };
+    let store = synthesizer.store_stats();
     Fig5Row {
         id: benchmark.id.short().to_string(),
         kind,
@@ -128,6 +133,9 @@ pub fn fig5_row(
         verify_time: report.elapsed,
         synth_time,
         verified: report.is_verified(),
+        synth_nodes: synthesizer.solver_stats().nodes_explored,
+        cache_hits: store.cache_hits(),
+        cache_misses: store.cache_misses(),
     }
 }
 
@@ -208,7 +216,8 @@ pub fn fig5_rows_to_json(domain_label: &str, rows: &[Fig5Row]) -> String {
                 "    {{\"id\": \"{}\", \"kind\": \"{}\", ",
                 "\"true_size\": {}, \"false_size\": {}, ",
                 "\"diff_true_percent\": {:.4}, \"diff_false_percent\": {:.4}, ",
-                "\"synth_seconds\": {:.6}, \"verify_seconds\": {:.6}, \"verified\": {}}}{}\n"
+                "\"synth_seconds\": {:.6}, \"verify_seconds\": {:.6}, \"verified\": {}, ",
+                "\"synth_nodes\": {}, \"cache_hits\": {}, \"cache_misses\": {}}}{}\n"
             ),
             r.id,
             r.kind,
@@ -219,6 +228,9 @@ pub fn fig5_rows_to_json(domain_label: &str, rows: &[Fig5Row]) -> String {
             r.synth_time.as_secs_f64(),
             r.verify_time.as_secs_f64(),
             r.verified,
+            r.synth_nodes,
+            r.cache_hits,
+            r.cache_misses,
             if i + 1 == rows.len() { "" } else { "," },
         ));
     }
@@ -278,10 +290,7 @@ pub fn render_fig6(outcomes: &[anosy::suite::AdvertisingOutcome], num_queries: u
 /// Ensures the powerset domain really is a domain the harness can use generically (guards against
 /// regressions in the facade's re-exports).
 pub fn sanity_check_domains(layout: &SecretLayout) -> (u128, u128) {
-    (
-        IntervalDomain::top(layout).size(),
-        PowersetDomain::top(layout).size(),
-    )
+    (IntervalDomain::top(layout).size(), PowersetDomain::top(layout).size())
 }
 
 #[cfg(test)]
@@ -308,7 +317,8 @@ mod tests {
         assert!(row.verified);
         assert_eq!(row.sizes.0, 259); // the True set is exactly representable by one box
         assert!(row.diff_percent.0 < 1e-9);
-        let row_p = fig5_row(&b, Fig5Domain::Powersets(3), ApproxKind::Under, &quick_synth_config());
+        let row_p =
+            fig5_row(&b, Fig5Domain::Powersets(3), ApproxKind::Under, &quick_synth_config());
         assert!(row_p.verified);
         assert!(row_p.sizes.1 >= row.sizes.1);
         let text = render_fig5(&[row, row_p]);
@@ -325,12 +335,18 @@ mod tests {
             verify_time: Duration::from_micros(7),
             synth_time: Duration::from_micros(65),
             verified: true,
+            synth_nodes: 420,
+            cache_hits: 1700,
+            cache_misses: 300,
         }];
         let json = fig5_rows_to_json("fig5a_intervals", &rows);
         assert_eq!(json.matches("{\"id\"").count(), rows.len());
         assert!(json.contains("\"figure\": \"fig5a_intervals\""));
         assert!(json.contains("\"true_size\": 259"));
         assert!(json.contains("\"verified\": true"));
+        assert!(json.contains("\"synth_nodes\": 420"));
+        assert!(json.contains("\"cache_hits\": 1700"));
+        assert!(json.contains("\"cache_misses\": 300"));
         // Crude but dependency-free well-formedness checks.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());

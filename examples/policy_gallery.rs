@@ -12,9 +12,8 @@ fn build_session(
     policy: impl Policy<PowersetDomain> + 'static,
 ) -> Result<AnosySession<PowersetDomain>, AnosyError> {
     let mut session = AnosySession::new(layout.clone(), policy);
-    let nearby = |x: i64, y: i64| {
-        ((IntExpr::var(0) - x).abs() + (IntExpr::var(1) - y).abs()).le(100)
-    };
+    let nearby =
+        |x: i64, y: i64| ((IntExpr::var(0) - x).abs() + (IntExpr::var(1) - y).abs()).le(100);
     for (x, y) in [(200, 200), (300, 200), (400, 200), (150, 320)] {
         let query = QueryDef::new(format!("nearby_{x}_{y}"), layout.clone(), nearby(x, y))?;
         session.register_synthesized(synthesizer, &query, ApproxKind::Under, Some(3))?;
@@ -51,13 +50,21 @@ fn run(mut synthesizer: Synthesizer) -> Result<(), Box<dyn std::error::Error>> {
         (
             "size > 100 (the paper's qpolicy)",
             Box::new(|s: &mut Synthesizer| {
-                build_session(s, &SecretLayout::builder().field("x", 0, 400).field("y", 0, 400).build(), MinSizePolicy::new(100))
+                build_session(
+                    s,
+                    &SecretLayout::builder().field("x", 0, 400).field("y", 0, 400).build(),
+                    MinSizePolicy::new(100),
+                )
             }),
         ),
         (
             "residual entropy > 12 bits",
             Box::new(|s: &mut Synthesizer| {
-                build_session(s, &SecretLayout::builder().field("x", 0, 400).field("y", 0, 400).build(), MinEntropyPolicy::new(12.0))
+                build_session(
+                    s,
+                    &SecretLayout::builder().field("x", 0, 400).field("y", 0, 400).build(),
+                    MinEntropyPolicy::new(12.0),
+                )
             }),
         ),
         (

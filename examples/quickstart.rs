@@ -19,9 +19,8 @@ fn run(mut synthesizer: Synthesizer) -> Result<(), Box<dyn std::error::Error>> {
     println!("secret space: {layout} ({} possible locations)", layout.space_size());
 
     // The queries: Manhattan-distance proximity checks around three restaurant branches.
-    let nearby = |x: i64, y: i64| {
-        ((IntExpr::var(0) - x).abs() + (IntExpr::var(1) - y).abs()).le(100)
-    };
+    let nearby =
+        |x: i64, y: i64| ((IntExpr::var(0) - x).abs() + (IntExpr::var(1) - y).abs()).le(100);
     let origins = [(200i64, 200i64), (300, 200), (400, 200)];
 
     // "Compile time": synthesize + verify the knowledge approximations and register them.
@@ -48,7 +47,12 @@ fn run(mut synthesizer: Synthesizer) -> Result<(), Box<dyn std::error::Error>> {
                     knowledge.shannon_entropy()
                 );
             }
-            Err(AnosyError::PolicyViolation { policy, posterior_true_size, posterior_false_size, .. }) => {
+            Err(AnosyError::PolicyViolation {
+                policy,
+                posterior_true_size,
+                posterior_false_size,
+                ..
+            }) => {
                 println!(
                     "  {name:<16} -> REFUSED by {policy} (posteriors would be {posterior_true_size} / {posterior_false_size} locations)"
                 );

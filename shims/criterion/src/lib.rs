@@ -67,7 +67,11 @@ impl Criterion {
     }
 
     /// Benchmarks a single function outside any group.
-    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) -> &mut Self {
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
         let mut group = self.benchmark_group("");
         group.bench_function(id, f);
         group.finish();
@@ -118,8 +122,7 @@ impl BenchmarkGroup<'_> {
         mut f: impl FnMut(&mut Bencher),
     ) -> &mut Self {
         let id = id.into();
-        let full_id =
-            if self.name.is_empty() { id } else { format!("{}/{}", self.name, id) };
+        let full_id = if self.name.is_empty() { id } else { format!("{}/{}", self.name, id) };
         if self.criterion.list_only {
             println!("{full_id}: bench");
             return self;

@@ -11,7 +11,7 @@ pub fn vec<S: Strategy>(element: S, sizes: Range<usize>) -> VecStrategy<S> {
     VecStrategy { element, sizes }
 }
 
-/// See [`vec`].
+/// See [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,

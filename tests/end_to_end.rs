@@ -79,19 +79,17 @@ fn benchmark_suite_runs_through_the_public_api() {
     // secret under a permissive policy.
     use anosy::suite::benchmarks::{birthday, photo};
     let mut synth = Synthesizer::new();
-    for (benchmark, secret) in [
-        (birthday(), Point::new(vec![263, 1980])),
-        (photo(), Point::new(vec![1, 2, 1984])),
-    ] {
+    for (benchmark, secret) in
+        [(birthday(), Point::new(vec![263, 1980])), (photo(), Point::new(vec![1, 2, 1984]))]
+    {
         let layout = benchmark.query.layout().clone();
         let mut session: AnosySession<PowersetDomain> =
             AnosySession::new(layout, MinSizePolicy::new(1));
         session
             .register_synthesized(&mut synth, &benchmark.query, ApproxKind::Under, Some(3))
             .unwrap();
-        let answer = session
-            .downgrade(&Protected::new(secret.clone()), benchmark.query.name())
-            .unwrap();
+        let answer =
+            session.downgrade(&Protected::new(secret.clone()), benchmark.query.name()).unwrap();
         assert!(answer, "{}: the chosen secret satisfies the query", benchmark.id);
         assert!(session.knowledge_of(&secret).size() >= 1);
     }
@@ -110,7 +108,12 @@ fn policy_violations_report_both_posterior_sizes_and_leave_state_unchanged() {
 
     let user = Protected::new(Point::new(vec![300, 200]));
     match session.downgrade(&user, "nearby_200_200") {
-        Err(AnosyError::PolicyViolation { policy, posterior_true_size, posterior_false_size, .. }) => {
+        Err(AnosyError::PolicyViolation {
+            policy,
+            posterior_true_size,
+            posterior_false_size,
+            ..
+        }) => {
             assert!(policy.contains("200000"));
             assert!(posterior_true_size < 200_000);
             assert!(posterior_false_size < 200_000);
@@ -119,8 +122,5 @@ fn policy_violations_report_both_posterior_sizes_and_leave_state_unchanged() {
     }
     // Nothing was recorded about the secret and unknown queries are still reported as such.
     assert_eq!(session.tracked_secrets(), 0);
-    assert!(matches!(
-        session.downgrade(&user, "missing"),
-        Err(AnosyError::UnknownQuery { .. })
-    ));
+    assert!(matches!(session.downgrade(&user, "missing"), Err(AnosyError::UnknownQuery { .. })));
 }

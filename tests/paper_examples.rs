@@ -42,10 +42,7 @@ fn section_2_two_queries_reveal_the_secret() {
     let both = nearby(200, 200).and_also(nearby(400, 200));
     let space = loc_layout().space();
     assert_eq!(solver.count_models(&both, &space).unwrap(), 1);
-    assert_eq!(
-        solver.find_model(&both, &space).unwrap().unwrap(),
-        Point::new(vec![300, 200])
-    );
+    assert_eq!(solver.find_model(&both, &space).unwrap().unwrap(), Point::new(vec![300, 200]));
 }
 
 /// §3: the bounded downgrade authorizes nearby (200,200) and nearby (300,200) but refuses
