@@ -66,10 +66,15 @@ mod knowledge;
 mod policy;
 mod qinfo;
 mod session;
+mod shared;
 
 pub use error::AnosyError;
 pub use kary::{KaryIndSets, KaryQuery};
 pub use knowledge::Knowledge;
 pub use policy::{AllowAll, AndPolicy, FnPolicy, MinEntropyPolicy, MinSizePolicy, Policy};
 pub use qinfo::QInfo;
-pub use session::{AnosySession, AsSecretPoint, SessionStats, SynthesizeInto};
+pub use session::{
+    downgrade_step, synthesize_and_verify, AnosySession, AsSecretPoint, SessionStats,
+    SynthesizeInto,
+};
+pub use shared::{SharedCacheEntry, SharedCacheStats, SharedSynthCache};

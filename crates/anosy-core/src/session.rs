@@ -1,14 +1,16 @@
 //! The `AnosyT` analogue: a session tracking knowledge across bounded downgrades (Fig. 2).
 
+use crate::shared::{SharedSynthCache, SynthCacheKey};
 use crate::{AnosyError, KaryIndSets, KaryQuery, Knowledge, Policy, QInfo};
 use anosy_domains::{AbstractDomain, IntervalDomain, PowersetDomain, Secret};
 use anosy_ifc::{Label, Labeled, Lio, Protected, Unprotect};
-use anosy_logic::{Point, PredId, SecretLayout, TermStore};
+use anosy_logic::{Point, SecretLayout, StoreStats, TermStore};
 use anosy_solver::SolverConfig;
 use anosy_synth::{ApproxKind, IndSets, QueryDef, SynthError, Synthesizer};
 use anosy_verify::Verifier;
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::sync::Arc;
 
 /// Counters accumulated by an [`AnosySession`] across registrations and downgrades.
 ///
@@ -53,11 +55,22 @@ impl fmt::Display for SessionStats {
     }
 }
 
-/// Key of the session's synthesis cache: the canonical (interned) query predicate, the layout it
-/// ranges over, the approximation direction and the powerset member budget. The query *name* is
-/// deliberately absent — two differently-named registrations of the same predicate share one
-/// synthesis.
-type SynthCacheKey = (PredId, SecretLayout, ApproxKind, Option<usize>);
+/// Where a session's term store and synthesis cache live.
+///
+/// The default is [`SynthBacking::Owned`]: the session is self-contained, exactly as before the
+/// deployment layer existed. [`SynthBacking::Shared`] instead borrows a deployment-wide
+/// [`SharedSynthCache`] via [`Arc`], so every session of the deployment shares one store and one
+/// synthesis cache — the millions-of-users configuration.
+enum SynthBacking<D: AbstractDomain> {
+    Owned {
+        /// The session's private hash-consed term store (boxed: the arena struct is large and
+        /// the shared variant is a pointer).
+        store: Box<TermStore>,
+        /// Already-synthesized (and verified) ind. sets, reused on re-registration.
+        cache: HashMap<SynthCacheKey, IndSets<D>>,
+    },
+    Shared(SharedSynthCache<D>),
+}
 
 /// Types that can serve as the secret in a downgrade call by exposing their [`Point`] encoding.
 pub trait AsSecretPoint {
@@ -114,29 +127,50 @@ impl SynthesizeInto for PowersetDomain {
 /// the policy, so the refusal itself leaks nothing about the secret (§3).
 pub struct AnosySession<D: AbstractDomain> {
     layout: SecretLayout,
-    policy: Box<dyn Policy<D>>,
+    policy: Arc<dyn Policy<D> + Send + Sync>,
     secrets: HashMap<Point, Knowledge<D>>,
     queries: BTreeMap<String, QInfo<D>>,
     kary_queries: BTreeMap<String, (KaryQuery, KaryIndSets<D>)>,
-    /// The session's hash-consed term store: query predicates are interned here so the synthesis
-    /// cache can key on canonical ids instead of deep trees.
-    store: TermStore,
-    /// Already-synthesized (and verified) ind. sets, reused on re-registration.
-    synth_cache: HashMap<SynthCacheKey, IndSets<D>>,
+    /// The session's term store and synthesis cache — private, or shared across a deployment.
+    backing: SynthBacking<D>,
     stats: SessionStats,
 }
 
 impl<D: AbstractDomain> AnosySession<D> {
-    /// Creates a session for secrets of the given layout, enforcing `policy`.
-    pub fn new(layout: SecretLayout, policy: impl Policy<D> + 'static) -> Self {
+    /// Creates a self-contained session for secrets of the given layout, enforcing `policy`.
+    /// The session owns its term store and synthesis cache.
+    pub fn new(layout: SecretLayout, policy: impl Policy<D> + Send + Sync + 'static) -> Self {
         AnosySession {
             layout,
-            policy: Box::new(policy),
+            policy: Arc::new(policy),
             secrets: HashMap::new(),
             queries: BTreeMap::new(),
             kary_queries: BTreeMap::new(),
-            store: TermStore::new(),
-            synth_cache: HashMap::new(),
+            backing: SynthBacking::Owned {
+                store: Box::new(TermStore::new()),
+                cache: HashMap::new(),
+            },
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// Creates a session that shares a deployment-wide term store and synthesis cache (see
+    /// [`SharedSynthCache`]): registrations of a query any session of the deployment has already
+    /// synthesized are cache hits, and the deployment's aggregate counters fold in this
+    /// session's outcomes.
+    pub fn with_shared(
+        layout: SecretLayout,
+        policy: impl Policy<D> + Send + Sync + 'static,
+        shared: SharedSynthCache<D>,
+    ) -> Self {
+        shared.note_session_opened();
+        AnosySession {
+            layout,
+            policy: Arc::new(policy),
+            secrets: HashMap::new(),
+            queries: BTreeMap::new(),
+            kary_queries: BTreeMap::new(),
+            backing: SynthBacking::Shared(shared),
             stats: SessionStats::default(),
         }
     }
@@ -151,20 +185,54 @@ impl<D: AbstractDomain> AnosySession<D> {
         self.stats
     }
 
-    /// The session's term store (interned query predicates; also exposes
-    /// [`anosy_logic::StoreStats`] via [`TermStore::stats`]).
-    pub fn store(&self) -> &TermStore {
-        &self.store
+    /// The session's private term store, or `None` when the session shares a deployment store
+    /// (use [`AnosySession::store_stats`] and the deployment's own accessors in that case).
+    pub fn store(&self) -> Option<&TermStore> {
+        match &self.backing {
+            SynthBacking::Owned { store, .. } => Some(store),
+            SynthBacking::Shared(_) => None,
+        }
     }
 
-    /// Number of distinct `(query, direction, members)` synthesis results currently cached.
+    /// Hit/miss counters of the term store this session interns into (private or shared).
+    pub fn store_stats(&self) -> StoreStats {
+        match &self.backing {
+            SynthBacking::Owned { store, .. } => store.stats(),
+            SynthBacking::Shared(shared) => shared.store_stats(),
+        }
+    }
+
+    /// Returns the deployment-shared cache this session registers through, if any.
+    pub fn shared_cache(&self) -> Option<&SharedSynthCache<D>> {
+        match &self.backing {
+            SynthBacking::Shared(shared) => Some(shared),
+            SynthBacking::Owned { .. } => None,
+        }
+    }
+
+    /// Number of distinct `(query, direction, members)` synthesis results currently cached in
+    /// this session's backing (deployment-wide for shared sessions).
     pub fn synth_cache_len(&self) -> usize {
-        self.synth_cache.len()
+        match &self.backing {
+            SynthBacking::Owned { cache, .. } => cache.len(),
+            SynthBacking::Shared(shared) => shared.len(),
+        }
     }
 
     /// Name of the enforced policy (for reports and error messages).
     pub fn policy_name(&self) -> String {
         self.policy.name()
+    }
+
+    /// A cloneable handle on the enforced policy. This is the hook the batched-downgrade driver
+    /// uses to run policy checks on worker threads; the policy itself stays immutable.
+    pub fn policy_handle(&self) -> Arc<dyn Policy<D> + Send + Sync> {
+        Arc::clone(&self.policy)
+    }
+
+    /// The registered query with the given name, if any (read access for serving-layer drivers).
+    pub fn query_info(&self, name: &str) -> Option<&QInfo<D>> {
+        self.queries.get(name)
     }
 
     /// Registers an already-synthesized (and, by contract, already-verified) query.
@@ -219,23 +287,59 @@ impl<D: AbstractDomain> AnosySession<D> {
             return Err(AnosyError::SecretOutsideLayout);
         }
         let prior = self.knowledge_of(&point);
-        let (post_true, post_false) = qinfo.posterior(prior.domain());
-        let knowledge_true = Knowledge::from_domain(post_true);
-        let knowledge_false = Knowledge::from_domain(post_false);
-        if !(self.policy.allows(&knowledge_true) && self.policy.allows(&knowledge_false)) {
-            self.stats.downgrades_refused += 1;
-            return Err(AnosyError::PolicyViolation {
-                query: query_name.to_string(),
-                policy: self.policy.name(),
-                posterior_true_size: knowledge_true.size(),
-                posterior_false_size: knowledge_false.size(),
-            });
+        match downgrade_step(self.policy.as_ref(), qinfo, &prior, &point) {
+            Ok((response, posterior)) => {
+                self.secrets.insert(point, posterior);
+                self.note_downgrade_outcome(true);
+                Ok(response)
+            }
+            Err(e) => {
+                self.note_downgrade_outcome(false);
+                Err(e)
+            }
         }
-        let response = qinfo.ask(&point);
-        let posterior = if response { knowledge_true } else { knowledge_false };
-        self.secrets.insert(point, posterior);
-        self.stats.downgrades_authorized += 1;
-        Ok(response)
+    }
+
+    /// Counts one downgrade outcome in the session stats and, for shared sessions, in the
+    /// deployment aggregates.
+    fn note_downgrade_outcome(&mut self, authorized: bool) {
+        if authorized {
+            self.stats.downgrades_authorized += 1;
+        } else {
+            self.stats.downgrades_refused += 1;
+        }
+        if let SynthBacking::Shared(shared) = &self.backing {
+            shared.note_downgrade(authorized);
+        }
+    }
+
+    /// Serving-layer commit hook: overwrites the tracked knowledge of a secret and counts the
+    /// batched outcomes, exactly as the equivalent sequence of [`AnosySession::downgrade`] calls
+    /// would have. `posterior` is `None` when no occurrence in the batch was authorized (the
+    /// knowledge map is left untouched, matching the sequential refusal path).
+    ///
+    /// The decisions themselves must come from [`downgrade_step`] chains over
+    /// [`AnosySession::knowledge_of`] priors — this method only applies them, which is why it
+    /// carries the workspace's `_tcb` suffix (like [`anosy_ifc::Unprotect::unprotect_tcb`]):
+    /// it is part of the trusted computing base, exists for the `anosy-serve` batch driver, and
+    /// committing knowledge that did not come from a policy-checked decision breaks the
+    /// downgrade soundness argument.
+    #[doc(hidden)]
+    pub fn commit_batch_outcome_tcb(
+        &mut self,
+        point: Point,
+        posterior: Option<Knowledge<D>>,
+        authorized: u64,
+        refused: u64,
+    ) {
+        if let Some(knowledge) = posterior {
+            self.secrets.insert(point, knowledge);
+        }
+        self.stats.downgrades_authorized += authorized;
+        self.stats.downgrades_refused += refused;
+        if let SynthBacking::Shared(shared) = &self.backing {
+            shared.note_downgrades(authorized, refused);
+        }
     }
 
     /// Convenience wrapper for typed secrets defined with
@@ -303,19 +407,56 @@ impl<D: AbstractDomain> AnosySession<D> {
         let posteriors: Vec<Knowledge<D>> =
             indsets.posterior(prior.domain()).into_iter().map(Knowledge::from_domain).collect();
         if let Some(violating) = posteriors.iter().find(|k| !self.policy.allows(k)) {
-            self.stats.downgrades_refused += 1;
-            return Err(AnosyError::PolicyViolation {
+            let violation = AnosyError::PolicyViolation {
                 query: query_name.to_string(),
                 policy: self.policy.name(),
                 posterior_true_size: violating.size(),
                 posterior_false_size: violating.size(),
-            });
+            };
+            self.note_downgrade_outcome(false);
+            return Err(violation);
         }
         let output = query.output(&point);
         self.secrets.insert(point, posteriors[output].clone());
-        self.stats.downgrades_authorized += 1;
+        self.note_downgrade_outcome(true);
         Ok(output)
     }
+}
+
+/// One pure bounded-downgrade step (the decision half of Fig. 2, with no state change): computes
+/// the posterior knowledge for **both** possible answers from `prior`, checks the policy on
+/// both, and only if both pass executes the query on `point`, returning the answer together with
+/// the matching posterior.
+///
+/// [`AnosySession::downgrade`] is this step plus the knowledge-map commit; the batched-downgrade
+/// driver in `anosy-serve` chains it over a local prior per secret so independent secrets can be
+/// decided on worker threads and committed afterwards, with results identical to the sequential
+/// path.
+///
+/// # Errors
+///
+/// Returns [`AnosyError::PolicyViolation`] when either posterior violates the policy — the query
+/// is **not** executed in that case.
+pub fn downgrade_step<D: AbstractDomain>(
+    policy: &dyn Policy<D>,
+    qinfo: &QInfo<D>,
+    prior: &Knowledge<D>,
+    point: &Point,
+) -> Result<(bool, Knowledge<D>), AnosyError> {
+    let (post_true, post_false) = qinfo.posterior(prior.domain());
+    let knowledge_true = Knowledge::from_domain(post_true);
+    let knowledge_false = Knowledge::from_domain(post_false);
+    if !(policy.allows(&knowledge_true) && policy.allows(&knowledge_false)) {
+        return Err(AnosyError::PolicyViolation {
+            query: qinfo.query().name().to_string(),
+            policy: policy.name(),
+            posterior_true_size: knowledge_true.size(),
+            posterior_false_size: knowledge_false.size(),
+        });
+    }
+    let response = qinfo.ask(point);
+    let posterior = if response { knowledge_true } else { knowledge_false };
+    Ok((response, posterior))
 }
 
 impl<D: AbstractDomain + SynthesizeInto> AnosySession<D> {
@@ -342,27 +483,65 @@ impl<D: AbstractDomain + SynthesizeInto> AnosySession<D> {
         kind: ApproxKind,
         members: Option<usize>,
     ) -> Result<(), AnosyError> {
-        let pred_id = self.store.intern_pred(query.pred());
-        let key = (pred_id, query.layout().clone(), kind, members);
-        if let Some(cached) = self.synth_cache.get(&key) {
-            self.stats.synth_cache_hits += 1;
-            self.register(QInfo::new(query.clone(), cached.clone()));
-            return Ok(());
-        }
-        self.stats.synth_cache_misses += 1;
-        let indsets = D::synthesize(synth, query, kind, members)?;
-        let mut verifier = Verifier::with_config(SolverConfig::default());
-        let report = verifier.verify_indsets(query, &indsets)?;
-        if !report.is_verified() {
-            return Err(AnosyError::VerificationFailed {
-                query: query.name().to_string(),
-                report: report.to_string(),
-            });
-        }
-        self.synth_cache.insert(key, indsets.clone());
+        let indsets = match &mut self.backing {
+            SynthBacking::Owned { store, cache } => {
+                let pred_id = store.intern_pred(query.pred());
+                let key = (pred_id, query.layout().clone(), kind, members);
+                if let Some(cached) = cache.get(&key) {
+                    self.stats.synth_cache_hits += 1;
+                    let cached = cached.clone();
+                    self.register(QInfo::new(query.clone(), cached));
+                    return Ok(());
+                }
+                self.stats.synth_cache_misses += 1;
+                let indsets =
+                    synthesize_and_verify(synth, query, kind, members, SolverConfig::default())?;
+                cache.insert(key, indsets.clone());
+                indsets
+            }
+            SynthBacking::Shared(shared) => {
+                let (indsets, was_hit) = shared.get_or_synthesize(query, kind, members, || {
+                    synthesize_and_verify(synth, query, kind, members, SolverConfig::default())
+                })?;
+                if was_hit {
+                    self.stats.synth_cache_hits += 1;
+                } else {
+                    self.stats.synth_cache_misses += 1;
+                }
+                indsets
+            }
+        };
         self.register(QInfo::new(query.clone(), indsets));
         Ok(())
     }
+}
+
+/// The full synthesize-and-verify pipeline behind a synthesis-cache miss. Public so *every*
+/// path that fills a synthesis cache — owned sessions, deployment-shared sessions and
+/// `anosy-serve`'s deployment-level pre-warm — runs byte-for-byte the same procedure;
+/// `verifier_config` is the solver budget for the verification pass (sessions use
+/// [`SolverConfig::default`]).
+///
+/// # Errors
+///
+/// See [`AnosySession::register_synthesized`].
+pub fn synthesize_and_verify<D: AbstractDomain + SynthesizeInto>(
+    synth: &mut Synthesizer,
+    query: &QueryDef,
+    kind: ApproxKind,
+    members: Option<usize>,
+    verifier_config: SolverConfig,
+) -> Result<IndSets<D>, AnosyError> {
+    let indsets = D::synthesize(synth, query, kind, members)?;
+    let mut verifier = Verifier::with_config(verifier_config);
+    let report = verifier.verify_indsets(query, &indsets)?;
+    if !report.is_verified() {
+        return Err(AnosyError::VerificationFailed {
+            query: query.name().to_string(),
+            report: report.to_string(),
+        });
+    }
+    Ok(indsets)
 }
 
 impl<D: AbstractDomain> fmt::Debug for AnosySession<D> {
@@ -373,7 +552,8 @@ impl<D: AbstractDomain> fmt::Debug for AnosySession<D> {
             .field("queries", &self.queries.len())
             .field("kary_queries", &self.kary_queries.len())
             .field("tracked_secrets", &self.secrets.len())
-            .field("synth_cache", &self.synth_cache.len())
+            .field("synth_cache", &self.synth_cache_len())
+            .field("shared", &matches!(self.backing, SynthBacking::Shared(_)))
             .field("stats", &self.stats)
             .finish()
     }
@@ -634,6 +814,106 @@ mod tests {
         let stats = session.stats();
         assert_eq!(stats.downgrades_authorized, 2);
         assert_eq!(stats.downgrades_refused, 1);
+    }
+
+    #[test]
+    fn shared_sessions_synthesize_once_per_deployment() {
+        use crate::SharedSynthCache;
+        let shared: SharedSynthCache<IntervalDomain> = SharedSynthCache::new();
+        let mut synth =
+            Synthesizer::with_config(SynthConfig::new().with_solver(SolverConfig::for_tests()));
+        let query = nearby(200, 200);
+        let secret = Protected::new(Point::new(vec![300, 200]));
+
+        let mut first: AnosySession<IntervalDomain> =
+            AnosySession::with_shared(loc_layout(), MinSizePolicy::new(100), shared.clone());
+        assert!(first.store().is_none(), "shared sessions have no private store");
+        assert!(first.shared_cache().is_some());
+        first.register_synthesized(&mut synth, &query, ApproxKind::Under, None).unwrap();
+        assert_eq!(first.stats().synth_cache_misses, 1);
+        let nodes_after_first = synth.solver_stats().nodes_explored;
+
+        // A *different* session of the same deployment registers the same query: zero solver
+        // work, and the answer matches an owned session's downgrade exactly.
+        let mut second: AnosySession<IntervalDomain> =
+            AnosySession::with_shared(loc_layout(), MinSizePolicy::new(100), shared.clone());
+        second.register_synthesized(&mut synth, &query, ApproxKind::Under, None).unwrap();
+        assert_eq!(second.stats().synth_cache_hits, 1);
+        assert_eq!(second.stats().synth_cache_misses, 0);
+        assert_eq!(synth.solver_stats().nodes_explored, nodes_after_first);
+        assert!(second.downgrade(&secret, "nearby_200_200").unwrap());
+
+        let mut owned: AnosySession<IntervalDomain> =
+            AnosySession::new(loc_layout(), MinSizePolicy::new(100));
+        owned.register_synthesized(&mut synth, &query, ApproxKind::Under, None).unwrap();
+        assert!(owned.downgrade(&secret, "nearby_200_200").unwrap());
+        assert_eq!(
+            second.knowledge_of(&Point::new(vec![300, 200])).size(),
+            owned.knowledge_of(&Point::new(vec![300, 200])).size(),
+            "shared and owned sessions must track identical knowledge"
+        );
+
+        // Deployment aggregates fold in both sessions.
+        let stats = shared.stats();
+        assert_eq!(stats.sessions_opened, 2);
+        assert_eq!(stats.synth_misses, 1);
+        assert_eq!(stats.synth_hits, 1);
+        assert_eq!(stats.downgrades_authorized, 1, "owned session downgrades are not counted");
+        assert_eq!(second.synth_cache_len(), 1);
+        assert!(format!("{second:?}").contains("shared: true"));
+        assert!(stats.to_string().contains("synth hits"));
+    }
+
+    #[test]
+    fn downgrade_step_matches_the_session_path() {
+        // Chain the pure step over a local prior and compare against the mutating session path
+        // on the paper's §3 walkthrough (authorize, authorize, refuse).
+        let session = paper_session();
+        let policy = session.policy_handle();
+        let point = Point::new(vec![300, 200]);
+        let mut prior = session.knowledge_of(&point);
+
+        let qinfo = session.query_info("nearby_200_200").unwrap();
+        let (answer, posterior) = downgrade_step(policy.as_ref(), qinfo, &prior, &point).unwrap();
+        assert!(answer);
+        assert_eq!(posterior.size(), 6837);
+        prior = posterior;
+
+        let qinfo = session.query_info("nearby_300_200").unwrap();
+        let (answer, posterior) = downgrade_step(policy.as_ref(), qinfo, &prior, &point).unwrap();
+        assert!(answer);
+        prior = posterior;
+
+        let qinfo = session.query_info("nearby_400_200").unwrap();
+        let err = downgrade_step(policy.as_ref(), qinfo, &prior, &point).unwrap_err();
+        assert!(matches!(err, AnosyError::PolicyViolation { .. }));
+
+        // The session path lands on exactly the same knowledge.
+        let mut mutating = paper_session();
+        let secret = Protected::new(point.clone());
+        mutating.downgrade(&secret, "nearby_200_200").unwrap();
+        mutating.downgrade(&secret, "nearby_300_200").unwrap();
+        mutating.downgrade(&secret, "nearby_400_200").unwrap_err();
+        assert_eq!(mutating.knowledge_of(&point).size(), prior.size());
+    }
+
+    #[test]
+    fn commit_batch_outcome_mirrors_sequential_bookkeeping() {
+        let mut sequential = paper_session();
+        let mut batched = paper_session();
+        let point = Point::new(vec![300, 200]);
+        let secret = Protected::new(point.clone());
+        sequential.downgrade(&secret, "nearby_200_200").unwrap();
+        sequential.downgrade(&secret, "nearby_400_200").unwrap_err();
+
+        let prior = batched.knowledge_of(&point);
+        let qinfo = batched.query_info("nearby_200_200").unwrap();
+        let (_, posterior) =
+            downgrade_step(batched.policy_handle().as_ref(), qinfo, &prior, &point).unwrap();
+        batched.commit_batch_outcome_tcb(point.clone(), Some(posterior), 1, 1);
+
+        assert_eq!(batched.stats(), sequential.stats());
+        assert_eq!(batched.knowledge_of(&point).size(), sequential.knowledge_of(&point).size());
     }
 
     #[test]

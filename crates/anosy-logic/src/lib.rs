@@ -63,5 +63,8 @@ pub use parser::{parse_pred, parse_pred_with_layout};
 pub use point::Point;
 pub use pred::Pred;
 pub use range::{IntBox, Range};
-pub use store::{ExprId, ExprNode, PredId, PredNode, PredShape, StoreStats, TermStore};
+pub use store::{
+    depth_bucket, ExprId, ExprNode, PredId, PredNode, PredShape, StoreStats, TermStore,
+    BOX_MEMO_DEPTH_BUCKETS, BOX_MEMO_DEPTH_LABELS, BOX_MEMO_MIN_DEPTH,
+};
 pub use tribool::TriBool;

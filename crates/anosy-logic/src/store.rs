@@ -146,6 +146,36 @@ pub enum PredShape {
     Iff(PredId, PredId),
 }
 
+/// Number of depth buckets the `(id, box)` memo counters are split into (see
+/// [`depth_bucket`]).
+pub const BOX_MEMO_DEPTH_BUCKETS: usize = 4;
+
+/// Human-readable labels of the depth buckets, index-aligned with the
+/// `box_memo_depth_*` arrays of [`StoreStats`].
+pub const BOX_MEMO_DEPTH_LABELS: [&str; BOX_MEMO_DEPTH_BUCKETS] = ["1-3", "4-7", "8-15", "16+"];
+
+/// Maps a term nesting depth to its profitability bucket. The bucket boundaries straddle
+/// [`BOX_MEMO_MIN_DEPTH`]: buckets `0`/`1` are below the memo threshold (lookups are bypassed
+/// and counted in `box_memo_depth_bypassed`), buckets `2`/`3` are at or above it (lookups are
+/// counted as hits or misses), so the per-bucket hit rates directly answer "was the threshold
+/// placed well?".
+pub fn depth_bucket(depth: u8) -> usize {
+    match depth {
+        0..=3 => 0,
+        4..=7 => 1,
+        8..=15 => 2,
+        _ => 3,
+    }
+}
+
+// The bucket edges above and the labels below are aligned to the memo threshold (buckets 0/1
+// below it, 2/3 at or above). Retuning the threshold must retune them together, or every
+// per-bucket counter silently lies about which side of the gate it measured.
+const _: () = assert!(
+    BOX_MEMO_MIN_DEPTH == 8,
+    "BOX_MEMO_MIN_DEPTH changed: update depth_bucket() and BOX_MEMO_DEPTH_LABELS to match"
+);
+
 /// Hit/miss counters for the store's interning tables and memo caches.
 ///
 /// Purely informational (never influence results); surfaced by the solver and session layers so
@@ -178,6 +208,15 @@ pub struct StoreStats {
     pub tri_misses: u64,
     /// Times a box-keyed memo table overflowed its cap and was cleared.
     pub box_memo_evictions: u64,
+    /// `(id, box)` memo lookups answered from the cache, bucketed by term depth (only buckets at
+    /// or above [`BOX_MEMO_MIN_DEPTH`] can be non-zero).
+    pub box_memo_depth_hits: [u64; BOX_MEMO_DEPTH_BUCKETS],
+    /// `(id, box)` memo lookups computed fresh, bucketed by term depth.
+    pub box_memo_depth_misses: [u64; BOX_MEMO_DEPTH_BUCKETS],
+    /// Abstract evaluations that skipped the `(id, box)` memo because the term was shallower
+    /// than [`BOX_MEMO_MIN_DEPTH`], bucketed by term depth. A high hypothetical hit rate here is
+    /// the signal for *lowering* the threshold; the cost of these is one direct recomputation.
+    pub box_memo_depth_bypassed: [u64; BOX_MEMO_DEPTH_BUCKETS],
 }
 
 impl StoreStats {
@@ -189,6 +228,18 @@ impl StoreStats {
     /// Total memo-table misses across all caches (excluding interning dedup).
     pub fn cache_misses(&self) -> u64 {
         self.simplify_misses + self.free_vars_misses + self.range_misses + self.tri_misses
+    }
+
+    /// Hit rate of the `(id, box)` memos in the given depth bucket, in `[0, 1]`; `0` when the
+    /// bucket saw no memoized lookups (in particular, for every bucket below the threshold).
+    pub fn box_memo_hit_rate(&self, bucket: usize) -> f64 {
+        let hits = self.box_memo_depth_hits[bucket];
+        let total = hits + self.box_memo_depth_misses[bucket];
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
     }
 }
 
@@ -214,15 +265,23 @@ const BOX_MEMO_CAP: usize = 1 << 16;
 /// tables — "keyed by `(id, box)` where profitable": for the shallow comparisons that dominate
 /// benchmark queries, recomputing is measurably cheaper than hashing the box (the fig5 suite
 /// runs at parity with the tree evaluator), while a hit on a genuinely deep term saves a whole
-/// subtree walk and a miss costs one box hash it was going to dwarf anyway.
-const BOX_MEMO_MIN_DEPTH: u8 = 8;
+/// subtree walk and a miss costs one box hash it was going to dwarf anyway. The per-depth-bucket
+/// counters in [`StoreStats`] exist to justify (or eventually autotune) this value from observed
+/// hit rates.
+pub const BOX_MEMO_MIN_DEPTH: u8 = 8;
 
 /// A hash-consed arena of predicates and integer expressions with memoized analyses.
 ///
 /// See the [module docs](self) for the design. A store is an append-only value: ids are only
 /// meaningful within the store that produced them, and interning the same term twice always
 /// returns the same id.
-#[derive(Debug, Default)]
+///
+/// Stores are `Clone`: a clone is a [`TermStore::snapshot`] — it carries the full arena *and*
+/// every memo table, and ids remain valid in it (interning is deterministic and append-only, so
+/// a clone taken at arena size `n` agrees with the original on the first `n` ids forever). This
+/// is what the parallel solver shards are seeded with: each worker mutates only its private
+/// snapshot's memo tables, no synchronization needed.
+#[derive(Debug, Default, Clone)]
 pub struct TermStore {
     exprs: Vec<ExprNode>,
     preds: Vec<PredNode>,
@@ -269,6 +328,13 @@ impl TermStore {
     /// The store's hit/miss counters.
     pub fn stats(&self) -> StoreStats {
         self.stats
+    }
+
+    /// An independent copy of the store: same arena, same ids, same memo tables. Workers of a
+    /// sharded search each take one snapshot and then proceed without any synchronization; every
+    /// id interned before the snapshot resolves identically in all copies.
+    pub fn snapshot(&self) -> TermStore {
+        self.clone()
     }
 
     /// Clears the hit/miss counters (the arena and memo tables are kept).
@@ -712,13 +778,18 @@ impl TermStore {
     /// recomputed directly, which is cheaper than hashing the box. Agrees with
     /// [`IntExpr::eval_abstract`].
     pub fn eval_abstract_expr(&mut self, id: ExprId, boxed: &IntBox) -> Range {
+        let bucket = depth_bucket(self.expr_depth(id));
         let memoize = self.expr_depth(id) >= BOX_MEMO_MIN_DEPTH;
         if memoize {
             if let Some(&r) = self.range_memo.get(&id).and_then(|per_box| per_box.get(boxed)) {
                 self.stats.range_hits += 1;
+                self.stats.box_memo_depth_hits[bucket] += 1;
                 return r;
             }
             self.stats.range_misses += 1;
+            self.stats.box_memo_depth_misses[bucket] += 1;
+        } else {
+            self.stats.box_memo_depth_bypassed[bucket] += 1;
         }
         let result = self.compute_abstract_expr(id, boxed);
         if memoize {
@@ -772,13 +843,18 @@ impl TermStore {
     /// box. Deep predicates are memoized by `(id, box)`; shallow ones are recomputed directly.
     /// Agrees with [`Pred::eval_abstract`] and inherits its soundness contract.
     pub fn eval_abstract_pred(&mut self, id: PredId, boxed: &IntBox) -> TriBool {
+        let bucket = depth_bucket(self.pred_depth(id));
         let memoize = self.pred_depth(id) >= BOX_MEMO_MIN_DEPTH;
         if memoize {
             if let Some(&t) = self.tri_memo.get(&id).and_then(|per_box| per_box.get(boxed)) {
                 self.stats.tri_hits += 1;
+                self.stats.box_memo_depth_hits[bucket] += 1;
                 return t;
             }
             self.stats.tri_misses += 1;
+            self.stats.box_memo_depth_misses[bucket] += 1;
+        } else {
+            self.stats.box_memo_depth_bypassed[bucket] += 1;
         }
         let result = self.compute_abstract_pred(id, boxed);
         if memoize {
@@ -1316,5 +1392,72 @@ mod tests {
         // Arena-size counters survive the reset: the arena itself was not cleared.
         assert_eq!(reset.exprs_interned as usize, store.expr_count());
         assert_eq!(reset.preds_interned as usize, store.pred_count());
+    }
+
+    #[test]
+    fn depth_buckets_straddle_the_memo_threshold() {
+        assert_eq!(depth_bucket(1), 0);
+        assert_eq!(depth_bucket(3), 0);
+        assert_eq!(depth_bucket(4), 1);
+        assert_eq!(depth_bucket(BOX_MEMO_MIN_DEPTH - 1), 1);
+        assert_eq!(depth_bucket(BOX_MEMO_MIN_DEPTH), 2);
+        assert_eq!(depth_bucket(15), 2);
+        assert_eq!(depth_bucket(16), 3);
+        assert_eq!(depth_bucket(u8::MAX), 3);
+        assert_eq!(BOX_MEMO_DEPTH_LABELS.len(), BOX_MEMO_DEPTH_BUCKETS);
+    }
+
+    #[test]
+    fn box_memo_counters_split_by_depth() {
+        let mut store = TermStore::new();
+        let shallow = store.intern_pred(&nearby(200, 200));
+        let deep = store.intern_pred(&deep_pred(8));
+        let boxed = IntBox::new(vec![Range::new(0, 400), Range::new(0, 400)]);
+        store.eval_abstract_pred(shallow, &boxed);
+        let s = store.stats();
+        // A shallow evaluation only bypasses (in the low buckets); nothing is memoized.
+        assert!(s.box_memo_depth_bypassed[0] + s.box_memo_depth_bypassed[1] > 0);
+        assert_eq!(s.box_memo_depth_hits, [0; BOX_MEMO_DEPTH_BUCKETS]);
+        assert_eq!(s.box_memo_hit_rate(2), 0.0);
+        // A deep evaluation misses, then hits, only in buckets >= the threshold.
+        store.eval_abstract_pred(deep, &boxed);
+        store.eval_abstract_pred(deep, &boxed);
+        let s = store.stats();
+        assert_eq!(s.box_memo_depth_hits[0], 0);
+        assert_eq!(s.box_memo_depth_hits[1], 0);
+        assert!(s.box_memo_depth_misses[2] + s.box_memo_depth_misses[3] > 0);
+        assert!(s.box_memo_depth_hits[2] + s.box_memo_depth_hits[3] > 0);
+        let deep_rate = s.box_memo_hit_rate(2).max(s.box_memo_hit_rate(3));
+        assert!(deep_rate > 0.0 && deep_rate <= 1.0);
+    }
+
+    #[test]
+    fn snapshots_agree_on_pre_snapshot_ids_and_diverge_after() {
+        let mut store = TermStore::new();
+        let pred = deep_pred(9);
+        let id = store.intern_pred(&pred);
+        let simplified = store.simplify(id);
+        let mut snap = store.snapshot();
+        // Ids interned before the snapshot resolve identically in both copies.
+        assert_eq!(snap.pred_to_tree(id), store.pred_to_tree(id));
+        assert_eq!(snap.simplify(id), simplified, "memo tables travel with the snapshot");
+        let boxed = IntBox::new(vec![Range::new(0, 40), Range::new(0, 40)]);
+        assert_eq!(snap.eval_abstract_pred(id, &boxed), store.eval_abstract_pred(id, &boxed));
+        // Post-snapshot interning is private to each copy.
+        let only_in_snap = snap.intern_pred(&nearby(7, 7));
+        assert_eq!(snap.pred_to_tree(only_in_snap), nearby(7, 7));
+        assert!(store.pred_count() <= snap.pred_count());
+    }
+
+    #[test]
+    fn stores_and_ids_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TermStore>();
+        assert_send_sync::<StoreStats>();
+        assert_send_sync::<ExprId>();
+        assert_send_sync::<PredId>();
+        assert_send_sync::<Pred>();
+        assert_send_sync::<IntExpr>();
+        assert_send_sync::<IntBox>();
     }
 }

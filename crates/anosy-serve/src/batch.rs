@@ -1,0 +1,315 @@
+//! Batched bounded downgrades.
+//!
+//! The serving-path hot loop is `downgrade`: a knowledge lookup, two abstract-domain meets, two
+//! policy checks, one query execution. For a batch of secrets against one query those per-secret
+//! chains are completely independent, so [`downgrade_batch`] runs the *decision* phase (the pure
+//! [`downgrade_step`] chains) on the deployment's worker pool and then *commits* the outcomes
+//! sequentially. The result vector, the tracked knowledge and the session counters are
+//! element-for-element identical to calling [`AnosySession::downgrade`] in a loop (including
+//! duplicate secrets in one batch: occurrences of the same secret are chained in order on one
+//! worker, because the i-th downgrade of a secret refines the posterior of the (i-1)-th).
+//!
+//! [`downgrade_many`] — one secret against a query set — is the transposed API. Its chain is
+//! inherently sequential (each query refines the prior the next one sees), so it costs one
+//! worker; it exists so callers can express both batch shapes uniformly and so the sequential
+//! dependency is documented in exactly one place.
+
+use crate::ShardPool;
+
+/// Oversplit factor for the decision phase: more chunks than workers lets a worker that drew
+/// cheap secrets pull further chunks while a skewed run (hot duplicate chains, large priors)
+/// is still deciding elsewhere — same rationale as the parallel solver driver's oversplit.
+const BATCH_CHUNKS_PER_WORKER: usize = 4;
+use anosy_core::{downgrade_step, AnosyError, AnosySession, Knowledge, Policy, QInfo};
+use anosy_domains::AbstractDomain;
+use anosy_logic::{Point, SecretLayout};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The decided-but-uncommitted outcome of one secret's occurrences within a batch.
+struct SecretOutcome<D: AbstractDomain> {
+    point: Point,
+    /// Result per occurrence, in occurrence order.
+    results: Vec<Result<bool, AnosyError>>,
+    /// The final posterior, if any occurrence was authorized.
+    posterior: Option<Knowledge<D>>,
+    authorized: u64,
+    refused: u64,
+}
+
+/// Decides the whole chain of one secret's occurrences against one query, starting from the
+/// session's tracked prior — the pure phase, safe to run on any thread.
+fn decide_chain<D: AbstractDomain>(
+    policy: &dyn Policy<D>,
+    qinfo: &QInfo<D>,
+    layout: &SecretLayout,
+    point: Point,
+    mut prior: Knowledge<D>,
+    occurrences: usize,
+) -> SecretOutcome<D> {
+    let mut outcome = SecretOutcome {
+        point,
+        results: Vec::with_capacity(occurrences),
+        posterior: None,
+        authorized: 0,
+        refused: 0,
+    };
+    for _ in 0..occurrences {
+        if !layout.admits(&outcome.point) {
+            // Not a policy refusal: no counter moves, matching the sequential path.
+            outcome.results.push(Err(AnosyError::SecretOutsideLayout));
+            continue;
+        }
+        match downgrade_step(policy, qinfo, &prior, &outcome.point) {
+            Ok((response, posterior)) => {
+                prior = posterior;
+                outcome.authorized += 1;
+                outcome.results.push(Ok(response));
+            }
+            Err(e) => {
+                outcome.refused += 1;
+                outcome.results.push(Err(e));
+            }
+        }
+    }
+    if outcome.authorized > 0 {
+        // Refusals never touch the prior, so after any authorized occurrence `prior` *is* the
+        // knowledge the sequential loop would have committed last.
+        outcome.posterior = Some(prior);
+    }
+    outcome
+}
+
+/// Downgrades every secret of the batch against one registered query, sharding the decision
+/// phase across the pool. Returns one result per input secret, in input order; see the
+/// module docs above for the sequential-equivalence guarantee.
+pub fn downgrade_batch<D: AbstractDomain + Send + Sync + 'static>(
+    pool: &ShardPool,
+    session: &mut AnosySession<D>,
+    secrets: &[Point],
+    query_name: &str,
+) -> Vec<Result<bool, AnosyError>> {
+    let Some(qinfo) = session.query_info(query_name) else {
+        return secrets
+            .iter()
+            .map(|_| Err(AnosyError::UnknownQuery { name: query_name.to_string() }))
+            .collect();
+    };
+    let qinfo = Arc::new(qinfo.clone());
+    let policy = session.policy_handle();
+    let layout = Arc::new(session.layout().clone());
+
+    // Group occurrences per distinct secret, preserving first-seen order. Only the first
+    // occurrence of a point is cloned; duplicates cost one hash lookup and an index push.
+    let mut unique: HashMap<&Point, usize> = HashMap::with_capacity(secrets.len());
+    let mut occurrences: Vec<Vec<usize>> = Vec::new();
+    for (index, point) in secrets.iter().enumerate() {
+        match unique.get(point) {
+            Some(&slot) => occurrences[slot].push(index),
+            None => {
+                unique.insert(point, occurrences.len());
+                occurrences.push(vec![index]);
+            }
+        }
+    }
+    // Work items carry owned data (the pool requires 'static jobs): the unique point, its
+    // tracked prior, its occurrence slot and count.
+    let mut work: Vec<(Point, Knowledge<D>, usize, usize)> = Vec::with_capacity(occurrences.len());
+    for (slot, indices) in occurrences.iter().enumerate() {
+        let point = secrets[indices[0]].clone();
+        let prior = session.knowledge_of(&point);
+        work.push((point, prior, slot, indices.len()));
+    }
+    drop(unique);
+
+    // Decision phase: contiguous runs of distinct secrets, oversplit so workers can rebalance.
+    let jobs: Vec<_> = ShardPool::chunk(work, pool.workers() * BATCH_CHUNKS_PER_WORKER)
+        .into_iter()
+        .map(|chunk| {
+            let qinfo = Arc::clone(&qinfo);
+            let policy = Arc::clone(&policy);
+            let layout = Arc::clone(&layout);
+            move || -> Vec<(usize, SecretOutcome<D>)> {
+                chunk
+                    .into_iter()
+                    .map(|(point, prior, slot, count)| {
+                        (slot, decide_chain(policy.as_ref(), &qinfo, &layout, point, prior, count))
+                    })
+                    .collect()
+            }
+        })
+        .collect();
+
+    // Commit phase: sequential, in deterministic distinct-secret order.
+    let mut results: Vec<Option<Result<bool, AnosyError>>> = vec![None; secrets.len()];
+    for (slot, outcome) in pool.scatter(jobs).into_iter().flat_map(|job_results| {
+        // A panic in user policy code surfaces here with its original payload, exactly as the
+        // sequential loop would have surfaced it.
+        job_results.unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+    }) {
+        let indices = &occurrences[slot];
+        debug_assert_eq!(indices.len(), outcome.results.len());
+        for (&index, result) in indices.iter().zip(outcome.results) {
+            results[index] = Some(result);
+        }
+        session.commit_batch_outcome_tcb(
+            outcome.point,
+            outcome.posterior,
+            outcome.authorized,
+            outcome.refused,
+        );
+    }
+    results.into_iter().map(|r| r.expect("every input index was decided")).collect()
+}
+
+/// Downgrades one secret against a sequence of registered queries, in order. Equivalent to the
+/// corresponding loop of [`AnosySession::downgrade`] calls — the chain is sequential by nature
+/// (each authorized answer refines the prior the next query is judged against), so this runs on
+/// the calling thread; batch-level parallelism comes from [`downgrade_batch`].
+pub fn downgrade_many<D: AbstractDomain>(
+    session: &mut AnosySession<D>,
+    secret: &Point,
+    query_names: &[&str],
+) -> Vec<Result<bool, AnosyError>> {
+    let policy = session.policy_handle();
+    let layout = session.layout().clone();
+    let mut prior = session.knowledge_of(secret);
+    let mut results = Vec::with_capacity(query_names.len());
+    let (mut authorized, mut refused) = (0u64, 0u64);
+    for name in query_names {
+        let Some(qinfo) = session.query_info(name) else {
+            results.push(Err(AnosyError::UnknownQuery { name: name.to_string() }));
+            continue;
+        };
+        if !layout.admits(secret) {
+            results.push(Err(AnosyError::SecretOutsideLayout));
+            continue;
+        }
+        match downgrade_step(policy.as_ref(), qinfo, &prior, secret) {
+            Ok((response, post)) => {
+                prior = post;
+                authorized += 1;
+                results.push(Ok(response));
+            }
+            Err(e) => {
+                refused += 1;
+                results.push(Err(e));
+            }
+        }
+    }
+    // As in `decide_chain`: refusals never touch the prior, so after any authorized step
+    // `prior` is exactly the knowledge the sequential loop committed last.
+    let posterior = (authorized > 0).then_some(prior);
+    session.commit_batch_outcome_tcb(secret.clone(), posterior, authorized, refused);
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anosy_core::MinSizePolicy;
+    use anosy_domains::IntervalDomain;
+    use anosy_ifc::Protected;
+    use anosy_logic::{IntExpr, SecretLayout};
+    use anosy_solver::SolverConfig;
+    use anosy_synth::{ApproxKind, QueryDef, SynthConfig, Synthesizer};
+
+    fn layout() -> SecretLayout {
+        SecretLayout::builder().field("x", 0, 400).field("y", 0, 400).build()
+    }
+
+    fn session_with(origins: &[(i64, i64)]) -> AnosySession<IntervalDomain> {
+        let mut session = AnosySession::new(layout(), MinSizePolicy::new(100));
+        let mut synth =
+            Synthesizer::with_config(SynthConfig::new().with_solver(SolverConfig::for_tests()));
+        for &(xo, yo) in origins {
+            let pred = ((IntExpr::var(0) - xo).abs() + (IntExpr::var(1) - yo).abs()).le(100);
+            let query = QueryDef::new(format!("nearby_{xo}_{yo}"), layout(), pred).unwrap();
+            session.register_synthesized(&mut synth, &query, ApproxKind::Under, None).unwrap();
+        }
+        session
+    }
+
+    fn secrets() -> Vec<Point> {
+        let mut points = Vec::new();
+        for x in (0..=400).step_by(57) {
+            for y in (0..=400).step_by(73) {
+                points.push(Point::new(vec![x, y]));
+            }
+        }
+        // Duplicates and an out-of-layout point exercise the tricky paths.
+        points.push(Point::new(vec![300, 200]));
+        points.push(Point::new(vec![300, 200]));
+        points.push(Point::new(vec![9000, 0]));
+        points
+    }
+
+    fn assert_same(batch: &[Result<bool, AnosyError>], sequential: &[Result<bool, AnosyError>]) {
+        assert_eq!(batch.len(), sequential.len());
+        for (i, (b, s)) in batch.iter().zip(sequential).enumerate() {
+            assert_eq!(b, s, "result {i} diverges");
+        }
+    }
+
+    #[test]
+    fn batch_matches_the_sequential_loop_exactly() {
+        let pool = ShardPool::new(4);
+        let mut batched = session_with(&[(200, 200)]);
+        let mut looped = session_with(&[(200, 200)]);
+        let points = secrets();
+
+        let batch_results = downgrade_batch(&pool, &mut batched, &points, "nearby_200_200");
+        let loop_results: Vec<_> = points
+            .iter()
+            .map(|p| looped.downgrade(&Protected::new(p.clone()), "nearby_200_200"))
+            .collect();
+
+        assert_same(&batch_results, &loop_results);
+        assert_eq!(batched.stats(), looped.stats());
+        assert_eq!(batched.tracked_secrets(), looped.tracked_secrets());
+        for p in &points {
+            assert_eq!(
+                batched.knowledge_of(p).size(),
+                looped.knowledge_of(p).size(),
+                "knowledge diverges for {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_queries_error_per_element() {
+        let pool = ShardPool::new(2);
+        let mut session = session_with(&[(200, 200)]);
+        let points = vec![Point::new(vec![1, 1]), Point::new(vec![2, 2])];
+        let results = downgrade_batch(&pool, &mut session, &points, "never_registered");
+        assert_eq!(results.len(), 2);
+        for r in results {
+            assert!(matches!(r, Err(AnosyError::UnknownQuery { .. })));
+        }
+        assert_eq!(session.stats().downgrades_authorized, 0);
+    }
+
+    #[test]
+    fn empty_batches_are_noops() {
+        let pool = ShardPool::new(2);
+        let mut session = session_with(&[(200, 200)]);
+        assert!(downgrade_batch(&pool, &mut session, &[], "nearby_200_200").is_empty());
+        assert_eq!(session.stats().downgrades_authorized, 0);
+    }
+
+    #[test]
+    fn many_matches_the_sequential_loop_exactly() {
+        let mut batched = session_with(&[(200, 200), (300, 200), (400, 200)]);
+        let mut looped = session_with(&[(200, 200), (300, 200), (400, 200)]);
+        let secret = Point::new(vec![300, 200]);
+        let names = ["nearby_200_200", "no_such_query", "nearby_300_200", "nearby_400_200"];
+
+        let many_results = downgrade_many(&mut batched, &secret, &names);
+        let loop_results: Vec<_> =
+            names.iter().map(|n| looped.downgrade(&Protected::new(secret.clone()), n)).collect();
+
+        assert_same(&many_results, &loop_results);
+        assert_eq!(batched.stats(), looped.stats());
+        assert_eq!(batched.knowledge_of(&secret).size(), looped.knowledge_of(&secret).size());
+    }
+}

@@ -1,0 +1,66 @@
+//! Deployment configuration.
+
+use anosy_solver::SolverConfig;
+use anosy_synth::SynthConfig;
+
+/// Configuration of a [`crate::Deployment`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Number of worker threads in the deployment's shard pool (clamped to at least one).
+    pub workers: usize,
+    /// Synthesis configuration used for cache misses (its solver config also drives
+    /// verification and the parallel solver driver).
+    pub synth: SynthConfig,
+}
+
+impl ServeConfig {
+    /// Defaults: workers = available parallelism (or 4 when unknown), default synthesis limits.
+    pub fn new() -> Self {
+        let workers =
+            std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(4);
+        ServeConfig { workers, synth: SynthConfig::default() }
+    }
+
+    /// Overrides the worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Overrides the synthesis configuration.
+    pub fn with_synth(mut self, synth: SynthConfig) -> Self {
+        self.synth = synth;
+        self
+    }
+
+    /// The solver configuration shards and verifiers run with.
+    pub fn solver(&self) -> &SolverConfig {
+        &self.synth.solver
+    }
+
+    /// A tight configuration for tests: few workers, fast-failing solver budgets.
+    pub fn for_tests() -> Self {
+        ServeConfig { workers: 4, synth: SynthConfig::new().with_solver(SolverConfig::for_tests()) }
+    }
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_and_defaults() {
+        let c = ServeConfig::default();
+        assert!(c.workers >= 1);
+        let c = ServeConfig::new().with_workers(0);
+        assert_eq!(c.workers, 1, "worker count clamps to one");
+        let c = ServeConfig::for_tests().with_synth(SynthConfig::new());
+        assert_eq!(c.solver().max_nodes, SolverConfig::new().max_nodes);
+    }
+}

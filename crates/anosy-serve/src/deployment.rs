@@ -1,0 +1,334 @@
+//! The deployment: one shared store + synthesis cache, one worker pool, many sessions.
+
+use crate::{batch, parallel, persist, ServeConfig, ServeError, ShardPool, Sharded};
+use anosy_core::{
+    AnosyError, AnosySession, Policy, SharedCacheStats, SharedSynthCache, SynthesizeInto,
+};
+use anosy_domains::AbstractDomain;
+use anosy_logic::{IntBox, Point, Pred, SecretLayout, StoreStats};
+use anosy_solver::{SolverConfig, SolverError, ValidityOutcome};
+use anosy_synth::{ApproxKind, DomainCodec, QueryDef, Synthesizer};
+use std::fmt;
+use std::path::Path;
+
+/// A point-in-time view of a deployment's aggregate serving counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeStats {
+    /// The shared-cache aggregates (synthesis hits/misses, downgrade outcomes, sessions).
+    pub cache: SharedCacheStats,
+    /// Distinct synthesized entries currently cached.
+    pub entries: usize,
+    /// Worker threads in the shard pool.
+    pub workers: usize,
+}
+
+impl ServeStats {
+    /// Renders the stats as a small JSON object (the report binaries' format; the workspace
+    /// carries no serde).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"workers\": {}, \"entries\": {}, \"sessions\": {}, ",
+                "\"synth_hits\": {}, \"synth_misses\": {}, \"warm_loaded\": {}, ",
+                "\"downgrades_authorized\": {}, \"downgrades_refused\": {}}}"
+            ),
+            self.workers,
+            self.entries,
+            self.cache.sessions_opened,
+            self.cache.synth_hits,
+            self.cache.synth_misses,
+            self.cache.warm_loaded,
+            self.cache.downgrades_authorized,
+            self.cache.downgrades_refused,
+        )
+    }
+}
+
+impl fmt::Display for ServeStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} workers, {} cached entries; {}", self.workers, self.entries, self.cache)
+    }
+}
+
+/// A serving deployment (see the [crate docs](crate) for the model):
+///
+/// * owns the [`SharedSynthCache`] every session of the deployment registers through — N
+///   sessions registering the same query set synthesize once per *deployment*;
+/// * owns the fixed [`ShardPool`] the batched-downgrade and parallel-solver drivers shard
+///   across;
+/// * loads and saves the warm-start synthesis cache.
+#[derive(Debug)]
+pub struct Deployment<D: AbstractDomain> {
+    layout: SecretLayout,
+    config: ServeConfig,
+    shared: SharedSynthCache<D>,
+    pool: ShardPool,
+}
+
+impl<D: AbstractDomain> Deployment<D> {
+    /// Creates a deployment serving secrets of `layout`.
+    pub fn new(layout: SecretLayout, config: ServeConfig) -> Self {
+        let pool = ShardPool::new(config.workers);
+        Deployment { layout, config, shared: SharedSynthCache::new(), pool }
+    }
+
+    /// The secret layout this deployment serves.
+    pub fn layout(&self) -> &SecretLayout {
+        &self.layout
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// The deployment's worker pool (for custom sharded drivers).
+    pub fn pool(&self) -> &ShardPool {
+        &self.pool
+    }
+
+    /// The shared store + synthesis cache handle (cheap to clone; hand it to sessions created
+    /// outside [`Deployment::session`] if needed).
+    pub fn shared(&self) -> &SharedSynthCache<D> {
+        &self.shared
+    }
+
+    /// Aggregate serving counters.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            cache: self.shared.stats(),
+            entries: self.shared.len(),
+            workers: self.pool.workers(),
+        }
+    }
+
+    /// Hit/miss counters of the shared term store.
+    pub fn store_stats(&self) -> StoreStats {
+        self.shared.store_stats()
+    }
+
+    /// Opens a session against this deployment: it shares the deployment's store and synthesis
+    /// cache, and its downgrade outcomes fold into the deployment aggregates.
+    pub fn session(&self, policy: impl Policy<D> + Send + Sync + 'static) -> AnosySession<D> {
+        AnosySession::with_shared(self.layout.clone(), policy, self.shared.clone())
+    }
+
+    /// Downgrades a batch of secrets against one registered query of `session`, sharding the
+    /// policy/posterior decisions across the deployment pool. Results (and the session's
+    /// post-state) are identical to the sequential per-call loop.
+    pub fn downgrade_batch(
+        &self,
+        session: &mut AnosySession<D>,
+        secrets: &[Point],
+        query_name: &str,
+    ) -> Vec<Result<bool, AnosyError>>
+    where
+        D: Send + Sync + 'static,
+    {
+        batch::downgrade_batch(&self.pool, session, secrets, query_name)
+    }
+
+    /// Downgrades one secret against a query set, in order (see
+    /// [`batch::downgrade_many`]).
+    pub fn downgrade_many(
+        &self,
+        session: &mut AnosySession<D>,
+        secret: &Point,
+        query_names: &[&str],
+    ) -> Vec<Result<bool, AnosyError>> {
+        batch::downgrade_many(session, secret, query_names)
+    }
+
+    /// Counts the models of `pred` in `space` with the sharded parallel driver (identical to the
+    /// sequential count; see [`parallel::par_count_models`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first shard's [`SolverError`].
+    pub fn par_count_models(
+        &self,
+        pred: &Pred,
+        space: &IntBox,
+    ) -> Result<Sharded<u128>, SolverError> {
+        parallel::par_count_models(&self.pool, self.config.solver(), pred, space)
+    }
+
+    /// Sharded validity check (identical outcome to the sequential procedure).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first shard's [`SolverError`].
+    pub fn par_check_validity(
+        &self,
+        pred: &Pred,
+        space: &IntBox,
+    ) -> Result<Sharded<ValidityOutcome>, SolverError> {
+        parallel::par_check_validity(&self.pool, self.config.solver(), pred, space)
+    }
+}
+
+impl<D: AbstractDomain + SynthesizeInto> Deployment<D> {
+    /// Pre-warms the shared cache with one query: synthesizes and verifies it now (once per
+    /// deployment) so that every subsequent session registration is a pure cache hit. Safe to
+    /// call concurrently and repeatedly. Runs the same
+    /// [`synthesize_and_verify`](anosy_core::synthesize_and_verify) pipeline — including the
+    /// verifier's default solver budget — that a session registration would, so a `(query,
+    /// kind, members)` key verifies identically no matter which entry point races into the
+    /// single-flight slot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates synthesis, verification and solver failures (as [`ServeError::Anosy`]).
+    pub fn register_query(
+        &self,
+        query: &QueryDef,
+        kind: ApproxKind,
+        members: Option<usize>,
+    ) -> Result<(), ServeError> {
+        self.shared.get_or_synthesize(query, kind, members, || {
+            // Constructed only on an actual miss: warm hits stay allocation-free.
+            let mut synth = Synthesizer::with_config(self.config.synth.clone());
+            anosy_core::synthesize_and_verify(
+                &mut synth,
+                query,
+                kind,
+                members,
+                SolverConfig::default(),
+            )
+        })?;
+        Ok(())
+    }
+}
+
+impl<D: DomainCodec> Deployment<D> {
+    /// Loads a warm-start synthesis cache saved by [`Deployment::save_cache`]. A missing file is
+    /// a cold start (returns `Ok(0)`); a malformed file is an error the caller may choose to
+    /// treat as cold. Returns how many entries were actually installed (already-cached keys keep
+    /// their in-memory value).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] / [`ServeError::Format`] for unreadable or malformed files.
+    pub fn warm_start(&self, path: &Path) -> Result<usize, ServeError> {
+        if !path.exists() {
+            return Ok(0);
+        }
+        let mut installed = 0;
+        for entry in persist::load_entries::<D>(path)? {
+            if self.shared.insert_ready(entry) {
+                installed += 1;
+            }
+        }
+        Ok(installed)
+    }
+
+    /// Persists the current synthesis cache for the next process's [`Deployment::warm_start`].
+    /// Returns how many entries were written.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] on filesystem failures.
+    pub fn save_cache(&self, path: &Path) -> Result<usize, ServeError> {
+        persist::save_entries(path, &self.shared.export_entries())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anosy_core::MinSizePolicy;
+    use anosy_domains::IntervalDomain;
+    use anosy_logic::IntExpr;
+
+    fn layout() -> SecretLayout {
+        SecretLayout::builder().field("x", 0, 400).field("y", 0, 400).build()
+    }
+
+    fn nearby_query(xo: i64) -> QueryDef {
+        let pred = ((IntExpr::var(0) - xo).abs() + (IntExpr::var(1) - 200).abs()).le(100);
+        QueryDef::new(format!("nearby_{xo}_200"), layout(), pred).unwrap()
+    }
+
+    #[test]
+    fn deployment_sessions_share_one_synthesis() {
+        let deployment: Deployment<IntervalDomain> =
+            Deployment::new(layout(), ServeConfig::for_tests());
+        deployment.register_query(&nearby_query(200), ApproxKind::Under, None).unwrap();
+        assert_eq!(deployment.stats().cache.synth_misses, 1);
+
+        let mut synth = Synthesizer::with_config(deployment.config().synth.clone());
+        for _ in 0..3 {
+            let mut session = deployment.session(MinSizePolicy::new(100));
+            session
+                .register_synthesized(&mut synth, &nearby_query(200), ApproxKind::Under, None)
+                .unwrap();
+            assert_eq!(session.stats().synth_cache_hits, 1);
+        }
+        assert_eq!(synth.solver_stats().nodes_explored, 0, "sessions did zero solver work");
+        let stats = deployment.stats();
+        assert_eq!(stats.cache.synth_misses, 1);
+        assert_eq!(stats.cache.synth_hits, 3);
+        assert_eq!(stats.cache.sessions_opened, 3);
+        assert_eq!(stats.entries, 1);
+        assert!(stats.to_string().contains("workers"));
+        let json = stats.to_json();
+        assert!(json.contains("\"synth_misses\": 1"));
+        assert!(json.contains("\"sessions\": 3"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn warm_start_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join("anosy-serve-deployment-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("warm_start.cache");
+        let _ = std::fs::remove_file(&path);
+
+        let first: Deployment<IntervalDomain> = Deployment::new(layout(), ServeConfig::for_tests());
+        assert_eq!(first.warm_start(&path).unwrap(), 0, "missing file is a cold start");
+        first.register_query(&nearby_query(200), ApproxKind::Under, None).unwrap();
+        first.register_query(&nearby_query(300), ApproxKind::Over, None).unwrap();
+        assert_eq!(first.save_cache(&path).unwrap(), 2);
+
+        // A restarted deployment loads the cache and performs no synthesis at all.
+        let second: Deployment<IntervalDomain> =
+            Deployment::new(layout(), ServeConfig::for_tests());
+        assert_eq!(second.warm_start(&path).unwrap(), 2);
+        second.register_query(&nearby_query(200), ApproxKind::Under, None).unwrap();
+        second.register_query(&nearby_query(300), ApproxKind::Over, None).unwrap();
+        let stats = second.stats();
+        assert_eq!(stats.cache.warm_loaded, 2);
+        assert_eq!(stats.cache.synth_misses, 0, "warm start must skip synthesis entirely");
+        assert_eq!(stats.cache.synth_hits, 2);
+
+        // The warm entries serve sessions with answers identical to fresh synthesis.
+        let mut synth = Synthesizer::with_config(second.config().synth.clone());
+        let mut warm_session = second.session(MinSizePolicy::new(100));
+        warm_session
+            .register_synthesized(&mut synth, &nearby_query(200), ApproxKind::Under, None)
+            .unwrap();
+        let mut cold_session = first.session(MinSizePolicy::new(100));
+        cold_session
+            .register_synthesized(&mut synth, &nearby_query(200), ApproxKind::Under, None)
+            .unwrap();
+        let secret = Point::new(vec![250, 200]);
+        let warm = batch::downgrade_many(&mut warm_session, &secret, &["nearby_200_200"]);
+        let cold = batch::downgrade_many(&mut cold_session, &secret, &["nearby_200_200"]);
+        assert_eq!(warm, cold);
+        assert_eq!(
+            warm_session.knowledge_of(&secret).size(),
+            cold_session.knowledge_of(&secret).size()
+        );
+    }
+
+    #[test]
+    fn parallel_driver_is_reachable_through_the_deployment() {
+        let deployment: Deployment<IntervalDomain> =
+            Deployment::new(layout(), ServeConfig::for_tests());
+        let pred = ((IntExpr::var(0) - 200).abs() + (IntExpr::var(1) - 200).abs()).le(100);
+        let sharded = deployment.par_count_models(&pred, &layout().space()).unwrap();
+        assert_eq!(sharded.value, 20_201); // the radius-100 diamond
+        let outcome = deployment.par_check_validity(&pred, &layout().space()).unwrap();
+        assert!(matches!(outcome.value, ValidityOutcome::CounterExample(_)));
+    }
+}

@@ -1,0 +1,97 @@
+//! `anosy-serve` — the concurrent deployment layer.
+//!
+//! The paper's workflow is per-process and offline: synthesize an approximated-knowledge
+//! downgrade once, then enforce it query by query. This crate turns that into a *deployment*:
+//! the shape of a server answering bounded downgrades for thousands of concurrent sessions over
+//! one shared query set.
+//!
+//! # The deployment model
+//!
+//! A [`Deployment`] owns three things:
+//!
+//! * **One shared term store + synthesis cache** ([`anosy_core::SharedSynthCache`], behind
+//!   `Arc`). Query predicates are interned into one store (interning writes serialized behind an
+//!   `RwLock`; reads — snapshots, stats — are concurrent), and synthesis results are cached
+//!   under the canonical `(interned predicate, layout, direction, members)` key with
+//!   **single-flight** semantics. However many sessions register the same query concurrently,
+//!   the synthesize-and-verify pipeline runs **exactly once per deployment**; every other
+//!   registration either hits the cache or blocks briefly on the in-flight synthesis. Sessions
+//!   join with [`Deployment::session`] and behave exactly like self-contained
+//!   [`anosy_core::AnosySession`]s otherwise.
+//!
+//! * **One fixed shard pool** ([`ShardPool`]): `workers` OS threads that live as long as the
+//!   deployment. Two drivers shard across it, both in the share-nothing-then-merge style:
+//!   [`Deployment::downgrade_batch`] decides independent secrets' downgrades on workers and
+//!   commits sequentially, and the parallel solver driver ([`par_count_models`],
+//!   [`par_check_validity`]) splits a space into disjoint sub-boxes, seeds each worker with a
+//!   private read-only [`anosy_logic::TermStore`] snapshot, and merges counts/outcomes plus
+//!   [`anosy_solver::SolverStats`].
+//!
+//! * **The warm-start cache** ([`Deployment::warm_start`] / [`Deployment::save_cache`]): the
+//!   synthesis cache serialized to a simple versioned text format, so a restarted deployment
+//!   skips cold-start synthesis entirely for every query it has served before.
+//!
+//! # Determinism guarantees
+//!
+//! Concurrency here never changes answers, only wall-clock:
+//!
+//! * `downgrade_batch` returns results (and leaves the session's tracked knowledge and
+//!   counters) **identical to the sequential per-call loop**, including duplicate secrets in one
+//!   batch — occurrences of the same secret are chained in order on one worker, and commits
+//!   happen in deterministic order (property-tested against the loop in
+//!   `tests/proptest_batch.rs`).
+//! * The sharded solver drivers return exactly the sequential procedures' results: counts over
+//!   a disjoint partition sum to the whole-space count, validity holds iff it holds on every
+//!   chunk, and the reported counterexample is chosen in deterministic chunk order.
+//! * Synthesis results are independent of racing: whichever session wins the single-flight slot
+//!   runs the same deterministic synthesizer every other session would have run, and everyone
+//!   observes the one published result (asserted under thread stress in
+//!   `tests/concurrency.rs`).
+//!
+//! # Example
+//!
+//! ```
+//! use anosy_core::MinSizePolicy;
+//! use anosy_domains::IntervalDomain;
+//! use anosy_logic::{IntExpr, Point, SecretLayout};
+//! use anosy_serve::{Deployment, ServeConfig};
+//! use anosy_synth::{ApproxKind, QueryDef};
+//!
+//! let layout = SecretLayout::builder().field("x", 0, 400).field("y", 0, 400).build();
+//! let nearby = ((IntExpr::var(0) - 200).abs() + (IntExpr::var(1) - 200).abs()).le(100);
+//! let query = QueryDef::new("nearby_200_200", layout.clone(), nearby).unwrap();
+//!
+//! // Deployment start-up: synthesize the query set once.
+//! let deployment: Deployment<IntervalDomain> =
+//!     Deployment::new(layout, ServeConfig::for_tests());
+//! deployment.register_query(&query, ApproxKind::Under, None).unwrap();
+//!
+//! // Serving: sessions share the cache; batches shard across the pool.
+//! let mut session = deployment.session(MinSizePolicy::new(100));
+//! let mut synth = anosy_synth::Synthesizer::with_config(deployment.config().synth.clone());
+//! session.register_synthesized(&mut synth, &query, ApproxKind::Under, None).unwrap();
+//! assert_eq!(session.stats().synth_cache_hits, 1); // no solver work at all
+//!
+//! let users: Vec<Point> = (0..100).map(|i| Point::new(vec![i * 4, 200])).collect();
+//! let answers = deployment.downgrade_batch(&mut session, &users, "nearby_200_200");
+//! assert_eq!(answers.len(), 100);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod batch;
+mod config;
+mod deployment;
+mod error;
+mod parallel;
+mod persist;
+mod pool;
+
+pub use batch::{downgrade_batch, downgrade_many};
+pub use config::ServeConfig;
+pub use deployment::{Deployment, ServeStats};
+pub use error::ServeError;
+pub use parallel::{par_check_validity, par_count_models, par_is_valid, Sharded};
+pub use persist::{load_entries, save_entries};
+pub use pool::ShardPool;

@@ -1,0 +1,305 @@
+//! The versioned on-disk format of the synthesis cache (warm start).
+//!
+//! A restarted deployment loads this file at startup and skips cold-start synthesis entirely for
+//! every query it has served before (the ROADMAP's persist/warm-start item). The format is a
+//! deliberately simple line-oriented text file — the workspace carries no serde — with a version
+//! header, so future layout changes can evolve it without ambiguity:
+//!
+//! ```text
+//! anosy-synth-cache v1 domain=interval
+//! entry kind=under members=-
+//! layout x:0:400 y:0:400
+//! pred ((abs((v0 - 200)) + abs((v1 - 200))) <= 100)
+//! truthy 121..279,179..221
+//! falsy 0..400,0..99
+//! end
+//! ```
+//!
+//! Predicates are persisted in their `Display` form and re-parsed with
+//! [`anosy_logic::parse_pred`] (the printer and parser are exact inverses on the printable
+//! fragment — property-tested in `anosy-logic`); domain elements use the
+//! [`DomainCodec`](anosy_synth::DomainCodec) hooks. Entries whose predicate does not round-trip
+//! (e.g. one using a printable-fragment escape hatch) are *skipped on save* rather than written
+//! unreadably; [`save_entries`] reports how many entries it wrote.
+//!
+//! Loading is all-or-nothing per file (a malformed line fails the load with
+//! [`ServeError::Format`]) but tolerant in effect: the deployment treats a failed load as a cold
+//! cache and proceeds. Loaded entries are trusted — they were verified before being saved — so a
+//! warm start performs no solver work at all.
+
+use crate::ServeError;
+use anosy_core::SharedCacheEntry;
+use anosy_logic::{parse_pred, SecretLayout};
+use anosy_synth::{decode_indsets, encode_indsets, parse_approx_kind, DomainCodec};
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+
+/// Magic prefix of the cache file; the version is bumped on any incompatible format change.
+const HEADER_PREFIX: &str = "anosy-synth-cache v1 domain=";
+
+fn format_err(line: usize, reason: impl Into<String>) -> ServeError {
+    ServeError::Format { line, reason: reason.into() }
+}
+
+/// Renders a layout as `name:lo:hi` tokens. Returns `None` when a field name would not survive
+/// the encoding (whitespace or `:` in the name).
+fn encode_layout(layout: &SecretLayout) -> Option<String> {
+    let mut tokens = Vec::with_capacity(layout.arity());
+    for field in layout.fields() {
+        let name = field.name();
+        if name.contains(':') || name.chars().any(char::is_whitespace) || name.is_empty() {
+            return None;
+        }
+        tokens.push(format!("{name}:{}:{}", field.lo(), field.hi()));
+    }
+    Some(tokens.join(" "))
+}
+
+fn decode_layout(text: &str, line: usize) -> Result<SecretLayout, ServeError> {
+    let mut builder = SecretLayout::builder();
+    let mut any = false;
+    for token in text.split_whitespace() {
+        let mut parts = token.splitn(3, ':');
+        let (name, lo, hi) = (parts.next(), parts.next(), parts.next());
+        let (Some(name), Some(lo), Some(hi)) = (name, lo, hi) else {
+            return Err(format_err(line, format!("bad layout field `{token}`")));
+        };
+        let lo = lo.parse().map_err(|_| format_err(line, format!("bad bound in `{token}`")))?;
+        let hi = hi.parse().map_err(|_| format_err(line, format!("bad bound in `{token}`")))?;
+        if lo > hi {
+            return Err(format_err(line, format!("inverted bounds in `{token}`")));
+        }
+        builder = builder.field(name, lo, hi);
+        any = true;
+    }
+    if !any {
+        return Err(format_err(line, "layout with no fields"));
+    }
+    Ok(builder.build())
+}
+
+/// Writes the entries to `path`, atomically enough for a single writer (write to a temp file in
+/// the same directory, then rename). Returns how many entries were written; entries that cannot
+/// be encoded faithfully (see the module docs above) are skipped.
+///
+/// # Errors
+///
+/// Returns [`ServeError::Io`] on filesystem failures.
+pub fn save_entries<D: DomainCodec>(
+    path: &Path,
+    entries: &[SharedCacheEntry<D>],
+) -> Result<usize, ServeError> {
+    let mut body = format!("{HEADER_PREFIX}{}\n", D::TAG);
+    let mut written = 0;
+    for entry in entries {
+        let Some(layout_line) = encode_layout(&entry.layout) else { continue };
+        let pred_line = entry.pred.to_string();
+        // Only persist predicates the parser can read back *identically*: the cache key on load
+        // must intern to the same canonical term it had on save.
+        match parse_pred(&pred_line) {
+            Ok(reparsed) if reparsed == entry.pred => {}
+            _ => continue,
+        }
+        let (kind, truthy, falsy) = encode_indsets(&entry.indsets);
+        let members = match entry.members {
+            Some(m) => m.to_string(),
+            None => "-".to_string(),
+        };
+        body.push_str(&format!("entry kind={kind} members={members}\n"));
+        body.push_str(&format!("layout {layout_line}\n"));
+        body.push_str(&format!("pred {pred_line}\n"));
+        body.push_str(&format!("truthy {truthy}\n"));
+        body.push_str(&format!("falsy {falsy}\n"));
+        body.push_str("end\n");
+        written += 1;
+    }
+    let tmp = path.with_extension("tmp");
+    {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(body.as_bytes())?;
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(written)
+}
+
+/// Reads a cache file back into entries.
+///
+/// # Errors
+///
+/// Returns [`ServeError::Io`] on filesystem failures and [`ServeError::Format`] when the file's
+/// version, domain tag or any entry does not decode.
+pub fn load_entries<D: DomainCodec>(path: &Path) -> Result<Vec<SharedCacheEntry<D>>, ServeError> {
+    let file = std::fs::File::open(path)?;
+    let mut lines = BufReader::new(file).lines().enumerate();
+
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| format_err(0, "empty cache file"))
+        .and_then(|(i, l)| l.map(|l| (i, l)).map_err(ServeError::Io))?;
+    let domain = header
+        .strip_prefix(HEADER_PREFIX)
+        .ok_or_else(|| format_err(1, format!("bad header `{header}`")))?;
+    if domain != D::TAG {
+        return Err(format_err(
+            1,
+            format!("cache is for domain `{domain}`, deployment uses `{}`", D::TAG),
+        ));
+    }
+
+    let mut entries = Vec::new();
+    while let Some((index, line)) = lines.next() {
+        let line = line.map_err(ServeError::Io)?;
+        let lineno = index + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rest = line
+            .strip_prefix("entry ")
+            .ok_or_else(|| format_err(lineno, format!("expected `entry`, found `{line}`")))?;
+        let mut kind = None;
+        let mut members = None;
+        for token in rest.split_whitespace() {
+            if let Some(k) = token.strip_prefix("kind=") {
+                kind = parse_approx_kind(k);
+            } else if let Some(m) = token.strip_prefix("members=") {
+                members = Some(if m == "-" {
+                    None
+                } else {
+                    Some(m.parse().map_err(|_| format_err(lineno, "bad members count"))?)
+                });
+            }
+        }
+        let kind = kind.ok_or_else(|| format_err(lineno, "missing or bad kind"))?;
+        let members = members.ok_or_else(|| format_err(lineno, "missing members"))?;
+
+        let mut field = |prefix: &str| -> Result<(usize, String), ServeError> {
+            let (index, line) = lines
+                .next()
+                .ok_or_else(|| format_err(lineno, format!("truncated entry, wanted `{prefix}`")))?;
+            let line = line.map_err(ServeError::Io)?;
+            let lineno = index + 1;
+            line.strip_prefix(prefix)
+                .map(|rest| (lineno, rest.to_string()))
+                .ok_or_else(|| format_err(lineno, format!("expected `{prefix}`, found `{line}`")))
+        };
+        let (layout_line, layout_text) = field("layout ")?;
+        let (pred_line, pred_text) = field("pred ")?;
+        let (truthy_line, truthy_text) = field("truthy ")?;
+        let (falsy_line, falsy_text) = field("falsy ")?;
+        let (end_line, end_text) = field("end")?;
+        if !end_text.is_empty() {
+            return Err(format_err(end_line, "junk after `end`"));
+        }
+
+        let layout = decode_layout(&layout_text, layout_line)?;
+        let pred = parse_pred(&pred_text)
+            .map_err(|e| format_err(pred_line, format!("unparseable predicate: {e}")))?;
+        let indsets = decode_indsets::<D>(kind, &truthy_text, &falsy_text, &layout)
+            .ok_or_else(|| format_err(truthy_line.max(falsy_line), "undecodable ind. sets"))?;
+        entries.push(SharedCacheEntry { pred, layout, kind, members, indsets });
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anosy_domains::{AInt, IntervalDomain, PowersetDomain};
+    use anosy_logic::IntExpr;
+    use anosy_synth::{ApproxKind, IndSets};
+
+    fn layout() -> SecretLayout {
+        SecretLayout::builder().field("x", 0, 400).field("y", 0, 400).build()
+    }
+
+    fn entry(xo: i64) -> SharedCacheEntry<IntervalDomain> {
+        let pred = ((IntExpr::var(0) - xo).abs() + (IntExpr::var(1) - 200).abs()).le(100);
+        SharedCacheEntry {
+            pred,
+            layout: layout(),
+            kind: ApproxKind::Under,
+            members: None,
+            indsets: IndSets::new(
+                ApproxKind::Under,
+                IntervalDomain::from_intervals(vec![AInt::new(121, 279), AInt::new(179, 221)]),
+                IntervalDomain::from_intervals(vec![AInt::new(0, 400), AInt::new(0, 99)]),
+            ),
+        }
+    }
+
+    fn tmp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("anosy-serve-persist-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn save_load_round_trips() {
+        let path = tmp_path("round_trip.cache");
+        let entries = vec![entry(200), entry(300)];
+        assert_eq!(save_entries(&path, &entries).unwrap(), 2);
+        let loaded = load_entries::<IntervalDomain>(&path).unwrap();
+        assert_eq!(loaded.len(), 2);
+        for (a, b) in entries.iter().zip(&loaded) {
+            assert_eq!(a.pred, b.pred);
+            assert_eq!(a.layout, b.layout);
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.members, b.members);
+            assert_eq!(a.indsets, b.indsets);
+        }
+    }
+
+    #[test]
+    fn powerset_entries_round_trip_too() {
+        let path = tmp_path("powerset.cache");
+        let member = IntervalDomain::from_intervals(vec![AInt::new(0, 10), AInt::new(0, 10)]);
+        let entries = vec![SharedCacheEntry {
+            pred: IntExpr::var(0).le(10),
+            layout: layout(),
+            kind: ApproxKind::Over,
+            members: Some(3),
+            indsets: IndSets::new(
+                ApproxKind::Over,
+                PowersetDomain::from_interval(member.clone()),
+                PowersetDomain::new(2, vec![member.clone()], vec![member]),
+            ),
+        }];
+        assert_eq!(save_entries(&path, &entries).unwrap(), 1);
+        let loaded = load_entries::<PowersetDomain>(&path).unwrap();
+        assert_eq!(loaded[0].members, Some(3));
+        assert_eq!(loaded[0].indsets, entries[0].indsets);
+    }
+
+    #[test]
+    fn wrong_domain_and_malformed_files_fail_cleanly() {
+        let path = tmp_path("wrong_domain.cache");
+        save_entries::<IntervalDomain>(&path, &[entry(200)]).unwrap();
+        let err = load_entries::<PowersetDomain>(&path).unwrap_err();
+        assert!(matches!(err, ServeError::Format { line: 1, .. }), "{err}");
+
+        let garbled = tmp_path("garbled.cache");
+        std::fs::write(&garbled, "anosy-synth-cache v1 domain=interval\nentry kind=sideways\n")
+            .unwrap();
+        assert!(load_entries::<IntervalDomain>(&garbled).is_err());
+
+        let truncated = tmp_path("truncated.cache");
+        std::fs::write(
+            &truncated,
+            "anosy-synth-cache v1 domain=interval\nentry kind=under members=-\nlayout x:0:4\n",
+        )
+        .unwrap();
+        assert!(load_entries::<IntervalDomain>(&truncated).is_err());
+
+        assert!(load_entries::<IntervalDomain>(&tmp_path("missing.cache")).is_err());
+    }
+
+    #[test]
+    fn unfaithful_entries_are_skipped_on_save() {
+        let path = tmp_path("skipped.cache");
+        let mut bad = entry(200);
+        bad.layout = SecretLayout::builder().field("has space", 0, 4).field("y", 0, 4).build();
+        assert_eq!(save_entries(&path, &[bad, entry(300)]).unwrap(), 1);
+        assert_eq!(load_entries::<IntervalDomain>(&path).unwrap().len(), 1);
+    }
+}

@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod codec;
 mod config;
 mod error;
 mod indset;
@@ -46,6 +47,7 @@ mod query;
 mod sketch;
 mod synthesizer;
 
+pub use codec::{decode_indsets, encode_indsets, parse_approx_kind, DomainCodec};
 pub use config::SynthConfig;
 pub use error::SynthError;
 pub use indset::{ApproxKind, IndSets};

@@ -10,6 +10,8 @@
 //! * [`verify`] — the refinement-spec checker (the Liquid Haskell stand-in);
 //! * [`ifc`] — the LIO-style information-flow substrate;
 //! * [`core`] — knowledge tracking, policies and the bounded downgrade (`AnosySession`);
+//! * [`serve`] — the deployment layer: shared term store + synthesis cache across sessions,
+//!   sharded parallel solver driver, batched downgrades, warm-start persistence;
 //! * [`suite`] — the paper's evaluation workloads (Mardziel benchmarks, secure advertising).
 //!
 //! The most common items are re-exported at the crate root. See the `examples/` directory for
@@ -44,6 +46,7 @@ pub use anosy_core as core;
 pub use anosy_domains as domains;
 pub use anosy_ifc as ifc;
 pub use anosy_logic as logic;
+pub use anosy_serve as serve;
 pub use anosy_solver as solver;
 pub use anosy_suite as suite;
 pub use anosy_synth as synth;
@@ -60,6 +63,7 @@ pub mod prelude {
     };
     pub use anosy_ifc::{Label, Labeled, Lio, Protected, SecLevel, Unprotect};
     pub use anosy_logic::{IntExpr, Point, Pred, SecretLayout};
+    pub use anosy_serve::{Deployment, ServeConfig, ServeStats, ShardPool};
     pub use anosy_solver::{ExpansionStrategy, Solver, SolverConfig};
     pub use anosy_synth::{ApproxKind, IndSets, QueryDef, QueryRegistry, SynthConfig, Synthesizer};
     pub use anosy_verify::{VerificationReport, Verifier};
@@ -77,6 +81,7 @@ mod tests {
         let _ = crate::verify::VerificationReport::default();
         let _ = crate::ifc::SecLevel::Public;
         let _ = crate::core::MinSizePolicy::new(1);
+        let _ = crate::serve::ServeConfig::for_tests();
         let _ = crate::suite::benchmarks::BenchmarkId::Birthday;
     }
 }

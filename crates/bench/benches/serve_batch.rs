@@ -1,0 +1,88 @@
+//! Benchmarks the deployment layer's two sharded drivers against their sequential baselines on
+//! B1 (Birthday): the batched downgrade vs the per-call loop, and the sharded model count vs the
+//! sequential counter. `report_serve` measures the same comparison at full scale across the
+//! whole suite.
+
+use anosy::core::MinSizePolicy;
+use anosy::domains::IntervalDomain;
+use anosy::prelude::*;
+use anosy::serve::{Deployment, ServeConfig};
+use bench::{deterministic_secrets, quick_synth_config};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const WORKERS: usize = 4;
+const SECRETS: usize = 4_000;
+
+fn deployment_with_birthday() -> (Deployment<IntervalDomain>, QueryDef) {
+    let b = anosy::suite::benchmarks::birthday();
+    let deployment = Deployment::new(
+        b.query.layout().clone(),
+        ServeConfig::new().with_workers(WORKERS).with_synth(quick_synth_config()),
+    );
+    deployment.register_query(&b.query, ApproxKind::Under, None).expect("synthesis fits");
+    (deployment, b.query)
+}
+
+fn session_for(
+    deployment: &Deployment<IntervalDomain>,
+    query: &QueryDef,
+) -> AnosySession<IntervalDomain> {
+    let mut session = deployment.session(MinSizePolicy::new(10));
+    let mut synth = Synthesizer::with_config(quick_synth_config());
+    session.register_synthesized(&mut synth, query, ApproxKind::Under, None).expect("cache hit");
+    session
+}
+
+fn bench_downgrades(c: &mut Criterion) {
+    let (deployment, query) = deployment_with_birthday();
+    let secrets = deterministic_secrets(query.layout(), SECRETS, 41);
+    let mut group = c.benchmark_group("serve_downgrades");
+
+    group.bench_function("sequential_loop", |bencher| {
+        bencher.iter(|| {
+            let mut session = session_for(&deployment, &query);
+            let mut authorized = 0u64;
+            for p in &secrets {
+                if session.downgrade(&Protected::new(p.clone()), query.name()).is_ok() {
+                    authorized += 1;
+                }
+            }
+            authorized
+        });
+    });
+
+    group.bench_function("batched", |bencher| {
+        bencher.iter(|| {
+            let mut session = session_for(&deployment, &query);
+            deployment
+                .downgrade_batch(&mut session, &secrets, query.name())
+                .iter()
+                .filter(|r| r.is_ok())
+                .count()
+        });
+    });
+    group.finish();
+}
+
+fn bench_counting(c: &mut Criterion) {
+    let (deployment, query) = deployment_with_birthday();
+    let space = query.layout().space();
+    let mut group = c.benchmark_group("serve_counting");
+
+    group.bench_function("sequential_count", |bencher| {
+        bencher.iter(|| {
+            let mut solver = Solver::with_config(SolverConfig::for_tests());
+            solver.count_models(query.pred(), &space).expect("fits the budget")
+        });
+    });
+
+    group.bench_function("sharded_count", |bencher| {
+        bencher.iter(|| {
+            deployment.par_count_models(query.pred(), &space).expect("fits the budget").value
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_downgrades, bench_counting);
+criterion_main!(benches);

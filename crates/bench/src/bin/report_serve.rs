@@ -1,0 +1,68 @@
+//! Measures the `anosy-serve` deployment layer against the sequential PR 2 baseline on the
+//! fig5 suite: batched downgrades vs the per-call loop (interval and powerset3 domains), and
+//! sharded parallel model counting vs the sequential counter. Used to record `BENCH_pr3.json`.
+//!
+//! Usage: `report_serve [--workers N] [--secrets N] [--quick] [--json]`
+//!
+//! Equivalence is asserted before anything is timed into the report: the batched driver's
+//! results must equal the loop's element-wise, and the sharded count must equal the sequential
+//! count. The report records the host's available parallelism alongside the ratios — thread
+//! parallelism cannot beat that ceiling, so on a single-hardware-thread host the ratios measure
+//! pure batching overhead, not scaling.
+
+use anosy::core::MinSizePolicy;
+use anosy::domains::{IntervalDomain, PowersetDomain};
+use anosy::prelude::*;
+use anosy::serve::{Deployment, ServeConfig};
+use bench::{host_parallelism, render_serve, serve_rows, serve_rows_to_json};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let quick = args.iter().any(|a| a == "--quick");
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse::<usize>().ok())
+    };
+    let workers = flag("--workers").unwrap_or(4);
+    let secrets = flag("--secrets").unwrap_or(if quick { 2_000 } else { 200_000 });
+    let config = if quick { bench::quick_synth_config() } else { SynthConfig::default() };
+
+    let mut rows = serve_rows::<IntervalDomain>(workers, secrets, &config, None);
+    rows.extend(serve_rows::<PowersetDomain>(workers, secrets, &config, Some(3)));
+
+    // A representative deployment aggregate block: N sessions of one deployment registering the
+    // same query (one synthesis, everything else hits).
+    let suite = anosy::suite::benchmarks::birthday();
+    let deployment: Deployment<IntervalDomain> = Deployment::new(
+        suite.query.layout().clone(),
+        ServeConfig::new().with_workers(workers).with_synth(config.clone()),
+    );
+    for _ in 0..8 {
+        let mut session = deployment.session(MinSizePolicy::new(10));
+        let mut synth = Synthesizer::with_config(config.clone());
+        session
+            .register_synthesized(&mut synth, &suite.query, ApproxKind::Under, None)
+            .expect("registration fits the budget");
+    }
+    let stats = deployment.stats();
+
+    let cores = host_parallelism();
+    let analysis = format!(
+        "Measured with {workers} workers on a host with {cores} available hardware thread(s). \
+         Wall-clock speedup from thread parallelism is bounded by the hardware-thread count; \
+         on a single-core host these ratios measure batching overhead, not scaling. \
+         Batched results are asserted element-wise equal to the sequential loop before timing."
+    );
+
+    if json {
+        print!("{}", serve_rows_to_json(&rows, &stats.to_json(), &analysis));
+    } else {
+        println!("\nServing throughput — batched/parallel vs the sequential baseline");
+        print!("{}", render_serve(&rows));
+        println!("\n{analysis}");
+        println!("\nDeployment aggregates (8 sessions, 1 query): {stats}");
+    }
+}

@@ -76,6 +76,10 @@ pub struct Fig5Row {
     pub cache_hits: u64,
     /// Term-store memo-table misses during synthesis.
     pub cache_misses: u64,
+    /// `(id, box)` memo profitability per depth bucket: `[hits, misses, bypassed]` for each of
+    /// [`anosy::logic::BOX_MEMO_DEPTH_LABELS`]. The per-bucket hit rates are the evidence for
+    /// (or against) the `BOX_MEMO_MIN_DEPTH` threshold.
+    pub memo_depth: [[u64; 3]; anosy::logic::BOX_MEMO_DEPTH_BUCKETS],
 }
 
 fn percent_diff(approx: u128, exact: u128) -> f64 {
@@ -125,6 +129,14 @@ pub fn fig5_row(
         }
     };
     let store = synthesizer.store_stats();
+    let mut memo_depth = [[0u64; 3]; anosy::logic::BOX_MEMO_DEPTH_BUCKETS];
+    for (bucket, row) in memo_depth.iter_mut().enumerate() {
+        *row = [
+            store.box_memo_depth_hits[bucket],
+            store.box_memo_depth_misses[bucket],
+            store.box_memo_depth_bypassed[bucket],
+        ];
+    }
     Fig5Row {
         id: benchmark.id.short().to_string(),
         kind,
@@ -136,6 +148,7 @@ pub fn fig5_row(
         synth_nodes: synthesizer.solver_stats().nodes_explored,
         cache_hits: store.cache_hits(),
         cache_misses: store.cache_misses(),
+        memo_depth,
     }
 }
 
@@ -211,13 +224,32 @@ pub fn fig5_rows_to_json(domain_label: &str, rows: &[Fig5Row]) -> String {
     out.push_str(&format!("  \"figure\": \"{domain_label}\",\n"));
     out.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
+        let memo_depth = r
+            .memo_depth
+            .iter()
+            .enumerate()
+            .map(|(bucket, [hits, misses, bypassed])| {
+                format!(
+                    concat!(
+                        "{{\"depth\": \"{}\", \"hits\": {}, \"misses\": {}, ",
+                        "\"bypassed\": {}}}"
+                    ),
+                    anosy::logic::BOX_MEMO_DEPTH_LABELS[bucket],
+                    hits,
+                    misses,
+                    bypassed
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
         out.push_str(&format!(
             concat!(
                 "    {{\"id\": \"{}\", \"kind\": \"{}\", ",
                 "\"true_size\": {}, \"false_size\": {}, ",
                 "\"diff_true_percent\": {:.4}, \"diff_false_percent\": {:.4}, ",
                 "\"synth_seconds\": {:.6}, \"verify_seconds\": {:.6}, \"verified\": {}, ",
-                "\"synth_nodes\": {}, \"cache_hits\": {}, \"cache_misses\": {}}}{}\n"
+                "\"synth_nodes\": {}, \"cache_hits\": {}, \"cache_misses\": {}, ",
+                "\"box_memo_depth\": [{}]}}{}\n"
             ),
             r.id,
             r.kind,
@@ -231,6 +263,7 @@ pub fn fig5_rows_to_json(domain_label: &str, rows: &[Fig5Row]) -> String {
             r.synth_nodes,
             r.cache_hits,
             r.cache_misses,
+            memo_depth,
             if i + 1 == rows.len() { "" } else { "," },
         ));
     }
@@ -241,6 +274,231 @@ pub fn fig5_rows_to_json(domain_label: &str, rows: &[Fig5Row]) -> String {
 /// A quick synthesis configuration used by smoke tests and the CI-friendly benches.
 pub fn quick_synth_config() -> SynthConfig {
     SynthConfig::new().with_solver(SolverConfig::for_tests()).with_seeds(1)
+}
+
+/// One row of the serving-throughput comparison (`report_serve`, `BENCH_pr3.json`): for one
+/// fig5 benchmark, the sequential per-call downgrade loop vs the deployment's batched driver,
+/// and the sequential model count vs the sharded parallel driver.
+#[derive(Debug, Clone)]
+pub struct ServeRow {
+    /// Benchmark short id.
+    pub id: String,
+    /// The knowledge domain the downgrade workload ran in (`interval` or `powerset<k>`).
+    pub domain: String,
+    /// How many secrets the downgrade workload used.
+    pub secrets: usize,
+    /// Worker threads in the deployment pool.
+    pub workers: usize,
+    /// Wall-clock of the sequential `downgrade` loop (the PR 2 serving baseline).
+    pub seq_downgrade_seconds: f64,
+    /// Wall-clock of `downgrade_batch` over the same secrets on a fresh session.
+    pub batch_downgrade_seconds: f64,
+    /// `seq_downgrade_seconds / batch_downgrade_seconds`.
+    pub downgrade_speedup: f64,
+    /// Wall-clock of the sequential exact model count of the query's True set.
+    pub seq_count_seconds: f64,
+    /// Wall-clock of the sharded parallel count (same result, checked).
+    pub par_count_seconds: f64,
+    /// `seq_count_seconds / par_count_seconds`.
+    pub count_speedup: f64,
+    /// The (identical) model count both drivers returned.
+    pub models: u128,
+}
+
+/// Escapes a string for embedding in the hand-rolled JSON documents (quotes, backslashes and
+/// control characters; the workspace carries no serde).
+pub fn json_escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Hardware threads of the measuring host (the ceiling on any wall-clock speedup thread
+/// parallelism can deliver; recorded in the serve report so readers can interpret the ratios).
+pub fn host_parallelism() -> usize {
+    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Deterministic pseudo-random secrets inside a layout (seeded per benchmark, reproducible
+/// across runs and platforms — the rand shim is SplitMix64).
+pub fn deterministic_secrets(layout: &SecretLayout, n: usize, seed: u64) -> Vec<Point> {
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            Point::new(layout.fields().iter().map(|f| rng.gen_range(f.lo()..=f.hi())).collect())
+        })
+        .collect()
+}
+
+/// Runs the serving workload for every fig5 benchmark: register the query once in a deployment
+/// (shared synthesis), then downgrade `secrets_per_benchmark` deterministic secrets — once with
+/// the sequential per-call loop, once with the batched driver — and exact-count the True ind.
+/// set sequentially and with the sharded parallel driver. Batched results are asserted equal to
+/// the loop's before any timing is reported.
+///
+/// `members` selects the knowledge domain: `None` is fig5a (intervals), `Some(k)` fig5b
+/// (powersets of size `k`, whose meets carry more work per downgrade).
+pub fn serve_rows<D>(
+    workers: usize,
+    secrets_per_benchmark: usize,
+    synth_config: &SynthConfig,
+    members: Option<usize>,
+) -> Vec<ServeRow>
+where
+    D: AbstractDomain + anosy::core::SynthesizeInto + Send + Sync + 'static,
+{
+    use anosy::core::MinSizePolicy;
+    use anosy::serve::{Deployment, ServeConfig};
+
+    let domain_label = match members {
+        None => "interval".to_string(),
+        Some(k) => format!("powerset{k}"),
+    };
+    all_benchmarks()
+        .into_iter()
+        .enumerate()
+        .map(|(index, b)| {
+            let layout = b.query.layout().clone();
+            let serve_config =
+                ServeConfig::new().with_workers(workers).with_synth(synth_config.clone());
+            let deployment: Deployment<D> = Deployment::new(layout.clone(), serve_config);
+            deployment
+                .register_query(&b.query, ApproxKind::Under, members)
+                .expect("benchmark synthesis fits the budget");
+            let register = |session: &mut AnosySession<D>| {
+                let mut synth = Synthesizer::with_config(synth_config.clone());
+                session
+                    .register_synthesized(&mut synth, &b.query, ApproxKind::Under, members)
+                    .expect("cache hit");
+            };
+            let secrets =
+                deterministic_secrets(&layout, secrets_per_benchmark, 0xA05F + index as u64);
+            let name = b.query.name();
+
+            // Sequential baseline: the per-call loop of PR 2.
+            let mut seq_session = deployment.session(MinSizePolicy::new(100));
+            register(&mut seq_session);
+            let started = Instant::now();
+            let seq_results: Vec<Option<bool>> = secrets
+                .iter()
+                .map(|p| seq_session.downgrade(&Protected::new(p.clone()), name).ok())
+                .collect();
+            let seq_downgrade = started.elapsed();
+
+            // Batched driver on a fresh session of the same deployment.
+            let mut batch_session = deployment.session(MinSizePolicy::new(100));
+            register(&mut batch_session);
+            let started = Instant::now();
+            let batch_results = deployment.downgrade_batch(&mut batch_session, &secrets, name);
+            let batch_downgrade = started.elapsed();
+            let batch_results: Vec<Option<bool>> =
+                batch_results.into_iter().map(Result::ok).collect();
+            assert_eq!(batch_results, seq_results, "{}: batch diverged from the loop", b.id);
+            assert_eq!(batch_session.stats(), seq_session.stats());
+
+            // Exact counting: sequential vs sharded.
+            let space = layout.space();
+            let mut solver = Solver::with_config(synth_config.solver.clone());
+            let started = Instant::now();
+            let seq_models =
+                solver.count_models(b.query.pred(), &space).expect("counting fits the budget");
+            let seq_count = started.elapsed();
+            let started = Instant::now();
+            let sharded = deployment
+                .par_count_models(b.query.pred(), &space)
+                .expect("sharded counting fits the budget");
+            let par_count = started.elapsed();
+            assert_eq!(sharded.value, seq_models, "{}: sharded count diverged", b.id);
+
+            ServeRow {
+                id: b.id.short().to_string(),
+                domain: domain_label.clone(),
+                secrets: secrets_per_benchmark,
+                workers,
+                seq_downgrade_seconds: seq_downgrade.as_secs_f64(),
+                batch_downgrade_seconds: batch_downgrade.as_secs_f64(),
+                downgrade_speedup: seq_downgrade.as_secs_f64()
+                    / batch_downgrade.as_secs_f64().max(1e-12),
+                seq_count_seconds: seq_count.as_secs_f64(),
+                par_count_seconds: par_count.as_secs_f64(),
+                count_speedup: seq_count.as_secs_f64() / par_count.as_secs_f64().max(1e-12),
+                models: seq_models,
+            }
+        })
+        .collect()
+}
+
+/// Renders serve rows as aligned text.
+pub fn render_serve(rows: &[ServeRow]) -> String {
+    let mut out = String::from(
+        "#    Domain     Secrets  Workers  Downgrades seq/batch (s)   Speedup  Count seq/par (s)    Speedup\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<4} {:<9} {:>7}  {:>7}  {:>10.4} / {:<10.4} {:>6.2}x  {:>8.4} / {:<8.4} {:>6.2}x\n",
+            r.id,
+            r.domain,
+            r.secrets,
+            r.workers,
+            r.seq_downgrade_seconds,
+            r.batch_downgrade_seconds,
+            r.downgrade_speedup,
+            r.seq_count_seconds,
+            r.par_count_seconds,
+            r.count_speedup,
+        ));
+    }
+    out
+}
+
+/// Renders serve rows (plus the deployment-level aggregate block and a free-text analysis of
+/// the measurement conditions) as the `BENCH_pr3.json` document.
+pub fn serve_rows_to_json(
+    rows: &[ServeRow],
+    deployment_stats_json: &str,
+    analysis: &str,
+) -> String {
+    let mut out = String::from("{\n  \"figure\": \"serve_throughput\",\n");
+    out.push_str(&format!("  \"host_parallelism\": {},\n", host_parallelism()));
+    out.push_str(&format!("  \"analysis\": \"{}\",\n", json_escape(analysis)));
+    out.push_str(&format!("  \"deployment\": {deployment_stats_json},\n"));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\"id\": \"{}\", \"domain\": \"{}\", \"secrets\": {}, \"workers\": {}, ",
+                "\"seq_downgrade_seconds\": {:.6}, \"batch_downgrade_seconds\": {:.6}, ",
+                "\"downgrade_speedup\": {:.3}, ",
+                "\"seq_count_seconds\": {:.6}, \"par_count_seconds\": {:.6}, ",
+                "\"count_speedup\": {:.3}, \"models\": {}}}{}\n"
+            ),
+            r.id,
+            r.domain,
+            r.secrets,
+            r.workers,
+            r.seq_downgrade_seconds,
+            r.batch_downgrade_seconds,
+            r.downgrade_speedup,
+            r.seq_count_seconds,
+            r.par_count_seconds,
+            r.count_speedup,
+            r.models,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 /// Precision comparison against the abstract-interpretation baseline for every benchmark.
@@ -338,6 +596,7 @@ mod tests {
             synth_nodes: 420,
             cache_hits: 1700,
             cache_misses: 300,
+            memo_depth: [[0, 0, 9], [0, 0, 4], [7, 3, 0], [0, 0, 0]],
         }];
         let json = fig5_rows_to_json("fig5a_intervals", &rows);
         assert_eq!(json.matches("{\"id\"").count(), rows.len());
@@ -347,6 +606,9 @@ mod tests {
         assert!(json.contains("\"synth_nodes\": 420"));
         assert!(json.contains("\"cache_hits\": 1700"));
         assert!(json.contains("\"cache_misses\": 300"));
+        assert!(json.contains("\"box_memo_depth\": ["));
+        assert!(json.contains("{\"depth\": \"1-3\", \"hits\": 0, \"misses\": 0, \"bypassed\": 9}"));
+        assert!(json.contains("{\"depth\": \"8-15\", \"hits\": 7, \"misses\": 3, \"bypassed\": 0}"));
         // Crude but dependency-free well-formedness checks.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
@@ -383,5 +645,40 @@ mod tests {
     fn domain_sanity_check() {
         let layout = SecretLayout::builder().field("x", 0, 9).build();
         assert_eq!(sanity_check_domains(&layout), (10, 10));
+    }
+
+    #[test]
+    fn deterministic_secrets_are_reproducible_and_in_layout() {
+        let layout = SecretLayout::builder().field("x", 0, 400).field("y", -3, 7).build();
+        let a = deterministic_secrets(&layout, 100, 7);
+        let b = deterministic_secrets(&layout, 100, 7);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|p| layout.admits(p)));
+        assert_ne!(a, deterministic_secrets(&layout, 100, 8));
+    }
+
+    #[test]
+    fn serve_rows_internal_equivalence_checks_pass_on_a_small_run() {
+        // serve_rows asserts batch == loop and sharded count == sequential count internally;
+        // running it at a reduced size is the smoke test (the full size is report_serve's job).
+        let rows = serve_rows::<IntervalDomain>(2, 400, &quick_synth_config(), None);
+        assert_eq!(rows.len(), 5);
+        for r in &rows {
+            assert!(r.models > 0, "{}", r.id);
+            assert_eq!(r.secrets, 400);
+            assert_eq!(r.workers, 2);
+        }
+        let text = render_serve(&rows);
+        assert!(text.contains("B1") && text.contains("Speedup"));
+        let json =
+            serve_rows_to_json(&rows, "{\"workers\": 2}", "single-core \"host\"\nwith C:\\cores");
+        assert_eq!(json.matches("{\"id\"").count(), 5);
+        assert!(json.contains("\"figure\": \"serve_throughput\""));
+        assert!(json.contains("\"domain\": \"interval\""));
+        assert!(
+            json.contains("single-core \\\"host\\\"\\nwith C:\\\\cores"),
+            "quotes, newlines and backslashes are escaped"
+        );
+        assert!(json.contains("\"host_parallelism\": "));
     }
 }

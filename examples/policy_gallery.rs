@@ -9,7 +9,7 @@ use anosy::prelude::*;
 fn build_session(
     synthesizer: &mut Synthesizer,
     layout: &SecretLayout,
-    policy: impl Policy<PowersetDomain> + 'static,
+    policy: impl Policy<PowersetDomain> + Send + Sync + 'static,
 ) -> Result<AnosySession<PowersetDomain>, AnosyError> {
     let mut session = AnosySession::new(layout.clone(), policy);
     let nearby =
