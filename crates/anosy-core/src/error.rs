@@ -41,6 +41,12 @@ pub enum AnosyError {
         /// Rendered verification report.
         report: String,
     },
+    /// A cache-only registration ([`crate::AnosySession::register_cached`]) found no synthesized
+    /// entry for the query: the deployment must synthesize (or warm-start) it first.
+    NotSynthesized {
+        /// The query whose synthesis is missing.
+        name: String,
+    },
     /// The underlying solver failed while verifying a registration.
     Solver(SolverError),
     /// The underlying IFC substrate rejected an operation.
@@ -66,6 +72,9 @@ impl fmt::Display for AnosyError {
             AnosyError::Synthesis(e) => write!(f, "synthesis failed: {e}"),
             AnosyError::VerificationFailed { query, report } => {
                 write!(f, "synthesized approximation for {query} failed verification:\n{report}")
+            }
+            AnosyError::NotSynthesized { name } => {
+                write!(f, "can't register {name}: no cached synthesis for the query")
             }
             AnosyError::Solver(e) => write!(f, "solver failure: {e}"),
             AnosyError::Ifc(e) => write!(f, "IFC violation: {e}"),

@@ -71,7 +71,9 @@ mod shared;
 pub use error::AnosyError;
 pub use kary::{KaryIndSets, KaryQuery};
 pub use knowledge::Knowledge;
-pub use policy::{AllowAll, AndPolicy, FnPolicy, MinEntropyPolicy, MinSizePolicy, Policy};
+pub use policy::{
+    AllowAll, AndPolicy, FnPolicy, MinEntropyPolicy, MinSizePolicy, Policy, PolicySpec,
+};
 pub use qinfo::QInfo;
 pub use session::{
     downgrade_step, synthesize_and_verify, AnosySession, AsSecretPoint, SessionStats,

@@ -117,6 +117,102 @@ where
     }
 }
 
+/// A declarative, wire-speakable policy description: the closed subset of [`Policy`] the serving
+/// protocol can carry in an `OpenSession` request.
+///
+/// A spec *is* a policy (it implements [`Policy`] for every domain), and it round-trips through
+/// a compact text form — [`PolicySpec::parse`] is the exact inverse of `Display` **on every
+/// value `parse` can produce**. `parse` never builds an empty or single-element
+/// [`All`](PolicySpec::All); constructing those directly forfeits the round-trip (a singleton
+/// re-parses as its bare atom, an empty conjunction displays as an unparseable empty string —
+/// and, as a policy, vacuously allows everything), so wire-facing code should build specs via
+/// `parse`:
+///
+/// * `allow-all` — [`AllowAll`];
+/// * `min-size:100` — [`MinSizePolicy`], the paper's `qpolicy`;
+/// * `min-entropy-mb:2500` — [`MinEntropyPolicy`] with the threshold in *millibits*, so specs
+///   stay `Eq`/hashable and survive the wire without floating-point formatting drift;
+/// * `min-size:100&min-entropy-mb:2500` — conjunction of atoms ([`AndPolicy`]).
+///
+/// Arbitrary [`FnPolicy`] predicates are deliberately not expressible: a remote connection must
+/// not ship code, only parameters of the monotone policies the deployment already trusts.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PolicySpec {
+    /// Accept everything (baseline / measurement sessions).
+    AllowAll,
+    /// Knowledge must keep strictly more than this many candidate secrets.
+    MinSize(u128),
+    /// Residual Shannon entropy must stay strictly above this many millibits.
+    MinEntropyMillibits(u64),
+    /// Every listed spec must accept (flattened conjunction; [`PolicySpec::parse`] only
+    /// produces lists of two or more atoms).
+    All(Vec<PolicySpec>),
+}
+
+impl PolicySpec {
+    /// Parses the text form described on [`PolicySpec`]. Returns `None` on any malformed input
+    /// (unknown atom, bad number, empty conjunct).
+    pub fn parse(text: &str) -> Option<PolicySpec> {
+        let atoms: Vec<PolicySpec> =
+            text.split('&').map(Self::parse_atom).collect::<Option<_>>()?;
+        match atoms.len() {
+            0 => None,
+            1 => atoms.into_iter().next(),
+            _ => Some(PolicySpec::All(atoms)),
+        }
+    }
+
+    fn parse_atom(text: &str) -> Option<PolicySpec> {
+        let text = text.trim();
+        if text == "allow-all" {
+            return Some(PolicySpec::AllowAll);
+        }
+        if let Some(n) = text.strip_prefix("min-size:") {
+            return n.parse().ok().map(PolicySpec::MinSize);
+        }
+        if let Some(n) = text.strip_prefix("min-entropy-mb:") {
+            return n.parse().ok().map(PolicySpec::MinEntropyMillibits);
+        }
+        None
+    }
+}
+
+impl fmt::Display for PolicySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicySpec::AllowAll => write!(f, "allow-all"),
+            PolicySpec::MinSize(n) => write!(f, "min-size:{n}"),
+            PolicySpec::MinEntropyMillibits(mb) => write!(f, "min-entropy-mb:{mb}"),
+            PolicySpec::All(specs) => {
+                for (i, spec) in specs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "&")?;
+                    }
+                    write!(f, "{spec}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl<D: AbstractDomain> Policy<D> for PolicySpec {
+    fn allows(&self, knowledge: &Knowledge<D>) -> bool {
+        match self {
+            PolicySpec::AllowAll => true,
+            PolicySpec::MinSize(n) => knowledge.size() > *n,
+            PolicySpec::MinEntropyMillibits(mb) => {
+                knowledge.shannon_entropy() > *mb as f64 / 1000.0
+            }
+            PolicySpec::All(specs) => specs.iter().all(|s| Policy::<D>::allows(s, knowledge)),
+        }
+    }
+
+    fn name(&self) -> String {
+        self.to_string()
+    }
+}
+
 /// A policy given by an arbitrary predicate on knowledge.
 ///
 /// **Soundness obligation**: for enforcement through under-approximations the predicate must be
@@ -202,6 +298,46 @@ mod tests {
         assert!(!policy.allows(&knowledge_of_size(3)));
         assert_eq!(Policy::<IntervalDomain>::name(&policy), "even-sized");
         assert!(format!("{policy:?}").contains("even-sized"));
+    }
+
+    #[test]
+    fn policy_specs_round_trip_and_enforce_like_their_policies() {
+        // parse ∘ Display is the identity on everything parse can produce.
+        let cases = [
+            PolicySpec::AllowAll,
+            PolicySpec::MinSize(100),
+            PolicySpec::MinEntropyMillibits(7000),
+            PolicySpec::All(vec![PolicySpec::MinSize(5), PolicySpec::MinEntropyMillibits(1000)]),
+        ];
+        for spec in &cases {
+            assert_eq!(PolicySpec::parse(&spec.to_string()).as_ref(), Some(spec), "{spec}");
+        }
+        assert_eq!(
+            PolicySpec::parse("min-size:100&min-entropy-mb:2500").unwrap().to_string(),
+            "min-size:100&min-entropy-mb:2500"
+        );
+        for bad in ["", "min-size:", "min-size:x", "max-size:3", "min-size:1&", "&"] {
+            assert_eq!(PolicySpec::parse(bad), None, "{bad:?} must not parse");
+        }
+
+        // Enforcement agrees with the concrete policies the atoms describe.
+        let spec = PolicySpec::parse("min-size:100").unwrap();
+        let concrete = MinSizePolicy::new(100);
+        for n in [1, 100, 101, 6837] {
+            assert_eq!(
+                Policy::<IntervalDomain>::allows(&spec, &knowledge_of_size(n)),
+                concrete.allows(&knowledge_of_size(n))
+            );
+        }
+        let both = PolicySpec::parse("min-size:5&min-entropy-mb:1000").unwrap();
+        assert!(Policy::<IntervalDomain>::allows(&both, &knowledge_of_size(11)));
+        assert!(!Policy::<IntervalDomain>::allows(&both, &knowledge_of_size(4)));
+        assert!(Policy::<IntervalDomain>::allows(&PolicySpec::AllowAll, &knowledge_of_size(1)));
+        // The millibit threshold is exclusive, like MinEntropyPolicy's bits.
+        let entropy = PolicySpec::MinEntropyMillibits(7000);
+        assert!(Policy::<IntervalDomain>::allows(&entropy, &knowledge_of_size(129)));
+        assert!(!Policy::<IntervalDomain>::allows(&entropy, &knowledge_of_size(128)));
+        assert_eq!(Policy::<IntervalDomain>::name(&both), "min-size:5&min-entropy-mb:1000");
     }
 
     #[test]

@@ -240,6 +240,39 @@ impl<D: AbstractDomain> AnosySession<D> {
         self.queries.insert(qinfo.query().name().to_string(), qinfo);
     }
 
+    /// Registers a query **from the synthesis cache only** — no [`Synthesizer`] involved, no
+    /// solver work possible. This is the session handle the serving frontend drives: the
+    /// deployment synthesizes a query once (deployment pre-warm or warm start), and every
+    /// session registration after that is this pure cache lookup. Works against both backings
+    /// (the deployment-shared cache, or an owned session's private cache).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnosyError::NotSynthesized`] when the `(query predicate, layout, kind,
+    /// members)` key has no cached synthesis; nothing is registered in that case.
+    pub fn register_cached(
+        &mut self,
+        query: &QueryDef,
+        kind: ApproxKind,
+        members: Option<usize>,
+    ) -> Result<(), AnosyError> {
+        let cached = match &mut self.backing {
+            SynthBacking::Owned { store, cache } => {
+                let pred_id = store.intern_pred(query.pred());
+                cache.get(&(pred_id, query.layout().clone(), kind, members)).cloned()
+            }
+            SynthBacking::Shared(shared) => shared.get_ready(query, kind, members),
+        };
+        match cached {
+            Some(indsets) => {
+                self.stats.synth_cache_hits += 1;
+                self.register(QInfo::new(query.clone(), indsets));
+                Ok(())
+            }
+            None => Err(AnosyError::NotSynthesized { name: query.name().to_string() }),
+        }
+    }
+
     /// Names of the registered boolean queries.
     pub fn registered_queries(&self) -> Vec<&str> {
         self.queries.keys().map(String::as_str).collect()
@@ -802,6 +835,52 @@ mod tests {
         assert_eq!(session.stats().synth_cache_misses, 2);
         assert_eq!(session.synth_cache_len(), 2);
         assert!(session.stats().to_string().contains("cache hits"));
+    }
+
+    #[test]
+    fn register_cached_never_synthesizes() {
+        use crate::SharedSynthCache;
+        let query = nearby(200, 200);
+        let mut synth =
+            Synthesizer::with_config(SynthConfig::new().with_solver(SolverConfig::for_tests()));
+
+        // Owned backing: a cold cache refuses, a warm one registers without solver work.
+        let mut owned: AnosySession<IntervalDomain> =
+            AnosySession::new(loc_layout(), MinSizePolicy::new(100));
+        assert!(matches!(
+            owned.register_cached(&query, ApproxKind::Under, None),
+            Err(AnosyError::NotSynthesized { .. })
+        ));
+        assert!(owned.registered_queries().is_empty());
+        owned.register_synthesized(&mut synth, &query, ApproxKind::Under, None).unwrap();
+        let nodes = synth.solver_stats().nodes_explored;
+        owned.register_cached(&query, ApproxKind::Under, None).unwrap();
+        assert_eq!(synth.solver_stats().nodes_explored, nodes);
+        assert_eq!(owned.stats().synth_cache_hits, 1);
+
+        // Shared backing: a second session registers from the deployment-wide entry, and its
+        // downgrades agree with a fully-synthesized session's.
+        let shared: SharedSynthCache<IntervalDomain> = SharedSynthCache::new();
+        let mut first: AnosySession<IntervalDomain> =
+            AnosySession::with_shared(loc_layout(), MinSizePolicy::new(100), shared.clone());
+        assert!(matches!(
+            first.register_cached(&query, ApproxKind::Under, None),
+            Err(AnosyError::NotSynthesized { .. })
+        ));
+        first.register_synthesized(&mut synth, &query, ApproxKind::Under, None).unwrap();
+        let mut second: AnosySession<IntervalDomain> =
+            AnosySession::with_shared(loc_layout(), MinSizePolicy::new(100), shared.clone());
+        second.register_cached(&query, ApproxKind::Under, None).unwrap();
+        assert_eq!(second.stats().synth_cache_hits, 1);
+        let secret = Protected::new(Point::new(vec![300, 200]));
+        assert_eq!(
+            second.downgrade(&secret, "nearby_200_200").unwrap(),
+            first.downgrade(&secret, "nearby_200_200").unwrap()
+        );
+        assert_eq!(
+            second.knowledge_of(&Point::new(vec![300, 200])).size(),
+            first.knowledge_of(&Point::new(vec![300, 200])).size()
+        );
     }
 
     #[test]

@@ -177,9 +177,15 @@ impl<D: AbstractDomain> Drop for InFlightGuard<'_, D> {
 impl<D: AbstractDomain> SharedSynthCache<D> {
     /// Creates an empty shared cache with a fresh term store.
     pub fn new() -> Self {
+        SharedSynthCache::with_store(TermStore::new())
+    }
+
+    /// Creates an empty shared cache around a caller-configured term store (e.g. one built with
+    /// [`TermStore::with_min_memo_depth`] — the deployment layer's `box_memo_min_depth` knob).
+    pub fn with_store(store: TermStore) -> Self {
         SharedSynthCache {
             inner: Arc::new(Inner {
-                store: RwLock::new(TermStore::new()),
+                store: RwLock::new(store),
                 slots: Mutex::new(HashMap::new()),
                 ready: Condvar::new(),
                 counters: Counters::default(),
@@ -305,6 +311,43 @@ impl<D: AbstractDomain> SharedSynthCache<D> {
         recover(self.inner.slots.lock()).insert(key, SlotState::Ready(entry));
         self.inner.ready.notify_all();
         Ok((indsets, false))
+    }
+
+    /// Returns the cached ind. sets for the query **without ever synthesizing**: `None` when the
+    /// key has no published entry. An in-flight synthesis by another session is waited out (the
+    /// result is about to exist; returning `None` would race), which is why this still counts as
+    /// a hit when it returns `Some`. This is the lookup behind cache-only session registration
+    /// ([`crate::AnosySession::register_cached`]) — the serving frontend's way of fanning one
+    /// deployment-level synthesis out to its sessions.
+    pub fn get_ready(
+        &self,
+        query: &QueryDef,
+        kind: ApproxKind,
+        members: Option<usize>,
+    ) -> Option<IndSets<D>> {
+        let key = self.key_for(query, kind, members);
+        let mut slots = recover(self.inner.slots.lock());
+        loop {
+            match slots.get(&key) {
+                Some(SlotState::Ready(entry)) => {
+                    self.inner.counters.synth_hits.fetch_add(1, Ordering::Relaxed);
+                    return Some(entry.indsets.clone());
+                }
+                Some(SlotState::InFlight) => {
+                    slots = recover(self.inner.ready.wait(slots));
+                }
+                None => return None,
+            }
+        }
+    }
+
+    /// Whether the key already has an entry (no counters move). In-flight synthesis counts as
+    /// present: the result is about to be published, and it would win over a warm-start insert
+    /// anyway. This is the pre-check that lets a verified warm start skip re-verifying entries
+    /// the deployment already holds.
+    pub fn contains(&self, query: &QueryDef, kind: ApproxKind, members: Option<usize>) -> bool {
+        let key = self.key_for(query, kind, members);
+        recover(self.inner.slots.lock()).contains_key(&key)
     }
 
     /// Inserts an already-synthesized (and, by contract, already-verified) entry, e.g. from a
@@ -485,6 +528,32 @@ mod tests {
         let mut sorted = a.clone();
         sorted.sort();
         assert_eq!(a, sorted);
+    }
+
+    #[test]
+    fn get_ready_is_lookup_only() {
+        let cache: SharedSynthCache<IntervalDomain> = SharedSynthCache::new();
+        assert_eq!(cache.get_ready(&query(200), ApproxKind::Under, None), None);
+        assert_eq!(cache.stats().synth_hits, 0, "a miss is not a hit and never synthesizes");
+        cache
+            .get_or_synthesize(&query(200), ApproxKind::Under, None, || Ok(fake_indsets()))
+            .unwrap();
+        assert_eq!(
+            cache.get_ready(&query(200), ApproxKind::Under, None),
+            Some(fake_indsets()),
+            "published entries are returned"
+        );
+        assert_eq!(cache.stats().synth_hits, 1);
+        // A different direction is a different key.
+        assert_eq!(cache.get_ready(&query(200), ApproxKind::Over, None), None);
+    }
+
+    #[test]
+    fn with_store_carries_the_configured_term_store() {
+        let store = anosy_logic::TermStore::with_min_memo_depth(3);
+        let cache: SharedSynthCache<IntervalDomain> = SharedSynthCache::with_store(store);
+        assert_eq!(cache.store_snapshot().min_memo_depth(), 3);
+        assert!(cache.is_empty());
     }
 
     #[test]

@@ -1,0 +1,210 @@
+//! `anosy-served` — the serving protocol over stdin/stdout.
+//!
+//! The thinnest possible transport around [`anosy_serve::Frontend`]: each input line is one
+//! request in the [`anosy_serve::wire`] text form, each output line one tagged response
+//! (`<conn>.<seq> <response>`). Examples, tests, CI smoke scripts and future network transports
+//! all speak this one format.
+//!
+//! ```text
+//! anosy-served --layout "x:0:400 y:0:400" [options] < requests > responses
+//! ```
+//!
+//! Options:
+//!
+//! * `--layout "<name:lo:hi> ..."` — the secret space served (required);
+//! * `--domain interval|powerset` — the knowledge domain (default `interval`);
+//! * `--workers N` — shard-pool width (default: available parallelism);
+//! * `--box-memo-min-depth N` — the shared store's `(id, box)` memo threshold;
+//! * `--warm-start PATH` — load a synthesis cache before serving;
+//! * `--verify-on-load` — re-verify every warm-start entry with the solver
+//!   ([`anosy_serve::Deployment::warm_start_verified`]);
+//! * `--save-on-exit PATH` — persist the synthesis cache after the last request;
+//! * `--ticked` — accumulate requests and tick only on blank lines (and at EOF), so scripted
+//!   transcripts control batching; the default ticks after every request line.
+//!
+//! Input lines starting with `#` are comments. A line may carry an explicit logical connection
+//! as `@<conn> <request>`; bare lines ride connection 0. Malformed lines answer with an
+//! unnumbered `! <reason>` line (they never reach the frontend, so they consume no sequence
+//! number). Start-up actions (warm start, final save) report as `# ...` comment lines, keeping
+//! transcripts diffable.
+
+use anosy_core::SynthesizeInto;
+use anosy_domains::{IntervalDomain, PowersetDomain};
+use anosy_logic::SecretLayout;
+use anosy_serve::{wire, ConnId, Deployment, Frontend, ServeConfig};
+use anosy_synth::DomainCodec;
+use std::io::{BufRead, Write};
+
+struct Options {
+    layout: SecretLayout,
+    domain: String,
+    config: ServeConfig,
+    warm_start: Option<std::path::PathBuf>,
+    verify_on_load: bool,
+    save_on_exit: Option<std::path::PathBuf>,
+    ticked: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: anosy-served --layout \"x:0:400 y:0:400\" [--domain interval|powerset] \
+         [--workers N] [--box-memo-min-depth N] [--warm-start PATH [--verify-on-load]] \
+         [--save-on-exit PATH] [--ticked]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_options() -> Options {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut layout = None;
+    let mut domain = "interval".to_string();
+    let mut config = ServeConfig::new();
+    let mut warm_start = None;
+    let mut verify_on_load = false;
+    let mut save_on_exit = None;
+    let mut ticked = false;
+    let mut i = 0;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--layout" => {
+                layout = Some(wire::parse_layout(&value(&mut i)).unwrap_or_else(|| usage()));
+            }
+            "--domain" => {
+                domain = value(&mut i);
+                if domain != "interval" && domain != "powerset" {
+                    usage();
+                }
+            }
+            "--workers" => {
+                let workers = value(&mut i).parse().unwrap_or_else(|_| usage());
+                config = config.with_workers(workers);
+            }
+            "--box-memo-min-depth" => {
+                let depth = value(&mut i).parse().unwrap_or_else(|_| usage());
+                config = config.with_box_memo_min_depth(depth);
+            }
+            "--warm-start" => warm_start = Some(std::path::PathBuf::from(value(&mut i))),
+            "--verify-on-load" => verify_on_load = true,
+            "--save-on-exit" => save_on_exit = Some(std::path::PathBuf::from(value(&mut i))),
+            "--ticked" => ticked = true,
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let Some(layout) = layout else { usage() };
+    Options { layout, domain, config, warm_start, verify_on_load, save_on_exit, ticked }
+}
+
+fn main() {
+    let options = parse_options();
+    if options.domain == "powerset" {
+        serve::<PowersetDomain>(options);
+    } else {
+        serve::<IntervalDomain>(options);
+    }
+}
+
+fn serve<D>(options: Options)
+where
+    D: DomainCodec + SynthesizeInto + Send + Sync + 'static,
+{
+    let deployment: Deployment<D> = Deployment::new(options.layout.clone(), options.config.clone());
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+
+    if let Some(path) = &options.warm_start {
+        match deployment.warm_start_with(path, options.verify_on_load) {
+            Ok(outcome) => writeln!(
+                out,
+                "# warm-start loaded={} skipped={}",
+                outcome.installed, outcome.skipped
+            ),
+            Err(e) => writeln!(out, "# warm-start failed: {e}"),
+        }
+        .expect("stdout is writable");
+    }
+
+    let mut frontend = Frontend::new(deployment);
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(line) => line,
+            // A non-UTF-8 line is a malformed request, not a reason to kill every open
+            // session: answer like any other unparseable line and keep serving.
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                writeln!(out, "! non-UTF-8 input line").expect("stdout is writable");
+                continue;
+            }
+            // A real I/O error on stdin means the transport is gone; drain and exit cleanly.
+            Err(_) => break,
+        };
+        let trimmed = line.trim();
+        if trimmed.starts_with('#') {
+            continue;
+        }
+        if trimmed.is_empty() {
+            flush(&mut frontend, &mut out);
+            continue;
+        }
+        let (conn, request_text) = match trimmed.strip_prefix('@') {
+            Some(rest) => match rest.split_once(char::is_whitespace) {
+                Some((id, rest)) => match id.parse() {
+                    Ok(id) => (ConnId(id), rest),
+                    Err(_) => {
+                        writeln!(out, "! bad connection id `{id}`").expect("stdout is writable");
+                        continue;
+                    }
+                },
+                None => {
+                    writeln!(out, "! request missing after `@{rest}`").expect("stdout is writable");
+                    continue;
+                }
+            },
+            None => (ConnId(0), trimmed),
+        };
+        match wire::parse_request(request_text, &options.layout) {
+            Ok(request) => {
+                frontend.submit(conn, request);
+                if !options.ticked {
+                    flush(&mut frontend, &mut out);
+                }
+            }
+            Err(e) => writeln!(out, "! {e}").expect("stdout is writable"),
+        }
+    }
+    flush(&mut frontend, &mut out);
+
+    if let Some(path) = &options.save_on_exit {
+        match frontend.deployment().save_cache(path) {
+            Ok(entries) => writeln!(out, "# saved entries={entries}"),
+            Err(e) => writeln!(out, "# save failed: {e}"),
+        }
+        .expect("stdout is writable");
+    }
+}
+
+/// Runs one tick and writes every tagged response as `<conn>.<seq> <response>`.
+fn serve_responses<D>(frontend: &mut Frontend<D>) -> Vec<String>
+where
+    D: DomainCodec + SynthesizeInto + Send + Sync + 'static,
+{
+    frontend
+        .tick()
+        .into_iter()
+        .map(|tagged| format!("{} {}", tagged.request, wire::encode_response(&tagged.response)))
+        .collect()
+}
+
+fn flush<D>(frontend: &mut Frontend<D>, out: &mut impl Write)
+where
+    D: DomainCodec + SynthesizeInto + Send + Sync + 'static,
+{
+    for line in serve_responses(frontend) {
+        writeln!(out, "{line}").expect("stdout is writable");
+    }
+    out.flush().expect("stdout is flushable");
+}

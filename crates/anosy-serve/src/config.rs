@@ -11,14 +11,21 @@ pub struct ServeConfig {
     /// Synthesis configuration used for cache misses (its solver config also drives
     /// verification and the parallel solver driver).
     pub synth: SynthConfig,
+    /// Override of the shared term store's `(id, box)` memo depth threshold
+    /// ([`anosy_logic::TermStore::with_min_memo_depth`]); `None` keeps the
+    /// [`anosy_logic::BOX_MEMO_MIN_DEPTH`] default. Purely a performance knob — answers are
+    /// identical at any setting. `report_fig5 --json` prints a depth-bucket-derived suggestion
+    /// ([`anosy_logic::suggested_min_memo_depth`]) for retuning it.
+    pub box_memo_min_depth: Option<u8>,
 }
 
 impl ServeConfig {
-    /// Defaults: workers = available parallelism (or 4 when unknown), default synthesis limits.
+    /// Defaults: workers = available parallelism (or 4 when unknown), default synthesis limits,
+    /// default memo threshold.
     pub fn new() -> Self {
         let workers =
             std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(4);
-        ServeConfig { workers, synth: SynthConfig::default() }
+        ServeConfig { workers, synth: SynthConfig::default(), box_memo_min_depth: None }
     }
 
     /// Overrides the worker count.
@@ -33,6 +40,12 @@ impl ServeConfig {
         self
     }
 
+    /// Overrides the shared store's `(id, box)` memo depth threshold.
+    pub fn with_box_memo_min_depth(mut self, depth: u8) -> Self {
+        self.box_memo_min_depth = Some(depth);
+        self
+    }
+
     /// The solver configuration shards and verifiers run with.
     pub fn solver(&self) -> &SolverConfig {
         &self.synth.solver
@@ -40,7 +53,11 @@ impl ServeConfig {
 
     /// A tight configuration for tests: few workers, fast-failing solver budgets.
     pub fn for_tests() -> Self {
-        ServeConfig { workers: 4, synth: SynthConfig::new().with_solver(SolverConfig::for_tests()) }
+        ServeConfig {
+            workers: 4,
+            synth: SynthConfig::new().with_solver(SolverConfig::for_tests()),
+            box_memo_min_depth: None,
+        }
     }
 }
 
@@ -62,5 +79,7 @@ mod tests {
         assert_eq!(c.workers, 1, "worker count clamps to one");
         let c = ServeConfig::for_tests().with_synth(SynthConfig::new());
         assert_eq!(c.solver().max_nodes, SolverConfig::new().max_nodes);
+        assert_eq!(c.box_memo_min_depth, None);
+        assert_eq!(ServeConfig::for_tests().with_box_memo_min_depth(3).box_memo_min_depth, Some(3));
     }
 }

@@ -5,11 +5,20 @@ use anosy_core::{
     AnosyError, AnosySession, Policy, SharedCacheStats, SharedSynthCache, SynthesizeInto,
 };
 use anosy_domains::AbstractDomain;
-use anosy_logic::{IntBox, Point, Pred, SecretLayout, StoreStats};
+use anosy_logic::{IntBox, Point, Pred, SecretLayout, StoreStats, TermStore};
 use anosy_solver::{SolverConfig, SolverError, ValidityOutcome};
 use anosy_synth::{ApproxKind, DomainCodec, QueryDef, Synthesizer};
 use std::fmt;
 use std::path::Path;
+
+/// What a [`Deployment::warm_start_verified`] load accomplished.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WarmStartOutcome {
+    /// Entries that re-verified and were installed into the synthesis cache.
+    pub installed: usize,
+    /// Entries that failed re-verification (or were malformed) and were refused.
+    pub skipped: usize,
+}
 
 /// A point-in-time view of a deployment's aggregate serving counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,7 +78,11 @@ impl<D: AbstractDomain> Deployment<D> {
     /// Creates a deployment serving secrets of `layout`.
     pub fn new(layout: SecretLayout, config: ServeConfig) -> Self {
         let pool = ShardPool::new(config.workers);
-        Deployment { layout, config, shared: SharedSynthCache::new(), pool }
+        let store = match config.box_memo_min_depth {
+            Some(depth) => TermStore::with_min_memo_depth(depth),
+            None => TermStore::new(),
+        };
+        Deployment { layout, config, shared: SharedSynthCache::with_store(store), pool }
     }
 
     /// The secret layout this deployment serves.
@@ -222,6 +235,70 @@ impl<D: DomainCodec> Deployment<D> {
         Ok(installed)
     }
 
+    /// [`Deployment::warm_start`] for caches of dubious provenance: every loaded entry's
+    /// refinement obligations are **re-checked with the solver** (the same Fig. 4 specification
+    /// a fresh synthesis would have to pass, under the deployment's solver budget) before the
+    /// entry is installed. Entries that fail verification — or whose obligations cannot be
+    /// decided within budget — are skipped and counted, never installed; entries whose key is
+    /// already cached in memory are not re-installed (the in-memory value wins, as in the
+    /// unverified path) and count toward neither total. A missing file is a cold start.
+    ///
+    /// This is the `--verify-on-load` path of `anosy-served` and `report_serve`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] / [`ServeError::Format`] for unreadable or malformed files,
+    /// and [`ServeError::Solver`] if the solver itself fails (not merely exhausts its budget)
+    /// on an obligation.
+    pub fn warm_start_verified(&self, path: &Path) -> Result<WarmStartOutcome, ServeError> {
+        let mut outcome = WarmStartOutcome { installed: 0, skipped: 0 };
+        if !path.exists() {
+            return Ok(outcome);
+        }
+        let mut verifier = anosy_verify::Verifier::with_config(self.config.solver().clone());
+        for entry in persist::load_entries::<D>(path)? {
+            // The entry's provenance is untrusted, but its shape must still be a well-formed
+            // query; a predicate outside the layout is a skip, not a crash.
+            let Ok(query) = QueryDef::new("warm", entry.layout.clone(), entry.pred.clone()) else {
+                outcome.skipped += 1;
+                continue;
+            };
+            // An already-cached key would lose to the in-memory value either way, so don't pay
+            // the solver re-verification (the dominant cost of this path) for it.
+            if self.shared.contains(&query, entry.kind, entry.members) {
+                continue;
+            }
+            if !verifier.verify_indsets(&query, &entry.indsets)?.is_verified() {
+                outcome.skipped += 1;
+                continue;
+            }
+            if self.shared.insert_ready(entry) {
+                outcome.installed += 1;
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// Dispatches between the trusted and verified warm-start paths behind one outcome type —
+    /// the call every `verify`-flagged surface (the frontend's `WarmStart` request,
+    /// `anosy-served --verify-on-load`, `report_serve --cache`) goes through, so the two paths
+    /// cannot drift per caller.
+    ///
+    /// # Errors
+    ///
+    /// See [`Deployment::warm_start`] and [`Deployment::warm_start_verified`].
+    pub fn warm_start_with(
+        &self,
+        path: &Path,
+        verify: bool,
+    ) -> Result<WarmStartOutcome, ServeError> {
+        if verify {
+            self.warm_start_verified(path)
+        } else {
+            self.warm_start(path).map(|installed| WarmStartOutcome { installed, skipped: 0 })
+        }
+    }
+
     /// Persists the current synthesis cache for the next process's [`Deployment::warm_start`].
     /// Returns how many entries were written.
     ///
@@ -319,6 +396,70 @@ mod tests {
             warm_session.knowledge_of(&secret).size(),
             cold_session.knowledge_of(&secret).size()
         );
+    }
+
+    #[test]
+    fn verified_warm_start_installs_sound_entries_and_refuses_tampered_ones() {
+        use anosy_core::SharedCacheEntry;
+        use anosy_domains::AInt;
+        use anosy_synth::IndSets;
+
+        let dir = std::env::temp_dir().join("anosy-serve-deployment-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("warm_start_verified.cache");
+        let _ = std::fs::remove_file(&path);
+
+        let cold: Deployment<IntervalDomain> = Deployment::new(layout(), ServeConfig::for_tests());
+        assert_eq!(
+            cold.warm_start_verified(&path).unwrap(),
+            crate::WarmStartOutcome::default(),
+            "missing file is a cold start"
+        );
+
+        // One honest entry (synthesized and saved by a real deployment) and one tampered one:
+        // a claimed under-approximation whose truthy set is the whole space.
+        let honest: Deployment<IntervalDomain> =
+            Deployment::new(layout(), ServeConfig::for_tests());
+        honest.register_query(&nearby_query(200), ApproxKind::Under, None).unwrap();
+        let mut entries = honest.shared().export_entries();
+        let tampered_pred = ((anosy_logic::IntExpr::var(0) - 300).abs()
+            + (anosy_logic::IntExpr::var(1) - 200).abs())
+        .le(100);
+        entries.push(SharedCacheEntry {
+            pred: tampered_pred,
+            layout: layout(),
+            kind: ApproxKind::Under,
+            members: None,
+            indsets: IndSets::new(
+                ApproxKind::Under,
+                IntervalDomain::from_intervals(vec![AInt::new(0, 400), AInt::new(0, 400)]),
+                IntervalDomain::from_intervals(vec![AInt::new(0, 400), AInt::new(0, 400)]),
+            ),
+        });
+        crate::save_entries(&path, &entries).unwrap();
+
+        let second: Deployment<IntervalDomain> =
+            Deployment::new(layout(), ServeConfig::for_tests());
+        let outcome = second.warm_start_verified(&path).unwrap();
+        assert_eq!(outcome, crate::WarmStartOutcome { installed: 1, skipped: 1 });
+        // Re-loading the same file: the installed key is already cached, so it is neither
+        // re-verified nor re-installed; only the tampered entry is re-checked (and skipped).
+        let again = second.warm_start_with(&path, true).unwrap();
+        assert_eq!(again, crate::WarmStartOutcome { installed: 0, skipped: 1 });
+        // The dispatch helper's trusted path reports installs with zero skips.
+        let trusted: Deployment<IntervalDomain> =
+            Deployment::new(layout(), ServeConfig::for_tests());
+        let outcome = trusted.warm_start_with(&path, false).unwrap();
+        assert_eq!(outcome.skipped, 0);
+        assert_eq!(outcome.installed, 2, "the trusted path installs even the tampered entry");
+        // The installed entry serves registrations with zero synthesis, like a plain warm start.
+        second.register_query(&nearby_query(200), ApproxKind::Under, None).unwrap();
+        assert_eq!(second.stats().cache.synth_misses, 0);
+        // The tampered query is *not* warm: registering it re-synthesizes honestly.
+        let stats_before = second.stats();
+        let tampered_query = nearby_query(300);
+        second.register_query(&tampered_query, ApproxKind::Under, None).unwrap();
+        assert_eq!(second.stats().cache.synth_misses, stats_before.cache.synth_misses + 1);
     }
 
     #[test]

@@ -1,0 +1,584 @@
+//! The sans-IO serving frontend: sessions behind a uniform request/response protocol, with
+//! per-tick downgrade batching.
+//!
+//! A [`Frontend`] owns a [`Deployment`] plus every open [`AnosySession`], keyed by
+//! [`SessionId`]. Any number of logical connections submit [`ServeRequest`]s between ticks
+//! ([`Frontend::submit`] — pure queueing, no work); [`Frontend::tick`] then processes the whole
+//! queue and returns one [`TaggedResponse`] per request, in submission order. The frontend never
+//! performs I/O: transports (the `anosy-served` stdio binary, tests, a future socket executor)
+//! feed it requests and write out its responses.
+//!
+//! # Tick batching
+//!
+//! Within a tick, maximal runs of consecutive [`ServeRequest::Downgrade`] requests are not
+//! executed one by one: the run is regrouped per session (and, within a session, split at query
+//! boundaries), and each group rides the deployment's sharded
+//! [`downgrade_batch`](Deployment::downgrade_batch) driver. This is the
+//! accumulate-per-tick shape of the ROADMAP's serving front: the more downgrade traffic lands in
+//! a tick, the bigger the batches handed to the [`ShardPool`](crate::ShardPool).
+//!
+//! # Determinism guarantee
+//!
+//! Batching never changes answers — only wall-clock. Responses are **element-wise identical to
+//! processing the same requests sequentially, one at a time, against plain [`AnosySession`]s**
+//! (`downgrade` per downgrade request), no matter how requests interleave across connections or
+//! how they split into ticks. The regrouping is sound because distinct sessions share no mutable
+//! state (the shared synthesis cache is append-only and downgrades never write it), distinct
+//! secrets within one session are independent, and same-secret chains stay in arrival order on
+//! one worker — the `downgrade_batch` guarantee, property-tested end-to-end for the frontend in
+//! `tests/proptest_frontend.rs`.
+
+use crate::proto::{
+    ConnId, Denial, DenialCode, RequestId, ServeRequest, ServeResponse, SessionId, StatsSnapshot,
+    TaggedResponse,
+};
+use crate::Deployment;
+use anosy_core::{AnosySession, SynthesizeInto};
+use anosy_domains::AbstractDomain;
+use anosy_logic::Point;
+use anosy_solver::ValidityOutcome;
+use anosy_synth::{ApproxKind, DomainCodec, QueryDef};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// Counters of the frontend itself (the deployment's counters ride along in
+/// [`StatsSnapshot::serve`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrontendStats {
+    /// Completed [`Frontend::tick`] calls.
+    pub ticks: u64,
+    /// Requests submitted since construction.
+    pub requests: u64,
+    /// Downgrades that rode a batched driver call.
+    pub batched_downgrades: u64,
+    /// Largest single batch handed to the deployment driver.
+    pub largest_batch: usize,
+}
+
+/// One queued downgrade of the current run: its position in the tick, plus the request fields.
+struct QueuedDowngrade {
+    index: usize,
+    session: SessionId,
+    secret: Point,
+    query: String,
+}
+
+/// The sans-IO protocol state machine (see the [module docs](self)).
+pub struct Frontend<D: AbstractDomain> {
+    deployment: Deployment<D>,
+    sessions: BTreeMap<SessionId, AnosySession<D>>,
+    /// Queries registered so far: replayed into every newly opened session (registration is a
+    /// pure cache hit by then). Keyed by name; re-registration replaces, as in a session.
+    registry: BTreeMap<String, (QueryDef, ApproxKind, Option<usize>)>,
+    pending: Vec<(RequestId, ServeRequest)>,
+    next_session: u64,
+    next_conn: u64,
+    conn_seqs: HashMap<ConnId, u64>,
+    stats: FrontendStats,
+}
+
+impl<D: AbstractDomain> Frontend<D> {
+    /// Wraps a deployment into a frontend with no open sessions.
+    pub fn new(deployment: Deployment<D>) -> Self {
+        Frontend {
+            deployment,
+            sessions: BTreeMap::new(),
+            registry: BTreeMap::new(),
+            pending: Vec::new(),
+            next_session: 0,
+            next_conn: 0,
+            conn_seqs: HashMap::new(),
+            stats: FrontendStats::default(),
+        }
+    }
+
+    /// The deployment behind this frontend (for direct drivers and stats).
+    pub fn deployment(&self) -> &Deployment<D> {
+        &self.deployment
+    }
+
+    /// Allocates the next logical connection id. Transports that already have a connection
+    /// notion (one per socket, say) may mint their own [`ConnId`]s instead — the frontend
+    /// tracks per-connection sequence numbers for whatever ids it sees.
+    pub fn connect(&mut self) -> ConnId {
+        self.next_conn += 1;
+        ConnId(self.next_conn)
+    }
+
+    /// Queues a request; no work happens until [`Frontend::tick`]. Returns the id the matching
+    /// response will carry (per-connection sequence numbers, starting at 1).
+    pub fn submit(&mut self, conn: ConnId, request: ServeRequest) -> RequestId {
+        let seq = self.conn_seqs.entry(conn).or_insert(0);
+        *seq += 1;
+        let id = RequestId { conn, seq: *seq };
+        self.pending.push((id, request));
+        self.stats.requests += 1;
+        id
+    }
+
+    /// Requests queued for the next tick.
+    pub fn pending_requests(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Sessions currently open.
+    pub fn open_sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// The frontend's own counters.
+    pub fn stats(&self) -> FrontendStats {
+        self.stats
+    }
+}
+
+impl<D> Frontend<D>
+where
+    D: AbstractDomain + SynthesizeInto + DomainCodec + Send + Sync + 'static,
+{
+    /// Processes every queued request and returns one tagged response per request, in
+    /// submission order (see the [module docs](self) for the batching and determinism story).
+    pub fn tick(&mut self) -> Vec<TaggedResponse> {
+        let pending = std::mem::take(&mut self.pending);
+        let ids: Vec<RequestId> = pending.iter().map(|(id, _)| *id).collect();
+        let mut responses: Vec<Option<ServeResponse>> = Vec::new();
+        responses.resize_with(pending.len(), || None);
+
+        let mut run: Vec<QueuedDowngrade> = Vec::new();
+        for (index, (_, request)) in pending.into_iter().enumerate() {
+            match request {
+                ServeRequest::Downgrade { session, secret, query } => {
+                    run.push(QueuedDowngrade { index, session, secret, query });
+                }
+                other => {
+                    self.flush_run(&mut run, &mut responses);
+                    responses[index] = Some(self.handle(other));
+                }
+            }
+        }
+        self.flush_run(&mut run, &mut responses);
+        self.stats.ticks += 1;
+
+        ids.into_iter()
+            .zip(responses)
+            .map(|(request, response)| TaggedResponse {
+                request,
+                response: response.expect("every request produced a response"),
+            })
+            .collect()
+    }
+
+    /// Executes a buffered run of consecutive downgrade requests: regrouped per session,
+    /// split at query boundaries, each group batched through the deployment driver.
+    fn flush_run(
+        &mut self,
+        run: &mut Vec<QueuedDowngrade>,
+        responses: &mut [Option<ServeResponse>],
+    ) {
+        if run.is_empty() {
+            return;
+        }
+        let mut per_session: BTreeMap<SessionId, Vec<QueuedDowngrade>> = BTreeMap::new();
+        for queued in run.drain(..) {
+            per_session.entry(queued.session).or_default().push(queued);
+        }
+        for (session_id, queued) in per_session {
+            let Some(session) = self.sessions.get_mut(&session_id) else {
+                for q in queued {
+                    responses[q.index] =
+                        Some(ServeResponse::Answer(Err(Denial::unknown_session(session_id))));
+                }
+                continue;
+            };
+            // Split the session's run at query boundaries: a batch driver call serves one query,
+            // and same-secret chains across different queries must keep their arrival order.
+            // The queued requests are consumed by value — this is the hot path, and the points
+            // they own become the batch with no clones.
+            let mut queued = queued.into_iter().peekable();
+            while let Some(first) = queued.next() {
+                let query = first.query;
+                let mut indices = vec![first.index];
+                let mut secrets = vec![first.secret];
+                while let Some(next) = queued.peek() {
+                    if next.query != query {
+                        break;
+                    }
+                    let next = queued.next().expect("peeked");
+                    indices.push(next.index);
+                    secrets.push(next.secret);
+                }
+                self.stats.batched_downgrades += secrets.len() as u64;
+                self.stats.largest_batch = self.stats.largest_batch.max(secrets.len());
+                let results = self.deployment.downgrade_batch(session, &secrets, &query);
+                for (index, result) in indices.into_iter().zip(results) {
+                    responses[index] = Some(ServeResponse::Answer(result.map_err(Denial::from)));
+                }
+            }
+        }
+    }
+
+    /// Handles every non-`Downgrade` request (downgrades ride [`Frontend::flush_run`]).
+    fn handle(&mut self, request: ServeRequest) -> ServeResponse {
+        match request {
+            ServeRequest::Downgrade { .. } => unreachable!("downgrades are batched in tick()"),
+            ServeRequest::OpenSession { policy } => {
+                self.next_session += 1;
+                let id = SessionId(self.next_session);
+                let mut session = self.deployment.session(policy);
+                for (query, kind, members) in self.registry.values() {
+                    if let Err(e) = session.register_cached(query, *kind, *members) {
+                        return ServeResponse::Rejected(Denial::from(e));
+                    }
+                }
+                self.sessions.insert(id, session);
+                ServeResponse::SessionOpened { session: id }
+            }
+            ServeRequest::RegisterQuery { query, kind, members } => {
+                if let Err(e) = self.deployment.register_query(&query, kind, members) {
+                    return ServeResponse::Rejected(Denial::new(
+                        DenialCode::Internal,
+                        e.to_string(),
+                    ));
+                }
+                for session in self.sessions.values_mut() {
+                    if let Err(e) = session.register_cached(&query, kind, members) {
+                        return ServeResponse::Rejected(Denial::from(e));
+                    }
+                }
+                let name = query.name().to_string();
+                self.registry.insert(name.clone(), (query, kind, members));
+                ServeResponse::QueryRegistered { name }
+            }
+            ServeRequest::DowngradeBatch { session, secrets, query } => {
+                let Some(open) = self.sessions.get_mut(&session) else {
+                    return ServeResponse::Rejected(Denial::unknown_session(session));
+                };
+                self.stats.batched_downgrades += secrets.len() as u64;
+                self.stats.largest_batch = self.stats.largest_batch.max(secrets.len());
+                let results = self.deployment.downgrade_batch(open, &secrets, &query);
+                ServeResponse::Answers(
+                    results.into_iter().map(|r| r.map_err(|e| DenialCode::of(&e))).collect(),
+                )
+            }
+            ServeRequest::CountModels { pred } => {
+                match self.deployment.par_count_models(&pred, &self.deployment.layout().space()) {
+                    Ok(sharded) => ServeResponse::Count { models: sharded.value },
+                    Err(e) => {
+                        ServeResponse::Rejected(Denial::new(DenialCode::Internal, e.to_string()))
+                    }
+                }
+            }
+            ServeRequest::CheckValidity { pred } => {
+                match self.deployment.par_check_validity(&pred, &self.deployment.layout().space()) {
+                    Ok(sharded) => ServeResponse::Validity {
+                        counterexample: match sharded.value {
+                            ValidityOutcome::Valid => None,
+                            ValidityOutcome::CounterExample(p) => Some(p),
+                        },
+                    },
+                    Err(e) => {
+                        ServeResponse::Rejected(Denial::new(DenialCode::Internal, e.to_string()))
+                    }
+                }
+            }
+            ServeRequest::Knowledge { session, secret } => {
+                let Some(open) = self.sessions.get(&session) else {
+                    return ServeResponse::Rejected(Denial::unknown_session(session));
+                };
+                let knowledge = open.knowledge_of(&secret);
+                ServeResponse::Knowledge {
+                    size: knowledge.size(),
+                    encoded: knowledge.domain().encode(),
+                }
+            }
+            ServeRequest::Stats => ServeResponse::Stats(StatsSnapshot {
+                open_sessions: self.sessions.len(),
+                ticks: self.stats.ticks,
+                requests: self.stats.requests,
+                batched_downgrades: self.stats.batched_downgrades,
+                largest_batch: self.stats.largest_batch,
+                serve: self.deployment.stats(),
+            }),
+            ServeRequest::SaveCache { path } => match self.deployment.save_cache(&path) {
+                Ok(entries) => ServeResponse::CacheSaved { entries },
+                Err(e) => ServeResponse::Rejected(Denial::new(DenialCode::Internal, e.to_string())),
+            },
+            ServeRequest::WarmStart { path, verify } => {
+                match self.deployment.warm_start_with(&path, verify) {
+                    Ok(outcome) => ServeResponse::WarmStarted {
+                        loaded: outcome.installed,
+                        skipped: outcome.skipped,
+                    },
+                    Err(e) => {
+                        ServeResponse::Rejected(Denial::new(DenialCode::Internal, e.to_string()))
+                    }
+                }
+            }
+            ServeRequest::CloseSession { session } => match self.sessions.remove(&session) {
+                Some(_) => ServeResponse::SessionClosed { session },
+                None => ServeResponse::Rejected(Denial::unknown_session(session)),
+            },
+        }
+    }
+}
+
+impl<D: AbstractDomain> fmt::Debug for Frontend<D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Frontend")
+            .field("sessions", &self.sessions.len())
+            .field("registry", &self.registry.len())
+            .field("pending", &self.pending.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ServeConfig;
+    use anosy_core::PolicySpec;
+    use anosy_domains::IntervalDomain;
+    use anosy_ifc::Protected;
+    use anosy_logic::{IntExpr, SecretLayout};
+
+    fn layout() -> SecretLayout {
+        SecretLayout::builder().field("x", 0, 400).field("y", 0, 400).build()
+    }
+
+    fn nearby_query(xo: i64) -> QueryDef {
+        let pred = ((IntExpr::var(0) - xo).abs() + (IntExpr::var(1) - 200).abs()).le(100);
+        QueryDef::new(format!("nearby_{xo}_200"), layout(), pred).unwrap()
+    }
+
+    fn frontend() -> Frontend<IntervalDomain> {
+        Frontend::new(Deployment::new(layout(), ServeConfig::for_tests()))
+    }
+
+    fn downgrade(session: SessionId, x: i64, y: i64, query: &str) -> ServeRequest {
+        ServeRequest::Downgrade {
+            session,
+            secret: Point::new(vec![x, y]),
+            query: query.to_string(),
+        }
+    }
+
+    #[test]
+    fn the_full_surface_round_trips_through_one_tick_sequence() {
+        let mut frontend = frontend();
+        let conn = frontend.connect();
+
+        // Tick 1: register a query and open two sessions under different policies.
+        frontend.submit(
+            conn,
+            ServeRequest::RegisterQuery {
+                query: nearby_query(200),
+                kind: ApproxKind::Under,
+                members: None,
+            },
+        );
+        frontend.submit(conn, ServeRequest::OpenSession { policy: PolicySpec::MinSize(100) });
+        frontend.submit(conn, ServeRequest::OpenSession { policy: PolicySpec::MinSize(30_000) });
+        let responses = frontend.tick();
+        assert_eq!(responses.len(), 3);
+        assert_eq!(
+            responses[0].response,
+            ServeResponse::QueryRegistered { name: "nearby_200_200".into() }
+        );
+        let strict = SessionId(2);
+        assert_eq!(responses[1].response, ServeResponse::SessionOpened { session: SessionId(1) });
+        assert_eq!(responses[2].response, ServeResponse::SessionOpened { session: strict });
+        assert_eq!(responses[0].request, RequestId { conn, seq: 1 });
+
+        // Tick 2: downgrades across both sessions in one run — batched, answers exact.
+        let lax = SessionId(1);
+        frontend.submit(conn, downgrade(lax, 300, 200, "nearby_200_200"));
+        frontend.submit(conn, downgrade(strict, 300, 200, "nearby_200_200"));
+        frontend.submit(conn, downgrade(lax, 10, 10, "nearby_200_200"));
+        frontend.submit(conn, downgrade(lax, 300, 200, "no_such_query"));
+        let responses = frontend.tick();
+        assert_eq!(responses[0].response, ServeResponse::Answer(Ok(true)));
+        // The strict policy refuses: under min-size 30000 one posterior is too small.
+        match &responses[1].response {
+            ServeResponse::Answer(Err(denial)) => assert_eq!(denial.code, DenialCode::Policy),
+            other => panic!("expected a policy denial, got {other:?}"),
+        }
+        assert_eq!(responses[2].response, ServeResponse::Answer(Ok(false)));
+        match &responses[3].response {
+            ServeResponse::Answer(Err(denial)) => {
+                assert_eq!(denial.code, DenialCode::UnknownQuery)
+            }
+            other => panic!("expected unknown-query, got {other:?}"),
+        }
+
+        // The frontend's answers equal a plain session's sequential ones.
+        let mut reference: AnosySession<IntervalDomain> =
+            self::reference_session(PolicySpec::MinSize(100));
+        let secret = Protected::new(Point::new(vec![300, 200]));
+        assert!(reference.downgrade(&secret, "nearby_200_200").unwrap());
+
+        // Tick 3: knowledge, stats, close; then the closed session denies.
+        frontend.submit(
+            conn,
+            ServeRequest::Knowledge { session: lax, secret: Point::new(vec![300, 200]) },
+        );
+        frontend.submit(conn, ServeRequest::Stats);
+        frontend.submit(conn, ServeRequest::CloseSession { session: strict });
+        let responses = frontend.tick();
+        match &responses[0].response {
+            ServeResponse::Knowledge { size, encoded } => {
+                assert_eq!(*size, reference.knowledge_of(&Point::new(vec![300, 200])).size());
+                assert!(!encoded.is_empty());
+            }
+            other => panic!("expected knowledge, got {other:?}"),
+        }
+        match &responses[1].response {
+            ServeResponse::Stats(snapshot) => {
+                assert_eq!(snapshot.open_sessions, 2);
+                assert_eq!(snapshot.requests, 10);
+                assert_eq!(snapshot.batched_downgrades, 4);
+                assert!(snapshot.largest_batch >= 2, "the lax run batched");
+                assert_eq!(snapshot.serve.cache.synth_misses, 1);
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+        assert_eq!(responses[2].response, ServeResponse::SessionClosed { session: strict });
+
+        frontend.submit(conn, downgrade(strict, 300, 200, "nearby_200_200"));
+        let responses = frontend.tick();
+        match &responses[0].response {
+            ServeResponse::Answer(Err(denial)) => {
+                assert_eq!(denial.code, DenialCode::UnknownSession)
+            }
+            other => panic!("expected unknown-session, got {other:?}"),
+        }
+        assert!(format!("{frontend:?}").contains("sessions: 1"));
+    }
+
+    /// A plain owned session with the test query registered — the sequential reference.
+    fn reference_session(policy: PolicySpec) -> AnosySession<IntervalDomain> {
+        let mut session = AnosySession::new(layout(), policy);
+        let mut synth = anosy_synth::Synthesizer::with_config(ServeConfig::for_tests().synth);
+        session
+            .register_synthesized(&mut synth, &nearby_query(200), ApproxKind::Under, None)
+            .unwrap();
+        session
+    }
+
+    #[test]
+    fn sessions_opened_after_registration_know_the_query_set() {
+        let mut frontend = frontend();
+        let conn = frontend.connect();
+        frontend.submit(
+            conn,
+            ServeRequest::RegisterQuery {
+                query: nearby_query(200),
+                kind: ApproxKind::Under,
+                members: None,
+            },
+        );
+        frontend.tick();
+        // A session opened *later* still knows the query, via the registry replay.
+        frontend.submit(conn, ServeRequest::OpenSession { policy: PolicySpec::MinSize(100) });
+        frontend.submit(conn, downgrade(SessionId(1), 300, 200, "nearby_200_200"));
+        let responses = frontend.tick();
+        assert_eq!(responses[1].response, ServeResponse::Answer(Ok(true)));
+        // And the replay was a pure cache hit: one synthesis total.
+        assert_eq!(frontend.deployment().stats().cache.synth_misses, 1);
+    }
+
+    #[test]
+    fn duplicate_secrets_within_one_tick_chain_in_order() {
+        let mut frontend = frontend();
+        let conn = frontend.connect();
+        frontend.submit(
+            conn,
+            ServeRequest::RegisterQuery {
+                query: nearby_query(200),
+                kind: ApproxKind::Under,
+                members: None,
+            },
+        );
+        frontend.submit(conn, ServeRequest::OpenSession { policy: PolicySpec::MinSize(100) });
+        frontend.tick();
+        let session = SessionId(1);
+        for _ in 0..4 {
+            frontend.submit(conn, downgrade(session, 300, 200, "nearby_200_200"));
+        }
+        let batched: Vec<ServeResponse> = frontend.tick().into_iter().map(|t| t.response).collect();
+
+        let mut reference = reference_session(PolicySpec::MinSize(100));
+        let secret = Protected::new(Point::new(vec![300, 200]));
+        let sequential: Vec<ServeResponse> = (0..4)
+            .map(|_| {
+                ServeResponse::Answer(
+                    reference.downgrade(&secret, "nearby_200_200").map_err(Denial::from),
+                )
+            })
+            .collect();
+        assert_eq!(batched, sequential);
+    }
+
+    #[test]
+    fn count_and_validity_ride_the_sharded_driver() {
+        let mut frontend = frontend();
+        let conn = frontend.connect();
+        let pred = ((IntExpr::var(0) - 200).abs() + (IntExpr::var(1) - 200).abs()).le(100);
+        frontend.submit(conn, ServeRequest::CountModels { pred: pred.clone() });
+        frontend.submit(conn, ServeRequest::CheckValidity { pred });
+        let responses = frontend.tick();
+        assert_eq!(responses[0].response, ServeResponse::Count { models: 20_201 });
+        match &responses[1].response {
+            ServeResponse::Validity { counterexample: Some(_) } => {}
+            other => panic!("the diamond is not valid everywhere: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn explicit_batches_answer_per_element() {
+        let mut frontend = frontend();
+        let conn = frontend.connect();
+        frontend.submit(
+            conn,
+            ServeRequest::RegisterQuery {
+                query: nearby_query(200),
+                kind: ApproxKind::Under,
+                members: None,
+            },
+        );
+        frontend.submit(conn, ServeRequest::OpenSession { policy: PolicySpec::MinSize(100) });
+        frontend.tick();
+        frontend.submit(
+            conn,
+            ServeRequest::DowngradeBatch {
+                session: SessionId(1),
+                secrets: vec![
+                    Point::new(vec![300, 200]),
+                    Point::new(vec![10, 10]),
+                    Point::new(vec![9_000, 0]),
+                ],
+                query: "nearby_200_200".to_string(),
+            },
+        );
+        let responses = frontend.tick();
+        assert_eq!(
+            responses[0].response,
+            ServeResponse::Answers(vec![Ok(true), Ok(false), Err(DenialCode::OutsideLayout),])
+        );
+        // An unknown session rejects the whole batch request.
+        frontend.submit(
+            conn,
+            ServeRequest::DowngradeBatch {
+                session: SessionId(77),
+                secrets: vec![Point::new(vec![0, 0])],
+                query: "nearby_200_200".to_string(),
+            },
+        );
+        match &frontend.tick()[0].response {
+            ServeResponse::Rejected(denial) => {
+                assert_eq!(denial.code, DenialCode::UnknownSession)
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+    }
+}

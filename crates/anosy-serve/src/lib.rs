@@ -29,7 +29,18 @@
 //!
 //! * **The warm-start cache** ([`Deployment::warm_start`] / [`Deployment::save_cache`]): the
 //!   synthesis cache serialized to a simple versioned text format, so a restarted deployment
-//!   skips cold-start synthesis entirely for every query it has served before.
+//!   skips cold-start synthesis entirely for every query it has served before. For caches of
+//!   dubious provenance, [`Deployment::warm_start_verified`] re-checks every entry's refinement
+//!   obligations with the solver before installing it.
+//!
+//! On top of the deployment sits the **serving frontend** ([`Frontend`]): a sans-IO state
+//! machine exposing the whole surface as one typed request/response protocol
+//! ([`ServeRequest`]/[`ServeResponse`] in [`proto`]). The frontend owns sessions keyed by
+//! [`SessionId`], accepts requests from any number of logical connections, batches each tick's
+//! consecutive downgrades onto the [`Deployment::downgrade_batch`] path, and answers with
+//! responses tagged by [`RequestId`] — element-wise identical to processing the same requests
+//! sequentially against plain sessions. The [`wire`] module gives the protocol a line-oriented
+//! text form, and the `anosy-served` binary serves it over stdin/stdout.
 //!
 //! # Determinism guarantees
 //!
@@ -84,14 +95,22 @@ mod batch;
 mod config;
 mod deployment;
 mod error;
+pub mod frontend;
 mod parallel;
 mod persist;
 mod pool;
+pub mod proto;
+pub mod wire;
 
 pub use batch::{downgrade_batch, downgrade_many};
 pub use config::ServeConfig;
-pub use deployment::{Deployment, ServeStats};
+pub use deployment::{Deployment, ServeStats, WarmStartOutcome};
 pub use error::ServeError;
+pub use frontend::{Frontend, FrontendStats};
 pub use parallel::{par_check_validity, par_count_models, par_is_valid, Sharded};
 pub use persist::{load_entries, save_entries};
 pub use pool::ShardPool;
+pub use proto::{
+    ConnId, Denial, DenialCode, RequestId, ServeRequest, ServeResponse, SessionId, StatsSnapshot,
+    TaggedResponse,
+};

@@ -55,27 +55,11 @@ fn encode_layout(layout: &SecretLayout) -> Option<String> {
     Some(tokens.join(" "))
 }
 
+/// The `name:lo:hi` grammar is shared with the wire layer (`anosy-served --layout` speaks the
+/// same per-field form); [`crate::wire::parse_layout`] is the single parser for it.
 fn decode_layout(text: &str, line: usize) -> Result<SecretLayout, ServeError> {
-    let mut builder = SecretLayout::builder();
-    let mut any = false;
-    for token in text.split_whitespace() {
-        let mut parts = token.splitn(3, ':');
-        let (name, lo, hi) = (parts.next(), parts.next(), parts.next());
-        let (Some(name), Some(lo), Some(hi)) = (name, lo, hi) else {
-            return Err(format_err(line, format!("bad layout field `{token}`")));
-        };
-        let lo = lo.parse().map_err(|_| format_err(line, format!("bad bound in `{token}`")))?;
-        let hi = hi.parse().map_err(|_| format_err(line, format!("bad bound in `{token}`")))?;
-        if lo > hi {
-            return Err(format_err(line, format!("inverted bounds in `{token}`")));
-        }
-        builder = builder.field(name, lo, hi);
-        any = true;
-    }
-    if !any {
-        return Err(format_err(line, "layout with no fields"));
-    }
-    Ok(builder.build())
+    crate::wire::parse_layout(text)
+        .ok_or_else(|| format_err(line, format!("malformed layout `{text}`")))
 }
 
 /// Writes the entries to `path`, atomically enough for a single writer (write to a temp file in

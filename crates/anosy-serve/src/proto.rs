@@ -1,0 +1,329 @@
+//! The typed serving protocol: one request/response pair for the whole deployment surface.
+//!
+//! Everything a deployment can do — open a session under a [`PolicySpec`], register a query,
+//! downgrade one secret or a batch, count models, check validity, inspect knowledge and stats,
+//! save or warm-start the synthesis cache, close a session — is a [`ServeRequest`], and every
+//! answer is a [`ServeResponse`] tagged with the [`RequestId`] it answers. The
+//! [`Frontend`](crate::Frontend) state machine consumes requests and emits tagged responses
+//! without performing any I/O itself (sans-IO, in the sense the networking world uses the term):
+//! transports — the [`wire`](crate::wire) line codec and the `anosy-served` stdin/stdout binary,
+//! or any future socket loop — only move bytes and never interpret the protocol.
+//!
+//! Downgrade refusals are *data*, not protocol failures: a [`ServeRequest::Downgrade`] always
+//! answers with [`ServeResponse::Answer`] — `Err(..)` for policy refusals, unknown queries,
+//! out-of-layout secrets *and* unknown sessions alike, exactly as the sequential
+//! [`anosy_core::AnosySession::downgrade`] replay would error — because the monitor's refusal
+//! is part of its observable (and deliberately secret-independent) behavior.
+//! [`ServeResponse::Rejected`] is how every *non-downgrade* request reports failure (unknown
+//! session on a batch/knowledge/close, synthesis failure, cache I/O).
+//!
+//! **Trust boundary.** [`ServeRequest::SaveCache`] and [`ServeRequest::WarmStart`] carry
+//! filesystem paths the deployment will write and read. Over stdin/stdout (`anosy-served`) the
+//! requester *is* the operator, so this is fine; a transport that exposes the protocol to
+//! untrusted connections (the future socket executor) must gate or drop these two requests —
+//! the frontend executes them for whoever submits them.
+
+use anosy_core::{AnosyError, PolicySpec};
+use anosy_logic::Point;
+use anosy_synth::{ApproxKind, QueryDef};
+use std::fmt;
+use std::path::PathBuf;
+
+use crate::ServeStats;
+
+/// Identifies one session owned by a [`Frontend`](crate::Frontend). Allocated by
+/// [`ServeRequest::OpenSession`] in deterministic order (1, 2, 3, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SessionId(pub u64);
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Identifies one logical connection multiplexed onto a frontend. Connections are a tagging
+/// concept only — the frontend processes all requests in one global submission order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConnId(pub u64);
+
+impl fmt::Display for ConnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Tags a request and its response: the connection it arrived on plus the per-connection
+/// sequence number, rendered `conn.seq` on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RequestId {
+    /// The logical connection the request arrived on.
+    pub conn: ConnId,
+    /// The 1-based sequence number of the request within its connection.
+    pub seq: u64,
+}
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.conn, self.seq)
+    }
+}
+
+/// One request against a serving deployment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeRequest {
+    /// Opens a session enforcing the given policy; answered with
+    /// [`ServeResponse::SessionOpened`]. The new session immediately knows every query
+    /// registered so far.
+    OpenSession {
+        /// The quantitative policy the session enforces.
+        policy: PolicySpec,
+    },
+    /// Synthesizes and verifies a query once per deployment (a warm cache makes this free) and
+    /// registers it with every open and future session.
+    RegisterQuery {
+        /// The query definition (name, layout, predicate).
+        query: QueryDef,
+        /// Approximation direction.
+        kind: ApproxKind,
+        /// Powerset member budget (`None` for the interval domain).
+        members: Option<usize>,
+    },
+    /// The bounded downgrade of Fig. 2 against one session's tracked knowledge.
+    Downgrade {
+        /// The session whose knowledge is consulted and refined.
+        session: SessionId,
+        /// The secret, as a point of the deployment layout.
+        secret: Point,
+        /// Name of a registered query.
+        query: String,
+    },
+    /// A whole batch of downgrades against one query in one request (the explicit counterpart
+    /// of the frontend's implicit per-tick batching).
+    DowngradeBatch {
+        /// The session whose knowledge is consulted and refined.
+        session: SessionId,
+        /// The secrets, in order; duplicates chain exactly as sequential calls would.
+        secrets: Vec<Point>,
+        /// Name of a registered query.
+        query: String,
+    },
+    /// Counts the models of a predicate over the deployment's secret space with the sharded
+    /// parallel driver.
+    CountModels {
+        /// The predicate to count.
+        pred: anosy_logic::Pred,
+    },
+    /// Checks validity of a predicate over the deployment's secret space.
+    CheckValidity {
+        /// The predicate to check.
+        pred: anosy_logic::Pred,
+    },
+    /// Reads the knowledge currently tracked for a secret (size plus the encoded domain
+    /// element, via [`anosy_synth::DomainCodec`]).
+    Knowledge {
+        /// The session to inspect.
+        session: SessionId,
+        /// The secret whose knowledge is requested.
+        secret: Point,
+    },
+    /// Reads the frontend + deployment aggregate counters.
+    Stats,
+    /// Persists the synthesis cache for a later warm start.
+    SaveCache {
+        /// Where to write the cache file.
+        path: PathBuf,
+    },
+    /// Loads a previously saved synthesis cache.
+    WarmStart {
+        /// The cache file to load (a missing file is a cold start).
+        path: PathBuf,
+        /// When `true`, re-verify every entry's refinement obligations with the solver before
+        /// installing it ([`crate::Deployment::warm_start_verified`]).
+        verify: bool,
+    },
+    /// Closes a session, dropping its tracked knowledge.
+    CloseSession {
+        /// The session to close.
+        session: SessionId,
+    },
+}
+
+/// Why a downgrade (or a whole request) was denied — the compact, wire-stable classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DenialCode {
+    /// A quantitative policy refused the downgrade (before query execution, per §3).
+    Policy,
+    /// The named query was never registered.
+    UnknownQuery,
+    /// The secret lies outside the deployment layout.
+    OutsideLayout,
+    /// The request referenced a session id the frontend does not own.
+    UnknownSession,
+    /// A cache-only registration found no synthesized entry.
+    NotSynthesized,
+    /// Anything else (synthesis/verification/solver/cache failures); see the message.
+    Internal,
+}
+
+impl DenialCode {
+    /// The wire token of the code.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            DenialCode::Policy => "policy",
+            DenialCode::UnknownQuery => "unknown-query",
+            DenialCode::OutsideLayout => "outside-layout",
+            DenialCode::UnknownSession => "unknown-session",
+            DenialCode::NotSynthesized => "not-synthesized",
+            DenialCode::Internal => "internal",
+        }
+    }
+
+    /// Parses a wire token back into a code.
+    pub fn parse(token: &str) -> Option<DenialCode> {
+        Some(match token {
+            "policy" => DenialCode::Policy,
+            "unknown-query" => DenialCode::UnknownQuery,
+            "outside-layout" => DenialCode::OutsideLayout,
+            "unknown-session" => DenialCode::UnknownSession,
+            "not-synthesized" => DenialCode::NotSynthesized,
+            "internal" => DenialCode::Internal,
+            _ => return None,
+        })
+    }
+
+    /// Classifies a session-layer error.
+    pub fn of(error: &AnosyError) -> DenialCode {
+        match error {
+            AnosyError::PolicyViolation { .. } => DenialCode::Policy,
+            AnosyError::UnknownQuery { .. } => DenialCode::UnknownQuery,
+            AnosyError::SecretOutsideLayout => DenialCode::OutsideLayout,
+            AnosyError::NotSynthesized { .. } => DenialCode::NotSynthesized,
+            _ => DenialCode::Internal,
+        }
+    }
+}
+
+impl fmt::Display for DenialCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A denial with its human-readable reason (the [`DenialCode`] alone rides in batch answers,
+/// where one line carries many results).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Denial {
+    /// The compact classification.
+    pub code: DenialCode,
+    /// The full error message.
+    pub message: String,
+}
+
+impl Denial {
+    /// A denial with an ad-hoc message.
+    pub fn new(code: DenialCode, message: impl Into<String>) -> Denial {
+        Denial { code, message: message.into() }
+    }
+
+    /// The canonical denial for a request referencing an unowned session.
+    pub fn unknown_session(session: SessionId) -> Denial {
+        Denial::new(DenialCode::UnknownSession, format!("no open session {session}"))
+    }
+}
+
+impl From<AnosyError> for Denial {
+    fn from(e: AnosyError) -> Denial {
+        Denial { code: DenialCode::of(&e), message: e.to_string() }
+    }
+}
+
+impl fmt::Display for Denial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+/// Aggregate counters of a frontend and its deployment, as one protocol-level snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Sessions currently open in the frontend.
+    pub open_sessions: usize,
+    /// Completed [`Frontend::tick`](crate::Frontend::tick) calls.
+    pub ticks: u64,
+    /// Requests submitted since the frontend was created.
+    pub requests: u64,
+    /// Downgrades that rode a per-tick batch (including explicit [`ServeRequest::DowngradeBatch`]
+    /// elements).
+    pub batched_downgrades: u64,
+    /// Largest single batch handed to the deployment's batched-downgrade driver.
+    pub largest_batch: usize,
+    /// The deployment aggregates (cache hits, downgrade outcomes, workers).
+    pub serve: ServeStats,
+}
+
+/// One response, paired to its request by the frontend.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeResponse {
+    /// A session was opened.
+    SessionOpened {
+        /// The freshly allocated session id.
+        session: SessionId,
+    },
+    /// A query was synthesized (or served from cache) and registered everywhere.
+    QueryRegistered {
+        /// The query's name, as usable in downgrade requests.
+        name: String,
+    },
+    /// The downgrade answer: the query's boolean on authorization, the denial otherwise.
+    Answer(Result<bool, Denial>),
+    /// Per-element answers of a batch, in input order.
+    Answers(Vec<Result<bool, DenialCode>>),
+    /// The model count.
+    Count {
+        /// Number of models of the predicate in the deployment space.
+        models: u128,
+    },
+    /// The validity outcome: `None` means valid everywhere.
+    Validity {
+        /// A point falsifying the predicate, if any.
+        counterexample: Option<Point>,
+    },
+    /// The tracked knowledge of a secret.
+    Knowledge {
+        /// Number of candidate secrets the knowledge still admits.
+        size: u128,
+        /// The domain element in its [`anosy_synth::DomainCodec`] line form.
+        encoded: String,
+    },
+    /// The aggregate counters.
+    Stats(StatsSnapshot),
+    /// The synthesis cache was persisted.
+    CacheSaved {
+        /// Entries written.
+        entries: usize,
+    },
+    /// A warm start completed.
+    WarmStarted {
+        /// Entries installed into the cache.
+        loaded: usize,
+        /// Entries refused by `--verify-on-load` re-verification.
+        skipped: usize,
+    },
+    /// A session was closed.
+    SessionClosed {
+        /// The id that is now free (ids are never reused).
+        session: SessionId,
+    },
+    /// The request itself failed (unknown session, synthesis failure, cache I/O, …).
+    Rejected(Denial),
+}
+
+/// A response paired with the id of the request it answers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaggedResponse {
+    /// The request this answers.
+    pub request: RequestId,
+    /// The answer.
+    pub response: ServeResponse,
+}

@@ -1,0 +1,691 @@
+//! The line-oriented text form of the serving protocol — one request or response per line.
+//!
+//! This is the transport-independent half of `anosy-served`: anything that can move lines of
+//! text (stdin/stdout, a TCP stream, a test script) can speak the protocol by pairing this
+//! codec with a [`Frontend`](crate::Frontend). The format follows the workspace's existing
+//! text-format conventions (the `anosy-synth-cache` persistence file): space-separated
+//! `key=value` tokens, predicates and paths last on the line so they may contain spaces, and
+//! domain elements in their [`DomainCodec`](anosy_synth::DomainCodec) one-line encoding.
+//!
+//! # Requests
+//!
+//! ```text
+//! open min-size:100
+//! register name=nearby kind=under members=- pred=abs(x - 200) + abs(y - 200) <= 100
+//! downgrade session=1 query=nearby secret=300,200
+//! batch session=1 query=nearby secrets=300,200;10,10
+//! count pred=x <= 100
+//! valid pred=x <= 100
+//! knowledge session=1 secret=300,200
+//! stats
+//! save path=warm.cache
+//! warm verify path=warm.cache
+//! close session=1
+//! ```
+//!
+//! # Responses
+//!
+//! ```text
+//! ok session 1
+//! ok registered nearby
+//! ok answer true
+//! deny policy policy violation: …
+//! ok answers true false !outside-layout
+//! ok count 20201
+//! ok valid
+//! ok counterexample 0,0
+//! ok knowledge size=6837 121..279,179..221
+//! ok stats open=1 ticks=2 …
+//! ok saved 2
+//! ok warm loaded=2 skipped=0
+//! ok closed 1
+//! err unknown-session no open session 7
+//! ```
+//!
+//! Encoding and parsing are inverses on every value the frontend can produce, except that query
+//! names and paths are taken verbatim from the line — a query name containing whitespace, or a
+//! path containing a line break, cannot ride this wire. The typed protocol allows such values;
+//! the codec **rejects them at encode time** ([`encode_request`] errors) rather than emitting a
+//! line that would silently token-split into a different request at parse time. Predicates are
+//! parsed first against the deployment layout's field names and then in the printer's
+//! positional `v0` syntax, so both human-written and re-encoded lines parse.
+
+use crate::proto::{Denial, DenialCode, ServeRequest, ServeResponse, SessionId, StatsSnapshot};
+use crate::ServeStats;
+use anosy_core::{PolicySpec, SharedCacheStats};
+use anosy_logic::{parse_pred, parse_pred_with_layout, Point, Pred, SecretLayout};
+use anosy_synth::QueryDef;
+use std::fmt;
+use std::path::PathBuf;
+
+/// A line that does not encode a request or response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// What was wrong with the line.
+    pub reason: String,
+}
+
+impl WireError {
+    fn new(reason: impl Into<String>) -> WireError {
+        WireError { reason: reason.into() }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed wire line: {}", self.reason)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Renders a point as comma-joined coordinates (`300,200`).
+pub fn encode_point(point: &Point) -> String {
+    point.as_slice().iter().map(i64::to_string).collect::<Vec<_>>().join(",")
+}
+
+/// Parses the [`encode_point`] form. Returns `None` on empty or non-numeric input.
+pub fn parse_point(text: &str) -> Option<Point> {
+    let coords: Vec<i64> = text.split(',').map(|c| c.trim().parse().ok()).collect::<Option<_>>()?;
+    if coords.is_empty() {
+        None
+    } else {
+        Some(Point::new(coords))
+    }
+}
+
+/// Parses a layout from `name:lo:hi` tokens (the same per-field form the warm-start cache file
+/// uses) — how `anosy-served --layout "x:0:400 y:0:400"` declares its secret space.
+pub fn parse_layout(text: &str) -> Option<SecretLayout> {
+    let mut builder = SecretLayout::builder();
+    let mut any = false;
+    for token in text.split_whitespace() {
+        let mut parts = token.splitn(3, ':');
+        let (name, lo, hi) = (parts.next()?, parts.next()?, parts.next()?);
+        let (lo, hi) = (lo.parse().ok()?, hi.parse().ok()?);
+        if name.is_empty() || lo > hi {
+            return None;
+        }
+        builder = builder.field(name, lo, hi);
+        any = true;
+    }
+    if any {
+        Some(builder.build())
+    } else {
+        None
+    }
+}
+
+/// Parses a predicate for the wire: field names of the deployment layout first, the printer's
+/// positional `v0` syntax second.
+fn parse_wire_pred(text: &str, layout: &SecretLayout) -> Result<Pred, WireError> {
+    parse_pred_with_layout(text, layout)
+        .or_else(|_| parse_pred(text))
+        .map_err(|e| WireError::new(format!("unparseable predicate `{text}`: {e}")))
+}
+
+/// Looks up `key=` among the space-separated tokens of `head`.
+fn token<'a>(head: &'a str, key: &str) -> Option<&'a str> {
+    head.split_whitespace().find_map(|t| t.strip_prefix(key))
+}
+
+fn session_token(head: &str) -> Result<SessionId, WireError> {
+    token(head, "session=")
+        .and_then(|s| s.parse().ok())
+        .map(SessionId)
+        .ok_or_else(|| WireError::new("missing or bad session="))
+}
+
+fn secret_token(head: &str) -> Result<Point, WireError> {
+    token(head, "secret=")
+        .and_then(parse_point)
+        .ok_or_else(|| WireError::new("missing or bad secret="))
+}
+
+fn query_token(head: &str) -> Result<String, WireError> {
+    token(head, "query=").map(str::to_string).ok_or_else(|| WireError::new("missing query="))
+}
+
+/// Splits `rest` around a `key=` marker whose value runs to the end of the line.
+fn tail<'a>(rest: &'a str, key: &str) -> Result<(&'a str, &'a str), WireError> {
+    rest.split_once(key)
+        .map(|(head, tail)| (head, tail.trim()))
+        .ok_or_else(|| WireError::new(format!("missing {key}")))
+}
+
+/// Parses one request line (see the [module docs](self) for the grammar). `layout` is the
+/// deployment's secret space, used to resolve predicate field names and validate queries.
+pub fn parse_request(line: &str, layout: &SecretLayout) -> Result<ServeRequest, WireError> {
+    let line = line.trim();
+    let (verb, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+    match verb {
+        "open" => PolicySpec::parse(rest.trim())
+            .map(|policy| ServeRequest::OpenSession { policy })
+            .ok_or_else(|| WireError::new(format!("bad policy spec `{}`", rest.trim()))),
+        "register" => {
+            let (head, pred_text) = tail(rest, "pred=")?;
+            let name =
+                token(head, "name=").ok_or_else(|| WireError::new("missing name="))?.to_string();
+            let kind = token(head, "kind=")
+                .and_then(anosy_synth::parse_approx_kind)
+                .ok_or_else(|| WireError::new("missing or bad kind="))?;
+            let members = match token(head, "members=") {
+                None | Some("-") => None,
+                Some(m) => Some(m.parse().map_err(|_| WireError::new("bad members= count"))?),
+            };
+            let pred = parse_wire_pred(pred_text, layout)?;
+            let query = QueryDef::new(name, layout.clone(), pred)
+                .map_err(|e| WireError::new(e.to_string()))?;
+            Ok(ServeRequest::RegisterQuery { query, kind, members })
+        }
+        "downgrade" => Ok(ServeRequest::Downgrade {
+            session: session_token(rest)?,
+            secret: secret_token(rest)?,
+            query: query_token(rest)?,
+        }),
+        "batch" => {
+            let session = session_token(rest)?;
+            let query = query_token(rest)?;
+            let list = token(rest, "secrets=").ok_or_else(|| WireError::new("missing secrets="))?;
+            let secrets = if list.is_empty() {
+                Vec::new()
+            } else {
+                list.split(';')
+                    .map(parse_point)
+                    .collect::<Option<Vec<_>>>()
+                    .ok_or_else(|| WireError::new("bad secrets= list"))?
+            };
+            Ok(ServeRequest::DowngradeBatch { session, secrets, query })
+        }
+        "count" => {
+            let (_, pred_text) = tail(rest, "pred=")?;
+            Ok(ServeRequest::CountModels { pred: parse_wire_pred(pred_text, layout)? })
+        }
+        "valid" => {
+            let (_, pred_text) = tail(rest, "pred=")?;
+            Ok(ServeRequest::CheckValidity { pred: parse_wire_pred(pred_text, layout)? })
+        }
+        "knowledge" => Ok(ServeRequest::Knowledge {
+            session: session_token(rest)?,
+            secret: secret_token(rest)?,
+        }),
+        "stats" if rest.trim().is_empty() => Ok(ServeRequest::Stats),
+        "save" => {
+            let (_, path) = tail(rest, "path=")?;
+            Ok(ServeRequest::SaveCache { path: PathBuf::from(path) })
+        }
+        "warm" => {
+            let (head, path) = tail(rest, "path=")?;
+            let verify = head.split_whitespace().any(|t| t == "verify");
+            Ok(ServeRequest::WarmStart { path: PathBuf::from(path), verify })
+        }
+        "close" => Ok(ServeRequest::CloseSession { session: session_token(rest)? }),
+        other => Err(WireError::new(format!("unknown request `{other}`"))),
+    }
+}
+
+/// A query name rides the wire as one `key=value` token, so whitespace in it would token-split
+/// into a *different* (silently corrupted) request on parse. The typed protocol allows any
+/// name; the codec refuses the ones it cannot carry faithfully.
+fn wire_safe_name(name: &str) -> Result<&str, WireError> {
+    if name.chars().any(char::is_whitespace) {
+        return Err(WireError::new(format!(
+            "query name `{name}` cannot ride the line wire (contains whitespace)"
+        )));
+    }
+    Ok(name)
+}
+
+/// Paths ride as the rest of the line, so interior spaces are fine — but a line break would
+/// frame as two lines (the second parsing as garbage), and leading/trailing whitespace is
+/// trimmed on parse; both break the encode/parse inverse and are refused.
+fn wire_safe_path(path: &std::path::Path) -> Result<std::path::Display<'_>, WireError> {
+    let text = path.to_string_lossy();
+    if text.contains(['\n', '\r']) || text.trim() != text {
+        return Err(WireError::new(format!(
+            "path `{}` cannot ride the line wire (line break or edge whitespace)",
+            text.escape_debug()
+        )));
+    }
+    Ok(path.display())
+}
+
+/// Renders a request as one wire line — the inverse of [`parse_request`] (predicates re-encode
+/// in the printer's positional syntax, which [`parse_request`] accepts).
+///
+/// # Errors
+///
+/// Returns [`WireError`] for requests this codec cannot carry faithfully (a query name
+/// containing whitespace) instead of emitting a line that would parse as something else.
+pub fn encode_request(request: &ServeRequest) -> Result<String, WireError> {
+    Ok(match request {
+        ServeRequest::OpenSession { policy } => format!("open {policy}"),
+        ServeRequest::RegisterQuery { query, kind, members } => {
+            let members = match members {
+                Some(m) => m.to_string(),
+                None => "-".to_string(),
+            };
+            format!(
+                "register name={} kind={kind} members={members} pred={}",
+                wire_safe_name(query.name())?,
+                query.pred()
+            )
+        }
+        ServeRequest::Downgrade { session, secret, query } => {
+            let query = wire_safe_name(query)?;
+            format!("downgrade session={session} query={query} secret={}", encode_point(secret))
+        }
+        ServeRequest::DowngradeBatch { session, secrets, query } => {
+            let query = wire_safe_name(query)?;
+            let list: Vec<String> = secrets.iter().map(encode_point).collect();
+            format!("batch session={session} query={query} secrets={}", list.join(";"))
+        }
+        ServeRequest::CountModels { pred } => format!("count pred={pred}"),
+        ServeRequest::CheckValidity { pred } => format!("valid pred={pred}"),
+        ServeRequest::Knowledge { session, secret } => {
+            format!("knowledge session={session} secret={}", encode_point(secret))
+        }
+        ServeRequest::Stats => "stats".to_string(),
+        ServeRequest::SaveCache { path } => format!("save path={}", wire_safe_path(path)?),
+        ServeRequest::WarmStart { path, verify } => {
+            let verify = if *verify { "verify " } else { "" };
+            format!("warm {verify}path={}", wire_safe_path(path)?)
+        }
+        ServeRequest::CloseSession { session } => format!("close session={session}"),
+    })
+}
+
+/// Flattens a denial message to one physical line: the wire is line-oriented, and some session
+/// errors (a failed verification's report, say) render multi-line — embedded verbatim they
+/// would desync every line-per-response client.
+fn flatten_message(message: &str) -> String {
+    if !message.contains(['\n', '\r']) {
+        return message.to_string();
+    }
+    message
+        .split(['\n', '\r'])
+        .map(str::trim)
+        .filter(|part| !part.is_empty())
+        .collect::<Vec<_>>()
+        .join("; ")
+}
+
+/// Renders a response as one wire line (the transport prefixes the request id).
+pub fn encode_response(response: &ServeResponse) -> String {
+    match response {
+        ServeResponse::SessionOpened { session } => format!("ok session {session}"),
+        ServeResponse::QueryRegistered { name } => format!("ok registered {name}"),
+        ServeResponse::Answer(Ok(answer)) => format!("ok answer {answer}"),
+        ServeResponse::Answer(Err(denial)) => {
+            format!("deny {} {}", denial.code, flatten_message(&denial.message))
+        }
+        ServeResponse::Answers(results) => {
+            let mut line = String::from("ok answers");
+            for result in results {
+                line.push(' ');
+                match result {
+                    Ok(answer) => line.push_str(&answer.to_string()),
+                    Err(code) => {
+                        line.push('!');
+                        line.push_str(code.as_str());
+                    }
+                }
+            }
+            line
+        }
+        ServeResponse::Count { models } => format!("ok count {models}"),
+        ServeResponse::Validity { counterexample: None } => "ok valid".to_string(),
+        ServeResponse::Validity { counterexample: Some(point) } => {
+            format!("ok counterexample {}", encode_point(point))
+        }
+        ServeResponse::Knowledge { size, encoded } => {
+            format!("ok knowledge size={size} {encoded}")
+        }
+        ServeResponse::Stats(s) => format!(
+            "ok stats open={} ticks={} requests={} batched={} largest={} workers={} \
+             entries={} sessions={} synth_hits={} synth_misses={} warm={} authorized={} \
+             refused={}",
+            s.open_sessions,
+            s.ticks,
+            s.requests,
+            s.batched_downgrades,
+            s.largest_batch,
+            s.serve.workers,
+            s.serve.entries,
+            s.serve.cache.sessions_opened,
+            s.serve.cache.synth_hits,
+            s.serve.cache.synth_misses,
+            s.serve.cache.warm_loaded,
+            s.serve.cache.downgrades_authorized,
+            s.serve.cache.downgrades_refused,
+        ),
+        ServeResponse::CacheSaved { entries } => format!("ok saved {entries}"),
+        ServeResponse::WarmStarted { loaded, skipped } => {
+            format!("ok warm loaded={loaded} skipped={skipped}")
+        }
+        ServeResponse::SessionClosed { session } => format!("ok closed {session}"),
+        ServeResponse::Rejected(denial) => {
+            format!("err {} {}", denial.code, flatten_message(&denial.message))
+        }
+    }
+}
+
+fn parse_denial(rest: &str) -> Result<Denial, WireError> {
+    let (code, message) = rest.split_once(' ').unwrap_or((rest, ""));
+    let code =
+        DenialCode::parse(code).ok_or_else(|| WireError::new(format!("bad code `{code}`")))?;
+    Ok(Denial::new(code, message))
+}
+
+fn parse_counter<T: std::str::FromStr>(head: &str, key: &str) -> Result<T, WireError> {
+    token(head, key)
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| WireError::new(format!("missing or bad {key}")))
+}
+
+/// Parses one response line — the inverse of [`encode_response`].
+pub fn parse_response(line: &str) -> Result<ServeResponse, WireError> {
+    let line = line.trim();
+    let (status, rest) = line.split_once(' ').unwrap_or((line, ""));
+    match status {
+        "deny" => Ok(ServeResponse::Answer(Err(parse_denial(rest)?))),
+        "err" => Ok(ServeResponse::Rejected(parse_denial(rest)?)),
+        "ok" => {
+            let (what, rest) = rest.split_once(' ').unwrap_or((rest, ""));
+            match what {
+                "session" => rest
+                    .parse()
+                    .map(|id| ServeResponse::SessionOpened { session: SessionId(id) })
+                    .map_err(|_| WireError::new("bad session id")),
+                "registered" => Ok(ServeResponse::QueryRegistered { name: rest.to_string() }),
+                "answer" => match rest {
+                    "true" => Ok(ServeResponse::Answer(Ok(true))),
+                    "false" => Ok(ServeResponse::Answer(Ok(false))),
+                    other => Err(WireError::new(format!("bad answer `{other}`"))),
+                },
+                "answers" => {
+                    let mut results = Vec::new();
+                    for tok in rest.split_whitespace() {
+                        results.push(match tok {
+                            "true" => Ok(true),
+                            "false" => Ok(false),
+                            denied => {
+                                let code = denied
+                                    .strip_prefix('!')
+                                    .and_then(DenialCode::parse)
+                                    .ok_or_else(|| {
+                                        WireError::new(format!("bad answer token `{denied}`"))
+                                    })?;
+                                Err(code)
+                            }
+                        });
+                    }
+                    Ok(ServeResponse::Answers(results))
+                }
+                "count" => rest
+                    .parse()
+                    .map(|models| ServeResponse::Count { models })
+                    .map_err(|_| WireError::new("bad count")),
+                "valid" if rest.is_empty() => Ok(ServeResponse::Validity { counterexample: None }),
+                "counterexample" => parse_point(rest)
+                    .map(|p| ServeResponse::Validity { counterexample: Some(p) })
+                    .ok_or_else(|| WireError::new("bad counterexample point")),
+                "knowledge" => {
+                    let (head, encoded) = tail(rest, "size=").and_then(|(_, tail)| {
+                        tail.split_once(' ')
+                            .ok_or_else(|| WireError::new("missing encoded element"))
+                    })?;
+                    let size = head.parse().map_err(|_| WireError::new("bad knowledge size"))?;
+                    Ok(ServeResponse::Knowledge { size, encoded: encoded.to_string() })
+                }
+                "stats" => Ok(ServeResponse::Stats(StatsSnapshot {
+                    open_sessions: parse_counter(rest, "open=")?,
+                    ticks: parse_counter(rest, "ticks=")?,
+                    requests: parse_counter(rest, "requests=")?,
+                    batched_downgrades: parse_counter(rest, "batched=")?,
+                    largest_batch: parse_counter(rest, "largest=")?,
+                    serve: ServeStats {
+                        workers: parse_counter(rest, "workers=")?,
+                        entries: parse_counter(rest, "entries=")?,
+                        cache: SharedCacheStats {
+                            sessions_opened: parse_counter(rest, "sessions=")?,
+                            synth_hits: parse_counter(rest, "synth_hits=")?,
+                            synth_misses: parse_counter(rest, "synth_misses=")?,
+                            warm_loaded: parse_counter(rest, "warm=")?,
+                            downgrades_authorized: parse_counter(rest, "authorized=")?,
+                            downgrades_refused: parse_counter(rest, "refused=")?,
+                        },
+                    },
+                })),
+                "saved" => rest
+                    .parse()
+                    .map(|entries| ServeResponse::CacheSaved { entries })
+                    .map_err(|_| WireError::new("bad saved count")),
+                "warm" => Ok(ServeResponse::WarmStarted {
+                    loaded: parse_counter(rest, "loaded=")?,
+                    skipped: parse_counter(rest, "skipped=")?,
+                }),
+                "closed" => rest
+                    .parse()
+                    .map(|id| ServeResponse::SessionClosed { session: SessionId(id) })
+                    .map_err(|_| WireError::new("bad session id")),
+                other => Err(WireError::new(format!("unknown response `{other}`"))),
+            }
+        }
+        other => Err(WireError::new(format!("unknown status `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anosy_logic::IntExpr;
+
+    fn layout() -> SecretLayout {
+        SecretLayout::builder().field("x", 0, 400).field("y", 0, 400).build()
+    }
+
+    fn nearby() -> QueryDef {
+        let pred = ((IntExpr::var(0) - 200).abs() + (IntExpr::var(1) - 200).abs()).le(100);
+        QueryDef::new("nearby", layout(), pred).unwrap()
+    }
+
+    #[test]
+    fn every_request_round_trips() {
+        let requests = vec![
+            ServeRequest::OpenSession { policy: PolicySpec::parse("min-size:100").unwrap() },
+            ServeRequest::RegisterQuery {
+                query: nearby(),
+                kind: anosy_synth::ApproxKind::Under,
+                members: None,
+            },
+            ServeRequest::RegisterQuery {
+                query: nearby(),
+                kind: anosy_synth::ApproxKind::Over,
+                members: Some(3),
+            },
+            ServeRequest::Downgrade {
+                session: SessionId(1),
+                secret: Point::new(vec![300, 200]),
+                query: "nearby".into(),
+            },
+            ServeRequest::DowngradeBatch {
+                session: SessionId(2),
+                secrets: vec![Point::new(vec![1, 2]), Point::new(vec![-3, 4])],
+                query: "nearby".into(),
+            },
+            ServeRequest::DowngradeBatch {
+                session: SessionId(2),
+                secrets: vec![],
+                query: "nearby".into(),
+            },
+            ServeRequest::CountModels { pred: IntExpr::var(0).le(100) },
+            ServeRequest::CheckValidity { pred: IntExpr::var(1).ge(0) },
+            ServeRequest::Knowledge { session: SessionId(1), secret: Point::new(vec![0, 0]) },
+            ServeRequest::Stats,
+            ServeRequest::SaveCache { path: PathBuf::from("/tmp/a b.cache") },
+            ServeRequest::WarmStart { path: PathBuf::from("warm.cache"), verify: true },
+            ServeRequest::WarmStart { path: PathBuf::from("warm.cache"), verify: false },
+            ServeRequest::CloseSession { session: SessionId(9) },
+        ];
+        for request in requests {
+            let line = encode_request(&request).unwrap();
+            assert!(!line.contains('\n'));
+            let parsed = parse_request(&line, &layout()).unwrap_or_else(|e| {
+                panic!("`{line}` failed to parse: {e}");
+            });
+            assert_eq!(parsed, request, "`{line}`");
+        }
+    }
+
+    #[test]
+    fn wire_unsafe_query_names_are_refused_at_encode_time() {
+        // A name with whitespace would token-split into a different request on parse; the
+        // codec must refuse it instead of corrupting silently.
+        let spaced = QueryDef::new("my query", layout(), IntExpr::var(0).le(1)).unwrap();
+        let register = ServeRequest::RegisterQuery {
+            query: spaced,
+            kind: anosy_synth::ApproxKind::Under,
+            members: None,
+        };
+        assert!(encode_request(&register).is_err());
+        let downgrade = ServeRequest::Downgrade {
+            session: SessionId(1),
+            secret: Point::new(vec![0, 0]),
+            query: "my query".into(),
+        };
+        assert!(encode_request(&downgrade).is_err());
+        // Paths tolerate interior spaces but not line breaks (two physical lines) or edge
+        // whitespace (trimmed on parse): both would break the encode/parse inverse.
+        for bad in ["a\nb.cache", " padded.cache", "padded.cache "] {
+            let save = ServeRequest::SaveCache { path: PathBuf::from(bad) };
+            assert!(encode_request(&save).is_err(), "{bad:?}");
+            let warm = ServeRequest::WarmStart { path: PathBuf::from(bad), verify: true };
+            assert!(encode_request(&warm).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn human_written_requests_parse_with_field_names() {
+        let req = parse_request("register name=near kind=under pred=abs(x - 200) <= 50", &layout())
+            .unwrap();
+        match req {
+            ServeRequest::RegisterQuery { query, members: None, .. } => {
+                assert_eq!(query.name(), "near");
+                // `x` resolved to field 0 of the layout.
+                assert!(query.pred().free_vars().contains(&0));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_request("open min-size:100&min-entropy-mb:2000", &layout()).is_ok());
+    }
+
+    #[test]
+    fn every_response_round_trips() {
+        let responses = vec![
+            ServeResponse::SessionOpened { session: SessionId(3) },
+            ServeResponse::QueryRegistered { name: "nearby".into() },
+            ServeResponse::Answer(Ok(true)),
+            ServeResponse::Answer(Ok(false)),
+            ServeResponse::Answer(Err(Denial::new(
+                DenialCode::Policy,
+                "policy violation: min-size(100) refuses nearby",
+            ))),
+            ServeResponse::Answers(vec![Ok(true), Err(DenialCode::OutsideLayout), Ok(false)]),
+            ServeResponse::Answers(vec![]),
+            ServeResponse::Count { models: 20_201 },
+            ServeResponse::Validity { counterexample: None },
+            ServeResponse::Validity { counterexample: Some(Point::new(vec![0, 0])) },
+            ServeResponse::Knowledge { size: 6837, encoded: "121..279,179..221".into() },
+            ServeResponse::Stats(StatsSnapshot {
+                open_sessions: 2,
+                ticks: 5,
+                requests: 17,
+                batched_downgrades: 9,
+                largest_batch: 4,
+                serve: ServeStats {
+                    workers: 4,
+                    entries: 1,
+                    cache: SharedCacheStats {
+                        synth_hits: 3,
+                        synth_misses: 1,
+                        downgrades_authorized: 7,
+                        downgrades_refused: 2,
+                        sessions_opened: 2,
+                        warm_loaded: 0,
+                    },
+                },
+            }),
+            ServeResponse::CacheSaved { entries: 2 },
+            ServeResponse::WarmStarted { loaded: 2, skipped: 1 },
+            ServeResponse::SessionClosed { session: SessionId(3) },
+            ServeResponse::Rejected(Denial::new(DenialCode::UnknownSession, "no open session 7")),
+        ];
+        for response in responses {
+            let line = encode_response(&response);
+            assert!(!line.contains('\n'));
+            let parsed = parse_response(&line).unwrap_or_else(|e| {
+                panic!("`{line}` failed to parse: {e}");
+            });
+            assert_eq!(parsed, response, "`{line}`");
+        }
+    }
+
+    #[test]
+    fn multi_line_denial_messages_stay_on_one_wire_line() {
+        // Verification failures render multi-line reports; the wire must flatten them or every
+        // subsequent line desyncs a line-per-response client.
+        let denial = Denial::new(
+            DenialCode::Internal,
+            "synthesized approximation for q failed verification:\n  under_truthy: refuted\r\n  under_falsy: ok\n",
+        );
+        for response in
+            [ServeResponse::Rejected(denial.clone()), ServeResponse::Answer(Err(denial))]
+        {
+            let line = encode_response(&response);
+            assert!(!line.contains('\n') && !line.contains('\r'), "`{line}`");
+            assert!(line.contains("failed verification:; under_truthy: refuted; under_falsy: ok"));
+            // Still parseable; the flattened message is the canonical wire form.
+            let parsed = parse_response(&line).unwrap();
+            assert_eq!(encode_response(&parsed), line);
+        }
+    }
+
+    #[test]
+    fn malformed_lines_error_instead_of_panicking() {
+        for bad in [
+            "",
+            "unknown stuff",
+            "open",
+            "open sideways",
+            "register name=q kind=under", // no pred=
+            "register kind=under pred=x <= 1",
+            "downgrade session=1 query=q", // no secret=
+            "downgrade session=x query=q secret=1,2",
+            "batch session=1 query=q secrets=1,2;x",
+            "count pred=)((",
+            "stats extra",
+            "save",
+            "close session=",
+        ] {
+            assert!(parse_request(bad, &layout()).is_err(), "`{bad}` must not parse");
+        }
+        for bad in ["", "ok", "ok what 3", "ok answer perhaps", "deny nonsense msg", "nah 3"] {
+            assert!(parse_response(bad).is_err(), "`{bad}` must not parse");
+        }
+    }
+
+    #[test]
+    fn points_and_layouts_parse() {
+        assert_eq!(parse_point("300,200"), Some(Point::new(vec![300, 200])));
+        assert_eq!(parse_point("-3"), Some(Point::new(vec![-3])));
+        assert_eq!(parse_point(""), None);
+        assert_eq!(parse_point("1,,2"), None);
+        let layout = parse_layout("x:0:400 y:-5:5").unwrap();
+        assert_eq!(layout.arity(), 2);
+        assert_eq!(layout.fields()[1].lo(), -5);
+        assert_eq!(parse_layout(""), None);
+        assert_eq!(parse_layout("x:9:1"), None);
+        assert_eq!(parse_layout("x:a:b"), None);
+    }
+}

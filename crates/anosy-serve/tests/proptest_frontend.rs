@@ -1,0 +1,259 @@
+//! Property: the serving frontend is indistinguishable from a sequential interpreter.
+//!
+//! Arbitrary request scripts — any interleaving of `OpenSession` / `RegisterQuery` /
+//! `Downgrade` / `DowngradeBatch` / `Knowledge` / `CloseSession` across several logical
+//! connections, chopped into arbitrary ticks, with duplicate secrets inside one tick — must
+//! yield responses element-wise identical to replaying the same requests one at a time against
+//! plain owned [`AnosySession`]s. This is the protocol-level determinism guarantee on top of
+//! `proptest_batch.rs`'s driver-level one: per-tick batching and per-session regrouping never
+//! change what any connection observes.
+
+use anosy_core::{AnosySession, PolicySpec, QInfo, SharedCacheEntry};
+use anosy_domains::IntervalDomain;
+use anosy_ifc::Protected;
+use anosy_logic::{IntExpr, Point, SecretLayout};
+use anosy_serve::{
+    ConnId, Denial, DenialCode, Deployment, Frontend, ServeConfig, ServeRequest, ServeResponse,
+    SessionId,
+};
+use anosy_synth::{ApproxKind, DomainCodec, IndSets, QueryDef};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::OnceLock;
+
+fn layout() -> SecretLayout {
+    SecretLayout::builder().field("x", 0, 400).field("y", 0, 400).build()
+}
+
+const ORIGINS: [(i64, i64); 3] = [(200, 200), (300, 200), (150, 260)];
+
+fn query(index: usize) -> QueryDef {
+    let (xo, yo) = ORIGINS[index];
+    let pred = ((IntExpr::var(0) - xo).abs() + (IntExpr::var(1) - yo).abs()).le(100);
+    QueryDef::new(format!("nearby_{xo}_{yo}"), layout(), pred).unwrap()
+}
+
+/// The query palette, synthesized once per process and shared as warm-start entries: every
+/// proptest case warms its deployment from these, so case count does not multiply solver work
+/// (and frontend and oracle provably run on identical approximations).
+fn entries() -> &'static Vec<SharedCacheEntry<IntervalDomain>> {
+    static ENTRIES: OnceLock<Vec<SharedCacheEntry<IntervalDomain>>> = OnceLock::new();
+    ENTRIES.get_or_init(|| {
+        let deployment: Deployment<IntervalDomain> =
+            Deployment::new(layout(), ServeConfig::for_tests());
+        for index in 0..ORIGINS.len() {
+            deployment.register_query(&query(index), ApproxKind::Under, None).unwrap();
+        }
+        deployment.shared().export_entries()
+    })
+}
+
+fn indsets_of(q: &QueryDef) -> IndSets<IntervalDomain> {
+    entries().iter().find(|e| &e.pred == q.pred()).expect("palette entry exists").indsets.clone()
+}
+
+fn policy(index: usize) -> PolicySpec {
+    [PolicySpec::MinSize(100), PolicySpec::MinSize(30_000), PolicySpec::AllowAll][index % 3].clone()
+}
+
+/// One scripted request, with its logical connection and tick boundary marker.
+#[derive(Debug, Clone)]
+enum Op {
+    Open { conn: u64, policy: usize },
+    Register { conn: u64, query: usize },
+    Downgrade { conn: u64, session: u64, secret: Point, query: usize },
+    Batch { conn: u64, session: u64, secrets: Vec<Point>, query: usize },
+    Knowledge { conn: u64, session: u64, secret: Point },
+    Close { conn: u64, session: u64 },
+    Tick,
+}
+
+/// Secrets from a small palette (duplicates likely) that straddles the layout boundary.
+fn arb_secret() -> impl Strategy<Value = Point> {
+    (0i64..=10, 0i64..=10).prop_map(|(a, b)| Point::new(vec![a * 45 - 20, b * 44]))
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    let conn = 0u64..3;
+    // Session references run slightly past the number of opens a script can reach, so unknown
+    // and closed sessions occur.
+    let session = 1u64..6;
+    prop_oneof![
+        1 => (conn.clone(), 0usize..3).prop_map(|(conn, policy)| Op::Open { conn, policy }),
+        1 => (conn.clone(), 0usize..3).prop_map(|(conn, query)| Op::Register { conn, query }),
+        5 => (conn.clone(), session.clone(), arb_secret(), 0usize..3)
+            .prop_map(|(conn, session, secret, query)| Op::Downgrade {
+                conn,
+                session,
+                secret,
+                query
+            }),
+        1 => (conn.clone(), session.clone(), proptest::collection::vec(arb_secret(), 0..6), 0usize..3)
+            .prop_map(|(conn, session, secrets, query)| Op::Batch {
+                conn,
+                session,
+                secrets,
+                query
+            }),
+        1 => (conn.clone(), session.clone(), arb_secret())
+            .prop_map(|(conn, session, secret)| Op::Knowledge { conn, session, secret }),
+        1 => (conn.clone(), session).prop_map(|(conn, session)| Op::Close { conn, session }),
+        2 => Just(Op::Tick),
+    ]
+}
+
+fn to_request(op: &Op) -> Option<(ConnId, ServeRequest)> {
+    Some(match op {
+        Op::Open { conn, policy: p } => {
+            (ConnId(*conn), ServeRequest::OpenSession { policy: policy(*p) })
+        }
+        Op::Register { conn, query: q } => (
+            ConnId(*conn),
+            ServeRequest::RegisterQuery {
+                query: query(*q),
+                kind: ApproxKind::Under,
+                members: None,
+            },
+        ),
+        Op::Downgrade { conn, session, secret, query: q } => (
+            ConnId(*conn),
+            ServeRequest::Downgrade {
+                session: SessionId(*session),
+                secret: secret.clone(),
+                query: query(*q).name().to_string(),
+            },
+        ),
+        Op::Batch { conn, session, secrets, query: q } => (
+            ConnId(*conn),
+            ServeRequest::DowngradeBatch {
+                session: SessionId(*session),
+                secrets: secrets.clone(),
+                query: query(*q).name().to_string(),
+            },
+        ),
+        Op::Knowledge { conn, session, secret } => (
+            ConnId(*conn),
+            ServeRequest::Knowledge { session: SessionId(*session), secret: secret.clone() },
+        ),
+        Op::Close { conn, session } => {
+            (ConnId(*conn), ServeRequest::CloseSession { session: SessionId(*session) })
+        }
+        Op::Tick => return None,
+    })
+}
+
+/// The specification: one request at a time against plain owned sessions — `downgrade` per
+/// downgrade request, a sequential loop per batch request.
+struct Oracle {
+    sessions: BTreeMap<u64, AnosySession<IntervalDomain>>,
+    registry: Vec<(QueryDef, IndSets<IntervalDomain>)>,
+    next_session: u64,
+}
+
+impl Oracle {
+    fn new() -> Oracle {
+        Oracle { sessions: BTreeMap::new(), registry: Vec::new(), next_session: 0 }
+    }
+
+    fn apply(&mut self, request: &ServeRequest) -> ServeResponse {
+        match request {
+            ServeRequest::OpenSession { policy } => {
+                self.next_session += 1;
+                let mut session = AnosySession::new(layout(), policy.clone());
+                for (query, indsets) in &self.registry {
+                    session.register(QInfo::new(query.clone(), indsets.clone()));
+                }
+                self.sessions.insert(self.next_session, session);
+                ServeResponse::SessionOpened { session: SessionId(self.next_session) }
+            }
+            ServeRequest::RegisterQuery { query, .. } => {
+                let indsets = indsets_of(query);
+                for session in self.sessions.values_mut() {
+                    session.register(QInfo::new(query.clone(), indsets.clone()));
+                }
+                self.registry.push((query.clone(), indsets));
+                ServeResponse::QueryRegistered { name: query.name().to_string() }
+            }
+            ServeRequest::Downgrade { session, secret, query } => {
+                let Some(open) = self.sessions.get_mut(&session.0) else {
+                    return ServeResponse::Answer(Err(Denial::unknown_session(*session)));
+                };
+                ServeResponse::Answer(
+                    open.downgrade(&Protected::new(secret.clone()), query).map_err(Denial::from),
+                )
+            }
+            ServeRequest::DowngradeBatch { session, secrets, query } => {
+                let Some(open) = self.sessions.get_mut(&session.0) else {
+                    return ServeResponse::Rejected(Denial::unknown_session(*session));
+                };
+                ServeResponse::Answers(
+                    secrets
+                        .iter()
+                        .map(|s| {
+                            open.downgrade(&Protected::new(s.clone()), query)
+                                .map_err(|e| DenialCode::of(&e))
+                        })
+                        .collect(),
+                )
+            }
+            ServeRequest::Knowledge { session, secret } => {
+                let Some(open) = self.sessions.get(&session.0) else {
+                    return ServeResponse::Rejected(Denial::unknown_session(*session));
+                };
+                let knowledge = open.knowledge_of(secret);
+                ServeResponse::Knowledge {
+                    size: knowledge.size(),
+                    encoded: knowledge.domain().encode(),
+                }
+            }
+            ServeRequest::CloseSession { session } => match self.sessions.remove(&session.0) {
+                Some(_) => ServeResponse::SessionClosed { session: *session },
+                None => ServeResponse::Rejected(Denial::unknown_session(*session)),
+            },
+            other => panic!("oracle does not model {other:?}"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn any_interleaving_matches_the_sequential_replay(
+        script in proptest::collection::vec(arb_op(), 0..40),
+    ) {
+        // Frontend under test: warm deployment, requests submitted across connections,
+        // tick boundaries wherever the script put them.
+        let deployment: Deployment<IntervalDomain> =
+            Deployment::new(layout(), ServeConfig::for_tests());
+        for entry in entries() {
+            deployment.shared().insert_ready(entry.clone());
+        }
+        let mut frontend = Frontend::new(deployment);
+        let mut frontend_responses: Vec<ServeResponse> = Vec::new();
+
+        // Oracle: the same requests, one at a time, in the same submission order.
+        let mut oracle = Oracle::new();
+        let mut oracle_responses: Vec<ServeResponse> = Vec::new();
+
+        for op in &script {
+            match to_request(op) {
+                Some((conn, request)) => {
+                    oracle_responses.push(oracle.apply(&request));
+                    frontend.submit(conn, request);
+                }
+                None => {
+                    frontend_responses.extend(frontend.tick().into_iter().map(|t| t.response));
+                }
+            }
+        }
+        frontend_responses.extend(frontend.tick().into_iter().map(|t| t.response));
+
+        prop_assert_eq!(frontend_responses.len(), oracle_responses.len());
+        for (index, (got, want)) in
+            frontend_responses.iter().zip(&oracle_responses).enumerate()
+        {
+            prop_assert_eq!(got, want, "response {} diverges for {:?}", index, script.get(index));
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! End-to-end smoke test of the `anosy-served` binary: pipes the canned request script through
+//! the real process (stdin/stdout, `--ticked` batching) and diffs the full response transcript
+//! against the checked-in expectation. The CI smoke lane runs the same pipe from the shell; this
+//! test keeps it under plain `cargo test` too.
+//!
+//! The transcript is deterministic end to end: synthesis is deterministic, tick batching is
+//! response-equivalent to the sequential replay (proptested in `proptest_frontend.rs`), and
+//! sharded counting reports counterexamples in deterministic chunk order. A diff here means the
+//! *wire format or protocol semantics changed* — update `smoke.expected` only for deliberate
+//! protocol changes.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+const SCRIPT: &str = include_str!("data/smoke.script");
+const EXPECTED: &str = include_str!("data/smoke.expected");
+
+#[test]
+fn canned_script_round_trips_through_the_binary() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_anosy-served"))
+        .args(["--layout", "x:0:400 y:0:400", "--workers", "2", "--ticked"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("anosy-served spawns");
+    child
+        .stdin
+        .take()
+        .expect("stdin is piped")
+        .write_all(SCRIPT.as_bytes())
+        .expect("script is written");
+    let output = child.wait_with_output().expect("anosy-served exits");
+
+    assert!(
+        output.status.success(),
+        "anosy-served failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let transcript = String::from_utf8(output.stdout).expect("transcript is UTF-8");
+    assert_eq!(
+        transcript, EXPECTED,
+        "the anosy-served transcript diverged from tests/data/smoke.expected"
+    );
+}
+
+#[test]
+fn bad_arguments_fail_with_usage() {
+    let output = Command::new(env!("CARGO_BIN_EXE_anosy-served"))
+        .args(["--layout", "not a layout"])
+        .output()
+        .expect("anosy-served runs");
+    assert_eq!(output.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&output.stderr).contains("usage:"));
+
+    let output =
+        Command::new(env!("CARGO_BIN_EXE_anosy-served")).output().expect("anosy-served runs");
+    assert_eq!(output.status.code(), Some(2), "a missing --layout is refused");
+}

@@ -11,7 +11,10 @@
 //! * [`ifc`] — the LIO-style information-flow substrate;
 //! * [`core`] — knowledge tracking, policies and the bounded downgrade (`AnosySession`);
 //! * [`serve`] — the deployment layer: shared term store + synthesis cache across sessions,
-//!   sharded parallel solver driver, batched downgrades, warm-start persistence;
+//!   sharded parallel solver driver, batched downgrades, warm-start persistence, and the
+//!   serving frontend — a sans-IO `Frontend` state machine speaking the typed
+//!   `ServeRequest`/`ServeResponse` protocol (line-codec in `serve::wire`, served over
+//!   stdin/stdout by the `anosy-served` binary) with per-tick downgrade batching;
 //! * [`suite`] — the paper's evaluation workloads (Mardziel benchmarks, secure advertising).
 //!
 //! The most common items are re-exported at the crate root. See the `examples/` directory for
@@ -56,14 +59,17 @@ pub use anosy_verify as verify;
 pub mod prelude {
     pub use anosy_core::{
         AnosyError, AnosySession, AsSecretPoint, KaryIndSets, KaryQuery, Knowledge,
-        MinEntropyPolicy, MinSizePolicy, Policy, QInfo, SynthesizeInto,
+        MinEntropyPolicy, MinSizePolicy, Policy, PolicySpec, QInfo, SynthesizeInto,
     };
     pub use anosy_domains::{
         secret_record, AInt, AbstractDomain, IntervalDomain, PowersetDomain, Secret,
     };
     pub use anosy_ifc::{Label, Labeled, Lio, Protected, SecLevel, Unprotect};
     pub use anosy_logic::{IntExpr, Point, Pred, SecretLayout};
-    pub use anosy_serve::{Deployment, ServeConfig, ServeStats, ShardPool};
+    pub use anosy_serve::{
+        ConnId, Deployment, Frontend, RequestId, ServeConfig, ServeRequest, ServeResponse,
+        ServeStats, SessionId, ShardPool,
+    };
     pub use anosy_solver::{ExpansionStrategy, Solver, SolverConfig};
     pub use anosy_synth::{ApproxKind, IndSets, QueryDef, QueryRegistry, SynthConfig, Synthesizer};
     pub use anosy_verify::{VerificationReport, Verifier};
@@ -82,6 +88,8 @@ mod tests {
         let _ = crate::ifc::SecLevel::Public;
         let _ = crate::core::MinSizePolicy::new(1);
         let _ = crate::serve::ServeConfig::for_tests();
+        let _ = crate::serve::SessionId(1);
+        let _ = crate::core::PolicySpec::parse("min-size:100");
         let _ = crate::suite::benchmarks::BenchmarkId::Birthday;
     }
 }

@@ -1,51 +1,87 @@
 //! Measures the `anosy-serve` deployment layer against the sequential PR 2 baseline on the
-//! fig5 suite: batched downgrades vs the per-call loop (interval and powerset3 domains), and
-//! sharded parallel model counting vs the sequential counter. Used to record `BENCH_pr3.json`.
+//! fig5 suite — batched downgrades vs the per-call loop (interval and powerset3 domains),
+//! sharded parallel model counting vs the sequential counter — plus the serving frontend's tick
+//! throughput vs the direct batched driver. Used to record `BENCH_pr3.json` / `BENCH_pr4.json`.
 //!
-//! Usage: `report_serve [--workers N] [--secrets N] [--quick] [--json]`
+//! Usage: `report_serve [--workers N] [--secrets N] [--requests N] [--quick] [--json]
+//! [--cache PATH [--verify-on-load]]`
 //!
 //! Equivalence is asserted before anything is timed into the report: the batched driver's
-//! results must equal the loop's element-wise, and the sharded count must equal the sequential
-//! count. The report records the host's available parallelism alongside the ratios — thread
-//! parallelism cannot beat that ceiling, so on a single-hardware-thread host the ratios measure
-//! pure batching overhead, not scaling.
+//! results must equal the loop's element-wise, the sharded count must equal the sequential
+//! count, and the frontend's responses must equal the direct driver's. The report records the
+//! host's available parallelism alongside the ratios — thread parallelism cannot beat that
+//! ceiling, so on a single-hardware-thread host the ratios measure pure batching/protocol
+//! overhead, not scaling.
+//!
+//! With `--cache PATH` the aggregate deployment warm-starts from (and saves back to) the given
+//! synthesis-cache file; `--verify-on-load` re-checks every loaded entry's refinement
+//! obligations with the solver first, skipping and counting failures
+//! (`Deployment::warm_start_verified`).
 
 use anosy::core::MinSizePolicy;
 use anosy::domains::{IntervalDomain, PowersetDomain};
 use anosy::prelude::*;
 use anosy::serve::{Deployment, ServeConfig};
-use bench::{host_parallelism, render_serve, serve_rows, serve_rows_to_json};
+use bench::{
+    frontend_rows, host_parallelism, render_frontend, render_serve, serve_rows, serve_rows_to_json,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
     let quick = args.iter().any(|a| a == "--quick");
+    let verify_on_load = args.iter().any(|a| a == "--verify-on-load");
     let flag = |name: &str| {
         args.iter()
             .position(|a| a == name)
             .and_then(|i| args.get(i + 1))
             .and_then(|v| v.parse::<usize>().ok())
     };
+    let cache = args
+        .iter()
+        .position(|a| a == "--cache")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from);
     let workers = flag("--workers").unwrap_or(4);
     let secrets = flag("--secrets").unwrap_or(if quick { 2_000 } else { 200_000 });
+    let requests = flag("--requests").unwrap_or(if quick { 2_000 } else { 50_000 });
     let config = if quick { bench::quick_synth_config() } else { SynthConfig::default() };
 
     let mut rows = serve_rows::<IntervalDomain>(workers, secrets, &config, None);
     rows.extend(serve_rows::<PowersetDomain>(workers, secrets, &config, Some(3)));
 
+    // Frontend tick throughput vs the direct batched driver, at the protocol batch sizes.
+    let frontend = frontend_rows(workers, requests, &config, &[1, 64, 1024]);
+
     // A representative deployment aggregate block: N sessions of one deployment registering the
-    // same query (one synthesis, everything else hits).
+    // same query (one synthesis — or zero after a warm start — everything else hits).
     let suite = anosy::suite::benchmarks::birthday();
     let deployment: Deployment<IntervalDomain> = Deployment::new(
         suite.query.layout().clone(),
         ServeConfig::new().with_workers(workers).with_synth(config.clone()),
     );
+    let mut warm_note = String::new();
+    if let Some(path) = &cache {
+        warm_note = match deployment.warm_start_with(path, verify_on_load) {
+            Ok(outcome) => format!(
+                " Warm start from {} ({}): {} entries loaded, {} skipped.",
+                path.display(),
+                if verify_on_load { "verified" } else { "trusted" },
+                outcome.installed,
+                outcome.skipped,
+            ),
+            Err(e) => format!(" Warm start from {} failed: {e}.", path.display()),
+        };
+    }
     for _ in 0..8 {
         let mut session = deployment.session(MinSizePolicy::new(10));
         let mut synth = Synthesizer::with_config(config.clone());
         session
             .register_synthesized(&mut synth, &suite.query, ApproxKind::Under, None)
             .expect("registration fits the budget");
+    }
+    if let Some(path) = &cache {
+        deployment.save_cache(path).expect("cache saves");
     }
     let stats = deployment.stats();
 
@@ -54,14 +90,17 @@ fn main() {
         "Measured with {workers} workers on a host with {cores} available hardware thread(s). \
          Wall-clock speedup from thread parallelism is bounded by the hardware-thread count; \
          on a single-core host these ratios measure batching overhead, not scaling. \
-         Batched results are asserted element-wise equal to the sequential loop before timing."
+         Batched results are asserted element-wise equal to the sequential loop, and frontend \
+         responses to the direct driver's results, before timing.{warm_note}"
     );
 
     if json {
-        print!("{}", serve_rows_to_json(&rows, &stats.to_json(), &analysis));
+        print!("{}", serve_rows_to_json(&rows, &frontend, &stats.to_json(), &analysis));
     } else {
         println!("\nServing throughput — batched/parallel vs the sequential baseline");
         print!("{}", render_serve(&rows));
+        println!("\nFrontend tick throughput — protocol vs direct driver");
+        print!("{}", render_frontend(&frontend));
         println!("\n{analysis}");
         println!("\nDeployment aggregates (8 sessions, 1 query): {stats}");
     }

@@ -80,6 +80,12 @@ pub struct Fig5Row {
     /// [`anosy::logic::BOX_MEMO_DEPTH_LABELS`]. The per-bucket hit rates are the evidence for
     /// (or against) the `BOX_MEMO_MIN_DEPTH` threshold.
     pub memo_depth: [[u64; 3]; anosy::logic::BOX_MEMO_DEPTH_BUCKETS],
+    /// The `(id, box)` memo depth threshold the run was configured with.
+    pub memo_depth_configured: u8,
+    /// The threshold [`anosy::logic::suggested_min_memo_depth`] derives from this row's
+    /// per-bucket hit rates — printed next to the configured one so the knob can be retuned
+    /// from evidence.
+    pub memo_depth_suggested: u8,
 }
 
 fn percent_diff(approx: u128, exact: u128) -> f64 {
@@ -149,6 +155,8 @@ pub fn fig5_row(
         cache_hits: store.cache_hits(),
         cache_misses: store.cache_misses(),
         memo_depth,
+        memo_depth_configured: store.box_memo_min_depth,
+        memo_depth_suggested: anosy::logic::suggested_min_memo_depth(&store),
     }
 }
 
@@ -249,7 +257,8 @@ pub fn fig5_rows_to_json(domain_label: &str, rows: &[Fig5Row]) -> String {
                 "\"diff_true_percent\": {:.4}, \"diff_false_percent\": {:.4}, ",
                 "\"synth_seconds\": {:.6}, \"verify_seconds\": {:.6}, \"verified\": {}, ",
                 "\"synth_nodes\": {}, \"cache_hits\": {}, \"cache_misses\": {}, ",
-                "\"box_memo_depth\": [{}]}}{}\n"
+                "\"box_memo_depth\": [{}], ",
+                "\"box_memo_min_depth\": {{\"configured\": {}, \"suggested\": {}}}}}{}\n"
             ),
             r.id,
             r.kind,
@@ -264,6 +273,8 @@ pub fn fig5_rows_to_json(domain_label: &str, rows: &[Fig5Row]) -> String {
             r.cache_hits,
             r.cache_misses,
             memo_depth,
+            r.memo_depth_configured,
+            r.memo_depth_suggested,
             if i + 1 == rows.len() { "" } else { "," },
         ));
     }
@@ -439,6 +450,149 @@ where
         .collect()
 }
 
+/// One row of the frontend tick-throughput comparison (`report_serve`, `BENCH_pr4.json`): the
+/// same downgrade workload pushed through [`anosy::serve::Frontend`] ticks of `batch_size`
+/// requests vs handed to [`anosy::serve::Deployment::downgrade_batch`] directly in chunks of the
+/// same size. The gap between the two is the protocol tax (request queueing, per-tick
+/// regrouping, response tagging); it shrinks as the batch grows and the batched driver
+/// dominates.
+#[derive(Debug, Clone)]
+pub struct FrontendRow {
+    /// Downgrade requests accumulated per tick (and per direct driver call).
+    pub batch_size: usize,
+    /// Total downgrade requests pushed through each path.
+    pub requests: usize,
+    /// Worker threads in the deployment pool.
+    pub workers: usize,
+    /// Wall-clock of the frontend path (submit + tick + response collection).
+    pub frontend_seconds: f64,
+    /// Requests per second through the frontend.
+    pub frontend_rps: f64,
+    /// Wall-clock of the direct `downgrade_batch` path over the same secrets.
+    pub direct_seconds: f64,
+    /// Requests per second through the direct driver.
+    pub direct_rps: f64,
+}
+
+/// Measures frontend tick throughput vs the direct batched driver on the first fig5 benchmark
+/// (birthday), at each of the given batch sizes. Responses are asserted element-wise equal to
+/// the direct driver's results before the timings are reported.
+pub fn frontend_rows(
+    workers: usize,
+    total_requests: usize,
+    synth_config: &SynthConfig,
+    batch_sizes: &[usize],
+) -> Vec<FrontendRow> {
+    use anosy::core::PolicySpec;
+    use anosy::serve::{Deployment, Frontend, ServeRequest, ServeResponse, SessionId};
+
+    let b = all_benchmarks().into_iter().next().expect("fig5 has benchmarks");
+    let layout = b.query.layout().clone();
+    let name = b.query.name().to_string();
+    batch_sizes
+        .iter()
+        .map(|&batch_size| {
+            let serve_config =
+                ServeConfig::new().with_workers(workers).with_synth(synth_config.clone());
+            let deployment: Deployment<IntervalDomain> =
+                Deployment::new(layout.clone(), serve_config);
+            deployment
+                .register_query(&b.query, ApproxKind::Under, None)
+                .expect("benchmark synthesis fits the budget");
+            let secrets = deterministic_secrets(&layout, total_requests, 0xF407);
+
+            // Frontend path: one session opened through the protocol, then ticks of
+            // `batch_size` downgrade requests each.
+            let mut frontend = Frontend::new(deployment);
+            let conn = frontend.connect();
+            frontend.submit(
+                conn,
+                ServeRequest::RegisterQuery {
+                    query: b.query.clone(),
+                    kind: ApproxKind::Under,
+                    members: None,
+                },
+            );
+            frontend.submit(conn, ServeRequest::OpenSession { policy: PolicySpec::MinSize(10) });
+            frontend.tick();
+            let session = SessionId(1);
+            let started = Instant::now();
+            let mut frontend_results: Vec<Option<bool>> = Vec::with_capacity(secrets.len());
+            for chunk in secrets.chunks(batch_size) {
+                for secret in chunk {
+                    frontend.submit(
+                        conn,
+                        ServeRequest::Downgrade {
+                            session,
+                            secret: secret.clone(),
+                            query: name.clone(),
+                        },
+                    );
+                }
+                for tagged in frontend.tick() {
+                    match tagged.response {
+                        ServeResponse::Answer(result) => frontend_results.push(result.ok()),
+                        other => panic!("unexpected response {other:?}"),
+                    }
+                }
+            }
+            let frontend_elapsed = started.elapsed();
+
+            // Direct path: a fresh session of the same deployment, the same secrets through
+            // the batched driver in chunks of the same size.
+            let deployment = frontend.deployment();
+            let mut direct_session = deployment.session(PolicySpec::MinSize(10));
+            direct_session
+                .register_cached(&b.query, ApproxKind::Under, None)
+                .expect("the deployment cache is warm");
+            let started = Instant::now();
+            let mut direct_results: Vec<Option<bool>> = Vec::with_capacity(secrets.len());
+            for chunk in secrets.chunks(batch_size) {
+                direct_results.extend(
+                    deployment
+                        .downgrade_batch(&mut direct_session, chunk, &name)
+                        .into_iter()
+                        .map(Result::ok),
+                );
+            }
+            let direct_elapsed = started.elapsed();
+            assert_eq!(
+                frontend_results, direct_results,
+                "frontend diverged from the direct driver at batch size {batch_size}"
+            );
+
+            FrontendRow {
+                batch_size,
+                requests: total_requests,
+                workers,
+                frontend_seconds: frontend_elapsed.as_secs_f64(),
+                frontend_rps: total_requests as f64 / frontend_elapsed.as_secs_f64().max(1e-12),
+                direct_seconds: direct_elapsed.as_secs_f64(),
+                direct_rps: total_requests as f64 / direct_elapsed.as_secs_f64().max(1e-12),
+            }
+        })
+        .collect()
+}
+
+/// Renders frontend rows as aligned text.
+pub fn render_frontend(rows: &[FrontendRow]) -> String {
+    let mut out =
+        String::from("Batch  Requests  Workers  Frontend (s / req/s)        Direct (s / req/s)\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{:<6} {:>8}  {:>7}  {:>8.4} / {:<12.0} {:>8.4} / {:<12.0}\n",
+            r.batch_size,
+            r.requests,
+            r.workers,
+            r.frontend_seconds,
+            r.frontend_rps,
+            r.direct_seconds,
+            r.direct_rps,
+        ));
+    }
+    out
+}
+
 /// Renders serve rows as aligned text.
 pub fn render_serve(rows: &[ServeRow]) -> String {
     let mut out = String::from(
@@ -462,10 +616,12 @@ pub fn render_serve(rows: &[ServeRow]) -> String {
     out
 }
 
-/// Renders serve rows (plus the deployment-level aggregate block and a free-text analysis of
-/// the measurement conditions) as the `BENCH_pr3.json` document.
+/// Renders serve rows (plus the frontend tick-throughput rows, the deployment-level aggregate
+/// block and a free-text analysis of the measurement conditions) as the `BENCH_pr3.json` /
+/// `BENCH_pr4.json` document.
 pub fn serve_rows_to_json(
     rows: &[ServeRow],
+    frontend: &[FrontendRow],
     deployment_stats_json: &str,
     analysis: &str,
 ) -> String {
@@ -495,6 +651,24 @@ pub fn serve_rows_to_json(
             r.count_speedup,
             r.models,
             if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ],\n  \"frontend_rows\": [\n");
+    for (i, r) in frontend.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\"batch_size\": {}, \"requests\": {}, \"workers\": {}, ",
+                "\"frontend_seconds\": {:.6}, \"frontend_rps\": {:.1}, ",
+                "\"direct_seconds\": {:.6}, \"direct_rps\": {:.1}}}{}\n"
+            ),
+            r.batch_size,
+            r.requests,
+            r.workers,
+            r.frontend_seconds,
+            r.frontend_rps,
+            r.direct_seconds,
+            r.direct_rps,
+            if i + 1 == frontend.len() { "" } else { "," },
         ));
     }
     out.push_str("  ]\n}\n");
@@ -597,6 +771,8 @@ mod tests {
             cache_hits: 1700,
             cache_misses: 300,
             memo_depth: [[0, 0, 9], [0, 0, 4], [7, 3, 0], [0, 0, 0]],
+            memo_depth_configured: 8,
+            memo_depth_suggested: 8,
         }];
         let json = fig5_rows_to_json("fig5a_intervals", &rows);
         assert_eq!(json.matches("{\"id\"").count(), rows.len());
@@ -609,6 +785,7 @@ mod tests {
         assert!(json.contains("\"box_memo_depth\": ["));
         assert!(json.contains("{\"depth\": \"1-3\", \"hits\": 0, \"misses\": 0, \"bypassed\": 9}"));
         assert!(json.contains("{\"depth\": \"8-15\", \"hits\": 7, \"misses\": 3, \"bypassed\": 0}"));
+        assert!(json.contains("\"box_memo_min_depth\": {\"configured\": 8, \"suggested\": 8}"));
         // Crude but dependency-free well-formedness checks.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
@@ -670,9 +847,21 @@ mod tests {
         }
         let text = render_serve(&rows);
         assert!(text.contains("B1") && text.contains("Speedup"));
-        let json =
-            serve_rows_to_json(&rows, "{\"workers\": 2}", "single-core \"host\"\nwith C:\\cores");
+        let frontend = frontend_rows(2, 200, &quick_synth_config(), &[1, 50]);
+        assert_eq!(frontend.len(), 2);
+        for f in &frontend {
+            assert_eq!(f.requests, 200);
+            assert!(f.frontend_rps > 0.0 && f.direct_rps > 0.0);
+        }
+        assert!(render_frontend(&frontend).contains("req/s"));
+        let json = serve_rows_to_json(
+            &rows,
+            &frontend,
+            "{\"workers\": 2}",
+            "single-core \"host\"\nwith C:\\cores",
+        );
         assert_eq!(json.matches("{\"id\"").count(), 5);
+        assert_eq!(json.matches("{\"batch_size\"").count(), 2);
         assert!(json.contains("\"figure\": \"serve_throughput\""));
         assert!(json.contains("\"domain\": \"interval\""));
         assert!(
@@ -680,5 +869,7 @@ mod tests {
             "quotes, newlines and backslashes are escaped"
         );
         assert!(json.contains("\"host_parallelism\": "));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(!json.contains(",\n  ]"), "no trailing comma before an array close");
     }
 }
