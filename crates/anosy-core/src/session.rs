@@ -456,6 +456,18 @@ impl<D: AbstractDomain> AnosySession<D> {
     }
 }
 
+/// Clean teardown: a session leaving scope — closed by a frontend, released when a serving
+/// connection drops, or simply dropped — notes its closure in the deployment aggregates, so
+/// `sessions_opened - sessions_closed` always reports the number of live sessions. Owned
+/// (self-contained) sessions have no deployment to report to and tear down silently.
+impl<D: AbstractDomain> Drop for AnosySession<D> {
+    fn drop(&mut self) {
+        if let SynthBacking::Shared(shared) = &self.backing {
+            shared.note_session_closed();
+        }
+    }
+}
+
 /// One pure bounded-downgrade step (the decision half of Fig. 2, with no state change): computes
 /// the posterior knowledge for **both** possible answers from `prior`, checks the policy on
 /// both, and only if both pass executes the query on `point`, returning the answer together with
@@ -941,6 +953,26 @@ mod tests {
         assert_eq!(second.synth_cache_len(), 1);
         assert!(format!("{second:?}").contains("shared: true"));
         assert!(stats.to_string().contains("synth hits"));
+    }
+
+    #[test]
+    fn dropped_shared_sessions_note_their_closure() {
+        use crate::SharedSynthCache;
+        let shared: SharedSynthCache<IntervalDomain> = SharedSynthCache::new();
+        {
+            let _a: AnosySession<IntervalDomain> =
+                AnosySession::with_shared(loc_layout(), MinSizePolicy::new(100), shared.clone());
+            let _b: AnosySession<IntervalDomain> =
+                AnosySession::with_shared(loc_layout(), MinSizePolicy::new(100), shared.clone());
+            assert_eq!(shared.stats().sessions_opened, 2);
+            assert_eq!(shared.stats().sessions_closed, 0);
+        }
+        let stats = shared.stats();
+        assert_eq!(stats.sessions_closed, 2, "dropped sessions report their teardown");
+        assert!(stats.to_string().contains("(2 closed)"));
+        // Owned sessions have no deployment to report to; dropping one is silent everywhere.
+        drop(AnosySession::<IntervalDomain>::new(loc_layout(), MinSizePolicy::new(100)));
+        assert_eq!(shared.stats().sessions_closed, 2);
     }
 
     #[test]

@@ -66,6 +66,7 @@ struct Counters {
     downgrades_authorized: AtomicU64,
     downgrades_refused: AtomicU64,
     sessions_opened: AtomicU64,
+    sessions_closed: AtomicU64,
     warm_loaded: AtomicU64,
 }
 
@@ -83,6 +84,10 @@ pub struct SharedCacheStats {
     pub downgrades_refused: u64,
     /// Sessions opened against this shared cache.
     pub sessions_opened: u64,
+    /// Sessions since torn down (dropped, closed by a frontend, or released by a dying
+    /// connection). `sessions_opened - sessions_closed` is the number currently live, so a
+    /// serving transport that leaks sessions on connection drop shows up here.
+    pub sessions_closed: u64,
     /// Entries loaded from a warm-start snapshot rather than synthesized.
     pub warm_loaded: u64,
 }
@@ -103,9 +108,10 @@ impl fmt::Display for SharedCacheStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} sessions: {} synth hits / {} misses ({} warm-loaded), \
+            "{} sessions ({} closed): {} synth hits / {} misses ({} warm-loaded), \
              {} downgrades authorized, {} refused",
             self.sessions_opened,
+            self.sessions_closed,
             self.synth_hits,
             self.synth_misses,
             self.warm_loaded,
@@ -232,12 +238,17 @@ impl<D: AbstractDomain> SharedSynthCache<D> {
             downgrades_authorized: c.downgrades_authorized.load(Ordering::Relaxed),
             downgrades_refused: c.downgrades_refused.load(Ordering::Relaxed),
             sessions_opened: c.sessions_opened.load(Ordering::Relaxed),
+            sessions_closed: c.sessions_closed.load(Ordering::Relaxed),
             warm_loaded: c.warm_loaded.load(Ordering::Relaxed),
         }
     }
 
     pub(crate) fn note_session_opened(&self) {
         self.inner.counters.sessions_opened.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_session_closed(&self) {
+        self.inner.counters.sessions_closed.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn note_downgrade(&self, authorized: bool) {

@@ -1,12 +1,14 @@
-//! `anosy-served` — the serving protocol over stdin/stdout.
+//! `anosy-served` — the serving protocol over stdin/stdout or a TCP socket.
 //!
-//! The thinnest possible transport around [`anosy_serve::Frontend`]: each input line is one
-//! request in the [`anosy_serve::wire`] text form, each output line one tagged response
-//! (`<conn>.<seq> <response>`). Examples, tests, CI smoke scripts and future network transports
-//! all speak this one format.
+//! Both transports run the same event-loop reactor ([`anosy_serve::Server`]) around the sans-IO
+//! [`anosy_serve::Frontend`]: each input line is one request in the [`anosy_serve::wire`] text
+//! form, each output line one tagged response (`<conn>.<seq> <response>`). Examples, tests, CI
+//! smoke scripts and network clients all speak this one format — the canned smoke transcript
+//! produces byte-identical output over a pipe and over a loopback socket.
 //!
 //! ```text
 //! anosy-served --layout "x:0:400 y:0:400" [options] < requests > responses
+//! anosy-served --layout "x:0:400 y:0:400" --listen 127.0.0.1:7070 [options]
 //! ```
 //!
 //! Options:
@@ -19,21 +21,33 @@
 //! * `--verify-on-load` — re-verify every warm-start entry with the solver
 //!   ([`anosy_serve::Deployment::warm_start_verified`]);
 //! * `--save-on-exit PATH` — persist the synthesis cache after the last request;
-//! * `--ticked` — accumulate requests and tick only on blank lines (and at EOF), so scripted
-//!   transcripts control batching; the default ticks after every request line.
+//! * `--ticked` — accumulate requests and tick only on blank lines, quiescence timers and
+//!   connection teardown, so scripted transcripts control batching; the default ticks after
+//!   every request line;
+//! * `--listen ADDR` — serve TCP connections on `ADDR` instead of stdin/stdout (port 0 picks a
+//!   free port; the bound address is announced as a `# listening on ...` line on stdout);
+//! * `--accept N` — with `--listen`: exit after `N` connections have been served (tests);
+//! * `--tick-ms MS` — with `--listen --ticked`: quiescence timer, ticking pending work after
+//!   `MS` milliseconds of idleness.
 //!
 //! Input lines starting with `#` are comments. A line may carry an explicit logical connection
-//! as `@<conn> <request>`; bare lines ride connection 0. Malformed lines answer with an
-//! unnumbered `! <reason>` line (they never reach the frontend, so they consume no sequence
-//! number). Start-up actions (warm start, final save) report as `# ...` comment lines, keeping
+//! as `@<conn> <request>`; bare lines ride the transport connection's own id (stdin: 0, sockets:
+//! accept order). Malformed lines answer with an unnumbered `! <reason>` line (they never reach
+//! the frontend, so they consume no sequence number). Per-connection I/O errors close *that
+//! connection* — its sessions are released and the denial is logged to stderr; the process keeps
+//! serving. Start-up actions (warm start, final save) report as `# ...` comment lines, keeping
 //! transcripts diffable.
 
 use anosy_core::SynthesizeInto;
 use anosy_domains::{IntervalDomain, PowersetDomain};
 use anosy_logic::SecretLayout;
-use anosy_serve::{wire, ConnId, Deployment, Frontend, ServeConfig};
+use anosy_serve::{
+    wire, Deployment, Frontend, ServeConfig, Server, ServerConfig, StdioTransport, TcpTransport,
+    Transport,
+};
 use anosy_synth::DomainCodec;
-use std::io::{BufRead, Write};
+use std::io::Write;
+use std::time::Duration;
 
 struct Options {
     layout: SecretLayout,
@@ -43,13 +57,16 @@ struct Options {
     verify_on_load: bool,
     save_on_exit: Option<std::path::PathBuf>,
     ticked: bool,
+    listen: Option<String>,
+    accept: Option<usize>,
+    tick_ms: Option<u64>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: anosy-served --layout \"x:0:400 y:0:400\" [--domain interval|powerset] \
          [--workers N] [--box-memo-min-depth N] [--warm-start PATH [--verify-on-load]] \
-         [--save-on-exit PATH] [--ticked]"
+         [--save-on-exit PATH] [--ticked] [--listen ADDR [--accept N] [--tick-ms MS]]"
     );
     std::process::exit(2);
 }
@@ -63,6 +80,9 @@ fn parse_options() -> Options {
     let mut verify_on_load = false;
     let mut save_on_exit = None;
     let mut ticked = false;
+    let mut listen = None;
+    let mut accept = None;
+    let mut tick_ms = None;
     let mut i = 0;
     let value = |i: &mut usize| -> String {
         *i += 1;
@@ -91,12 +111,29 @@ fn parse_options() -> Options {
             "--verify-on-load" => verify_on_load = true,
             "--save-on-exit" => save_on_exit = Some(std::path::PathBuf::from(value(&mut i))),
             "--ticked" => ticked = true,
+            "--listen" => listen = Some(value(&mut i)),
+            "--accept" => accept = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
+            "--tick-ms" => tick_ms = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
             _ => usage(),
         }
         i += 1;
     }
     let Some(layout) = layout else { usage() };
-    Options { layout, domain, config, warm_start, verify_on_load, save_on_exit, ticked }
+    if (accept.is_some() || tick_ms.is_some()) && listen.is_none() {
+        usage();
+    }
+    Options {
+        layout,
+        domain,
+        config,
+        warm_start,
+        verify_on_load,
+        save_on_exit,
+        ticked,
+        listen,
+        accept,
+        tick_ms,
+    }
 }
 
 fn main() {
@@ -128,83 +165,50 @@ where
         .expect("stdout is writable");
     }
 
-    let mut frontend = Frontend::new(deployment);
-    let stdin = std::io::stdin();
-    for line in stdin.lock().lines() {
-        let line = match line {
-            Ok(line) => line,
-            // A non-UTF-8 line is a malformed request, not a reason to kill every open
-            // session: answer like any other unparseable line and keep serving.
-            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
-                writeln!(out, "! non-UTF-8 input line").expect("stdout is writable");
-                continue;
+    let frontend = Frontend::new(deployment);
+    let server_config = ServerConfig::new().ticked(options.ticked);
+    match &options.listen {
+        Some(addr) => {
+            let tick_interval = options.tick_ms.map(Duration::from_millis);
+            let transport =
+                TcpTransport::bind(addr, options.accept, tick_interval).unwrap_or_else(|e| {
+                    eprintln!("anosy-served: cannot listen on {addr}: {e}");
+                    std::process::exit(1);
+                });
+            match transport.local_addr() {
+                Ok(bound) => writeln!(out, "# listening on {bound}"),
+                Err(e) => writeln!(out, "# listening (address unavailable: {e})"),
             }
-            // A real I/O error on stdin means the transport is gone; drain and exit cleanly.
-            Err(_) => break,
-        };
-        let trimmed = line.trim();
-        if trimmed.starts_with('#') {
-            continue;
+            .expect("stdout is writable");
+            out.flush().expect("stdout is flushable");
+            drop(out);
+            let mut server = Server::new(frontend, transport, server_config);
+            finish(&mut server, &options);
         }
-        if trimmed.is_empty() {
-            flush(&mut frontend, &mut out);
-            continue;
-        }
-        let (conn, request_text) = match trimmed.strip_prefix('@') {
-            Some(rest) => match rest.split_once(char::is_whitespace) {
-                Some((id, rest)) => match id.parse() {
-                    Ok(id) => (ConnId(id), rest),
-                    Err(_) => {
-                        writeln!(out, "! bad connection id `{id}`").expect("stdout is writable");
-                        continue;
-                    }
-                },
-                None => {
-                    writeln!(out, "! request missing after `@{rest}`").expect("stdout is writable");
-                    continue;
-                }
-            },
-            None => (ConnId(0), trimmed),
-        };
-        match wire::parse_request(request_text, &options.layout) {
-            Ok(request) => {
-                frontend.submit(conn, request);
-                if !options.ticked {
-                    flush(&mut frontend, &mut out);
-                }
-            }
-            Err(e) => writeln!(out, "! {e}").expect("stdout is writable"),
+        None => {
+            drop(out);
+            let mut server = Server::new(frontend, StdioTransport::new(), server_config);
+            finish(&mut server, &options);
         }
     }
-    flush(&mut frontend, &mut out);
+}
 
+/// Runs the reactor to completion (per-connection denials reach stderr as they happen) and
+/// persists the synthesis cache when `--save-on-exit` asked for it.
+fn finish<D, T>(server: &mut Server<D, T>, options: &Options)
+where
+    D: DomainCodec + SynthesizeInto + Send + Sync + 'static,
+    T: Transport,
+{
+    server.run();
     if let Some(path) = &options.save_on_exit {
-        match frontend.deployment().save_cache(path) {
+        let stdout = std::io::stdout();
+        let mut out = stdout.lock();
+        match server.frontend().deployment().save_cache(path) {
             Ok(entries) => writeln!(out, "# saved entries={entries}"),
             Err(e) => writeln!(out, "# save failed: {e}"),
         }
         .expect("stdout is writable");
+        out.flush().expect("stdout is flushable");
     }
-}
-
-/// Runs one tick and writes every tagged response as `<conn>.<seq> <response>`.
-fn serve_responses<D>(frontend: &mut Frontend<D>) -> Vec<String>
-where
-    D: DomainCodec + SynthesizeInto + Send + Sync + 'static,
-{
-    frontend
-        .tick()
-        .into_iter()
-        .map(|tagged| format!("{} {}", tagged.request, wire::encode_response(&tagged.response)))
-        .collect()
-}
-
-fn flush<D>(frontend: &mut Frontend<D>, out: &mut impl Write)
-where
-    D: DomainCodec + SynthesizeInto + Send + Sync + 'static,
-{
-    for line in serve_responses(frontend) {
-        writeln!(out, "{line}").expect("stdout is writable");
-    }
-    out.flush().expect("stdout is flushable");
 }

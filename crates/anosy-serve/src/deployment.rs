@@ -37,13 +37,14 @@ impl ServeStats {
     pub fn to_json(&self) -> String {
         format!(
             concat!(
-                "{{\"workers\": {}, \"entries\": {}, \"sessions\": {}, ",
+                "{{\"workers\": {}, \"entries\": {}, \"sessions\": {}, \"sessions_closed\": {}, ",
                 "\"synth_hits\": {}, \"synth_misses\": {}, \"warm_loaded\": {}, ",
                 "\"downgrades_authorized\": {}, \"downgrades_refused\": {}}}"
             ),
             self.workers,
             self.entries,
             self.cache.sessions_opened,
+            self.cache.sessions_closed,
             self.cache.synth_hits,
             self.cache.synth_misses,
             self.cache.warm_loaded,

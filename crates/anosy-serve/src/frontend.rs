@@ -53,6 +53,9 @@ pub struct FrontendStats {
     pub batched_downgrades: u64,
     /// Largest single batch handed to the deployment driver.
     pub largest_batch: usize,
+    /// Sessions torn down because the connection that opened them disconnected
+    /// ([`Frontend::disconnect`]) — explicit [`ServeRequest::CloseSession`]s are not counted.
+    pub sessions_torn_down: u64,
 }
 
 /// One queued downgrade of the current run: its position in the tick, plus the request fields.
@@ -63,14 +66,28 @@ struct QueuedDowngrade {
     query: String,
 }
 
+/// A session owned by the frontend, remembering which logical connection opened it so a
+/// transport-level disconnect can tear it down ([`Frontend::disconnect`]).
+struct OpenSession<D: AbstractDomain> {
+    owner: ConnId,
+    session: AnosySession<D>,
+}
+
+/// One queued unit of work: a tagged request, or a connection teardown riding the same queue so
+/// it takes effect at its submission position within the tick.
+enum Pending {
+    Request(RequestId, ServeRequest),
+    Disconnect(ConnId),
+}
+
 /// The sans-IO protocol state machine (see the [module docs](self)).
 pub struct Frontend<D: AbstractDomain> {
     deployment: Deployment<D>,
-    sessions: BTreeMap<SessionId, AnosySession<D>>,
+    sessions: BTreeMap<SessionId, OpenSession<D>>,
     /// Queries registered so far: replayed into every newly opened session (registration is a
     /// pure cache hit by then). Keyed by name; re-registration replaces, as in a session.
     registry: BTreeMap<String, (QueryDef, ApproxKind, Option<usize>)>,
-    pending: Vec<(RequestId, ServeRequest)>,
+    pending: Vec<Pending>,
     next_session: u64,
     next_conn: u64,
     conn_seqs: HashMap<ConnId, u64>,
@@ -111,12 +128,24 @@ impl<D: AbstractDomain> Frontend<D> {
         let seq = self.conn_seqs.entry(conn).or_insert(0);
         *seq += 1;
         let id = RequestId { conn, seq: *seq };
-        self.pending.push((id, request));
+        self.pending.push(Pending::Request(id, request));
         self.stats.requests += 1;
         id
     }
 
-    /// Requests queued for the next tick.
+    /// Reports a logical connection as gone: every session it opened is torn down **at this
+    /// queue position** during the next [`Frontend::tick`] — requests submitted before the
+    /// disconnect still answer normally, requests referencing the torn-down sessions afterwards
+    /// deny with `unknown-session`, exactly as a sequential replay interleaving an explicit
+    /// close would. The teardown itself produces no response (there is nobody left to read it);
+    /// torn-down sessions are counted in [`FrontendStats::sessions_torn_down`].
+    ///
+    /// Sessions the connection *used* but did not open are untouched — ownership is the open.
+    pub fn disconnect(&mut self, conn: ConnId) {
+        self.pending.push(Pending::Disconnect(conn));
+    }
+
+    /// Queued work items (requests and disconnects) for the next tick.
     pub fn pending_requests(&self) -> usize {
         self.pending.len()
     }
@@ -140,19 +169,29 @@ where
     /// submission order (see the [module docs](self) for the batching and determinism story).
     pub fn tick(&mut self) -> Vec<TaggedResponse> {
         let pending = std::mem::take(&mut self.pending);
-        let ids: Vec<RequestId> = pending.iter().map(|(id, _)| *id).collect();
+        let ids: Vec<Option<RequestId>> = pending
+            .iter()
+            .map(|item| match item {
+                Pending::Request(id, _) => Some(*id),
+                Pending::Disconnect(_) => None,
+            })
+            .collect();
         let mut responses: Vec<Option<ServeResponse>> = Vec::new();
         responses.resize_with(pending.len(), || None);
 
         let mut run: Vec<QueuedDowngrade> = Vec::new();
-        for (index, (_, request)) in pending.into_iter().enumerate() {
-            match request {
-                ServeRequest::Downgrade { session, secret, query } => {
+        for (index, item) in pending.into_iter().enumerate() {
+            match item {
+                Pending::Request(_, ServeRequest::Downgrade { session, secret, query }) => {
                     run.push(QueuedDowngrade { index, session, secret, query });
                 }
-                other => {
+                Pending::Request(id, other) => {
                     self.flush_run(&mut run, &mut responses);
-                    responses[index] = Some(self.handle(other));
+                    responses[index] = Some(self.handle(id.conn, other));
+                }
+                Pending::Disconnect(conn) => {
+                    self.flush_run(&mut run, &mut responses);
+                    self.teardown(conn);
                 }
             }
         }
@@ -161,11 +200,28 @@ where
 
         ids.into_iter()
             .zip(responses)
-            .map(|(request, response)| TaggedResponse {
-                request,
-                response: response.expect("every request produced a response"),
+            .filter_map(|(id, response)| {
+                id.map(|request| TaggedResponse {
+                    request,
+                    response: response.expect("every request produced a response"),
+                })
             })
             .collect()
+    }
+
+    /// Removes (and drops) every session opened by `conn`; the sessions' own teardown notes
+    /// their closure in the deployment aggregates.
+    fn teardown(&mut self, conn: ConnId) {
+        let doomed: Vec<SessionId> = self
+            .sessions
+            .iter()
+            .filter(|(_, open)| open.owner == conn)
+            .map(|(id, _)| *id)
+            .collect();
+        self.stats.sessions_torn_down += doomed.len() as u64;
+        for id in doomed {
+            self.sessions.remove(&id);
+        }
     }
 
     /// Executes a buffered run of consecutive downgrade requests: regrouped per session,
@@ -183,7 +239,8 @@ where
             per_session.entry(queued.session).or_default().push(queued);
         }
         for (session_id, queued) in per_session {
-            let Some(session) = self.sessions.get_mut(&session_id) else {
+            let Some(session) = self.sessions.get_mut(&session_id).map(|open| &mut open.session)
+            else {
                 for q in queued {
                     responses[q.index] =
                         Some(ServeResponse::Answer(Err(Denial::unknown_session(session_id))));
@@ -218,7 +275,9 @@ where
     }
 
     /// Handles every non-`Downgrade` request (downgrades ride [`Frontend::flush_run`]).
-    fn handle(&mut self, request: ServeRequest) -> ServeResponse {
+    /// `conn` is the logical connection the request arrived on — the owner of any session it
+    /// opens.
+    fn handle(&mut self, conn: ConnId, request: ServeRequest) -> ServeResponse {
         match request {
             ServeRequest::Downgrade { .. } => unreachable!("downgrades are batched in tick()"),
             ServeRequest::OpenSession { policy } => {
@@ -230,7 +289,7 @@ where
                         return ServeResponse::Rejected(Denial::from(e));
                     }
                 }
-                self.sessions.insert(id, session);
+                self.sessions.insert(id, OpenSession { owner: conn, session });
                 ServeResponse::SessionOpened { session: id }
             }
             ServeRequest::RegisterQuery { query, kind, members } => {
@@ -240,8 +299,8 @@ where
                         e.to_string(),
                     ));
                 }
-                for session in self.sessions.values_mut() {
-                    if let Err(e) = session.register_cached(&query, kind, members) {
+                for open in self.sessions.values_mut() {
+                    if let Err(e) = open.session.register_cached(&query, kind, members) {
                         return ServeResponse::Rejected(Denial::from(e));
                     }
                 }
@@ -250,7 +309,8 @@ where
                 ServeResponse::QueryRegistered { name }
             }
             ServeRequest::DowngradeBatch { session, secrets, query } => {
-                let Some(open) = self.sessions.get_mut(&session) else {
+                let Some(open) = self.sessions.get_mut(&session).map(|open| &mut open.session)
+                else {
                     return ServeResponse::Rejected(Denial::unknown_session(session));
                 };
                 self.stats.batched_downgrades += secrets.len() as u64;
@@ -282,7 +342,7 @@ where
                 }
             }
             ServeRequest::Knowledge { session, secret } => {
-                let Some(open) = self.sessions.get(&session) else {
+                let Some(open) = self.sessions.get(&session).map(|open| &open.session) else {
                     return ServeResponse::Rejected(Denial::unknown_session(session));
                 };
                 let knowledge = open.knowledge_of(&secret);
@@ -297,6 +357,7 @@ where
                 requests: self.stats.requests,
                 batched_downgrades: self.stats.batched_downgrades,
                 largest_batch: self.stats.largest_batch,
+                sessions_torn_down: self.stats.sessions_torn_down,
                 serve: self.deployment.stats(),
             }),
             ServeRequest::SaveCache { path } => match self.deployment.save_cache(&path) {
@@ -517,6 +578,53 @@ mod tests {
             })
             .collect();
         assert_eq!(batched, sequential);
+    }
+
+    #[test]
+    fn disconnects_tear_down_owned_sessions_at_their_queue_position() {
+        let mut frontend = frontend();
+        let a = frontend.connect();
+        let b = frontend.connect();
+        frontend.submit(
+            a,
+            ServeRequest::RegisterQuery {
+                query: nearby_query(200),
+                kind: ApproxKind::Under,
+                members: None,
+            },
+        );
+        frontend.submit(a, ServeRequest::OpenSession { policy: PolicySpec::MinSize(100) });
+        frontend.submit(b, ServeRequest::OpenSession { policy: PolicySpec::MinSize(100) });
+        frontend.tick();
+        assert_eq!(frontend.open_sessions(), 2);
+
+        // A downgrade submitted before the disconnect still answers; the same request after it
+        // finds the session gone — teardown takes effect at its queue position.
+        frontend.submit(b, downgrade(SessionId(1), 300, 200, "nearby_200_200"));
+        frontend.disconnect(a);
+        frontend.submit(b, downgrade(SessionId(1), 300, 200, "nearby_200_200"));
+        let responses = frontend.tick();
+        assert_eq!(responses.len(), 2, "the teardown itself produces no response");
+        assert_eq!(responses[0].response, ServeResponse::Answer(Ok(true)));
+        match &responses[1].response {
+            ServeResponse::Answer(Err(denial)) => {
+                assert_eq!(denial.code, DenialCode::UnknownSession)
+            }
+            other => panic!("expected unknown-session after teardown, got {other:?}"),
+        }
+        assert_eq!(frontend.open_sessions(), 1, "b's session survives a's disconnect");
+        assert_eq!(frontend.stats().sessions_torn_down, 1);
+
+        // The dropped session reported its closure to the deployment aggregates (the
+        // anosy-core teardown hook) — no leak in either ledger.
+        let cache = frontend.deployment().stats().cache;
+        assert_eq!(cache.sessions_opened, 2);
+        assert_eq!(cache.sessions_closed, 1);
+
+        // Disconnecting a connection that owns nothing is a no-op.
+        frontend.disconnect(a);
+        frontend.tick();
+        assert_eq!(frontend.stats().sessions_torn_down, 1);
     }
 
     #[test]

@@ -100,6 +100,8 @@ mod parallel;
 mod persist;
 mod pool;
 pub mod proto;
+pub mod server;
+pub mod sim;
 pub mod wire;
 
 pub use batch::{downgrade_batch, downgrade_many};
@@ -114,3 +116,8 @@ pub use proto::{
     ConnId, Denial, DenialCode, RequestId, ServeRequest, ServeResponse, SessionId, StatsSnapshot,
     TaggedResponse,
 };
+pub use server::{
+    Event, Server, ServerConfig, ServerStats, StdioTransport, TcpTransport, Token, TranscriptEvent,
+    Transport,
+};
+pub use sim::SimNet;

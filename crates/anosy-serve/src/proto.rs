@@ -258,6 +258,9 @@ pub struct StatsSnapshot {
     pub batched_downgrades: u64,
     /// Largest single batch handed to the deployment's batched-downgrade driver.
     pub largest_batch: usize,
+    /// Sessions torn down because the connection that opened them disconnected (see
+    /// [`Frontend::disconnect`](crate::Frontend::disconnect)).
+    pub sessions_torn_down: u64,
     /// The deployment aggregates (cache hits, downgrade outcomes, workers).
     pub serve: ServeStats,
 }

@@ -1,0 +1,772 @@
+//! The event-loop server: a reactor driving the sans-IO [`Frontend`] over a pluggable
+//! [`Transport`].
+//!
+//! PR 4 separated protocol semantics from I/O: the [`Frontend`] state machine knows requests,
+//! ticks and responses but never touches a byte of transport. This module adds the other half —
+//! an event loop that owns a frontend and a [`Transport`], and translates between the two:
+//!
+//! * transport **connections** ([`Token`]s) become logical [`ConnId`]s (a base id per
+//!   connection, plus any explicit `@conn` ids its lines claim);
+//! * transport **bytes** run through a per-connection [`wire::LineDecoder`] (carry-over
+//!   buffering, so partial lines, coalesced writes and CRLF/LF mixes all decode identically)
+//!   and each complete line becomes one [`wire::parse_request`] submission;
+//! * **quiescence timers and blank lines** become [`Frontend::tick`] calls, whose tagged
+//!   responses are routed back to whichever connection submitted the request;
+//! * **disconnects** become [`Frontend::disconnect`] teardowns: every session the connection
+//!   opened is released at the disconnect's queue position, so nothing leaks and requests
+//!   behind the disconnect observe exactly what a sequential replay would.
+//!
+//! Nondeterminism lives *only* in the transport (when bytes arrive, how they are chunked, when
+//! peers vanish). The reactor is a deterministic function of the event sequence its transport
+//! produces — which is why the whole server can run inside `cargo test` on
+//! [`SimNet`](crate::SimNet), the seeded in-memory transport, and be replayed byte-identically
+//! from a seed (`tests/sim_chaos.rs`). The same reactor serves real sockets
+//! ([`TcpTransport`]) and stdin/stdout ([`StdioTransport`]) in the `anosy-served` binary; the
+//! response-level determinism guarantee (element-wise identical to sequential
+//! [`anosy_core::AnosySession`] replay) is unchanged from the frontend because the reactor adds
+//! no protocol semantics of its own.
+//!
+//! # Failure policy
+//!
+//! A connection's I/O error ([`Event::Failed`]) closes *that connection*: its partial input is
+//! discarded, its sessions are torn down, the denial is logged ([`Server::io_log`]) and every
+//! other connection keeps serving. One bad peer cannot take down the process.
+
+use crate::proto::{ConnId, RequestId, ServeRequest, TaggedResponse};
+use crate::wire::{self, DecodedLine, LineDecoder};
+use crate::Frontend;
+use anosy_core::SynthesizeInto;
+use anosy_domains::AbstractDomain;
+use anosy_logic::SecretLayout;
+use anosy_synth::DomainCodec;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Identifies one transport-level (physical) connection. Distinct from [`ConnId`], the
+/// protocol-level (logical) connection: a transport connection gets one base `ConnId` and may
+/// claim more with `@conn` line prefixes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Token(pub u64);
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// One thing a [`Transport`] observed. The reactor is a deterministic function of the event
+/// sequence, so a transport that replays the same events replays the same serve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A new connection. The reactor allocates its base [`ConnId`] in arrival order.
+    Opened(Token),
+    /// Bytes arrived on a connection — chunked however the transport happened to read them
+    /// (partial lines, many lines coalesced; the line decoder reassembles).
+    Data(Token, Vec<u8>),
+    /// The read side reached a clean end of stream (EOF / FIN). The connection can still be
+    /// written: the reactor interprets any trailing partial line, answers everything pending,
+    /// then tears the connection down.
+    HalfClosed(Token),
+    /// The connection failed mid-stream (reset, read or write error). Nothing more can be
+    /// delivered: buffered partial input is discarded and the connection is torn down; the
+    /// reason lands in [`Server::io_log`].
+    Failed(Token, String),
+    /// A quiescence timer fired: tick now if work is pending. Transports without timers simply
+    /// never emit this.
+    TimerTick,
+}
+
+/// A source and sink of connection events — the only nondeterministic half of the server.
+///
+/// Implementations: [`TcpTransport`] (real sockets), [`StdioTransport`] (the classic
+/// stdin/stdout pipe as a single-connection transport) and [`SimNet`](crate::SimNet) (seeded
+/// deterministic simulation for tests).
+pub trait Transport {
+    /// Blocks until something happens and returns the batch of events, in the order the
+    /// transport commits to. An **empty batch means the transport is finished** — no connection
+    /// is open and none can ever arrive — and stops the reactor.
+    fn poll(&mut self) -> Vec<Event>;
+
+    /// Queues response bytes for a connection. Delivery failures surface as a later
+    /// [`Event::Failed`] for the connection, never as a process error.
+    fn send(&mut self, token: Token, bytes: &[u8]);
+
+    /// Closes a connection after flushing whatever [`Transport::send`] queued for it. Unknown
+    /// tokens are ignored (the connection may have failed first).
+    fn close(&mut self, token: Token);
+}
+
+/// Reactor configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// `false` (default): tick after every request line, like `anosy-served` without flags.
+    /// `true`: accumulate and tick on blank lines, quiescence timers and connection teardown —
+    /// `anosy-served --ticked`, the batching-friendly mode.
+    pub ticked: bool,
+    /// Byte cap handed to each connection's [`LineDecoder`].
+    pub max_line: usize,
+    /// Record every submitted request and every produced response ([`Server::transcript`],
+    /// [`Server::responses`]) — the oracle hook for the simulation tests. Off in production:
+    /// requests are cloned when it is on.
+    pub record_transcript: bool,
+}
+
+impl ServerConfig {
+    /// Per-request ticks, default line cap, no recording.
+    pub fn new() -> ServerConfig {
+        ServerConfig { ticked: false, max_line: wire::MAX_LINE_BYTES, record_transcript: false }
+    }
+
+    /// Switches to blank-line/timer ticking (`--ticked`).
+    pub fn ticked(mut self, ticked: bool) -> ServerConfig {
+        self.ticked = ticked;
+        self
+    }
+
+    /// Overrides the line-length cap.
+    pub fn with_max_line(mut self, max_line: usize) -> ServerConfig {
+        self.max_line = max_line;
+        self
+    }
+
+    /// Enables request/response recording for oracle checks.
+    pub fn recording(mut self) -> ServerConfig {
+        self.record_transcript = true;
+        self
+    }
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig::new()
+    }
+}
+
+/// Reactor counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Transport connections opened.
+    pub conns_opened: u64,
+    /// Transport connections closed (both clean and failed).
+    pub conns_closed: u64,
+    /// Connections torn down by an I/O failure ([`Event::Failed`]).
+    pub conn_failures: u64,
+    /// Complete lines decoded (including comments, blanks and malformed lines).
+    pub lines: u64,
+    /// Lines that parsed into a request and were submitted.
+    pub requests: u64,
+    /// Lines answered with a `!` error instead of reaching the frontend (malformed requests,
+    /// non-UTF-8 lines, overlong lines, bad `@conn` prefixes).
+    pub malformed: u64,
+}
+
+/// One recorded unit of the serve, in submission order — the sequential-replay oracle's input
+/// (see `tests/sim_chaos.rs`). Only recorded under [`ServerConfig::recording`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TranscriptEvent {
+    /// A request was submitted to the frontend.
+    Request {
+        /// Transport connection the line arrived on.
+        token: Token,
+        /// The id the frontend assigned (also tags the response).
+        id: RequestId,
+        /// The parsed request.
+        request: ServeRequest,
+    },
+    /// A logical connection was reported gone; its sessions tear down at this position.
+    Disconnect {
+        /// Transport connection that died.
+        token: Token,
+        /// The logical connection being torn down.
+        conn: ConnId,
+    },
+}
+
+/// Per-connection reactor state.
+struct ConnState {
+    decoder: LineDecoder,
+    /// The logical id bare (un-`@`-prefixed) lines of this connection ride.
+    base: ConnId,
+    /// Logical ids this connection owns (its base id plus every `@conn` it claimed first).
+    logicals: BTreeSet<ConnId>,
+}
+
+/// The event-loop server (see the [module docs](self)).
+pub struct Server<D: AbstractDomain, T: Transport> {
+    frontend: Frontend<D>,
+    transport: T,
+    config: ServerConfig,
+    layout: SecretLayout,
+    conns: HashMap<Token, ConnState>,
+    /// Logical id → transport connection that owns it (first use wins; unbound on teardown so a
+    /// reconnecting peer can claim the id again).
+    bound: BTreeMap<ConnId, Token>,
+    /// Request id → transport connection to deliver the response to.
+    inflight: HashMap<RequestId, Token>,
+    next_base: u64,
+    stats: ServerStats,
+    io_log: Vec<String>,
+    transcript: Vec<TranscriptEvent>,
+    responses: Vec<TaggedResponse>,
+}
+
+impl<D, T> Server<D, T>
+where
+    D: AbstractDomain + SynthesizeInto + DomainCodec + Send + Sync + 'static,
+    T: Transport,
+{
+    /// Wraps a frontend and a transport into a reactor. The frontend may already be warm
+    /// (warm-started deployment, pre-registered queries).
+    pub fn new(frontend: Frontend<D>, transport: T, config: ServerConfig) -> Self {
+        let layout = frontend.deployment().layout().clone();
+        Server {
+            frontend,
+            transport,
+            config,
+            layout,
+            conns: HashMap::new(),
+            bound: BTreeMap::new(),
+            inflight: HashMap::new(),
+            next_base: 0,
+            stats: ServerStats::default(),
+            io_log: Vec::new(),
+            transcript: Vec::new(),
+            responses: Vec::new(),
+        }
+    }
+
+    /// Runs the event loop until the transport reports itself finished, then flushes one final
+    /// tick so queued work (ticked-mode stragglers, trailing teardowns) settles.
+    pub fn run(&mut self) {
+        loop {
+            let events = self.transport.poll();
+            if events.is_empty() {
+                break;
+            }
+            for event in events {
+                self.on_event(event);
+            }
+        }
+        self.tick_and_route();
+    }
+
+    fn on_event(&mut self, event: Event) {
+        match event {
+            Event::Opened(token) => self.on_opened(token),
+            Event::Data(token, bytes) => self.on_data(token, &bytes),
+            Event::HalfClosed(token) => self.on_half_closed(token),
+            Event::Failed(token, reason) => self.on_failed(token, reason),
+            Event::TimerTick => {
+                // A quiescence timer only matters when work is actually pending; an idle tick
+                // would just inflate the tick counter.
+                if self.frontend.pending_requests() > 0 {
+                    self.tick_and_route();
+                }
+            }
+        }
+    }
+
+    fn on_opened(&mut self, token: Token) {
+        // Base ids are allocated in arrival order, skipping ids some earlier connection already
+        // claimed with an explicit `@conn` prefix.
+        while self.bound.contains_key(&ConnId(self.next_base)) {
+            self.next_base += 1;
+        }
+        let base = ConnId(self.next_base);
+        self.next_base += 1;
+        self.bound.insert(base, token);
+        let mut logicals = BTreeSet::new();
+        logicals.insert(base);
+        let decoder = LineDecoder::with_max_line(self.config.max_line);
+        self.conns.insert(token, ConnState { decoder, base, logicals });
+        self.stats.conns_opened += 1;
+    }
+
+    fn on_data(&mut self, token: Token, bytes: &[u8]) {
+        let Some(state) = self.conns.get_mut(&token) else { return };
+        let decoded = state.decoder.feed(bytes);
+        for item in decoded {
+            self.on_decoded(token, item);
+        }
+    }
+
+    fn on_half_closed(&mut self, token: Token) {
+        // A clean EOF mid-line still delivers the fragment as a final line (the
+        // `BufRead::lines` convention the stdin transport always had).
+        if let Some(item) = self.conns.get_mut(&token).and_then(|s| s.decoder.finish()) {
+            self.on_decoded(token, item);
+        }
+        self.teardown(token, true);
+    }
+
+    /// Most recent entries retained by [`Server::io_log`]; older denials age out so a stream
+    /// of bad peers cannot grow memory (each is also written to stderr as it happens).
+    const IO_LOG_CAP: usize = 64;
+
+    fn on_failed(&mut self, token: Token, reason: String) {
+        if !self.conns.contains_key(&token) {
+            return;
+        }
+        self.stats.conn_failures += 1;
+        // The logged denial: one bad peer is an event, not a process failure. Logged to
+        // stderr immediately — a forever-serving transport never returns from `run`.
+        let denial = format!("connection {token} failed: {reason}");
+        eprintln!("{denial}");
+        if self.io_log.len() == Self::IO_LOG_CAP {
+            self.io_log.remove(0);
+        }
+        self.io_log.push(denial);
+        self.teardown(token, false);
+    }
+
+    /// Releases a transport connection: its partial input is discarded on failure (interpreted
+    /// on clean EOF, which ran before this), its logical connections are reported to the
+    /// frontend (sessions tear down at queue position), and — on the graceful path — one tick
+    /// runs *before* the transport closes so the final responses still reach the peer's
+    /// half-open write side.
+    fn teardown(&mut self, token: Token, graceful: bool) {
+        let Some(state) = self.conns.get_mut(&token) else { return };
+        if !graceful {
+            state.decoder.discard();
+        }
+        let logicals: Vec<ConnId> = state.logicals.iter().copied().collect();
+        for logical in logicals {
+            self.bound.remove(&logical);
+            self.frontend.disconnect(logical);
+            if self.config.record_transcript {
+                self.transcript.push(TranscriptEvent::Disconnect { token, conn: logical });
+            }
+        }
+        if graceful {
+            self.tick_and_route();
+        }
+        self.transport.close(token);
+        self.conns.remove(&token);
+        self.stats.conns_closed += 1;
+    }
+
+    fn on_decoded(&mut self, token: Token, item: DecodedLine) {
+        self.stats.lines += 1;
+        let line = match item {
+            DecodedLine::Line(line) => line,
+            DecodedLine::NonUtf8 => {
+                self.refuse_line(token, "non-UTF-8 input line".to_string());
+                return;
+            }
+            DecodedLine::Overlong => {
+                let cap = self.config.max_line;
+                self.refuse_line(token, format!("line exceeds {cap} bytes"));
+                return;
+            }
+        };
+        let trimmed = line.trim();
+        if trimmed.starts_with('#') {
+            return;
+        }
+        if trimmed.is_empty() {
+            self.tick_and_route();
+            return;
+        }
+        let (conn, request_text) = match trimmed.strip_prefix('@') {
+            Some(rest) => match rest.split_once(char::is_whitespace) {
+                Some((id, rest)) => match id.parse() {
+                    Ok(id) => (ConnId(id), rest),
+                    Err(_) => {
+                        self.refuse_line(token, format!("bad connection id `{id}`"));
+                        return;
+                    }
+                },
+                None => {
+                    self.refuse_line(token, format!("request missing after `@{rest}`"));
+                    return;
+                }
+            },
+            None => (self.conns[&token].base, trimmed),
+        };
+        match wire::parse_request(request_text, &self.layout) {
+            Ok(request) => {
+                // A logical id is claimed only by a line that actually parses — a malformed
+                // line must not squat on an id another socket could legitimately use. First
+                // (successful) use wins: letting a second transport connection speak for a
+                // logical id would entangle session ownership across unrelated peers.
+                match self.bound.get(&conn) {
+                    Some(owner) if *owner != token => {
+                        self.refuse_line(
+                            token,
+                            format!("connection {conn} is bound to another transport connection"),
+                        );
+                        return;
+                    }
+                    Some(_) => {}
+                    None => {
+                        self.bound.insert(conn, token);
+                        if let Some(state) = self.conns.get_mut(&token) {
+                            state.logicals.insert(conn);
+                        }
+                    }
+                }
+                let recorded = self.config.record_transcript.then(|| request.clone());
+                let id = self.frontend.submit(conn, request);
+                self.inflight.insert(id, token);
+                self.stats.requests += 1;
+                if let Some(request) = recorded {
+                    self.transcript.push(TranscriptEvent::Request { token, id, request });
+                }
+                if !self.config.ticked {
+                    self.tick_and_route();
+                }
+            }
+            Err(e) => self.refuse_line(token, e.to_string()),
+        }
+    }
+
+    /// Answers a line that never reached the frontend with an unnumbered `! <reason>` line
+    /// (exactly the stdin transport's convention — malformed lines consume no sequence number).
+    fn refuse_line(&mut self, token: Token, reason: String) {
+        self.stats.malformed += 1;
+        self.transport.send(token, format!("! {reason}\n").as_bytes());
+    }
+
+    /// Runs one frontend tick and routes every tagged response back to the transport
+    /// connection that submitted its request. Responses whose connection died in the meantime
+    /// have nowhere to go and are dropped (after recording, when enabled).
+    fn tick_and_route(&mut self) {
+        for tagged in self.frontend.tick() {
+            if self.config.record_transcript {
+                self.responses.push(tagged.clone());
+            }
+            let Some(token) = self.inflight.remove(&tagged.request) else { continue };
+            if self.conns.contains_key(&token) {
+                let line =
+                    format!("{} {}\n", tagged.request, wire::encode_response(&tagged.response));
+                self.transport.send(token, line.as_bytes());
+            }
+        }
+    }
+
+    /// The frontend (sessions, stats, deployment) behind this server.
+    pub fn frontend(&self) -> &Frontend<D> {
+        &self.frontend
+    }
+
+    /// The transport (e.g. to read a [`SimNet`](crate::SimNet)'s delivered bytes after a run).
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+
+    /// Reactor counters.
+    pub fn stats(&self) -> ServerStats {
+        self.stats
+    }
+
+    /// Logged per-connection denials (I/O failures downgraded to connection closes): the most
+    /// recent [`Self::IO_LOG_CAP`] entries. Each is also written to stderr as it happens.
+    pub fn io_log(&self) -> &[String] {
+        &self.io_log
+    }
+
+    /// Submitted requests and teardowns in submission order (empty unless
+    /// [`ServerConfig::recording`]).
+    pub fn transcript(&self) -> &[TranscriptEvent] {
+        &self.transcript
+    }
+
+    /// Every response the frontend produced, in order (empty unless
+    /// [`ServerConfig::recording`]).
+    pub fn responses(&self) -> &[TaggedResponse] {
+        &self.responses
+    }
+}
+
+impl<D: AbstractDomain, T: Transport> fmt::Debug for Server<D, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Server")
+            .field("conns", &self.conns.len())
+            .field("bound", &self.bound.len())
+            .field("inflight", &self.inflight.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stdio transport: the classic pipe as a single-connection transport.
+// ---------------------------------------------------------------------------
+
+/// Serves the wire protocol over stdin/stdout: one connection ([`Token`] 0, base [`ConnId`] 0)
+/// that opens immediately and half-closes at EOF. `@conn` prefixes multiplex logical
+/// connections exactly as before — this is the `anosy-served` default transport, now running on
+/// the same reactor as the socket path.
+#[derive(Debug, Default)]
+pub struct StdioTransport {
+    opened: bool,
+    eof: bool,
+}
+
+impl StdioTransport {
+    /// A fresh stdin/stdout transport.
+    pub fn new() -> StdioTransport {
+        StdioTransport::default()
+    }
+}
+
+impl Transport for StdioTransport {
+    fn poll(&mut self) -> Vec<Event> {
+        if !self.opened {
+            self.opened = true;
+            return vec![Event::Opened(Token(0))];
+        }
+        if self.eof {
+            return Vec::new();
+        }
+        let mut buf = [0u8; 8192];
+        loop {
+            match std::io::stdin().lock().read(&mut buf) {
+                Ok(0) => {
+                    self.eof = true;
+                    return vec![Event::HalfClosed(Token(0))];
+                }
+                Ok(n) => return vec![Event::Data(Token(0), buf[..n].to_vec())],
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                // A dead stdin means the transport is gone: drain pending work and exit
+                // cleanly, exactly as the pre-reactor binary did.
+                Err(_) => {
+                    self.eof = true;
+                    return vec![Event::HalfClosed(Token(0))];
+                }
+            }
+        }
+    }
+
+    fn send(&mut self, _token: Token, bytes: &[u8]) {
+        let mut out = std::io::stdout().lock();
+        out.write_all(bytes).expect("stdout is writable");
+        out.flush().expect("stdout is flushable");
+    }
+
+    fn close(&mut self, _token: Token) {}
+}
+
+// ---------------------------------------------------------------------------
+// TCP transport: std-only nonblocking sockets.
+// ---------------------------------------------------------------------------
+
+/// How long [`TcpTransport::close`] keeps retrying to flush a closing connection's queued
+/// responses before giving up on the peer.
+const CLOSE_FLUSH_BUDGET: Duration = Duration::from_secs(2);
+
+/// How long the poll loop sleeps when nothing is readable (std has no portable readiness API,
+/// so the listener is polled; half a millisecond keeps idle CPU negligible without hurting
+/// request latency at serving scale).
+const POLL_IDLE_SLEEP: Duration = Duration::from_micros(500);
+
+struct TcpConn {
+    stream: TcpStream,
+    /// Responses not yet accepted by the kernel (nonblocking writes are partial by design).
+    out: Vec<u8>,
+    read_eof: bool,
+    /// `Some(deadline)` once the reactor asked for a close: the connection only lingers to
+    /// drain `out`, is never read again, and is dropped when drained or at the deadline —
+    /// inside the normal poll loop, so a peer that stopped reading cannot stall the reactor.
+    closing: Option<Instant>,
+}
+
+/// A std-only nonblocking TCP listener transport: `accept` becomes [`Event::Opened`], readable
+/// bytes become [`Event::Data`], a peer's FIN becomes [`Event::HalfClosed`] (half-closed peers
+/// still receive their final responses), and read/write errors become per-connection
+/// [`Event::Failed`] — never process failures.
+pub struct TcpTransport {
+    listener: TcpListener,
+    conns: BTreeMap<u64, TcpConn>,
+    next_token: u64,
+    /// `Some(n)`: stop accepting after `n` connections and finish once all are closed
+    /// (`--accept N`). `None`: serve forever.
+    accept_budget: Option<usize>,
+    accepted: usize,
+    /// Quiescence timer: emit [`Event::TimerTick`] after this much idleness (`--tick-ms`).
+    tick_interval: Option<Duration>,
+    last_activity: Instant,
+    /// Failures noticed during [`Transport::send`], surfaced at the next poll.
+    pending: Vec<Event>,
+}
+
+impl TcpTransport {
+    /// Binds `addr` (e.g. `127.0.0.1:0`) and returns the listening transport.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind/configure error; callers report it and exit.
+    pub fn bind(
+        addr: &str,
+        accept_budget: Option<usize>,
+        tick_interval: Option<Duration>,
+    ) -> std::io::Result<TcpTransport> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(TcpTransport {
+            listener,
+            conns: BTreeMap::new(),
+            next_token: 0,
+            accept_budget,
+            accepted: 0,
+            tick_interval,
+            last_activity: Instant::now(),
+            pending: Vec::new(),
+        })
+    }
+
+    /// The bound address (the actual port when bound to port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket-name lookup error.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    fn accepting(&self) -> bool {
+        match self.accept_budget {
+            Some(budget) => self.accepted < budget,
+            None => true,
+        }
+    }
+
+    fn poll_accept(&mut self, events: &mut Vec<Event>) {
+        while self.accepting() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    self.accepted += 1;
+                    let conn = TcpConn { stream, out: Vec::new(), read_eof: false, closing: None };
+                    self.conns.insert(token, conn);
+                    events.push(Event::Opened(Token(token)));
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                // A broken listener: stop accepting, keep serving what is open.
+                Err(_) => {
+                    self.accept_budget = Some(self.accepted);
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Flushes queued writes, retires draining (closing) connections, and reads available
+    /// bytes on every live connection, in token order.
+    fn poll_conns(&mut self, events: &mut Vec<Event>) {
+        let mut failed: Vec<(u64, String)> = Vec::new();
+        let mut done: Vec<u64> = Vec::new();
+        for (&token, conn) in self.conns.iter_mut() {
+            let flushed = flush_some(conn);
+            if let Some(deadline) = conn.closing {
+                // Half of the close protocol: drain what the reactor queued, then drop. A
+                // flush error, an empty buffer or the deadline all retire the connection —
+                // the reactor already considers it gone, so no event is emitted.
+                if flushed.is_err() || conn.out.is_empty() || Instant::now() >= deadline {
+                    done.push(token);
+                }
+                continue;
+            }
+            if let Err(reason) = flushed {
+                failed.push((token, reason));
+                continue;
+            }
+            if conn.read_eof {
+                continue;
+            }
+            let mut buf = [0u8; 65536];
+            match conn.stream.read(&mut buf) {
+                Ok(0) => {
+                    conn.read_eof = true;
+                    events.push(Event::HalfClosed(Token(token)));
+                }
+                Ok(n) => events.push(Event::Data(Token(token), buf[..n].to_vec())),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {}
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => failed.push((token, format!("read error: {e}"))),
+            }
+        }
+        for token in done {
+            if let Some(conn) = self.conns.remove(&token) {
+                let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+            }
+        }
+        for (token, reason) in failed {
+            self.conns.remove(&token);
+            events.push(Event::Failed(Token(token), reason));
+        }
+    }
+}
+
+/// Writes as much of the connection's queued output as the kernel accepts right now.
+fn flush_some(conn: &mut TcpConn) -> Result<(), String> {
+    while !conn.out.is_empty() {
+        match conn.stream.write(&conn.out) {
+            Ok(0) => return Err("write error: connection closed".to_string()),
+            Ok(n) => {
+                conn.out.drain(..n);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(format!("write error: {e}")),
+        }
+    }
+    Ok(())
+}
+
+impl Transport for TcpTransport {
+    fn poll(&mut self) -> Vec<Event> {
+        loop {
+            let mut events = std::mem::take(&mut self.pending);
+            self.poll_accept(&mut events);
+            self.poll_conns(&mut events);
+            if !events.is_empty() {
+                self.last_activity = Instant::now();
+                return events;
+            }
+            if !self.accepting() && self.conns.is_empty() {
+                return Vec::new();
+            }
+            if let Some(interval) = self.tick_interval {
+                if self.last_activity.elapsed() >= interval {
+                    self.last_activity = Instant::now();
+                    return vec![Event::TimerTick];
+                }
+            }
+            std::thread::sleep(POLL_IDLE_SLEEP);
+        }
+    }
+
+    fn send(&mut self, token: Token, bytes: &[u8]) {
+        let Some(conn) = self.conns.get_mut(&token.0) else { return };
+        conn.out.extend_from_slice(bytes);
+        if let Err(reason) = flush_some(conn) {
+            self.conns.remove(&token.0);
+            self.pending.push(Event::Failed(token, reason));
+        }
+    }
+
+    fn close(&mut self, token: Token) {
+        let Some(conn) = self.conns.get_mut(&token.0) else { return };
+        // Best-effort flush of the final responses before the FIN. If the kernel takes it all
+        // now, the connection drops immediately; otherwise it lingers in draining state and
+        // the poll loop keeps flushing — without ever blocking the reactor — until empty or
+        // the budget runs out (a peer that stopped reading forfeits its tail).
+        let flushed = flush_some(conn);
+        if flushed.is_err() || conn.out.is_empty() {
+            if let Some(conn) = self.conns.remove(&token.0) {
+                let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+            }
+            return;
+        }
+        conn.closing = Some(Instant::now() + CLOSE_FLUSH_BUDGET);
+    }
+}

@@ -1,0 +1,235 @@
+//! `SimNet`: a seeded, in-memory simulated network — the deterministic test transport for the
+//! event-loop [`Server`](crate::Server).
+//!
+//! The transport is where nondeterminism enters a real deployment: bytes arrive in arbitrary
+//! chunks, writes coalesce, peers vanish mid-line, connections interleave. `SimNet` reproduces
+//! all of that inside `cargo test`, driven entirely by a seed:
+//!
+//! * **scripted or RNG-driven connects** — tests schedule clients at virtual times (or derive
+//!   times/counts from [`SimNet::rng`], the same seeded stream);
+//! * **byte-level chunking and coalescing** — a client "write" is split at random byte
+//!   boundaries, and chunks landing at the same virtual instant are coalesced back into one
+//!   read, so the server's line decoder sees every framing a kernel could produce;
+//! * **delayed delivery and cross-connection reordering** — each chunk draws a random latency;
+//!   order *within* one connection is preserved (TCP's guarantee) while deliveries *across*
+//!   connections interleave freely;
+//! * **disconnects** — clean half-closes ([`Event::HalfClosed`]), abortive resets and injected
+//!   I/O errors (both [`Event::Failed`]).
+//!
+//! Everything is a pure function of the script and the seed: the event schedule is a
+//! `BTreeMap` keyed by `(virtual time, sequence number)` and the RNG is the workspace's
+//! deterministic `StdRng`, so a scenario **replays byte-identically from its seed** — the
+//! property `tests/sim_chaos.rs` asserts before comparing the server against the sequential
+//! oracle.
+
+use crate::server::{Event, Token, Transport};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::collections::{BTreeMap, HashMap};
+
+/// Default upper bound on one delivered chunk, in bytes.
+const DEFAULT_MAX_CHUNK: usize = 17;
+
+/// Default upper bound on one chunk's extra latency, in virtual time units.
+const DEFAULT_MAX_DELAY: u64 = 5;
+
+/// What the simulated network delivers to the server at a scheduled instant.
+#[derive(Debug, Clone)]
+enum Scheduled {
+    Open(Token),
+    Chunk(Token, Vec<u8>),
+    HalfClose(Token),
+    Fail(Token, String),
+    Tick,
+}
+
+/// Client-side bookkeeping for one simulated connection.
+#[derive(Debug, Default)]
+struct Client {
+    /// Virtual time of the last scheduled delivery — per-connection FIFO floor.
+    ready_at: u64,
+    /// Bytes the server sent back (readable after the run via [`SimNet::received`]).
+    received: Vec<u8>,
+    /// The server closed (or the script killed) this connection; later sends are dropped on
+    /// the floor, like writes to a dead socket.
+    closed: bool,
+}
+
+/// The seeded in-memory transport (see the [module docs](self)).
+#[derive(Debug)]
+pub struct SimNet {
+    seed: u64,
+    rng: StdRng,
+    max_chunk: usize,
+    max_delay: u64,
+    schedule: BTreeMap<(u64, u64), Scheduled>,
+    next_seq: u64,
+    next_token: u64,
+    clients: HashMap<Token, Client>,
+}
+
+impl SimNet {
+    /// An empty simulated network deriving all randomness from `seed`.
+    pub fn new(seed: u64) -> SimNet {
+        SimNet {
+            seed,
+            rng: StdRng::seed_from_u64(seed),
+            max_chunk: DEFAULT_MAX_CHUNK,
+            max_delay: DEFAULT_MAX_DELAY,
+            schedule: BTreeMap::new(),
+            next_seq: 0,
+            next_token: 0,
+            clients: HashMap::new(),
+        }
+    }
+
+    /// Overrides the chunking bound (1 = strictly byte-at-a-time delivery).
+    pub fn with_max_chunk(mut self, max_chunk: usize) -> SimNet {
+        self.max_chunk = max_chunk.max(1);
+        self
+    }
+
+    /// Overrides the per-chunk latency bound (0 = no delays, so writes deliver in script
+    /// order and chunks of one write coalesce back into one read).
+    pub fn with_max_delay(mut self, max_delay: u64) -> SimNet {
+        self.max_delay = max_delay;
+        self
+    }
+
+    /// The seed this network was built from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The seeded random stream, for RNG-driven scripts (client counts, times, payload picks)
+    /// that must replay with the scenario.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    fn push(&mut self, at: u64, event: Scheduled) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.schedule.insert((at, seq), event);
+    }
+
+    /// Schedules a client connecting at virtual time `at`; returns the connection's [`Token`].
+    pub fn connect(&mut self, at: u64) -> Token {
+        let token = Token(self.next_token);
+        self.next_token += 1;
+        self.clients.insert(token, Client { ready_at: at, ..Client::default() });
+        self.push(at, Scheduled::Open(token));
+        token
+    }
+
+    /// Schedules a client write at virtual time `at` (no earlier than the client's previous
+    /// delivery — per-connection FIFO). The payload is split into random chunks, each with a
+    /// random extra latency, so it arrives at the server in every framing a real socket could
+    /// produce while other connections' deliveries interleave in between.
+    pub fn send(&mut self, client: Token, at: u64, payload: impl AsRef<[u8]>) {
+        let payload = payload.as_ref();
+        let mut t = self.floor(client, at);
+        let mut offset = 0;
+        while offset < payload.len() {
+            let remaining = payload.len() - offset;
+            let len = self.rng.gen_range(1..=self.max_chunk.min(remaining));
+            t += self.rng.gen_range(0..=self.max_delay);
+            self.push(t, Scheduled::Chunk(client, payload[offset..offset + len].to_vec()));
+            offset += len;
+        }
+        self.bump(client, t);
+    }
+
+    /// Schedules a clean half-close (FIN after the last write): the server interprets any
+    /// trailing partial line, answers, and tears the connection down.
+    pub fn half_close(&mut self, client: Token, at: u64) {
+        let t = self.floor(client, at);
+        self.push(t, Scheduled::HalfClose(client));
+        self.bump(client, t);
+    }
+
+    /// Schedules an abortive reset: buffered partial input must be discarded and nothing more
+    /// can be delivered to this client.
+    pub fn abort(&mut self, client: Token, at: u64) {
+        self.io_error(client, at, "connection reset by peer (simulated)");
+    }
+
+    /// Schedules an injected per-connection I/O error with a custom reason (the
+    /// one-bad-peer-must-not-kill-the-process regression hook).
+    pub fn io_error(&mut self, client: Token, at: u64, reason: &str) {
+        let t = self.floor(client, at);
+        self.push(t, Scheduled::Fail(client, reason.to_string()));
+        self.bump(client, t);
+    }
+
+    /// Schedules a quiescence timer tick (the `--ticked` timer) at virtual time `at`.
+    pub fn tick(&mut self, at: u64) {
+        self.push(at, Scheduled::Tick);
+    }
+
+    /// Bytes the server delivered to `client` (empty for unknown tokens).
+    pub fn received(&self, client: Token) -> &[u8] {
+        self.clients.get(&client).map(|c| c.received.as_slice()).unwrap_or(&[])
+    }
+
+    /// The delivered bytes as text (the wire protocol is line-oriented UTF-8).
+    pub fn received_text(&self, client: Token) -> String {
+        String::from_utf8_lossy(self.received(client)).into_owned()
+    }
+
+    fn floor(&self, client: Token, at: u64) -> u64 {
+        at.max(self.clients.get(&client).map(|c| c.ready_at).unwrap_or(0))
+    }
+
+    fn bump(&mut self, client: Token, t: u64) {
+        if let Some(c) = self.clients.get_mut(&client) {
+            c.ready_at = t;
+        }
+    }
+}
+
+impl Transport for SimNet {
+    /// Delivers everything scheduled for the next occupied virtual instant, coalescing
+    /// same-connection chunks that land together into one read (write coalescing).
+    fn poll(&mut self) -> Vec<Event> {
+        let Some((&(time, _), _)) = self.schedule.iter().next() else { return Vec::new() };
+        let due: Vec<(u64, u64)> =
+            self.schedule.range((time, 0)..=(time, u64::MAX)).map(|(&k, _)| k).collect();
+        let mut events: Vec<Event> = Vec::new();
+        for key in due {
+            let Some(scheduled) = self.schedule.remove(&key) else { continue };
+            match scheduled {
+                Scheduled::Open(token) => events.push(Event::Opened(token)),
+                Scheduled::Chunk(token, bytes) => match events.last_mut() {
+                    Some(Event::Data(last, buffer)) if *last == token => {
+                        buffer.extend_from_slice(&bytes);
+                    }
+                    _ => events.push(Event::Data(token, bytes)),
+                },
+                Scheduled::HalfClose(token) => events.push(Event::HalfClosed(token)),
+                Scheduled::Fail(token, reason) => {
+                    if let Some(client) = self.clients.get_mut(&token) {
+                        // The peer is gone: nothing written after this can be delivered.
+                        client.closed = true;
+                    }
+                    events.push(Event::Failed(token, reason));
+                }
+                Scheduled::Tick => events.push(Event::TimerTick),
+            }
+        }
+        events
+    }
+
+    fn send(&mut self, token: Token, bytes: &[u8]) {
+        if let Some(client) = self.clients.get_mut(&token) {
+            if !client.closed {
+                client.received.extend_from_slice(bytes);
+            }
+        }
+    }
+
+    fn close(&mut self, token: Token) {
+        if let Some(client) = self.clients.get_mut(&token) {
+            client.closed = true;
+        }
+    }
+}

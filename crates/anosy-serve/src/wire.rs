@@ -342,17 +342,19 @@ pub fn encode_response(response: &ServeResponse) -> String {
             format!("ok knowledge size={size} {encoded}")
         }
         ServeResponse::Stats(s) => format!(
-            "ok stats open={} ticks={} requests={} batched={} largest={} workers={} \
-             entries={} sessions={} synth_hits={} synth_misses={} warm={} authorized={} \
-             refused={}",
+            "ok stats open={} ticks={} requests={} batched={} largest={} torn={} workers={} \
+             entries={} sessions={} closed={} synth_hits={} synth_misses={} warm={} \
+             authorized={} refused={}",
             s.open_sessions,
             s.ticks,
             s.requests,
             s.batched_downgrades,
             s.largest_batch,
+            s.sessions_torn_down,
             s.serve.workers,
             s.serve.entries,
             s.serve.cache.sessions_opened,
+            s.serve.cache.sessions_closed,
             s.serve.cache.synth_hits,
             s.serve.cache.synth_misses,
             s.serve.cache.warm_loaded,
@@ -367,6 +369,138 @@ pub fn encode_response(response: &ServeResponse) -> String {
         ServeResponse::Rejected(denial) => {
             format!("err {} {}", denial.code, flatten_message(&denial.message))
         }
+    }
+}
+
+/// Default cap on one wire line for the incremental [`LineDecoder`], in bytes. Protocol lines
+/// are short; anything approaching this is a peer that never terminates its line.
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// One decoded unit from a [`LineDecoder`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodedLine {
+    /// A complete line, terminator stripped (a trailing `\r` before the `\n` is stripped too,
+    /// so CRLF and LF peers decode identically — the `BufRead::lines` convention).
+    Line(String),
+    /// A complete line that was not valid UTF-8. An error *as data*: the decoder stays in sync
+    /// and the next line decodes normally.
+    NonUtf8,
+    /// A line exceeded the decoder's byte cap before any terminator arrived. Reported once;
+    /// the rest of the line (up to the next terminator) is discarded silently.
+    Overlong,
+}
+
+/// An incremental line decoder with carry-over buffering: feed it byte chunks exactly as a
+/// transport produces them — partial lines, several lines coalesced into one read, CRLF or LF
+/// terminators, arbitrary split points — and it yields each complete line exactly once.
+///
+/// The decoder can never desync: malformed input (non-UTF-8 bytes, embedded NUL, a line longer
+/// than the cap) is reported as a [`DecodedLine`] variant and the carry-over state resumes at
+/// the next terminator. Decoding is a pure function of the concatenated input bytes — chunk
+/// boundaries never change what is produced (property-tested in
+/// `tests/proptest_wire_fuzz.rs`).
+#[derive(Debug)]
+pub struct LineDecoder {
+    buffer: Vec<u8>,
+    max_line: usize,
+    /// An overlong line was reported; swallow bytes until the next terminator.
+    discarding: bool,
+}
+
+impl LineDecoder {
+    /// A decoder with the [`MAX_LINE_BYTES`] cap.
+    pub fn new() -> LineDecoder {
+        LineDecoder::with_max_line(MAX_LINE_BYTES)
+    }
+
+    /// A decoder that reports lines longer than `max_line` bytes (terminator excluded) as
+    /// [`DecodedLine::Overlong`].
+    pub fn with_max_line(max_line: usize) -> LineDecoder {
+        assert!(max_line > 0, "a zero-byte line cap would reject every line");
+        LineDecoder { buffer: Vec::new(), max_line, discarding: false }
+    }
+
+    /// The configured line cap, in bytes.
+    pub fn max_line(&self) -> usize {
+        self.max_line
+    }
+
+    /// Bytes of the current partial line carried over for the next [`LineDecoder::feed`].
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Consumes one transport read's worth of bytes and returns every line completed by it.
+    pub fn feed(&mut self, bytes: &[u8]) -> Vec<DecodedLine> {
+        let mut out = Vec::new();
+        for &byte in bytes {
+            if byte == b'\n' {
+                if self.discarding {
+                    self.discarding = false;
+                } else {
+                    out.push(self.take_line(true));
+                }
+            } else if self.discarding {
+                // Tail of an already-reported overlong line.
+            } else {
+                self.buffer.push(byte);
+                // A trailing `\r` may still turn out to be a CRLF terminator (stripped on the
+                // `\n`), so it gets one byte of grace: the cap counts content, not terminator,
+                // and CRLF peers must see the same line capacity as LF peers.
+                let limit = self.max_line + usize::from(byte == b'\r');
+                if self.buffer.len() > limit {
+                    out.push(DecodedLine::Overlong);
+                    self.buffer.clear();
+                    self.discarding = true;
+                }
+            }
+        }
+        out
+    }
+
+    /// Flushes the trailing unterminated line at end of stream, mirroring `BufRead::lines`
+    /// (which yields a final line even without a terminator — so a peer that half-closes
+    /// mid-line still gets its last fragment interpreted). Returns `None` when nothing is
+    /// buffered; the decoder is reusable afterwards.
+    pub fn finish(&mut self) -> Option<DecodedLine> {
+        if self.discarding {
+            self.discarding = false;
+            return None;
+        }
+        if self.buffer.is_empty() {
+            return None;
+        }
+        // The one-byte CRLF grace never materialized into a terminator: at end of stream the
+        // trailing `\r` is data, and the line really is over the cap.
+        if self.buffer.len() > self.max_line {
+            self.buffer.clear();
+            return Some(DecodedLine::Overlong);
+        }
+        Some(self.take_line(false))
+    }
+
+    /// Drops any carried-over partial line (an abortive disconnect: the fragment never
+    /// completed and must not be interpreted).
+    pub fn discard(&mut self) {
+        self.buffer.clear();
+        self.discarding = false;
+    }
+
+    fn take_line(&mut self, terminated: bool) -> DecodedLine {
+        let mut line = std::mem::take(&mut self.buffer);
+        if terminated && line.last() == Some(&b'\r') {
+            line.pop();
+        }
+        match String::from_utf8(line) {
+            Ok(text) => DecodedLine::Line(text),
+            Err(_) => DecodedLine::NonUtf8,
+        }
+    }
+}
+
+impl Default for LineDecoder {
+    fn default() -> Self {
+        LineDecoder::new()
     }
 }
 
@@ -444,11 +578,13 @@ pub fn parse_response(line: &str) -> Result<ServeResponse, WireError> {
                     requests: parse_counter(rest, "requests=")?,
                     batched_downgrades: parse_counter(rest, "batched=")?,
                     largest_batch: parse_counter(rest, "largest=")?,
+                    sessions_torn_down: parse_counter(rest, "torn=")?,
                     serve: ServeStats {
                         workers: parse_counter(rest, "workers=")?,
                         entries: parse_counter(rest, "entries=")?,
                         cache: SharedCacheStats {
                             sessions_opened: parse_counter(rest, "sessions=")?,
+                            sessions_closed: parse_counter(rest, "closed=")?,
                             synth_hits: parse_counter(rest, "synth_hits=")?,
                             synth_misses: parse_counter(rest, "synth_misses=")?,
                             warm_loaded: parse_counter(rest, "warm=")?,
@@ -603,6 +739,7 @@ mod tests {
                 requests: 17,
                 batched_downgrades: 9,
                 largest_batch: 4,
+                sessions_torn_down: 1,
                 serve: ServeStats {
                     workers: 4,
                     entries: 1,
@@ -612,6 +749,7 @@ mod tests {
                         downgrades_authorized: 7,
                         downgrades_refused: 2,
                         sessions_opened: 2,
+                        sessions_closed: 1,
                         warm_loaded: 0,
                     },
                 },
@@ -673,6 +811,68 @@ mod tests {
         for bad in ["", "ok", "ok what 3", "ok answer perhaps", "deny nonsense msg", "nah 3"] {
             assert!(parse_response(bad).is_err(), "`{bad}` must not parse");
         }
+    }
+
+    #[test]
+    fn the_line_decoder_reassembles_arbitrary_chunkings() {
+        let input = b"stats\r\ndowngrade session=1\nclose session=2\n";
+        for split in 0..input.len() {
+            let mut decoder = LineDecoder::new();
+            let mut lines = decoder.feed(&input[..split]);
+            lines.extend(decoder.feed(&input[split..]));
+            assert_eq!(
+                lines,
+                vec![
+                    DecodedLine::Line("stats".into()),
+                    DecodedLine::Line("downgrade session=1".into()),
+                    DecodedLine::Line("close session=2".into()),
+                ],
+                "split at {split}"
+            );
+            assert_eq!(decoder.finish(), None);
+        }
+    }
+
+    #[test]
+    fn the_line_decoder_reports_errors_as_data_and_stays_in_sync() {
+        let mut decoder = LineDecoder::with_max_line(8);
+        // Non-UTF-8 bytes (with an embedded NUL) make one NonUtf8 item, then resync.
+        let lines = decoder.feed(b"ab\xff\x00\nstats\n");
+        assert_eq!(lines, vec![DecodedLine::NonUtf8, DecodedLine::Line("stats".into())]);
+        // An overlong line reports once, swallows its tail, then resyncs.
+        let lines = decoder.feed(b"0123456789abcdef-more-tail\nok\n");
+        assert_eq!(lines, vec![DecodedLine::Overlong, DecodedLine::Line("ok".into())]);
+        assert_eq!(decoder.max_line(), 8);
+        // A trailing fragment at EOF is a final line (mid-line half-close) …
+        assert_eq!(decoder.feed(b"last"), vec![]);
+        assert_eq!(decoder.buffered(), 4);
+        assert_eq!(decoder.finish(), Some(DecodedLine::Line("last".into())));
+        // … unless the stream aborted and the fragment is explicitly discarded.
+        decoder.feed(b"gone");
+        decoder.discard();
+        assert_eq!(decoder.finish(), None);
+        // Interior `\r` is data; only the terminator's `\r` strips.
+        assert_eq!(decoder.feed(b"a\rb\r\n"), vec![DecodedLine::Line("a\rb".into())]);
+    }
+
+    #[test]
+    fn crlf_peers_get_the_same_line_capacity_as_lf_peers() {
+        // A CRLF line whose *content* is exactly the cap must decode, not report Overlong:
+        // the cap counts content, terminator excluded.
+        let mut decoder = LineDecoder::with_max_line(8);
+        assert_eq!(decoder.feed(b"01234567\r\n"), vec![DecodedLine::Line("01234567".into())]);
+        assert_eq!(decoder.feed(b"01234567\n"), vec![DecodedLine::Line("01234567".into())]);
+        // One content byte over the cap overflows for both terminators alike.
+        assert_eq!(
+            decoder.feed(b"012345678\r\n"),
+            vec![DecodedLine::Overlong],
+            "9 content bytes exceed the cap regardless of terminator"
+        );
+        assert_eq!(decoder.feed(b"ok\n"), vec![DecodedLine::Line("ok".into())]);
+        // At end of stream the grace `\r` is data, and the line really is over the cap.
+        decoder.feed(b"01234567\r");
+        assert_eq!(decoder.finish(), Some(DecodedLine::Overlong));
+        assert_eq!(decoder.feed(b"ok\n"), vec![DecodedLine::Line("ok".into())]);
     }
 
     #[test]

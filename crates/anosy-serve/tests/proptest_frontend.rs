@@ -2,59 +2,23 @@
 //!
 //! Arbitrary request scripts — any interleaving of `OpenSession` / `RegisterQuery` /
 //! `Downgrade` / `DowngradeBatch` / `Knowledge` / `CloseSession` across several logical
-//! connections, chopped into arbitrary ticks, with duplicate secrets inside one tick — must
-//! yield responses element-wise identical to replaying the same requests one at a time against
-//! plain owned [`AnosySession`]s. This is the protocol-level determinism guarantee on top of
-//! `proptest_batch.rs`'s driver-level one: per-tick batching and per-session regrouping never
-//! change what any connection observes.
+//! connections, chopped into arbitrary ticks, with duplicate secrets inside one tick, plus
+//! transport-level disconnects tearing sessions down mid-script — must yield responses
+//! element-wise identical to replaying the same requests one at a time against plain owned
+//! [`anosy_core::AnosySession`]s (the shared oracle in `tests/support/oracle.rs`). This is the
+//! protocol-level determinism guarantee on top of `proptest_batch.rs`'s driver-level one:
+//! per-tick batching, per-session regrouping and queued teardown never change what any
+//! connection observes.
 
-use anosy_core::{AnosySession, PolicySpec, QInfo, SharedCacheEntry};
+#[path = "support/oracle.rs"]
+mod support;
+
 use anosy_domains::IntervalDomain;
-use anosy_ifc::Protected;
-use anosy_logic::{IntExpr, Point, SecretLayout};
-use anosy_serve::{
-    ConnId, Denial, DenialCode, Deployment, Frontend, ServeConfig, ServeRequest, ServeResponse,
-    SessionId,
-};
-use anosy_synth::{ApproxKind, DomainCodec, IndSets, QueryDef};
+use anosy_logic::Point;
+use anosy_serve::{ConnId, Deployment, Frontend, ServeRequest, SessionId};
+use anosy_synth::ApproxKind;
 use proptest::prelude::*;
-use std::collections::BTreeMap;
-use std::sync::OnceLock;
-
-fn layout() -> SecretLayout {
-    SecretLayout::builder().field("x", 0, 400).field("y", 0, 400).build()
-}
-
-const ORIGINS: [(i64, i64); 3] = [(200, 200), (300, 200), (150, 260)];
-
-fn query(index: usize) -> QueryDef {
-    let (xo, yo) = ORIGINS[index];
-    let pred = ((IntExpr::var(0) - xo).abs() + (IntExpr::var(1) - yo).abs()).le(100);
-    QueryDef::new(format!("nearby_{xo}_{yo}"), layout(), pred).unwrap()
-}
-
-/// The query palette, synthesized once per process and shared as warm-start entries: every
-/// proptest case warms its deployment from these, so case count does not multiply solver work
-/// (and frontend and oracle provably run on identical approximations).
-fn entries() -> &'static Vec<SharedCacheEntry<IntervalDomain>> {
-    static ENTRIES: OnceLock<Vec<SharedCacheEntry<IntervalDomain>>> = OnceLock::new();
-    ENTRIES.get_or_init(|| {
-        let deployment: Deployment<IntervalDomain> =
-            Deployment::new(layout(), ServeConfig::for_tests());
-        for index in 0..ORIGINS.len() {
-            deployment.register_query(&query(index), ApproxKind::Under, None).unwrap();
-        }
-        deployment.shared().export_entries()
-    })
-}
-
-fn indsets_of(q: &QueryDef) -> IndSets<IntervalDomain> {
-    entries().iter().find(|e| &e.pred == q.pred()).expect("palette entry exists").indsets.clone()
-}
-
-fn policy(index: usize) -> PolicySpec {
-    [PolicySpec::MinSize(100), PolicySpec::MinSize(30_000), PolicySpec::AllowAll][index % 3].clone()
-}
+use support::Oracle;
 
 /// One scripted request, with its logical connection and tick boundary marker.
 #[derive(Debug, Clone)]
@@ -65,12 +29,12 @@ enum Op {
     Batch { conn: u64, session: u64, secrets: Vec<Point>, query: usize },
     Knowledge { conn: u64, session: u64, secret: Point },
     Close { conn: u64, session: u64 },
+    Disconnect { conn: u64 },
     Tick,
 }
 
-/// Secrets from a small palette (duplicates likely) that straddles the layout boundary.
 fn arb_secret() -> impl Strategy<Value = Point> {
-    (0i64..=10, 0i64..=10).prop_map(|(a, b)| Point::new(vec![a * 45 - 20, b * 44]))
+    (0i64..=10, 0i64..=10).prop_map(|(a, b)| support::secret_grid(a, b))
 }
 
 fn arb_op() -> impl Strategy<Value = Op> {
@@ -97,7 +61,8 @@ fn arb_op() -> impl Strategy<Value = Op> {
             }),
         1 => (conn.clone(), session.clone(), arb_secret())
             .prop_map(|(conn, session, secret)| Op::Knowledge { conn, session, secret }),
-        1 => (conn.clone(), session).prop_map(|(conn, session)| Op::Close { conn, session }),
+        1 => (conn.clone(), session.clone()).prop_map(|(conn, session)| Op::Close { conn, session }),
+        1 => conn.prop_map(|conn| Op::Disconnect { conn }),
         2 => Just(Op::Tick),
     ]
 }
@@ -105,12 +70,12 @@ fn arb_op() -> impl Strategy<Value = Op> {
 fn to_request(op: &Op) -> Option<(ConnId, ServeRequest)> {
     Some(match op {
         Op::Open { conn, policy: p } => {
-            (ConnId(*conn), ServeRequest::OpenSession { policy: policy(*p) })
+            (ConnId(*conn), ServeRequest::OpenSession { policy: support::policy(*p) })
         }
         Op::Register { conn, query: q } => (
             ConnId(*conn),
             ServeRequest::RegisterQuery {
-                query: query(*q),
+                query: support::query(*q),
                 kind: ApproxKind::Under,
                 members: None,
             },
@@ -120,7 +85,7 @@ fn to_request(op: &Op) -> Option<(ConnId, ServeRequest)> {
             ServeRequest::Downgrade {
                 session: SessionId(*session),
                 secret: secret.clone(),
-                query: query(*q).name().to_string(),
+                query: support::query(*q).name().to_string(),
             },
         ),
         Op::Batch { conn, session, secrets, query: q } => (
@@ -128,7 +93,7 @@ fn to_request(op: &Op) -> Option<(ConnId, ServeRequest)> {
             ServeRequest::DowngradeBatch {
                 session: SessionId(*session),
                 secrets: secrets.clone(),
-                query: query(*q).name().to_string(),
+                query: support::query(*q).name().to_string(),
             },
         ),
         Op::Knowledge { conn, session, secret } => (
@@ -138,81 +103,8 @@ fn to_request(op: &Op) -> Option<(ConnId, ServeRequest)> {
         Op::Close { conn, session } => {
             (ConnId(*conn), ServeRequest::CloseSession { session: SessionId(*session) })
         }
-        Op::Tick => return None,
+        Op::Disconnect { .. } | Op::Tick => return None,
     })
-}
-
-/// The specification: one request at a time against plain owned sessions — `downgrade` per
-/// downgrade request, a sequential loop per batch request.
-struct Oracle {
-    sessions: BTreeMap<u64, AnosySession<IntervalDomain>>,
-    registry: Vec<(QueryDef, IndSets<IntervalDomain>)>,
-    next_session: u64,
-}
-
-impl Oracle {
-    fn new() -> Oracle {
-        Oracle { sessions: BTreeMap::new(), registry: Vec::new(), next_session: 0 }
-    }
-
-    fn apply(&mut self, request: &ServeRequest) -> ServeResponse {
-        match request {
-            ServeRequest::OpenSession { policy } => {
-                self.next_session += 1;
-                let mut session = AnosySession::new(layout(), policy.clone());
-                for (query, indsets) in &self.registry {
-                    session.register(QInfo::new(query.clone(), indsets.clone()));
-                }
-                self.sessions.insert(self.next_session, session);
-                ServeResponse::SessionOpened { session: SessionId(self.next_session) }
-            }
-            ServeRequest::RegisterQuery { query, .. } => {
-                let indsets = indsets_of(query);
-                for session in self.sessions.values_mut() {
-                    session.register(QInfo::new(query.clone(), indsets.clone()));
-                }
-                self.registry.push((query.clone(), indsets));
-                ServeResponse::QueryRegistered { name: query.name().to_string() }
-            }
-            ServeRequest::Downgrade { session, secret, query } => {
-                let Some(open) = self.sessions.get_mut(&session.0) else {
-                    return ServeResponse::Answer(Err(Denial::unknown_session(*session)));
-                };
-                ServeResponse::Answer(
-                    open.downgrade(&Protected::new(secret.clone()), query).map_err(Denial::from),
-                )
-            }
-            ServeRequest::DowngradeBatch { session, secrets, query } => {
-                let Some(open) = self.sessions.get_mut(&session.0) else {
-                    return ServeResponse::Rejected(Denial::unknown_session(*session));
-                };
-                ServeResponse::Answers(
-                    secrets
-                        .iter()
-                        .map(|s| {
-                            open.downgrade(&Protected::new(s.clone()), query)
-                                .map_err(|e| DenialCode::of(&e))
-                        })
-                        .collect(),
-                )
-            }
-            ServeRequest::Knowledge { session, secret } => {
-                let Some(open) = self.sessions.get(&session.0) else {
-                    return ServeResponse::Rejected(Denial::unknown_session(*session));
-                };
-                let knowledge = open.knowledge_of(secret);
-                ServeResponse::Knowledge {
-                    size: knowledge.size(),
-                    encoded: knowledge.domain().encode(),
-                }
-            }
-            ServeRequest::CloseSession { session } => match self.sessions.remove(&session.0) {
-                Some(_) => ServeResponse::SessionClosed { session: *session },
-                None => ServeResponse::Rejected(Denial::unknown_session(*session)),
-            },
-            other => panic!("oracle does not model {other:?}"),
-        }
-    }
 }
 
 proptest! {
@@ -223,28 +115,29 @@ proptest! {
         script in proptest::collection::vec(arb_op(), 0..40),
     ) {
         // Frontend under test: warm deployment, requests submitted across connections,
-        // tick boundaries wherever the script put them.
-        let deployment: Deployment<IntervalDomain> =
-            Deployment::new(layout(), ServeConfig::for_tests());
-        for entry in entries() {
-            deployment.shared().insert_ready(entry.clone());
-        }
+        // tick boundaries and disconnects wherever the script put them.
+        let deployment: Deployment<IntervalDomain> = support::warm_deployment();
         let mut frontend = Frontend::new(deployment);
-        let mut frontend_responses: Vec<ServeResponse> = Vec::new();
+        let mut frontend_responses = Vec::new();
 
         // Oracle: the same requests, one at a time, in the same submission order.
         let mut oracle = Oracle::new();
-        let mut oracle_responses: Vec<ServeResponse> = Vec::new();
+        let mut oracle_responses = Vec::new();
 
         for op in &script {
-            match to_request(op) {
-                Some((conn, request)) => {
-                    oracle_responses.push(oracle.apply(&request));
+            match (op, to_request(op)) {
+                (_, Some((conn, request))) => {
+                    oracle_responses.push(oracle.apply(conn, &request));
                     frontend.submit(conn, request);
                 }
-                None => {
+                (Op::Disconnect { conn }, None) => {
+                    oracle.disconnect(ConnId(*conn));
+                    frontend.disconnect(ConnId(*conn));
+                }
+                (Op::Tick, None) => {
                     frontend_responses.extend(frontend.tick().into_iter().map(|t| t.response));
                 }
+                (other, None) => unreachable!("{other:?} must map to a request"),
             }
         }
         frontend_responses.extend(frontend.tick().into_iter().map(|t| t.response));
@@ -255,5 +148,11 @@ proptest! {
         {
             prop_assert_eq!(got, want, "response {} diverges for {:?}", index, script.get(index));
         }
+        // Disconnect teardown leaks nothing: frontend and oracle agree on what is still open,
+        // and the deployment's opened/closed ledger balances against it.
+        prop_assert_eq!(frontend.open_sessions(), oracle.open_sessions());
+        let cache = frontend.deployment().stats().cache;
+        prop_assert_eq!(cache.sessions_opened - cache.sessions_closed,
+            frontend.open_sessions() as u64);
     }
 }

@@ -1,0 +1,165 @@
+//! Byte-soup fuzzing for the wire layer: arbitrary byte sequences — non-UTF-8, embedded NUL,
+//! CRLF/LF mixes, never-terminated lines — must **error as data**: no panic anywhere, and the
+//! incremental [`LineDecoder`]'s carry-over state must never desync (what it decodes is a pure
+//! function of the concatenated bytes, independent of chunk boundaries, and after any garbage a
+//! well-formed line still decodes).
+//!
+//! The CI `sim-stress` lane re-runs this file with `PROPTEST_CASES=256`.
+
+use anosy_logic::SecretLayout;
+use anosy_serve::wire::{self, DecodedLine, LineDecoder};
+use proptest::prelude::*;
+
+fn layout() -> SecretLayout {
+    SecretLayout::builder().field("x", 0, 400).field("y", 0, 400).build()
+}
+
+/// Bytes biased toward the wire format's structural characters, so the soup regularly forms
+/// almost-lines instead of pure noise.
+fn arb_byte() -> impl Strategy<Value = u8> {
+    prop_oneof![
+        6 => 0u8..=255,
+        2 => Just(b'\n'),
+        1 => Just(b'\r'),
+        1 => Just(0u8),
+        1 => Just(b'='),
+        1 => Just(b' '),
+        1 => Just(b'@'),
+    ]
+}
+
+fn arb_bytes() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(arb_byte(), 0..300)
+}
+
+/// Well-formed request/response lines the mutation fuzzer starts from.
+const SEEDS: [&str; 10] = [
+    "open min-size:100",
+    "register name=q kind=under members=- pred=abs(x - 200) + abs(y - 200) <= 100",
+    "downgrade session=1 query=q secret=300,200",
+    "batch session=1 query=q secrets=300,200;10,10",
+    "count pred=x <= 100",
+    "knowledge session=1 secret=0,0",
+    "ok stats open=1 ticks=2 requests=3 batched=4 largest=5 torn=0 workers=2 entries=1 \
+     sessions=2 closed=0 synth_hits=1 synth_misses=1 warm=0 authorized=1 refused=0",
+    "ok answers true false !policy",
+    "deny policy refused",
+    "ok knowledge size=6837 121..279,179..221",
+];
+
+proptest! {
+    #[test]
+    fn decoding_is_independent_of_chunk_boundaries(
+        bytes in arb_bytes(),
+        cuts in proptest::collection::vec(0usize..300, 0..6),
+        cap in 4usize..64,
+    ) {
+        // Reference: the whole soup in one feed.
+        let mut whole = LineDecoder::with_max_line(cap);
+        let mut expected = whole.feed(&bytes);
+        if let Some(last) = whole.finish() {
+            expected.push(last);
+        }
+
+        // Same soup, arbitrary chunking.
+        let mut cuts: Vec<usize> =
+            cuts.into_iter().map(|c| c.min(bytes.len())).collect();
+        cuts.sort_unstable();
+        let mut chunked = LineDecoder::with_max_line(cap);
+        let mut got = Vec::new();
+        let mut start = 0;
+        for cut in cuts.into_iter().chain([bytes.len()]) {
+            got.extend(chunked.feed(&bytes[start..cut]));
+            // The carry-over buffer is bounded by the cap at every step (+1 for the CRLF
+            // grace byte) — a never-terminated line cannot grow memory.
+            prop_assert!(chunked.buffered() <= cap + 1);
+            start = cut;
+        }
+        if let Some(last) = chunked.finish() {
+            got.push(last);
+        }
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn the_decoder_resyncs_after_any_garbage(bytes in arb_bytes()) {
+        let mut decoder = LineDecoder::with_max_line(64);
+        decoder.feed(&bytes);
+        // Whatever state the soup left behind, a terminator ends it and the next line decodes
+        // cleanly — the carry-over can never desync.
+        let mut tail = decoder.feed(b"\nstats\n");
+        let last = tail.pop().expect("the final line decodes");
+        prop_assert_eq!(last, DecodedLine::Line("stats".to_string()));
+        prop_assert_eq!(decoder.buffered(), 0);
+    }
+
+    #[test]
+    fn parsers_never_panic_on_decoded_soup(bytes in arb_bytes()) {
+        // Run the soup through the decoder and both parsers — errors are fine, panics are not,
+        // and every decoded Line is valid UTF-8 by construction.
+        let mut decoder = LineDecoder::with_max_line(128);
+        let mut lines = decoder.feed(&bytes);
+        if let Some(last) = decoder.finish() {
+            lines.push(last);
+        }
+        for item in lines {
+            if let DecodedLine::Line(line) = item {
+                let _ = wire::parse_request(&line, &layout());
+                let _ = wire::parse_response(&line);
+            }
+        }
+        // The raw soup, lossily decoded, must not panic the parsers either (a transport that
+        // skips the decoder, like the old per-line stdin path).
+        for line in String::from_utf8_lossy(&bytes).lines() {
+            let _ = wire::parse_request(line, &layout());
+            let _ = wire::parse_response(line);
+        }
+    }
+
+    #[test]
+    fn parsers_never_panic_on_mutated_valid_lines(
+        seed in 0usize..SEEDS.len(),
+        mutations in proptest::collection::vec((0usize..200, arb_byte()), 0..4),
+    ) {
+        // Near-misses of real lines probe every token path: flip a few bytes of a valid line
+        // and parse. Any result is acceptable except a panic or a desync.
+        let mut line = SEEDS[seed].as_bytes().to_vec();
+        for (position, byte) in mutations {
+            let index = position % line.len();
+            line[index] = byte;
+        }
+        let mut decoder = LineDecoder::new();
+        line.push(b'\n');
+        for item in decoder.feed(&line) {
+            if let DecodedLine::Line(text) = item {
+                let _ = wire::parse_request(&text, &layout());
+                let _ = wire::parse_response(&text);
+            }
+        }
+        prop_assert_eq!(decoder.buffered(), 0);
+    }
+
+    #[test]
+    fn never_terminated_lines_report_overlong_exactly_once(
+        length in 1usize..600,
+        cap in 4usize..64,
+    ) {
+        let mut decoder = LineDecoder::with_max_line(cap);
+        let soup = vec![b'x'; length];
+        let mut decoded = decoder.feed(&soup);
+        if let Some(last) = decoder.finish() {
+            decoded.push(last);
+        }
+        if length > cap {
+            // One Overlong, the tail swallowed, nothing else.
+            prop_assert_eq!(decoded, vec![DecodedLine::Overlong]);
+        } else {
+            prop_assert_eq!(decoded, vec![DecodedLine::Line("x".repeat(length))]);
+        }
+        // And the decoder is reusable afterwards.
+        prop_assert_eq!(
+            decoder.feed(b"ok\n"),
+            vec![DecodedLine::Line("ok".to_string())]
+        );
+    }
+}

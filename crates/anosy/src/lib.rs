@@ -11,10 +11,12 @@
 //! * [`ifc`] — the LIO-style information-flow substrate;
 //! * [`core`] — knowledge tracking, policies and the bounded downgrade (`AnosySession`);
 //! * [`serve`] — the deployment layer: shared term store + synthesis cache across sessions,
-//!   sharded parallel solver driver, batched downgrades, warm-start persistence, and the
-//!   serving frontend — a sans-IO `Frontend` state machine speaking the typed
-//!   `ServeRequest`/`ServeResponse` protocol (line-codec in `serve::wire`, served over
-//!   stdin/stdout by the `anosy-served` binary) with per-tick downgrade batching;
+//!   sharded parallel solver driver, batched downgrades, warm-start persistence, the serving
+//!   frontend — a sans-IO `Frontend` state machine speaking the typed
+//!   `ServeRequest`/`ServeResponse` protocol (line-codec in `serve::wire`) with per-tick
+//!   downgrade batching — and the event-loop `Server` reactor driving it over a pluggable
+//!   `Transport` (TCP and stdin/stdout in the `anosy-served` binary, plus `SimNet`, the seeded
+//!   deterministic network simulator the chaos tests replay);
 //! * [`suite`] — the paper's evaluation workloads (Mardziel benchmarks, secure advertising).
 //!
 //! The most common items are re-exported at the crate root. See the `examples/` directory for
@@ -68,7 +70,7 @@ pub mod prelude {
     pub use anosy_logic::{IntExpr, Point, Pred, SecretLayout};
     pub use anosy_serve::{
         ConnId, Deployment, Frontend, RequestId, ServeConfig, ServeRequest, ServeResponse,
-        ServeStats, SessionId, ShardPool,
+        ServeStats, Server, ServerConfig, SessionId, ShardPool, SimNet, TcpTransport, Transport,
     };
     pub use anosy_solver::{ExpansionStrategy, Solver, SolverConfig};
     pub use anosy_synth::{ApproxKind, IndSets, QueryDef, QueryRegistry, SynthConfig, Synthesizer};
@@ -89,6 +91,8 @@ mod tests {
         let _ = crate::core::MinSizePolicy::new(1);
         let _ = crate::serve::ServeConfig::for_tests();
         let _ = crate::serve::SessionId(1);
+        let _ = crate::serve::SimNet::new(0);
+        let _ = crate::serve::ServerConfig::new();
         let _ = crate::core::PolicySpec::parse("min-size:100");
         let _ = crate::suite::benchmarks::BenchmarkId::Birthday;
     }
