@@ -162,6 +162,23 @@ impl PolicySpec {
         }
     }
 
+    /// The effective minimum-size threshold this spec enforces: the largest `min-size` atom in
+    /// the spec (conjunctions enforce all their atoms, so the largest one dominates), or `None`
+    /// when no atom bounds the size directly. Entropy atoms are not folded in — they bound a
+    /// different quantity.
+    ///
+    /// Every knowledge a [`Policy::allows`] check passes therefore satisfies
+    /// `size > min_size_bound()`, which is the floor invariant the adversarial probe tests
+    /// assert: however a client walks a secret's range, released knowledge never crosses the
+    /// threshold.
+    pub fn min_size_bound(&self) -> Option<u128> {
+        match self {
+            PolicySpec::AllowAll | PolicySpec::MinEntropyMillibits(_) => None,
+            PolicySpec::MinSize(n) => Some(*n),
+            PolicySpec::All(specs) => specs.iter().filter_map(|s| s.min_size_bound()).max(),
+        }
+    }
+
     fn parse_atom(text: &str) -> Option<PolicySpec> {
         let text = text.trim();
         if text == "allow-all" {
@@ -338,6 +355,28 @@ mod tests {
         assert!(Policy::<IntervalDomain>::allows(&entropy, &knowledge_of_size(129)));
         assert!(!Policy::<IntervalDomain>::allows(&entropy, &knowledge_of_size(128)));
         assert_eq!(Policy::<IntervalDomain>::name(&both), "min-size:5&min-entropy-mb:1000");
+    }
+
+    #[test]
+    fn min_size_bound_reports_the_dominant_size_atom() {
+        assert_eq!(PolicySpec::AllowAll.min_size_bound(), None);
+        assert_eq!(PolicySpec::MinEntropyMillibits(7000).min_size_bound(), None);
+        assert_eq!(PolicySpec::MinSize(2000).min_size_bound(), Some(2000));
+        let conjunction = PolicySpec::parse("min-size:100&min-entropy-mb:2500&min-size:30000");
+        assert_eq!(conjunction.unwrap().min_size_bound(), Some(30_000));
+        // An entropy-only conjunction bounds no size.
+        let entropy_only = PolicySpec::parse("allow-all&min-entropy-mb:1000").unwrap();
+        assert_eq!(entropy_only.min_size_bound(), None);
+
+        // The invariant the probe tests lean on: whatever the spec allows is larger than the
+        // bound it reports.
+        let spec = PolicySpec::parse("min-size:100&min-entropy-mb:1000").unwrap();
+        let bound = spec.min_size_bound().unwrap();
+        for n in [99, 100, 101, 500] {
+            if Policy::<IntervalDomain>::allows(&spec, &knowledge_of_size(n)) {
+                assert!(n as u128 > bound);
+            }
+        }
     }
 
     #[test]

@@ -56,6 +56,22 @@ pub struct FrontendStats {
     /// Sessions torn down because the connection that opened them disconnected
     /// ([`Frontend::disconnect`]) — explicit [`ServeRequest::CloseSession`]s are not counted.
     pub sessions_torn_down: u64,
+    /// Distinct logical connections that submitted at least one request — the tenant count of a
+    /// multi-tenant run (connections that only ever disconnected are not tenants).
+    pub tenants: u64,
+    /// Responses that carried a denial: refused downgrade answers, denied batch elements and
+    /// rejected requests alike. The denial *rate* of a run is this over
+    /// [`FrontendStats::requests`].
+    pub denials: u64,
+}
+
+/// How many denials one response carries (batch answers can carry several).
+fn denials_in(response: &ServeResponse) -> u64 {
+    match response {
+        ServeResponse::Answer(Err(_)) | ServeResponse::Rejected(_) => 1,
+        ServeResponse::Answers(results) => results.iter().filter(|r| r.is_err()).count() as u64,
+        _ => 0,
+    }
 }
 
 /// One queued downgrade of the current run: its position in the tick, plus the request fields.
@@ -125,7 +141,11 @@ impl<D: AbstractDomain> Frontend<D> {
     /// Queues a request; no work happens until [`Frontend::tick`]. Returns the id the matching
     /// response will carry (per-connection sequence numbers, starting at 1).
     pub fn submit(&mut self, conn: ConnId, request: ServeRequest) -> RequestId {
-        let seq = self.conn_seqs.entry(conn).or_insert(0);
+        let stats = &mut self.stats;
+        let seq = self.conn_seqs.entry(conn).or_insert_with(|| {
+            stats.tenants += 1;
+            0
+        });
         *seq += 1;
         let id = RequestId { conn, seq: *seq };
         self.pending.push(Pending::Request(id, request));
@@ -198,7 +218,8 @@ where
         self.flush_run(&mut run, &mut responses);
         self.stats.ticks += 1;
 
-        ids.into_iter()
+        let tagged: Vec<TaggedResponse> = ids
+            .into_iter()
             .zip(responses)
             .filter_map(|(id, response)| {
                 id.map(|request| TaggedResponse {
@@ -206,7 +227,9 @@ where
                     response: response.expect("every request produced a response"),
                 })
             })
-            .collect()
+            .collect();
+        self.stats.denials += tagged.iter().map(|t| denials_in(&t.response)).sum::<u64>();
+        tagged
     }
 
     /// Removes (and drops) every session opened by `conn`; the sessions' own teardown notes
@@ -293,6 +316,25 @@ where
                 ServeResponse::SessionOpened { session: id }
             }
             ServeRequest::RegisterQuery { query, kind, members } => {
+                // Re-registering an identical query is the steady-state pattern when many
+                // tenants each register the slice of a shared palette they use: every open
+                // session already holds the exact cached approximation (sessions opened since
+                // the first registration replayed it from the registry), so the per-session
+                // broadcast would re-install bit-identical `QInfo`s at O(open sessions) cost.
+                // One shared-cache lookup keeps the deployment's hit/miss aggregates honest.
+                if self
+                    .registry
+                    .get(query.name())
+                    .is_some_and(|(q, k, m)| *q == query && *k == kind && *m == members)
+                {
+                    if let Err(e) = self.deployment.register_query(&query, kind, members) {
+                        return ServeResponse::Rejected(Denial::new(
+                            DenialCode::Internal,
+                            e.to_string(),
+                        ));
+                    }
+                    return ServeResponse::QueryRegistered { name: query.name().to_string() };
+                }
                 if let Err(e) = self.deployment.register_query(&query, kind, members) {
                     return ServeResponse::Rejected(Denial::new(
                         DenialCode::Internal,
@@ -358,6 +400,8 @@ where
                 batched_downgrades: self.stats.batched_downgrades,
                 largest_batch: self.stats.largest_batch,
                 sessions_torn_down: self.stats.sessions_torn_down,
+                tenants: self.stats.tenants,
+                denials: self.stats.denials,
                 serve: self.deployment.stats(),
             }),
             ServeRequest::SaveCache { path } => match self.deployment.save_cache(&path) {

@@ -99,6 +99,7 @@ pub mod frontend;
 mod parallel;
 mod persist;
 mod pool;
+pub mod popsim;
 pub mod proto;
 pub mod server;
 pub mod sim;
@@ -112,6 +113,7 @@ pub use frontend::{Frontend, FrontendStats};
 pub use parallel::{par_check_validity, par_count_models, par_is_valid, Sharded};
 pub use persist::{load_entries, save_entries};
 pub use pool::ShardPool;
+pub use popsim::{compile as compile_population, CompileOptions, CompiledPopulation};
 pub use proto::{
     ConnId, Denial, DenialCode, RequestId, ServeRequest, ServeResponse, SessionId, StatsSnapshot,
     TaggedResponse,

@@ -261,6 +261,13 @@ pub struct StatsSnapshot {
     /// Sessions torn down because the connection that opened them disconnected (see
     /// [`Frontend::disconnect`](crate::Frontend::disconnect)).
     pub sessions_torn_down: u64,
+    /// Distinct logical connections that submitted at least one request (the tenant count of a
+    /// multi-tenant run).
+    pub tenants: u64,
+    /// Responses that carried a denial (refused answers, denied batch elements, rejections),
+    /// counted at the end of each tick — a snapshot taken mid-tick reports the ticks completed
+    /// so far, like [`StatsSnapshot::ticks`] itself.
+    pub denials: u64,
     /// The deployment aggregates (cache hits, downgrade outcomes, workers).
     pub serve: ServeStats,
 }

@@ -463,7 +463,7 @@ where
     }
 
     /// Logged per-connection denials (I/O failures downgraded to connection closes): the most
-    /// recent [`Self::IO_LOG_CAP`] entries. Each is also written to stderr as it happens.
+    /// recent `IO_LOG_CAP` entries. Each is also written to stderr as it happens.
     pub fn io_log(&self) -> &[String] {
         &self.io_log
     }

@@ -342,15 +342,17 @@ pub fn encode_response(response: &ServeResponse) -> String {
             format!("ok knowledge size={size} {encoded}")
         }
         ServeResponse::Stats(s) => format!(
-            "ok stats open={} ticks={} requests={} batched={} largest={} torn={} workers={} \
-             entries={} sessions={} closed={} synth_hits={} synth_misses={} warm={} \
-             authorized={} refused={}",
+            "ok stats open={} ticks={} requests={} batched={} largest={} torn={} tenants={} \
+             denied={} workers={} entries={} sessions={} closed={} synth_hits={} synth_misses={} \
+             warm={} authorized={} refused={}",
             s.open_sessions,
             s.ticks,
             s.requests,
             s.batched_downgrades,
             s.largest_batch,
             s.sessions_torn_down,
+            s.tenants,
+            s.denials,
             s.serve.workers,
             s.serve.entries,
             s.serve.cache.sessions_opened,
@@ -579,6 +581,8 @@ pub fn parse_response(line: &str) -> Result<ServeResponse, WireError> {
                     batched_downgrades: parse_counter(rest, "batched=")?,
                     largest_batch: parse_counter(rest, "largest=")?,
                     sessions_torn_down: parse_counter(rest, "torn=")?,
+                    tenants: parse_counter(rest, "tenants=")?,
+                    denials: parse_counter(rest, "denied=")?,
                     serve: ServeStats {
                         workers: parse_counter(rest, "workers=")?,
                         entries: parse_counter(rest, "entries=")?,
@@ -740,6 +744,8 @@ mod tests {
                 batched_downgrades: 9,
                 largest_batch: 4,
                 sessions_torn_down: 1,
+                tenants: 3,
+                denials: 2,
                 serve: ServeStats {
                     workers: 4,
                     entries: 1,

@@ -314,6 +314,72 @@ fn a_bad_peers_io_error_closes_only_its_connection() {
     assert_eq!(cache.sessions_closed, 2);
 }
 
+// ---------------------------------------------------------------------------
+// Scenario 5: an adversarial client probes its secret until refused — it climbs the geometric
+// threshold ladder (`x <= c`), each committed `false` answer halving its own remaining
+// uncertainty, until the min-size policy refuses; the refusal must be stable under repeats
+// and the client's knowledge must stay above the policy threshold.
+// ---------------------------------------------------------------------------
+
+/// The adversary's secret: above every ladder threshold, so the walk answers `false` all the
+/// way up and each commit shrinks the posterior.
+const PROBE_SECRET: (i64, i64) = (399, 123);
+
+fn probe_until_refused(sim: &mut SimNet) -> Vec<Token> {
+    let c0 = sim.connect(0);
+    let registers: String = (0..support::PROBE_THRESHOLDS.len())
+        .map(|i| {
+            let q = support::probe_query(i);
+            format!("register name={} kind=under members=- pred={}\n", q.name(), q.pred())
+        })
+        .collect();
+    sim.send(c0, 0, registers);
+    sim.send(c0, 1000, "open min-size:2000\n"); // session 1
+    let (x, y) = PROBE_SECRET;
+    let mut at = 2000;
+    for i in 0..support::PROBE_THRESHOLDS.len() {
+        let q = support::probe_query(i);
+        sim.send(c0, at, format!("downgrade session=1 query={} secret={x},{y}\n", q.name()));
+        at += 1000;
+    }
+    // Hammer the refused rung twice more: a refusal must not change knowledge, so it must
+    // keep refusing identically.
+    let last = support::probe_query(support::PROBE_THRESHOLDS.len() - 1);
+    for _ in 0..2 {
+        sim.send(c0, at, format!("downgrade session=1 query={} secret={x},{y}\n", last.name()));
+        at += 1000;
+    }
+    sim.send(c0, at, format!("knowledge session=1 secret={x},{y}\n"));
+    sim.half_close(c0, at + 1000);
+    vec![c0]
+}
+
+#[test]
+fn an_adversary_probing_until_refused_is_stopped_at_the_policy_floor() {
+    let seed = base_seed().wrapping_add(4);
+    assert_replays_byte_identically(seed, false, probe_until_refused);
+    let (server, clients) = run_scenario(seed, false, probe_until_refused);
+    assert_matches_oracle(&server);
+
+    let text = server.transport().received_text(clients[0]);
+    let payloads: Vec<&str> =
+        text.lines().map(|line| line.split_once(' ').expect("id-prefixed response").1).collect();
+    let ladder = support::PROBE_THRESHOLDS.len();
+    // Registers + open, then the walk: every rung below the secret answers `false` until the
+    // committed posterior is one halving away from the policy floor — then the policy refuses.
+    let answers = payloads.iter().filter(|p| **p == "ok answer false").count();
+    let denials: Vec<&&str> = payloads.iter().filter(|p| p.starts_with("deny policy")).collect();
+    assert_eq!(answers, ladder - 1, "all but the last rung are authorized");
+    assert_eq!(denials.len(), 3, "the last rung and both repeats are refused");
+    assert!(payloads.iter().all(|p| *p != "ok answer true"), "the walk never brackets the secret");
+    // Refusals are stable: knowledge is unchanged on refusal, so the repeats deny identically.
+    assert!(denials.iter().all(|d| **d == *denials[0]), "{denials:?}");
+    // The knowledge checkpoint: the committed posterior (393 < x <= 400, y free) stays above
+    // the min-size floor of 2000 — the ladder cannot push the adversary past the policy.
+    let knowledge = payloads.iter().find(|p| p.starts_with("ok knowledge")).expect("checkpoint");
+    assert!(knowledge.starts_with("ok knowledge size=2807 "), "{knowledge}");
+}
+
 /// The acceptance criterion's replay clause, across a spread of derived seeds in one go:
 /// whatever the seed does to chunking and interleaving, every scenario stays oracle-equal.
 #[test]
@@ -327,6 +393,8 @@ fn every_scenario_matches_the_oracle_across_a_seed_spread() {
         let (server, _) = run_scenario(seed, false, reconnect_after_drop);
         assert_matches_oracle(&server);
         let (server, _) = run_scenario(seed, false, one_bad_peer);
+        assert_matches_oracle(&server);
+        let (server, _) = run_scenario(seed, true, probe_until_refused);
         assert_matches_oracle(&server);
     }
 }

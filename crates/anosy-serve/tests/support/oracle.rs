@@ -33,6 +33,12 @@ pub fn layout() -> SecretLayout {
 /// Origins of the palette's `nearby` queries.
 pub const ORIGINS: [(i64, i64); 3] = [(200, 200), (300, 200), (150, 260)];
 
+/// Thresholds of the probe ladder (`x <= c`): the ascending walk the adversarial
+/// probe-until-refused scenario in `sim_chaos.rs` climbs until the policy denies. The steps
+/// are geometric (each rung halves the remaining headroom), so for a secret above every
+/// threshold each committed `false` posterior shrinks until a min-size policy must refuse.
+pub const PROBE_THRESHOLDS: [i64; 7] = [200, 300, 350, 375, 387, 393, 396];
+
 /// The `index`-th palette query.
 pub fn query(index: usize) -> QueryDef {
     let (xo, yo) = ORIGINS[index];
@@ -40,7 +46,14 @@ pub fn query(index: usize) -> QueryDef {
     QueryDef::new(format!("nearby_{xo}_{yo}"), layout(), pred).unwrap()
 }
 
-/// The palette, synthesized once per process and exported as warm-start entries.
+/// The `index`-th probe-ladder query: `x <= PROBE_THRESHOLDS[index]`.
+pub fn probe_query(index: usize) -> QueryDef {
+    let c = PROBE_THRESHOLDS[index];
+    QueryDef::new(format!("probe_le_{c}"), layout(), IntExpr::var(0).le(c)).unwrap()
+}
+
+/// The palette (nearby queries plus the probe ladder), synthesized once per test process and
+/// exported as warm-start entries.
 pub fn entries() -> &'static Vec<SharedCacheEntry<IntervalDomain>> {
     static ENTRIES: OnceLock<Vec<SharedCacheEntry<IntervalDomain>>> = OnceLock::new();
     ENTRIES.get_or_init(|| {
@@ -48,6 +61,9 @@ pub fn entries() -> &'static Vec<SharedCacheEntry<IntervalDomain>> {
             Deployment::new(layout(), ServeConfig::for_tests());
         for index in 0..ORIGINS.len() {
             deployment.register_query(&query(index), ApproxKind::Under, None).unwrap();
+        }
+        for index in 0..PROBE_THRESHOLDS.len() {
+            deployment.register_query(&probe_query(index), ApproxKind::Under, None).unwrap();
         }
         deployment.shared().export_entries()
     })
@@ -78,6 +94,8 @@ pub fn warm_deployment() -> Deployment<IntervalDomain> {
 /// the sessions a connection opened, at the position the disconnect holds in the request
 /// sequence.
 pub struct Oracle {
+    layout: SecretLayout,
+    palette: Vec<SharedCacheEntry<IntervalDomain>>,
     /// Session id → (the connection that opened it, the session).
     sessions: BTreeMap<u64, (ConnId, AnosySession<IntervalDomain>)>,
     registry: Vec<(QueryDef, IndSets<IntervalDomain>)>,
@@ -91,9 +109,29 @@ impl Default for Oracle {
 }
 
 impl Oracle {
-    /// An oracle with no sessions and no registered queries.
+    /// An oracle with no sessions and no registered queries, over the shared test palette.
     pub fn new() -> Oracle {
-        Oracle { sessions: BTreeMap::new(), registry: Vec::new(), next_session: 0 }
+        Oracle::with_palette(layout(), entries().clone())
+    }
+
+    /// An oracle over an arbitrary layout and approximation palette — the population simulator
+    /// hands in the exact entries the system under test synthesized, so both replay on
+    /// provably identical approximations.
+    pub fn with_palette(
+        layout: SecretLayout,
+        palette: Vec<SharedCacheEntry<IntervalDomain>>,
+    ) -> Oracle {
+        Oracle { layout, palette, sessions: BTreeMap::new(), registry: Vec::new(), next_session: 0 }
+    }
+
+    /// The palette's synthesized ind. sets for `q` (panics for non-palette queries).
+    fn palette_indsets(&self, q: &QueryDef) -> IndSets<IntervalDomain> {
+        self.palette
+            .iter()
+            .find(|e| &e.pred == q.pred())
+            .expect("palette entry exists")
+            .indsets
+            .clone()
     }
 
     /// Sessions currently open — must equal the system under test's `open_sessions` after any
@@ -112,7 +150,7 @@ impl Oracle {
         match request {
             ServeRequest::OpenSession { policy } => {
                 self.next_session += 1;
-                let mut session = AnosySession::new(layout(), policy.clone());
+                let mut session = AnosySession::new(self.layout.clone(), policy.clone());
                 for (query, indsets) in &self.registry {
                     session.register(QInfo::new(query.clone(), indsets.clone()));
                 }
@@ -120,7 +158,13 @@ impl Oracle {
                 ServeResponse::SessionOpened { session: SessionId(self.next_session) }
             }
             ServeRequest::RegisterQuery { query, .. } => {
-                let indsets = indsets_of(query);
+                // Mirrors the frontend's identical-re-registration fast path: sessions
+                // already hold the query (broadcast at first registration, registry replay
+                // at open), so the broadcast is skipped.
+                if self.registry.iter().any(|(q, _)| q == query) {
+                    return ServeResponse::QueryRegistered { name: query.name().to_string() };
+                }
+                let indsets = self.palette_indsets(query);
                 for (_, session) in self.sessions.values_mut() {
                     session.register(QInfo::new(query.clone(), indsets.clone()));
                 }

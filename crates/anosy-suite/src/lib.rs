@@ -10,7 +10,11 @@
 //!   against a 400×400 secret location under the `size > 100` policy, measuring how many queries
 //!   each powerset size authorizes (Fig. 6);
 //! * [`baseline`] — a forward abstract-interpretation baseline standing in for Prob (Mardziel et
-//!   al.'s probabilistic abstract interpreter), used for the §6.1 precision/runtime discussion.
+//!   al.'s probabilistic abstract interpreter), used for the §6.1 precision/runtime discussion;
+//! * [`population`] — the multi-tenant population simulator: a seeded generator of macro-scale
+//!   heterogeneous serving workloads (Zipf-skewed query popularity, per-tenant policy mixes,
+//!   session churn, adversarial probe-until-refused clients) that `anosy-serve` compiles into
+//!   deterministic `SimNet` runs and the bench harness turns into macro-benchmark rows.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -18,7 +22,12 @@
 pub mod advertising;
 pub mod baseline;
 pub mod benchmarks;
+pub mod population;
 
 pub use advertising::{run_advertising, AdvertisingConfig, AdvertisingOutcome};
 pub use baseline::{ai_posterior, BaselineComparison};
 pub use benchmarks::{all_benchmarks, Benchmark, BenchmarkId};
+pub use population::{
+    PolicyMix, Population, PopulationConfig, PopulationLayout, QueryPopularity, Skew, Tenant,
+    TenantAction,
+};

@@ -1,0 +1,99 @@
+//! Properties of the population generator: the contracts every consumer (the tier-1
+//! simulation tests, the paper-scale sweep, the macro-benchmark) leans on.
+//!
+//! * **Determinism** — the same [`PopulationConfig`] generates a byte-identical population;
+//!   replay and the BENCH rows are meaningless without it.
+//! * **Skew shape** — popularity weights are monotone non-increasing in rank, for every skew,
+//!   so "rank 0 is the hot query" holds by construction and the synth-cache hit-rate signal
+//!   measures what it claims to.
+//! * **Policy wire-safety** — every generated tenant policy survives the wire:
+//!   `PolicySpec::parse` inverts `Display`, so the compiled `open` lines mean what the
+//!   generator drew.
+
+use anosy_core::PolicySpec;
+use anosy_suite::population::{Population, PopulationConfig, PopulationLayout, Skew};
+use proptest::prelude::*;
+
+fn arb_skew() -> impl Strategy<Value = Skew> {
+    prop_oneof![Just(Skew::Uniform), Just(Skew::Zipf), Just(Skew::Sharp)]
+}
+
+fn arb_layout() -> impl Strategy<Value = PopulationLayout> {
+    prop_oneof![
+        (64i64..=512).prop_map(|side| PopulationLayout::Grid { side }),
+        (64i64..=4096).prop_map(|len| PopulationLayout::Strip { len }),
+    ]
+}
+
+fn arb_config() -> impl Strategy<Value = PopulationConfig> {
+    (0u64..1 << 48, 1usize..40, 1usize..12, arb_skew(), arb_layout(), 0u32..400).prop_map(
+        |(seed, tenants, palette, skew, layout, adversary_permille)| {
+            PopulationConfig::small(seed)
+                .with_tenants(tenants)
+                .with_palette(palette)
+                .with_skew(skew)
+                .with_layout(layout)
+                .with_adversaries(adversary_permille, 2_000)
+        },
+    )
+}
+
+proptest! {
+    /// Same config ⇒ byte-identical population, independently of when or where it is built.
+    #[test]
+    fn the_same_seed_generates_a_byte_identical_population(config in arb_config()) {
+        let first = Population::generate(&config);
+        let second = Population::generate(&config);
+        prop_assert_eq!(first.fingerprint(), second.fingerprint());
+    }
+
+    /// Popularity never increases with rank, whatever the skew — the head stays the head.
+    #[test]
+    fn popularity_weights_are_monotone_non_increasing(
+        skew in arb_skew(),
+        ranks in 1usize..64,
+    ) {
+        let popularity = anosy_suite::population::QueryPopularity::new(skew, ranks);
+        let weights = popularity.weights();
+        prop_assert_eq!(weights.len(), ranks);
+        for pair in weights.windows(2) {
+            prop_assert!(pair[0] >= pair[1], "rank weights must not increase: {:?}", weights);
+        }
+        prop_assert!(*weights.last().unwrap() > 0, "every rank keeps positive mass");
+    }
+
+    /// Every policy the generator hands a tenant survives the wire round-trip.
+    #[test]
+    fn generated_policies_round_trip_through_their_text_form(config in arb_config()) {
+        let population = Population::generate(&config);
+        for tenant in &population.tenants {
+            let text = tenant.policy.to_string();
+            let reparsed = PolicySpec::parse(&text);
+            prop_assert_eq!(
+                reparsed.as_ref(),
+                Some(&tenant.policy),
+                "policy `{}` did not round-trip",
+                text
+            );
+        }
+    }
+
+    /// Secrets stay inside the layout and adversarial secrets sit above the whole probe
+    /// ladder — the precondition for the deny-at-the-floor guarantee the chaos tests assert.
+    #[test]
+    fn adversarial_secrets_clear_every_probe_threshold(config in arb_config()) {
+        let population = Population::generate(&config);
+        let extent = config.layout.extent();
+        let ladder = anosy_suite::population::probe_thresholds(
+            config.layout.extent(),
+            config.probe_steps,
+        );
+        for tenant in population.tenants.iter().filter(|t| t.adversarial) {
+            let x = tenant.secret.get(0).expect("population secrets have an x field");
+            prop_assert!((0..=extent).contains(&x));
+            for &threshold in &ladder {
+                prop_assert!(x > threshold, "adversary at x={x} below rung {threshold}");
+            }
+        }
+    }
+}

@@ -725,6 +725,200 @@ pub fn sanity_check_domains(layout: &SecretLayout) -> (u128, u128) {
     (IntervalDomain::top(layout).size(), PowersetDomain::top(layout).size())
 }
 
+/// One macro-benchmark row: a full simulated tenant population (`anosy_suite::population`)
+/// compiled onto a `SimNet` schedule and driven end-to-end through the wire protocol against a
+/// **cold** deployment — synthesis misses are part of the measured workload, so the cache hit
+/// rate reflects the popularity skew instead of a pre-warmed palette.
+#[derive(Debug, Clone)]
+pub struct PopulationRow {
+    /// Popularity skew of the run (`uniform` / `zipf` / `sharp`).
+    pub label: String,
+    /// Simulated tenants (one connection + one session each).
+    pub tenants: usize,
+    /// Ranked palette queries the population draws from (plus the adversarial probe ladder).
+    pub palette: usize,
+    /// Distinct queries any tenant actually used — under skew, far fewer than the palette.
+    pub distinct_queries: usize,
+    /// Protocol requests scheduled (opens, registers, downgrades, knowledge probes, closes).
+    pub requests: usize,
+    /// Worker threads in the deployment pool.
+    pub workers: usize,
+    /// Wall-clock of the whole replay, including cold synthesis.
+    pub seconds: f64,
+    /// End-to-end requests per second through the event loop.
+    pub requests_per_second: f64,
+    /// Frontend ticks the reactor ran.
+    pub ticks: u64,
+    /// Registrations answered from the shared synthesis cache.
+    pub synth_hits: u64,
+    /// Registrations that ran the full synthesize-and-verify pipeline.
+    pub synth_misses: u64,
+    /// `synth_hits / (synth_hits + synth_misses)` over every cache lookup, including the
+    /// registry replay each session open performs (dominant at high tenant counts).
+    pub synth_hit_rate: f64,
+    /// `RegisterQuery` requests the population scheduled.
+    pub register_requests: usize,
+    /// `1 - synth_misses / register_requests` — the skew signal proper: each register request
+    /// triggers exactly one cache lookup and each miss synthesizes one distinct query, so a
+    /// Zipf head (fewer distinct queries across the same register stream) converges the cold
+    /// cache after fewer misses.
+    pub register_hit_rate: f64,
+    /// Denials across all responses (refused downgrades + rejected requests).
+    pub denials: u64,
+    /// `denials / requests`.
+    pub denial_rate: f64,
+    /// Sessions still open at drain — the population's lingering tenants, exactly.
+    pub open_at_drain: usize,
+}
+
+/// Drives one population per skew through the full serving stack and measures it.
+///
+/// Generation determinism is asserted before anything is timed (the same config must
+/// fingerprint-identically twice — a row from an unreproducible workload is worthless); the
+/// element-wise oracle equivalence of the very same compile-and-replay path is covered by
+/// `anosy-serve`'s `population_sim.rs` / `population_scale.rs` tiers.
+pub fn population_rows(
+    seed: u64,
+    tenants: usize,
+    palette: usize,
+    workers: usize,
+    synth_config: &SynthConfig,
+) -> Vec<PopulationRow> {
+    use anosy::serve::popsim::{self, CompileOptions};
+    use anosy::serve::{Frontend, ServeConfig, Server, ServerConfig};
+    use anosy::suite::population::{Population, PopulationConfig, Skew, TenantAction};
+
+    [(Skew::Uniform, "uniform"), (Skew::Zipf, "zipf"), (Skew::Sharp, "sharp")]
+        .into_iter()
+        .map(|(skew, label)| {
+            let config = PopulationConfig::paper(seed)
+                .with_tenants(tenants)
+                .with_palette(palette)
+                .with_skew(skew)
+                .with_waves(tenants.div_ceil(50).max(1));
+            let population = Population::generate(&config);
+            assert_eq!(
+                population.fingerprint(),
+                Population::generate(&config).fingerprint(),
+                "population generation must be deterministic before it is worth timing"
+            );
+
+            let options = CompileOptions::new(seed ^ 0xbe7c)
+                .with_max_chunk(64)
+                .with_max_delay(2)
+                .with_ticks_per_window(4);
+            let compiled = popsim::compile(&population, &options);
+            let serve_config =
+                ServeConfig::new().with_workers(workers).with_synth(synth_config.clone());
+            let deployment = popsim::cold_deployment(&population, &serve_config);
+            let mut server = Server::new(
+                Frontend::new(deployment),
+                compiled.net,
+                ServerConfig::new().ticked(true),
+            );
+            let started = Instant::now();
+            server.run();
+            let elapsed = started.elapsed();
+
+            let frontend = server.frontend().stats();
+            assert_eq!(frontend.tenants, population.tenants.len() as u64);
+            let cache = server.frontend().deployment().stats().cache;
+            let (_, _, lingering) = population.exit_profile();
+            assert_eq!(server.frontend().open_sessions(), lingering, "session leak at drain");
+            let register_requests = population
+                .tenants
+                .iter()
+                .flat_map(|t| t.bursts.iter().flatten())
+                .filter(|a| matches!(a, TenantAction::Register { .. }))
+                .count();
+
+            PopulationRow {
+                label: label.to_string(),
+                tenants: population.tenants.len(),
+                palette,
+                distinct_queries: population.distinct_queries_used(),
+                requests: compiled.requests,
+                workers,
+                seconds: elapsed.as_secs_f64(),
+                requests_per_second: compiled.requests as f64 / elapsed.as_secs_f64().max(1e-12),
+                ticks: frontend.ticks,
+                synth_hits: cache.synth_hits,
+                synth_misses: cache.synth_misses,
+                synth_hit_rate: cache.hit_ratio(),
+                register_requests,
+                register_hit_rate: 1.0
+                    - cache.synth_misses as f64 / register_requests.max(1) as f64,
+                denials: frontend.denials,
+                denial_rate: frontend.denials as f64 / compiled.requests.max(1) as f64,
+                open_at_drain: lingering,
+            }
+        })
+        .collect()
+}
+
+/// Renders population rows as aligned text.
+pub fn render_population(rows: &[PopulationRow]) -> String {
+    let mut out = String::from(
+        "Skew     Tenants  Palette  Used  Requests  Seconds    req/s     Reg hit   Denials  Open\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<8} {:>7}  {:>7}  {:>4}  {:>8}  {:>8.3}  {:>9.0}  {:>7.1}%  {:>7}  {:>4}\n",
+            r.label,
+            r.tenants,
+            r.palette,
+            r.distinct_queries,
+            r.requests,
+            r.seconds,
+            r.requests_per_second,
+            r.register_hit_rate * 100.0,
+            r.denials,
+            r.open_at_drain,
+        ));
+    }
+    out
+}
+
+/// Renders population rows as the `BENCH_pr6.json` document.
+pub fn population_rows_to_json(rows: &[PopulationRow], analysis: &str) -> String {
+    let mut out = String::from("{\n  \"figure\": \"population_macro\",\n");
+    out.push_str(&format!("  \"host_parallelism\": {},\n", host_parallelism()));
+    out.push_str(&format!("  \"analysis\": \"{}\",\n", json_escape(analysis)));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\"skew\": \"{}\", \"tenants\": {}, \"palette\": {}, ",
+                "\"distinct_queries\": {}, \"requests\": {}, \"workers\": {}, ",
+                "\"seconds\": {:.6}, \"requests_per_second\": {:.1}, \"ticks\": {}, ",
+                "\"synth_hits\": {}, \"synth_misses\": {}, \"synth_hit_rate\": {:.4}, ",
+                "\"register_requests\": {}, \"register_hit_rate\": {:.4}, ",
+                "\"denials\": {}, \"denial_rate\": {:.4}, \"open_at_drain\": {}}}{}\n"
+            ),
+            json_escape(&r.label),
+            r.tenants,
+            r.palette,
+            r.distinct_queries,
+            r.requests,
+            r.workers,
+            r.seconds,
+            r.requests_per_second,
+            r.ticks,
+            r.synth_hits,
+            r.synth_misses,
+            r.synth_hit_rate,
+            r.register_requests,
+            r.register_hit_rate,
+            r.denials,
+            r.denial_rate,
+            r.open_at_drain,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
