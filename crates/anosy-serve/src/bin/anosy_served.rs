@@ -25,10 +25,17 @@
 //!   connection teardown, so scripted transcripts control batching; the default ticks after
 //!   every request line;
 //! * `--listen ADDR` — serve TCP connections on `ADDR` instead of stdin/stdout (port 0 picks a
-//!   free port; the bound address is announced as a `# listening on ...` line on stdout);
+//!   free port; the bound address is announced as a `# listening on ...` line on stdout).
+//!   Sockets are served readiness-based ([`anosy_serve::PollTransport`]: epoll where the
+//!   platform has it, the portable sleep loop otherwise) — responses are byte-identical either
+//!   way;
 //! * `--accept N` — with `--listen`: exit after `N` connections have been served (tests);
 //! * `--tick-ms MS` — with `--listen --ticked`: quiescence timer, ticking pending work after
-//!   `MS` milliseconds of idleness.
+//!   `MS` milliseconds of idleness;
+//! * `--reactors N` — with `--listen`: shard connections across `N` reactor threads over the
+//!   one shared deployment ([`anosy_serve::ReactorPool`]; arrival-order hash assignment,
+//!   connection-scoped session ids, responses invariant under `N`). Default `1`: the
+//!   standalone single-reactor server.
 //!
 //! Input lines starting with `#` are comments. A line may carry an explicit logical connection
 //! as `@<conn> <request>`; bare lines ride the transport connection's own id (stdin: 0, sockets:
@@ -42,8 +49,8 @@ use anosy_core::SynthesizeInto;
 use anosy_domains::{IntervalDomain, PowersetDomain};
 use anosy_logic::SecretLayout;
 use anosy_serve::{
-    wire, Deployment, Frontend, ServeConfig, Server, ServerConfig, StdioTransport, TcpTransport,
-    Transport,
+    reactor, wire, Deployment, Frontend, PollTransport, ReactorPool, ServeConfig, Server,
+    ServerConfig, StdioTransport, Transport,
 };
 use anosy_synth::DomainCodec;
 use std::io::Write;
@@ -60,13 +67,15 @@ struct Options {
     listen: Option<String>,
     accept: Option<usize>,
     tick_ms: Option<u64>,
+    reactors: u64,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: anosy-served --layout \"x:0:400 y:0:400\" [--domain interval|powerset] \
          [--workers N] [--box-memo-min-depth N] [--warm-start PATH [--verify-on-load]] \
-         [--save-on-exit PATH] [--ticked] [--listen ADDR [--accept N] [--tick-ms MS]]"
+         [--save-on-exit PATH] [--ticked] \
+         [--listen ADDR [--accept N] [--tick-ms MS] [--reactors N]]"
     );
     std::process::exit(2);
 }
@@ -83,6 +92,7 @@ fn parse_options() -> Options {
     let mut listen = None;
     let mut accept = None;
     let mut tick_ms = None;
+    let mut reactors = 1u64;
     let mut i = 0;
     let value = |i: &mut usize| -> String {
         *i += 1;
@@ -114,12 +124,18 @@ fn parse_options() -> Options {
             "--listen" => listen = Some(value(&mut i)),
             "--accept" => accept = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
             "--tick-ms" => tick_ms = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
+            "--reactors" => {
+                reactors = value(&mut i).parse().unwrap_or_else(|_| usage());
+                if reactors == 0 {
+                    usage();
+                }
+            }
             _ => usage(),
         }
         i += 1;
     }
     let Some(layout) = layout else { usage() };
-    if (accept.is_some() || tick_ms.is_some()) && listen.is_none() {
+    if (accept.is_some() || tick_ms.is_some() || reactors > 1) && listen.is_none() {
         usage();
     }
     Options {
@@ -133,6 +149,7 @@ fn parse_options() -> Options {
         listen,
         accept,
         tick_ms,
+        reactors,
     }
 }
 
@@ -165,13 +182,43 @@ where
         .expect("stdout is writable");
     }
 
-    let frontend = Frontend::new(deployment);
     let server_config = ServerConfig::new().ticked(options.ticked);
     match &options.listen {
+        // The reactor pool: an acceptor thread routes connections to N readiness-based
+        // reactor shards over the one shared deployment.
+        Some(addr) if options.reactors > 1 => {
+            let tick_interval = options.tick_ms.map(Duration::from_millis);
+            let listener = std::net::TcpListener::bind(addr).unwrap_or_else(|e| {
+                eprintln!("anosy-served: cannot listen on {addr}: {e}");
+                std::process::exit(1);
+            });
+            match listener.local_addr() {
+                Ok(bound) => writeln!(out, "# listening on {bound} reactors={}", options.reactors),
+                Err(e) => writeln!(out, "# listening (address unavailable: {e})"),
+            }
+            .expect("stdout is writable");
+            out.flush().expect("stdout is flushable");
+            drop(out);
+            let pool = ReactorPool::new(options.reactors).with_config(server_config);
+            let servers = pool
+                .serve(&deployment, listener, options.accept, tick_interval)
+                .unwrap_or_else(|e| {
+                    eprintln!("anosy-served: cannot set up the reactor pool: {e}");
+                    std::process::exit(1);
+                });
+            let folded = reactor::fold_stats(
+                &servers.iter().map(|s| s.frontend().snapshot()).collect::<Vec<_>>(),
+            );
+            eprintln!(
+                "# pool drained: reactors={} requests={} open={} denied={}",
+                options.reactors, folded.requests, folded.open_sessions, folded.denials
+            );
+            save_on_exit(&deployment, &options);
+        }
         Some(addr) => {
             let tick_interval = options.tick_ms.map(Duration::from_millis);
-            let transport =
-                TcpTransport::bind(addr, options.accept, tick_interval).unwrap_or_else(|e| {
+            let transport = PollTransport::bind(addr, options.accept, tick_interval)
+                .unwrap_or_else(|e| {
                     eprintln!("anosy-served: cannot listen on {addr}: {e}");
                     std::process::exit(1);
                 });
@@ -182,14 +229,32 @@ where
             .expect("stdout is writable");
             out.flush().expect("stdout is flushable");
             drop(out);
-            let mut server = Server::new(frontend, transport, server_config);
+            let mut server = Server::new(Frontend::new(deployment), transport, server_config);
             finish(&mut server, &options);
         }
         None => {
             drop(out);
-            let mut server = Server::new(frontend, StdioTransport::new(), server_config);
+            let mut server =
+                Server::new(Frontend::new(deployment), StdioTransport::new(), server_config);
             finish(&mut server, &options);
         }
+    }
+}
+
+/// Persists the synthesis cache when `--save-on-exit` asked for it.
+fn save_on_exit<D>(deployment: &Deployment<D>, options: &Options)
+where
+    D: DomainCodec + SynthesizeInto + Send + Sync + 'static,
+{
+    if let Some(path) = &options.save_on_exit {
+        let stdout = std::io::stdout();
+        let mut out = stdout.lock();
+        match deployment.save_cache(path) {
+            Ok(entries) => writeln!(out, "# saved entries={entries}"),
+            Err(e) => writeln!(out, "# save failed: {e}"),
+        }
+        .expect("stdout is writable");
+        out.flush().expect("stdout is flushable");
     }
 }
 
@@ -201,14 +266,5 @@ where
     T: Transport,
 {
     server.run();
-    if let Some(path) = &options.save_on_exit {
-        let stdout = std::io::stdout();
-        let mut out = stdout.lock();
-        match server.frontend().deployment().save_cache(path) {
-            Ok(entries) => writeln!(out, "# saved entries={entries}"),
-            Err(e) => writeln!(out, "# save failed: {e}"),
-        }
-        .expect("stdout is writable");
-        out.flush().expect("stdout is flushable");
-    }
+    save_on_exit(server.frontend().deployment(), options);
 }

@@ -10,6 +10,7 @@ use anosy_solver::{SolverConfig, SolverError, ValidityOutcome};
 use anosy_synth::{ApproxKind, DomainCodec, QueryDef, Synthesizer};
 use std::fmt;
 use std::path::Path;
+use std::sync::Arc;
 
 /// What a [`Deployment::warm_start_verified`] load accomplished.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -72,18 +73,32 @@ pub struct Deployment<D: AbstractDomain> {
     layout: SecretLayout,
     config: ServeConfig,
     shared: SharedSynthCache<D>,
-    pool: ShardPool,
+    pool: Arc<ShardPool>,
 }
 
 impl<D: AbstractDomain> Deployment<D> {
     /// Creates a deployment serving secrets of `layout`.
     pub fn new(layout: SecretLayout, config: ServeConfig) -> Self {
-        let pool = ShardPool::new(config.workers);
+        let pool = Arc::new(ShardPool::new(config.workers));
         let store = match config.box_memo_min_depth {
             Some(depth) => TermStore::with_min_memo_depth(depth),
             None => TermStore::new(),
         };
         Deployment { layout, config, shared: SharedSynthCache::with_store(store), pool }
+    }
+
+    /// Another handle onto the *same* deployment: the shared store + synthesis cache, the
+    /// worker pool and the aggregate counters are all one underlying object, only the handle is
+    /// new. This is how a [`crate::ReactorPool`] gives each reactor shard its own
+    /// [`crate::Frontend`] while every shard registers, synthesizes and accounts against one
+    /// deployment — the single-flight cache makes cross-shard synthesis race-free.
+    pub fn share(&self) -> Deployment<D> {
+        Deployment {
+            layout: self.layout.clone(),
+            config: self.config.clone(),
+            shared: self.shared.clone(),
+            pool: Arc::clone(&self.pool),
+        }
     }
 
     /// The secret layout this deployment serves.

@@ -107,6 +107,11 @@ pub struct Frontend<D: AbstractDomain> {
     next_session: u64,
     next_conn: u64,
     conn_seqs: HashMap<ConnId, u64>,
+    /// Per-connection open counts, used by the conn-scoped session-id mode.
+    conn_opens: HashMap<ConnId, u64>,
+    conn_scoped: bool,
+    reactors: u64,
+    shard: u64,
     stats: FrontendStats,
 }
 
@@ -121,8 +126,32 @@ impl<D: AbstractDomain> Frontend<D> {
             next_session: 0,
             next_conn: 0,
             conn_seqs: HashMap::new(),
+            conn_opens: HashMap::new(),
+            conn_scoped: false,
+            reactors: 1,
+            shard: 0,
             stats: FrontendStats::default(),
         }
+    }
+
+    /// Switches session-id allocation from the global sequence (`1, 2, 3, …` in submission
+    /// order) to **conn-scoped** ids: connection `c`'s `k`-th open (1-based) is answered with
+    /// `((c + 1) << 32) | k`. The id a session gets then depends only on the connection that
+    /// opened it — never on how opens interleave across connections — so it is invariant under
+    /// sharding the connections across any number of reactors. Every [`crate::ReactorPool`]
+    /// shard runs in this mode (at any reactor count, including one, so counts are comparable).
+    pub fn with_conn_scoped_sessions(mut self) -> Self {
+        self.conn_scoped = true;
+        self
+    }
+
+    /// Identifies this frontend as reactor shard `shard` of `reactors` — reported in
+    /// [`StatsSnapshot`] (and on the wire stats line as `reactors=`/`shard=`). Standalone
+    /// frontends keep the default `(0, 1)`.
+    pub fn with_shard(mut self, shard: u64, reactors: u64) -> Self {
+        self.shard = shard;
+        self.reactors = reactors.max(1);
+        self
     }
 
     /// The deployment behind this frontend (for direct drivers and stats).
@@ -178,6 +207,24 @@ impl<D: AbstractDomain> Frontend<D> {
     /// The frontend's own counters.
     pub fn stats(&self) -> FrontendStats {
         self.stats
+    }
+
+    /// The protocol-level snapshot a [`ServeRequest::Stats`] would answer with right now —
+    /// also the per-shard input of [`crate::reactor::fold_stats`].
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            open_sessions: self.sessions.len(),
+            ticks: self.stats.ticks,
+            requests: self.stats.requests,
+            batched_downgrades: self.stats.batched_downgrades,
+            largest_batch: self.stats.largest_batch,
+            sessions_torn_down: self.stats.sessions_torn_down,
+            tenants: self.stats.tenants,
+            denials: self.stats.denials,
+            reactors: self.reactors,
+            shard: self.shard,
+            serve: self.deployment.stats(),
+        }
     }
 }
 
@@ -304,8 +351,14 @@ where
         match request {
             ServeRequest::Downgrade { .. } => unreachable!("downgrades are batched in tick()"),
             ServeRequest::OpenSession { policy } => {
-                self.next_session += 1;
-                let id = SessionId(self.next_session);
+                let id = if self.conn_scoped {
+                    let opens = self.conn_opens.entry(conn).or_insert(0);
+                    *opens += 1;
+                    SessionId(((conn.0 + 1) << 32) | *opens)
+                } else {
+                    self.next_session += 1;
+                    SessionId(self.next_session)
+                };
                 let mut session = self.deployment.session(policy);
                 for (query, kind, members) in self.registry.values() {
                     if let Err(e) = session.register_cached(query, *kind, *members) {
@@ -393,17 +446,7 @@ where
                     encoded: knowledge.domain().encode(),
                 }
             }
-            ServeRequest::Stats => ServeResponse::Stats(StatsSnapshot {
-                open_sessions: self.sessions.len(),
-                ticks: self.stats.ticks,
-                requests: self.stats.requests,
-                batched_downgrades: self.stats.batched_downgrades,
-                largest_batch: self.stats.largest_batch,
-                sessions_torn_down: self.stats.sessions_torn_down,
-                tenants: self.stats.tenants,
-                denials: self.stats.denials,
-                serve: self.deployment.stats(),
-            }),
+            ServeRequest::Stats => ServeResponse::Stats(self.snapshot()),
             ServeRequest::SaveCache { path } => match self.deployment.save_cache(&path) {
                 Ok(entries) => ServeResponse::CacheSaved { entries },
                 Err(e) => ServeResponse::Rejected(Denial::new(DenialCode::Internal, e.to_string())),

@@ -42,6 +42,12 @@
 //! sequentially against plain sessions. The [`wire`] module gives the protocol a line-oriented
 //! text form, and the `anosy-served` binary serves it over stdin/stdout.
 //!
+//! A [`server::Server`] drives one frontend from transport events (stdio, TCP, or the
+//! deterministic [`SimNet`] simulator), and a [`ReactorPool`] shards connections across `N`
+//! such reactors over one shared deployment — readiness-based I/O via [`PollTransport`]
+//! (epoll where available, the portable sleep loop otherwise), with responses invariant under
+//! the reactor count (see the [`reactor`] module docs).
+//!
 //! # Determinism guarantees
 //!
 //! Concurrency here never changes answers, only wall-clock:
@@ -96,11 +102,13 @@ mod config;
 mod deployment;
 mod error;
 pub mod frontend;
+pub mod loadgen;
 mod parallel;
 mod persist;
 mod pool;
 pub mod popsim;
 pub mod proto;
+pub mod reactor;
 pub mod server;
 pub mod sim;
 pub mod wire;
@@ -118,8 +126,9 @@ pub use proto::{
     ConnId, Denial, DenialCode, RequestId, ServeRequest, ServeResponse, SessionId, StatsSnapshot,
     TaggedResponse,
 };
+pub use reactor::{fold_server_stats, fold_stats, merge_io_logs, shard_of, ReactorPool};
 pub use server::{
-    Event, Server, ServerConfig, ServerStats, StdioTransport, TcpTransport, Token, TranscriptEvent,
-    Transport,
+    Event, PollTransport, Server, ServerConfig, ServerStats, StdioTransport, TcpTransport, Token,
+    TranscriptEvent, Transport, IO_LOG_CAP,
 };
 pub use sim::SimNet;

@@ -45,12 +45,31 @@ pub struct CompileOptions {
     pub max_delay: u64,
     /// Quiescence timer ticks scheduled per chaos window (for `--ticked` servers).
     pub ticks_per_window: usize,
+    /// Predict connection-scoped session ids (`((token + 1) << 32) | 1` for each tenant's
+    /// single open — see [`crate::Frontend::with_conn_scoped_sessions`]) instead of the
+    /// standalone server's global sequence. Set this when the compiled net will drive a
+    /// [`crate::ReactorPool`] (any reactor count): pool frontends always run conn-scoped, so
+    /// the predicted ids are invariant under resharding.
+    pub conn_scoped: bool,
 }
 
 impl CompileOptions {
-    /// Default chaos: `SimNet`'s byte-mangling defaults, two ticks per window.
+    /// Default chaos: `SimNet`'s byte-mangling defaults, two ticks per window, standalone
+    /// (globally sequential) session ids.
     pub fn new(net_seed: u64) -> CompileOptions {
-        CompileOptions { net_seed, max_chunk: 17, max_delay: 5, ticks_per_window: 2 }
+        CompileOptions {
+            net_seed,
+            max_chunk: 17,
+            max_delay: 5,
+            ticks_per_window: 2,
+            conn_scoped: false,
+        }
+    }
+
+    /// Switches session-id prediction to the connection-scoped scheme reactor pools use.
+    pub fn conn_scoped(mut self) -> CompileOptions {
+        self.conn_scoped = true;
+        self
     }
 
     /// Overrides the chunking bound (large chunks make huge runs cheaper to schedule).
@@ -124,8 +143,15 @@ pub fn compile(population: &Population, options: &CompileOptions) -> CompiledPop
                     ServeRequest::OpenSession { policy: population.tenants[index].policy.clone() };
                 net.send(token, cursor, encode_line(&open));
                 tokens[index] = token;
-                next_session += 1;
-                sessions[index] = SessionId(next_session);
+                sessions[index] = if options.conn_scoped {
+                    // Each tenant opens exactly once, on its own connection: under the
+                    // conn-scoped scheme the id is the token's first slot, independent of
+                    // what any other connection (on any shard) does.
+                    SessionId(((token.0 + 1) << 32) | 1)
+                } else {
+                    next_session += 1;
+                    SessionId(next_session)
+                };
                 requests += 1;
             }
         }

@@ -32,7 +32,12 @@ use std::path::PathBuf;
 use crate::ServeStats;
 
 /// Identifies one session owned by a [`Frontend`](crate::Frontend). Allocated by
-/// [`ServeRequest::OpenSession`] in deterministic order (1, 2, 3, …).
+/// [`ServeRequest::OpenSession`] in deterministic order: `1, 2, 3, …` in frontend submission
+/// order by default, or — under a frontend in conn-scoped mode
+/// ([`Frontend::with_conn_scoped_sessions`](crate::Frontend::with_conn_scoped_sessions), the
+/// mode every [`crate::ReactorPool`] shard runs in) — derived from the opening connection as
+/// `((conn + 1) << 32) | k` for that connection's `k`-th open, so the id a session gets is
+/// invariant under resharding connections across reactors.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SessionId(pub u64);
 
@@ -268,6 +273,12 @@ pub struct StatsSnapshot {
     /// counted at the end of each tick — a snapshot taken mid-tick reports the ticks completed
     /// so far, like [`StatsSnapshot::ticks`] itself.
     pub denials: u64,
+    /// Reactor shards the serving process runs (`1` for a standalone server; `N` under a
+    /// [`crate::ReactorPool`] of `N` reactors).
+    pub reactors: u64,
+    /// Which reactor shard answered (`0`-based). A deployment-wide fold of per-shard snapshots
+    /// ([`crate::reactor::fold_stats`]) marks itself with `shard == reactors`.
+    pub shard: u64,
     /// The deployment aggregates (cache hits, downgrade outcomes, workers).
     pub serve: ServeStats,
 }

@@ -43,6 +43,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::mpsc::{Receiver, TryRecvError};
 use std::time::{Duration, Instant};
 
 /// Identifies one transport-level (physical) connection. Distinct from [`ConnId`], the
@@ -99,6 +100,11 @@ pub trait Transport {
     fn close(&mut self, token: Token);
 }
 
+/// Default cap on entries retained by [`Server::io_log`] (a whole serving process's budget —
+/// a [`crate::ReactorPool`] divides it across its shards so N reactors still expose at most
+/// this many merged entries).
+pub const IO_LOG_CAP: usize = 64;
+
 /// Reactor configuration.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -112,12 +118,27 @@ pub struct ServerConfig {
     /// [`Server::responses`]) — the oracle hook for the simulation tests. Off in production:
     /// requests are cloned when it is on.
     pub record_transcript: bool,
+    /// `Some((shard, reactors))`: this server is one reactor shard of a
+    /// [`crate::ReactorPool`]. Base [`ConnId`]s are then derived from the transport [`Token`]
+    /// (minted globally in arrival order) instead of a per-server counter, and `@conn` claims
+    /// whose id hashes to another shard are refused — two shards must never bind the same
+    /// logical id. `None` (default): the standalone allocation the stdio/TCP binary always had.
+    pub shard: Option<(u64, u64)>,
+    /// Most recent entries retained by [`Server::io_log`]; older denials age out so a stream
+    /// of bad peers cannot grow memory.
+    pub io_log_cap: usize,
 }
 
 impl ServerConfig {
-    /// Per-request ticks, default line cap, no recording.
+    /// Per-request ticks, default line cap, no recording, standalone (unsharded).
     pub fn new() -> ServerConfig {
-        ServerConfig { ticked: false, max_line: wire::MAX_LINE_BYTES, record_transcript: false }
+        ServerConfig {
+            ticked: false,
+            max_line: wire::MAX_LINE_BYTES,
+            record_transcript: false,
+            shard: None,
+            io_log_cap: IO_LOG_CAP,
+        }
     }
 
     /// Switches to blank-line/timer ticking (`--ticked`).
@@ -135,6 +156,18 @@ impl ServerConfig {
     /// Enables request/response recording for oracle checks.
     pub fn recording(mut self) -> ServerConfig {
         self.record_transcript = true;
+        self
+    }
+
+    /// Marks this server as reactor shard `shard` of `reactors` (see [`ServerConfig::shard`]).
+    pub fn sharded(mut self, shard: u64, reactors: u64) -> ServerConfig {
+        self.shard = Some((shard, reactors.max(1)));
+        self
+    }
+
+    /// Overrides the [`Server::io_log`] retention cap (clamped to at least one entry).
+    pub fn with_io_log_cap(mut self, cap: usize) -> ServerConfig {
+        self.io_log_cap = cap.max(1);
         self
     }
 }
@@ -270,13 +303,20 @@ where
     }
 
     fn on_opened(&mut self, token: Token) {
-        // Base ids are allocated in arrival order, skipping ids some earlier connection already
-        // claimed with an explicit `@conn` prefix.
-        while self.bound.contains_key(&ConnId(self.next_base)) {
+        let base = if self.config.shard.is_some() {
+            // Shard mode: the pool mints tokens globally in arrival order and routes each to
+            // the shard its id hashes to, so deriving the base id from the token keeps ids
+            // (and therefore conn-scoped session ids) invariant under the reactor count.
+            ConnId(token.0)
+        } else {
+            // Base ids are allocated in arrival order, skipping ids some earlier connection
+            // already claimed with an explicit `@conn` prefix.
+            while self.bound.contains_key(&ConnId(self.next_base)) {
+                self.next_base += 1;
+            }
             self.next_base += 1;
-        }
-        let base = ConnId(self.next_base);
-        self.next_base += 1;
+            ConnId(self.next_base - 1)
+        };
         self.bound.insert(base, token);
         let mut logicals = BTreeSet::new();
         logicals.insert(base);
@@ -302,10 +342,6 @@ where
         self.teardown(token, true);
     }
 
-    /// Most recent entries retained by [`Server::io_log`]; older denials age out so a stream
-    /// of bad peers cannot grow memory (each is also written to stderr as it happens).
-    const IO_LOG_CAP: usize = 64;
-
     fn on_failed(&mut self, token: Token, reason: String) {
         if !self.conns.contains_key(&token) {
             return;
@@ -315,7 +351,7 @@ where
         // stderr immediately — a forever-serving transport never returns from `run`.
         let denial = format!("connection {token} failed: {reason}");
         eprintln!("{denial}");
-        if self.io_log.len() == Self::IO_LOG_CAP {
+        if self.io_log.len() >= self.config.io_log_cap {
             self.io_log.remove(0);
         }
         self.io_log.push(denial);
@@ -324,9 +360,13 @@ where
 
     /// Releases a transport connection: its partial input is discarded on failure (interpreted
     /// on clean EOF, which ran before this), its logical connections are reported to the
-    /// frontend (sessions tear down at queue position), and — on the graceful path — one tick
-    /// runs *before* the transport closes so the final responses still reach the peer's
-    /// half-open write side.
+    /// frontend (sessions tear down at queue position), and one tick runs *before* the
+    /// transport closes. On the graceful path that delivers the final responses to the peer's
+    /// half-open write side; on the failure path the writes may go nowhere, but flushing keeps
+    /// every accepted request answered before the connection's state is dropped — so what a
+    /// connection observed is a function of its own request stream, not of which unrelated
+    /// connection's tick happened to flush the queue first (the reactor-count-invariance
+    /// property of [`crate::ReactorPool`] depends on this).
     fn teardown(&mut self, token: Token, graceful: bool) {
         let Some(state) = self.conns.get_mut(&token) else { return };
         if !graceful {
@@ -340,9 +380,7 @@ where
                 self.transcript.push(TranscriptEvent::Disconnect { token, conn: logical });
             }
         }
-        if graceful {
-            self.tick_and_route();
-        }
+        self.tick_and_route();
         self.transport.close(token);
         self.conns.remove(&token);
         self.stats.conns_closed += 1;
@@ -388,6 +426,19 @@ where
         };
         match wire::parse_request(request_text, &self.layout) {
             Ok(request) => {
+                // Cross-shard rule, mirroring the cross-socket one below: a logical id lives
+                // on exactly the shard it hashes to. A claim for an id routed elsewhere is
+                // refused outright — two shards binding the same id would entangle session
+                // ownership across reactors.
+                if let Some((shard, reactors)) = self.config.shard {
+                    if crate::reactor::shard_of(conn.0, reactors) != shard {
+                        self.refuse_line(
+                            token,
+                            format!("connection {conn} belongs to another reactor shard"),
+                        );
+                        return;
+                    }
+                }
                 // A logical id is claimed only by a line that actually parses — a malformed
                 // line must not squat on an id another socket could legitimately use. First
                 // (successful) use wins: letting a second transport connection speak for a
@@ -463,9 +514,16 @@ where
     }
 
     /// Logged per-connection denials (I/O failures downgraded to connection closes): the most
-    /// recent `IO_LOG_CAP` entries. Each is also written to stderr as it happens.
+    /// recent [`ServerConfig::io_log_cap`] entries. Each is also written to stderr as it
+    /// happens.
     pub fn io_log(&self) -> &[String] {
         &self.io_log
+    }
+
+    /// Consumes the server and returns its frontend (a [`crate::ReactorPool`] folds shard
+    /// frontends after the join).
+    pub fn into_frontend(self) -> Frontend<D> {
+        self.frontend
     }
 
     /// Submitted requests and teardowns in submission order (empty unless
@@ -768,5 +826,440 @@ impl Transport for TcpTransport {
             return;
         }
         conn.closing = Some(Instant::now() + CLOSE_FLUSH_BUDGET);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Poll transport: readiness-based (epoll) TCP, with the sleep loop as fallback.
+// ---------------------------------------------------------------------------
+
+/// Epoll tag of the listening socket (never a connection token).
+const TAG_LISTENER: u64 = u64::MAX;
+/// Epoll tag of the reactor-pool handoff notifier.
+const TAG_NOTIFY: u64 = u64::MAX - 1;
+/// Longest a readiness wait may park while draining (closing) connections hold queued bytes —
+/// their flush progress and deadlines are checked at least this often.
+const DRAIN_WAIT: Duration = Duration::from_millis(10);
+
+/// The raw descriptor epoll registration needs. Only ever called when an [`epoll::Epoll`] was
+/// actually created, which [`epoll::Epoll::is_supported`] guarantees implies a Unix target.
+#[cfg(unix)]
+fn raw_fd<T: std::os::fd::AsRawFd>(io: &T) -> i32 {
+    io.as_raw_fd()
+}
+
+#[cfg(not(unix))]
+fn raw_fd<T>(_io: &T) -> i32 {
+    -1
+}
+
+/// Where a [`PollTransport`]'s connections come from.
+enum Intake {
+    /// Standalone: accept from an owned listener, minting tokens locally in arrival order.
+    Listener { listener: TcpListener, next_token: u64, budget: Option<usize>, accepted: usize },
+    /// One shard of a [`crate::ReactorPool`]: the pool's acceptor thread accepts, mints tokens
+    /// globally and hands each stream to the shard its token hashes to. The paired `notify`
+    /// stream carries one byte per handoff so an epoll wait wakes for channel traffic too.
+    Channel { handoffs: Receiver<(u64, TcpStream)>, notify: TcpStream, done: bool },
+}
+
+/// A readiness-based TCP transport: the same nonblocking-socket state machine as
+/// [`TcpTransport`], but instead of sleeping a fixed `POLL_IDLE_SLEEP` between scans it parks in
+/// `epoll_wait` (via the in-tree raw-syscall `epoll` shim) and then services only the
+/// connections the kernel reported ready. Where epoll is unavailable — unsupported platform,
+/// or any registration error at runtime — it degrades to exactly the [`TcpTransport`] sleep
+/// loop, so behavior is identical and only idle latency differs. The reactor on top is a pure
+/// function of the event sequence, so responses are byte-identical across [`TcpTransport`],
+/// `PollTransport` and the epoll/fallback paths (asserted in `tests/multi_reactor.rs`).
+pub struct PollTransport {
+    intake: Intake,
+    conns: BTreeMap<u64, TcpConn>,
+    tick_interval: Option<Duration>,
+    last_activity: Instant,
+    /// Failures noticed during [`Transport::send`], surfaced at the next poll.
+    pending: Vec<Event>,
+    epoll: Option<epoll::Epoll>,
+    /// Interest bits currently registered per token (epoll mode only).
+    interest: HashMap<u64, u32>,
+}
+
+/// The readiness bits a connection currently cares about.
+fn want_interest(conn: &TcpConn) -> u32 {
+    let mut want = 0;
+    if !conn.read_eof && conn.closing.is_none() {
+        want |= epoll::EPOLLIN | epoll::EPOLLRDHUP;
+    }
+    if !conn.out.is_empty() {
+        want |= epoll::EPOLLOUT;
+    }
+    want
+}
+
+impl PollTransport {
+    /// Binds `addr` as a standalone readiness-based listener (the `PollTransport` analogue of
+    /// [`TcpTransport::bind`], same budget and quiescence-timer semantics).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind/configure error; callers report it and exit.
+    pub fn bind(
+        addr: &str,
+        accept_budget: Option<usize>,
+        tick_interval: Option<Duration>,
+    ) -> std::io::Result<PollTransport> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let epoll = epoll::Epoll::new()
+            .ok()
+            .filter(|ep| ep.add(raw_fd(&listener), epoll::EPOLLIN, TAG_LISTENER).is_ok());
+        Ok(PollTransport {
+            intake: Intake::Listener {
+                listener,
+                next_token: 0,
+                budget: accept_budget,
+                accepted: 0,
+            },
+            conns: BTreeMap::new(),
+            tick_interval,
+            last_activity: Instant::now(),
+            pending: Vec::new(),
+            epoll,
+            interest: HashMap::new(),
+        })
+    }
+
+    /// A reactor-pool shard transport: connections arrive pre-accepted over `handoffs` as
+    /// `(global token, stream)` pairs, and `notify` receives one byte per handoff (the pool's
+    /// acceptor holds the write end) so a parked epoll wait wakes for them. The transport
+    /// finishes when the channel disconnects (acceptor done) and every connection has closed.
+    pub fn intake(
+        handoffs: Receiver<(u64, TcpStream)>,
+        notify: TcpStream,
+        tick_interval: Option<Duration>,
+    ) -> PollTransport {
+        let _ = notify.set_nonblocking(true);
+        let epoll = epoll::Epoll::new()
+            .ok()
+            .filter(|ep| ep.add(raw_fd(&notify), epoll::EPOLLIN, TAG_NOTIFY).is_ok());
+        PollTransport {
+            intake: Intake::Channel { handoffs, notify, done: false },
+            conns: BTreeMap::new(),
+            tick_interval,
+            last_activity: Instant::now(),
+            pending: Vec::new(),
+            epoll,
+            interest: HashMap::new(),
+        }
+    }
+
+    /// The bound address (standalone mode only).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket-name lookup error; `NotConnected` in intake (pool-shard) mode.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        match &self.intake {
+            Intake::Listener { listener, .. } => listener.local_addr(),
+            Intake::Channel { .. } => Err(std::io::Error::new(
+                ErrorKind::NotConnected,
+                "a pool-shard transport owns no listener",
+            )),
+        }
+    }
+
+    /// Whether readiness waits actually ride epoll (`false`: the portable sleep fallback).
+    pub fn uses_epoll(&self) -> bool {
+        self.epoll.is_some()
+    }
+
+    fn accepting(&self) -> bool {
+        match &self.intake {
+            Intake::Listener { budget, accepted, .. } => match budget {
+                Some(budget) => accepted < budget,
+                None => true,
+            },
+            Intake::Channel { done, .. } => !done,
+        }
+    }
+
+    /// Drops epoll entirely: a registration failed, so readiness reports can no longer be
+    /// trusted to cover every connection. The sleep-scan fallback is always correct.
+    fn degrade(&mut self) {
+        self.epoll = None;
+        self.interest.clear();
+    }
+
+    fn register(&mut self, token: u64) {
+        if self.epoll.is_none() {
+            return;
+        }
+        let Some(conn) = self.conns.get(&token) else { return };
+        let want = want_interest(conn);
+        let added = self
+            .epoll
+            .as_ref()
+            .expect("checked above")
+            .add(raw_fd(&conn.stream), want, token)
+            .is_ok();
+        if added {
+            self.interest.insert(token, want);
+        } else {
+            self.degrade();
+        }
+    }
+
+    fn update_interest(&mut self, token: u64) {
+        if self.epoll.is_none() {
+            return;
+        }
+        let Some(conn) = self.conns.get(&token) else { return };
+        let want = want_interest(conn);
+        if self.interest.get(&token) == Some(&want) {
+            return;
+        }
+        let modified = self
+            .epoll
+            .as_ref()
+            .expect("checked above")
+            .modify(raw_fd(&conn.stream), want, token)
+            .is_ok();
+        if modified {
+            self.interest.insert(token, want);
+        } else {
+            self.degrade();
+        }
+    }
+
+    /// Removes a connection. Deregistration is best-effort: dropping the stream closes the
+    /// descriptor, which removes any leftover epoll registration kernel-side.
+    fn drop_conn(&mut self, token: u64, shutdown: bool) {
+        if let (Some(ep), Some(conn)) = (&self.epoll, self.conns.get(&token)) {
+            let _ = ep.delete(raw_fd(&conn.stream));
+        }
+        self.interest.remove(&token);
+        if let Some(conn) = self.conns.remove(&token) {
+            if shutdown {
+                let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+
+    /// Takes in new connections: accepts from the listener, or drains the pool handoff
+    /// channel (and its notify bytes).
+    fn poll_intake(&mut self, events: &mut Vec<Event>) {
+        let mut opened: Vec<u64> = Vec::new();
+        match &mut self.intake {
+            Intake::Listener { listener, next_token, budget, accepted } => loop {
+                match *budget {
+                    Some(b) if *accepted >= b => break,
+                    _ => {}
+                }
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        if stream.set_nonblocking(true).is_err() {
+                            continue;
+                        }
+                        let token = *next_token;
+                        *next_token += 1;
+                        *accepted += 1;
+                        let conn =
+                            TcpConn { stream, out: Vec::new(), read_eof: false, closing: None };
+                        self.conns.insert(token, conn);
+                        opened.push(token);
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    // A broken listener: stop accepting, keep serving what is open.
+                    Err(_) => {
+                        *budget = Some(*accepted);
+                        break;
+                    }
+                }
+            },
+            Intake::Channel { handoffs, notify, done } => {
+                // Swallow the wake-up bytes; the channel itself is the source of truth. An
+                // EOF or error here means the acceptor is gone — the channel disconnect
+                // below reports the same thing, so nothing extra to do.
+                let mut sink = [0u8; 256];
+                while let Ok(n) = notify.read(&mut sink) {
+                    if n == 0 {
+                        break;
+                    }
+                }
+                loop {
+                    match handoffs.try_recv() {
+                        Ok((token, stream)) => {
+                            let _ = stream.set_nonblocking(true);
+                            let conn =
+                                TcpConn { stream, out: Vec::new(), read_eof: false, closing: None };
+                            self.conns.insert(token, conn);
+                            opened.push(token);
+                        }
+                        Err(TryRecvError::Empty) => break,
+                        Err(TryRecvError::Disconnected) => {
+                            *done = true;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        for token in opened {
+            self.register(token);
+            events.push(Event::Opened(Token(token)));
+        }
+    }
+
+    /// Flushes, retires and reads connections — all of them (`None`, the fallback scan) or
+    /// just the ones a readiness wait reported (`Some`).
+    fn poll_conns(&mut self, events: &mut Vec<Event>, only: Option<&[u64]>) {
+        enum Outcome {
+            Keep,
+            Retire,
+            Fail(String),
+        }
+        let tokens: Vec<u64> = match only {
+            Some(ready) => {
+                let mut tokens: Vec<u64> =
+                    ready.iter().copied().filter(|t| self.conns.contains_key(t)).collect();
+                // Kernel report order is not deterministic; token order is.
+                tokens.sort_unstable();
+                tokens.dedup();
+                tokens
+            }
+            None => self.conns.keys().copied().collect(),
+        };
+        for token in tokens {
+            let outcome = {
+                let Some(conn) = self.conns.get_mut(&token) else { continue };
+                let flushed = flush_some(conn);
+                if let Some(deadline) = conn.closing {
+                    // Draining close: see `TcpTransport::poll_conns` — drained, errored and
+                    // expired connections retire without an event.
+                    if flushed.is_err() || conn.out.is_empty() || Instant::now() >= deadline {
+                        Outcome::Retire
+                    } else {
+                        Outcome::Keep
+                    }
+                } else if let Err(reason) = flushed {
+                    Outcome::Fail(reason)
+                } else if conn.read_eof {
+                    Outcome::Keep
+                } else {
+                    let mut buf = [0u8; 65536];
+                    match conn.stream.read(&mut buf) {
+                        Ok(0) => {
+                            conn.read_eof = true;
+                            events.push(Event::HalfClosed(Token(token)));
+                            Outcome::Keep
+                        }
+                        Ok(n) => {
+                            events.push(Event::Data(Token(token), buf[..n].to_vec()));
+                            Outcome::Keep
+                        }
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => Outcome::Keep,
+                        Err(e) if e.kind() == ErrorKind::Interrupted => Outcome::Keep,
+                        Err(e) => Outcome::Fail(format!("read error: {e}")),
+                    }
+                }
+            };
+            match outcome {
+                Outcome::Keep => self.update_interest(token),
+                Outcome::Retire => self.drop_conn(token, true),
+                Outcome::Fail(reason) => {
+                    self.drop_conn(token, false);
+                    events.push(Event::Failed(Token(token), reason));
+                }
+            }
+        }
+    }
+
+    /// Upper bound for one readiness wait: the quiescence timer's remaining slice, tightened
+    /// to [`DRAIN_WAIT`] while draining connections need their deadlines checked. `-1` (block
+    /// until readiness) when neither applies.
+    fn wait_timeout_ms(&self) -> i32 {
+        let mut timeout: i64 = -1;
+        if let Some(interval) = self.tick_interval {
+            let remaining = interval.saturating_sub(self.last_activity.elapsed());
+            timeout = (remaining.as_millis() as i64).max(1);
+        }
+        if self.conns.values().any(|c| c.closing.is_some()) {
+            let drain = DRAIN_WAIT.as_millis() as i64;
+            timeout = if timeout < 0 { drain } else { timeout.min(drain) };
+        }
+        timeout.min(i32::MAX as i64) as i32
+    }
+
+    /// Parks until something is ready. Returns the connection tokens the kernel reported
+    /// (`Some`, possibly empty on timeout — intake tags are handled by the caller's next
+    /// intake pass), or `None` in fallback mode (scan everything).
+    fn wait_ready(&mut self) -> Option<Vec<u64>> {
+        let Some(ep) = &self.epoll else {
+            std::thread::sleep(POLL_IDLE_SLEEP);
+            return None;
+        };
+        let mut buf = [epoll::EpollEvent::default(); 64];
+        match ep.wait(self.wait_timeout_ms(), &mut buf) {
+            Ok(n) => Some(
+                buf[..n]
+                    .iter()
+                    .map(|event| event.data)
+                    .filter(|data| *data != TAG_LISTENER && *data != TAG_NOTIFY)
+                    .collect(),
+            ),
+            Err(_) => {
+                self.degrade();
+                None
+            }
+        }
+    }
+}
+
+impl Transport for PollTransport {
+    fn poll(&mut self) -> Vec<Event> {
+        // The first pass scans everything: send-time failures and bytes that arrived while
+        // the reactor was busy must not wait for a readiness report.
+        let mut ready: Option<Vec<u64>> = None;
+        loop {
+            let mut events = std::mem::take(&mut self.pending);
+            self.poll_intake(&mut events);
+            self.poll_conns(&mut events, ready.as_deref());
+            if !events.is_empty() {
+                self.last_activity = Instant::now();
+                return events;
+            }
+            if !self.accepting() && self.conns.is_empty() {
+                return Vec::new();
+            }
+            if let Some(interval) = self.tick_interval {
+                if self.last_activity.elapsed() >= interval {
+                    self.last_activity = Instant::now();
+                    return vec![Event::TimerTick];
+                }
+            }
+            ready = self.wait_ready();
+        }
+    }
+
+    fn send(&mut self, token: Token, bytes: &[u8]) {
+        let Some(conn) = self.conns.get_mut(&token.0) else { return };
+        conn.out.extend_from_slice(bytes);
+        if let Err(reason) = flush_some(conn) {
+            self.drop_conn(token.0, false);
+            self.pending.push(Event::Failed(token, reason));
+            return;
+        }
+        self.update_interest(token.0);
+    }
+
+    fn close(&mut self, token: Token) {
+        let Some(conn) = self.conns.get_mut(&token.0) else { return };
+        let flushed = flush_some(conn);
+        if flushed.is_err() || conn.out.is_empty() {
+            self.drop_conn(token.0, true);
+            return;
+        }
+        conn.closing = Some(Instant::now() + CLOSE_FLUSH_BUDGET);
+        self.update_interest(token.0);
     }
 }

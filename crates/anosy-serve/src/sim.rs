@@ -49,8 +49,10 @@ struct Client {
     ready_at: u64,
     /// Bytes the server sent back (readable after the run via [`SimNet::received`]).
     received: Vec<u8>,
-    /// The server closed (or the script killed) this connection; later sends are dropped on
-    /// the floor, like writes to a dead socket.
+    /// The server closed this connection; later sends are dropped on the floor, like writes
+    /// to a dead socket. Scripted resets do *not* set this — the cut-off point of an aborted
+    /// client's stream is the server's own close after its teardown flush, which keeps the
+    /// recorded stream deterministic under connection sharding.
     closed: bool,
 }
 
@@ -147,8 +149,10 @@ impl SimNet {
         self.bump(client, t);
     }
 
-    /// Schedules an abortive reset: buffered partial input must be discarded and nothing more
-    /// can be delivered to this client.
+    /// Schedules an abortive reset: buffered partial input must be discarded. The recorded
+    /// stream cuts off when the *server* closes the connection in response (after its
+    /// teardown flush), so what an aborted client observed is a deterministic function of the
+    /// requests the server accepted — not of how unrelated connections' ticks interleaved.
     pub fn abort(&mut self, client: Token, at: u64) {
         self.io_error(client, at, "connection reset by peer (simulated)");
     }
@@ -185,6 +189,60 @@ impl SimNet {
             c.ready_at = t;
         }
     }
+
+    /// Splits a fully-scripted schedule into one `SimNet` per reactor shard, exactly as a
+    /// [`crate::ReactorPool`] acceptor would have routed the same arrivals: every
+    /// per-connection event lands on shard [`crate::reactor::shard_of`]`(token, shards)` and
+    /// quiescence ticks are replicated to all shards (each reactor runs its own timer).
+    /// `(time, seq)` keys are preserved, so each shard delivers its slice of the traffic in
+    /// the same relative order the unsplit net would have — the transport-level half of the
+    /// reactor-count-invariance argument (`tests/multi_reactor.rs`).
+    ///
+    /// Call this after scripting is complete: the shards get fresh RNGs, so chunking decisions
+    /// already made are preserved but new scripting on a shard will not replay the original
+    /// stream. Server output lands in the owning shard's client (query it with `received` on
+    /// the shard the token hashes to).
+    pub fn split(self, shards: u64) -> Vec<SimNet> {
+        let shards = shards.max(1);
+        let mut nets: Vec<SimNet> = (0..shards)
+            .map(|_| SimNet {
+                seed: self.seed,
+                rng: StdRng::seed_from_u64(self.seed),
+                max_chunk: self.max_chunk,
+                max_delay: self.max_delay,
+                schedule: BTreeMap::new(),
+                next_seq: self.next_seq,
+                next_token: self.next_token,
+                clients: HashMap::new(),
+            })
+            .collect();
+        for ((time, seq), event) in self.schedule {
+            let shard = match &event {
+                Scheduled::Tick => None,
+                Scheduled::Open(token)
+                | Scheduled::Chunk(token, _)
+                | Scheduled::HalfClose(token)
+                | Scheduled::Fail(token, _) => {
+                    Some(crate::reactor::shard_of(token.0, shards) as usize)
+                }
+            };
+            match shard {
+                Some(shard) => {
+                    nets[shard].schedule.insert((time, seq), event);
+                }
+                None => {
+                    for net in &mut nets {
+                        net.schedule.insert((time, seq), Scheduled::Tick);
+                    }
+                }
+            }
+        }
+        for (token, client) in self.clients {
+            let shard = crate::reactor::shard_of(token.0, shards) as usize;
+            nets[shard].clients.insert(token, client);
+        }
+        nets
+    }
 }
 
 impl Transport for SimNet {
@@ -206,13 +264,7 @@ impl Transport for SimNet {
                     _ => events.push(Event::Data(token, bytes)),
                 },
                 Scheduled::HalfClose(token) => events.push(Event::HalfClosed(token)),
-                Scheduled::Fail(token, reason) => {
-                    if let Some(client) = self.clients.get_mut(&token) {
-                        // The peer is gone: nothing written after this can be delivered.
-                        client.closed = true;
-                    }
-                    events.push(Event::Failed(token, reason));
-                }
+                Scheduled::Fail(token, reason) => events.push(Event::Failed(token, reason)),
                 Scheduled::Tick => events.push(Event::TimerTick),
             }
         }

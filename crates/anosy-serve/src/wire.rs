@@ -343,8 +343,8 @@ pub fn encode_response(response: &ServeResponse) -> String {
         }
         ServeResponse::Stats(s) => format!(
             "ok stats open={} ticks={} requests={} batched={} largest={} torn={} tenants={} \
-             denied={} workers={} entries={} sessions={} closed={} synth_hits={} synth_misses={} \
-             warm={} authorized={} refused={}",
+             denied={} reactors={} shard={} workers={} entries={} sessions={} closed={} \
+             synth_hits={} synth_misses={} warm={} authorized={} refused={}",
             s.open_sessions,
             s.ticks,
             s.requests,
@@ -353,6 +353,8 @@ pub fn encode_response(response: &ServeResponse) -> String {
             s.sessions_torn_down,
             s.tenants,
             s.denials,
+            s.reactors,
+            s.shard,
             s.serve.workers,
             s.serve.entries,
             s.serve.cache.sessions_opened,
@@ -583,6 +585,8 @@ pub fn parse_response(line: &str) -> Result<ServeResponse, WireError> {
                     sessions_torn_down: parse_counter(rest, "torn=")?,
                     tenants: parse_counter(rest, "tenants=")?,
                     denials: parse_counter(rest, "denied=")?,
+                    reactors: parse_counter(rest, "reactors=")?,
+                    shard: parse_counter(rest, "shard=")?,
                     serve: ServeStats {
                         workers: parse_counter(rest, "workers=")?,
                         entries: parse_counter(rest, "entries=")?,
@@ -746,6 +750,8 @@ mod tests {
                 sessions_torn_down: 1,
                 tenants: 3,
                 denials: 2,
+                reactors: 4,
+                shard: 2,
                 serve: ServeStats {
                     workers: 4,
                     entries: 1,

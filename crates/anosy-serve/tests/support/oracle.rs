@@ -100,6 +100,11 @@ pub struct Oracle {
     sessions: BTreeMap<u64, (ConnId, AnosySession<IntervalDomain>)>,
     registry: Vec<(QueryDef, IndSets<IntervalDomain>)>,
     next_session: u64,
+    /// Assign connection-scoped session ids (`((conn + 1) << 32) | k`), matching the frontends
+    /// of a reactor pool instead of a standalone server.
+    conn_scoped: bool,
+    /// Opens seen per connection (conn-scoped mode only).
+    conn_opens: BTreeMap<u64, u64>,
 }
 
 impl Default for Oracle {
@@ -121,7 +126,22 @@ impl Oracle {
         layout: SecretLayout,
         palette: Vec<SharedCacheEntry<IntervalDomain>>,
     ) -> Oracle {
-        Oracle { layout, palette, sessions: BTreeMap::new(), registry: Vec::new(), next_session: 0 }
+        Oracle {
+            layout,
+            palette,
+            sessions: BTreeMap::new(),
+            registry: Vec::new(),
+            next_session: 0,
+            conn_scoped: false,
+            conn_opens: BTreeMap::new(),
+        }
+    }
+
+    /// Switches to the connection-scoped session-id scheme every [`anosy_serve::ReactorPool`]
+    /// frontend runs with ([`anosy_serve::Frontend::with_conn_scoped_sessions`]).
+    pub fn conn_scoped(mut self) -> Oracle {
+        self.conn_scoped = true;
+        self
     }
 
     /// The palette's synthesized ind. sets for `q` (panics for non-palette queries).
@@ -149,13 +169,20 @@ impl Oracle {
     pub fn apply(&mut self, conn: ConnId, request: &ServeRequest) -> ServeResponse {
         match request {
             ServeRequest::OpenSession { policy } => {
-                self.next_session += 1;
+                let id = if self.conn_scoped {
+                    let opens = self.conn_opens.entry(conn.0).or_insert(0);
+                    *opens += 1;
+                    ((conn.0 + 1) << 32) | *opens
+                } else {
+                    self.next_session += 1;
+                    self.next_session
+                };
                 let mut session = AnosySession::new(self.layout.clone(), policy.clone());
                 for (query, indsets) in &self.registry {
                     session.register(QInfo::new(query.clone(), indsets.clone()));
                 }
-                self.sessions.insert(self.next_session, (conn, session));
-                ServeResponse::SessionOpened { session: SessionId(self.next_session) }
+                self.sessions.insert(id, (conn, session));
+                ServeResponse::SessionOpened { session: SessionId(id) }
             }
             ServeRequest::RegisterQuery { query, .. } => {
                 // Mirrors the frontend's identical-re-registration fast path: sessions

@@ -1,0 +1,32 @@
+//! Benchmarks the multi-reactor serving path: the seeded `SimNet` load generator driven
+//! through a `ReactorPool` at 1, 2 and 4 reactor shards over one shared (pre-warmed)
+//! deployment. `report_serve` measures the same comparison at full scale (and asserts
+//! stream equivalence across reactor counts before timing); this bench tracks the per-run
+//! cost of the pool itself at a CI-friendly size.
+
+use anosy::serve::loadgen::{self, LoadOptions};
+use anosy::serve::ServeConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const TENANTS: usize = 16;
+const POPULATION_SEED: u64 = 41;
+const NET_SEED: u64 = 43;
+
+fn bench_reactor_counts(c: &mut Criterion) {
+    let population = loadgen::population(POPULATION_SEED, TENANTS);
+    let deployment = anosy::serve::popsim::warm_deployment(&population, &ServeConfig::for_tests());
+    let mut group = c.benchmark_group("transport_reactors");
+    for reactors in [1u64, 2, 4] {
+        group.bench_function(format!("reactors_{reactors}"), |bencher| {
+            bencher.iter(|| {
+                loadgen::run_on(&population, &LoadOptions::new(NET_SEED, reactors), &deployment)
+                    .report
+                    .requests
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reactor_counts);
+criterion_main!(benches);

@@ -1,17 +1,20 @@
 //! Measures the `anosy-serve` deployment layer against the sequential PR 2 baseline on the
 //! fig5 suite — batched downgrades vs the per-call loop (interval and powerset3 domains),
 //! sharded parallel model counting vs the sequential counter — plus the serving frontend's tick
-//! throughput vs the direct batched driver. Used to record `BENCH_pr3.json` / `BENCH_pr4.json`.
+//! throughput vs the direct batched driver and the multi-reactor `SimNet` load generator at
+//! `reactors = 1/2/4`. Used to record `BENCH_pr3.json` / `BENCH_pr4.json` / `BENCH_pr7.json`.
 //!
-//! Usage: `report_serve [--workers N] [--secrets N] [--requests N] [--quick] [--json]
-//! [--cache PATH [--verify-on-load]]`
+//! Usage: `report_serve [--workers N] [--secrets N] [--requests N] [--tenants N] [--quick]
+//! [--json] [--cache PATH [--verify-on-load]]`
 //!
 //! Equivalence is asserted before anything is timed into the report: the batched driver's
 //! results must equal the loop's element-wise, the sharded count must equal the sequential
-//! count, and the frontend's responses must equal the direct driver's. The report records the
-//! host's available parallelism alongside the ratios — thread parallelism cannot beat that
-//! ceiling, so on a single-hardware-thread host the ratios measure pure batching/protocol
-//! overhead, not scaling.
+//! count, the frontend's responses must equal the direct driver's, and every multi-reactor
+//! load run's per-connection streams must equal the single-reactor run's element-wise. The
+//! report records the host's available parallelism alongside the ratios, and every parallel
+//! row carries a `capped_by_host` flag — thread parallelism cannot beat that ceiling, so on a
+//! single-hardware-thread host the ratios measure pure batching/protocol overhead, not
+//! scaling.
 //!
 //! With `--cache PATH` the aggregate deployment warm-starts from (and saves back to) the given
 //! synthesis-cache file; `--verify-on-load` re-checks every loaded entry's refinement
@@ -23,7 +26,8 @@ use anosy::domains::{IntervalDomain, PowersetDomain};
 use anosy::prelude::*;
 use anosy::serve::{Deployment, ServeConfig};
 use bench::{
-    frontend_rows, host_parallelism, render_frontend, render_serve, serve_rows, serve_rows_to_json,
+    frontend_rows, host_parallelism, render_frontend, render_serve, render_transport, serve_rows,
+    serve_rows_to_json, transport_rows,
 };
 
 fn main() {
@@ -45,6 +49,7 @@ fn main() {
     let workers = flag("--workers").unwrap_or(4);
     let secrets = flag("--secrets").unwrap_or(if quick { 2_000 } else { 200_000 });
     let requests = flag("--requests").unwrap_or(if quick { 2_000 } else { 50_000 });
+    let tenants = flag("--tenants").unwrap_or(if quick { 32 } else { 128 });
     let config = if quick { bench::quick_synth_config() } else { SynthConfig::default() };
 
     let mut rows = serve_rows::<IntervalDomain>(workers, secrets, &config, None);
@@ -52,6 +57,10 @@ fn main() {
 
     // Frontend tick throughput vs the direct batched driver, at the protocol batch sizes.
     let frontend = frontend_rows(workers, requests, &config, &[1, 64, 1024]);
+
+    // The multi-reactor SimNet load generator: equivalence vs the single-reactor stream is
+    // asserted inside before any timing.
+    let transport = transport_rows(tenants, 41, 43, &[1, 2, 4]);
 
     // A representative deployment aggregate block: N sessions of one deployment registering the
     // same query (one synthesis — or zero after a warm start — everything else hits).
@@ -89,18 +98,22 @@ fn main() {
     let analysis = format!(
         "Measured with {workers} workers on a host with {cores} available hardware thread(s). \
          Wall-clock speedup from thread parallelism is bounded by the hardware-thread count; \
-         on a single-core host these ratios measure batching overhead, not scaling. \
-         Batched results are asserted element-wise equal to the sequential loop, and frontend \
-         responses to the direct driver's results, before timing.{warm_note}"
+         on a single-core host these ratios measure batching overhead, not scaling (rows where \
+         that applies carry capped_by_host). Batched results are asserted element-wise equal \
+         to the sequential loop, frontend responses to the direct driver's results, and every \
+         multi-reactor load run's per-connection streams to the single-reactor run's, before \
+         timing.{warm_note}"
     );
 
     if json {
-        print!("{}", serve_rows_to_json(&rows, &frontend, &stats.to_json(), &analysis));
+        print!("{}", serve_rows_to_json(&rows, &frontend, &transport, &stats.to_json(), &analysis));
     } else {
         println!("\nServing throughput — batched/parallel vs the sequential baseline");
         print!("{}", render_serve(&rows));
         println!("\nFrontend tick throughput — protocol vs direct driver");
         print!("{}", render_frontend(&frontend));
+        println!("\nMulti-reactor SimNet load generator — {tenants} tenants");
+        print!("{}", render_transport(&transport));
         println!("\n{analysis}");
         println!("\nDeployment aggregates (8 sessions, 1 query): {stats}");
     }

@@ -227,9 +227,16 @@ pub fn render_fig5(rows: &[Fig5Row]) -> String {
 /// Renders Figure 5 rows as a small JSON document, used to check in benchmark baselines
 /// (`BENCH_seed.json`). Hand-rolled: the workspace carries no serde dependency, and every field
 /// is a number or a short identifier.
+///
+/// The document records the measuring host's parallelism next to a `capped_by_host` flag, the
+/// same pair the serve reports carry per parallel row. Figure 5's synthesis and verification
+/// run on one thread (`workers = 1`), so the flag is `false` on any host — it exists so
+/// tooling can check every `BENCH_*.json` uniformly instead of special-casing this document.
 pub fn fig5_rows_to_json(domain_label: &str, rows: &[Fig5Row]) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"figure\": \"{domain_label}\",\n"));
+    out.push_str(&format!("  \"host_parallelism\": {},\n", host_parallelism()));
+    out.push_str(&format!("  \"capped_by_host\": {},\n", capped_by_host(1)));
     out.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let memo_depth = r
@@ -338,6 +345,14 @@ pub fn json_escape(text: &str) -> String {
 /// parallelism can deliver; recorded in the serve report so readers can interpret the ratios).
 pub fn host_parallelism() -> usize {
     std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Whether a measurement that spread work over `workers` threads was capped by the host: with
+/// fewer hardware threads than workers, wall-clock ratios measure batching/protocol overhead,
+/// not scaling. Recorded per parallel row in the JSON reports so readers (and tooling) don't
+/// have to infer it from the prose analysis.
+pub fn capped_by_host(workers: usize) -> bool {
+    host_parallelism() < workers
 }
 
 /// Deterministic pseudo-random secrets inside a layout (seeded per benchmark, reproducible
@@ -616,12 +631,105 @@ pub fn render_serve(rows: &[ServeRow]) -> String {
     out
 }
 
-/// Renders serve rows (plus the frontend tick-throughput rows, the deployment-level aggregate
-/// block and a free-text analysis of the measurement conditions) as the `BENCH_pr3.json` /
-/// `BENCH_pr4.json` document.
+/// One row of the multi-reactor transport comparison (`report_serve --json`'s
+/// `transport_rows`, recorded as `BENCH_pr7.json`): the seeded `SimNet` load generator driven
+/// through a [`anosy::serve::ReactorPool`] at one reactor count.
+#[derive(Debug, Clone)]
+pub struct TransportRow {
+    /// Reactor shards the pool ran.
+    pub reactors: u64,
+    /// Simulated connections (tenants) driven.
+    pub connections: usize,
+    /// Protocol requests scheduled across all connections.
+    pub requests: usize,
+    /// Wall-clock of the pool run.
+    pub seconds: f64,
+    /// `requests / seconds`.
+    pub requests_per_sec: f64,
+    /// This row's throughput over the `reactors = 1` row's.
+    pub speedup_vs_one: f64,
+    /// `host_parallelism() < reactors` — the row cannot demonstrate reactor scaling on this
+    /// host (see [`capped_by_host`]).
+    pub capped_by_host: bool,
+}
+
+/// Runs the `SimNet` load generator ([`anosy::serve::loadgen`]) at every reactor count in
+/// `counts` and measures end-to-end throughput. **Equivalence is asserted before anything is
+/// timed**: every multi-reactor run must deliver per-connection response streams element-wise
+/// identical to the single-reactor run's ([`anosy::serve::loadgen::assert_equivalent`]). The
+/// timed runs then share one warmed deployment so synthesis cost and cache state are held
+/// fixed across counts.
+pub fn transport_rows(
+    tenants: usize,
+    population_seed: u64,
+    net_seed: u64,
+    counts: &[u64],
+) -> Vec<TransportRow> {
+    use anosy::serve::loadgen::{self, LoadOptions};
+
+    let population = loadgen::population(population_seed, tenants);
+    let base = loadgen::run(&population, &LoadOptions::new(net_seed, 1).recording());
+    for &reactors in counts {
+        if reactors != 1 {
+            let other =
+                loadgen::run(&population, &LoadOptions::new(net_seed, reactors).recording());
+            loadgen::assert_equivalent(&base, &other);
+        }
+    }
+
+    let deployment =
+        anosy::serve::popsim::warm_deployment(&population, &anosy::serve::ServeConfig::for_tests());
+    let mut rows: Vec<TransportRow> = Vec::new();
+    for &reactors in counts {
+        let run = loadgen::run_on(&population, &LoadOptions::new(net_seed, reactors), &deployment);
+        let report = &run.report;
+        let speedup_vs_one = match rows.first() {
+            Some(first) if first.reactors == 1 && first.requests_per_sec > 0.0 => {
+                report.requests_per_sec / first.requests_per_sec
+            }
+            _ => 1.0,
+        };
+        rows.push(TransportRow {
+            reactors,
+            connections: report.connections,
+            requests: report.requests,
+            seconds: report.elapsed.as_secs_f64(),
+            requests_per_sec: report.requests_per_sec,
+            speedup_vs_one,
+            capped_by_host: capped_by_host(reactors as usize),
+        });
+    }
+    rows
+}
+
+/// Renders transport rows as an aligned text table (the `--json`-less `report_serve` output).
+pub fn render_transport(rows: &[TransportRow]) -> String {
+    let mut out = String::from(
+        "Reactors  Conns  Requests  Seconds      req/s  vs 1 reactor  Capped by host\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:>8}  {:>5}  {:>8}  {:>7.4}  {:>9.1}  {:>11.2}x  {}\n",
+            r.reactors,
+            r.connections,
+            r.requests,
+            r.seconds,
+            r.requests_per_sec,
+            r.speedup_vs_one,
+            r.capped_by_host,
+        ));
+    }
+    out
+}
+
+/// Renders serve rows (plus the frontend tick-throughput rows, the multi-reactor transport
+/// rows, the deployment-level aggregate block and a free-text analysis of the measurement
+/// conditions) as the `BENCH_pr3.json` / `BENCH_pr4.json` / `BENCH_pr7.json` document. Every
+/// parallel row carries `capped_by_host` (see [`capped_by_host`]).
 pub fn serve_rows_to_json(
     rows: &[ServeRow],
     frontend: &[FrontendRow],
+    transport: &[TransportRow],
     deployment_stats_json: &str,
     analysis: &str,
 ) -> String {
@@ -634,6 +742,7 @@ pub fn serve_rows_to_json(
         out.push_str(&format!(
             concat!(
                 "    {{\"id\": \"{}\", \"domain\": \"{}\", \"secrets\": {}, \"workers\": {}, ",
+                "\"capped_by_host\": {}, ",
                 "\"seq_downgrade_seconds\": {:.6}, \"batch_downgrade_seconds\": {:.6}, ",
                 "\"downgrade_speedup\": {:.3}, ",
                 "\"seq_count_seconds\": {:.6}, \"par_count_seconds\": {:.6}, ",
@@ -643,6 +752,7 @@ pub fn serve_rows_to_json(
             r.domain,
             r.secrets,
             r.workers,
+            capped_by_host(r.workers),
             r.seq_downgrade_seconds,
             r.batch_downgrade_seconds,
             r.downgrade_speedup,
@@ -658,17 +768,37 @@ pub fn serve_rows_to_json(
         out.push_str(&format!(
             concat!(
                 "    {{\"batch_size\": {}, \"requests\": {}, \"workers\": {}, ",
+                "\"capped_by_host\": {}, ",
                 "\"frontend_seconds\": {:.6}, \"frontend_rps\": {:.1}, ",
                 "\"direct_seconds\": {:.6}, \"direct_rps\": {:.1}}}{}\n"
             ),
             r.batch_size,
             r.requests,
             r.workers,
+            capped_by_host(r.workers),
             r.frontend_seconds,
             r.frontend_rps,
             r.direct_seconds,
             r.direct_rps,
             if i + 1 == frontend.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ],\n  \"transport_rows\": [\n");
+    for (i, r) in transport.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\"reactors\": {}, \"connections\": {}, \"requests\": {}, ",
+                "\"seconds\": {:.6}, \"requests_per_sec\": {:.1}, ",
+                "\"speedup_vs_one\": {:.3}, \"capped_by_host\": {}}}{}\n"
+            ),
+            r.reactors,
+            r.connections,
+            r.requests,
+            r.seconds,
+            r.requests_per_sec,
+            r.speedup_vs_one,
+            r.capped_by_host,
+            if i + 1 == transport.len() { "" } else { "," },
         ));
     }
     out.push_str("  ]\n}\n");
@@ -971,6 +1101,11 @@ mod tests {
         let json = fig5_rows_to_json("fig5a_intervals", &rows);
         assert_eq!(json.matches("{\"id\"").count(), rows.len());
         assert!(json.contains("\"figure\": \"fig5a_intervals\""));
+        assert!(json.contains("\"host_parallelism\": "));
+        assert!(
+            json.contains("\"capped_by_host\": false"),
+            "fig5 measurements are single-threaded, never capped"
+        );
         assert!(json.contains("\"true_size\": 259"));
         assert!(json.contains("\"verified\": true"));
         assert!(json.contains("\"synth_nodes\": 420"));
@@ -1048,14 +1183,37 @@ mod tests {
             assert!(f.frontend_rps > 0.0 && f.direct_rps > 0.0);
         }
         assert!(render_frontend(&frontend).contains("req/s"));
+        let transport = vec![
+            TransportRow {
+                reactors: 1,
+                connections: 16,
+                requests: 200,
+                seconds: 0.05,
+                requests_per_sec: 4000.0,
+                speedup_vs_one: 1.0,
+                capped_by_host: capped_by_host(1),
+            },
+            TransportRow {
+                reactors: 4,
+                connections: 16,
+                requests: 200,
+                seconds: 0.04,
+                requests_per_sec: 5000.0,
+                speedup_vs_one: 1.25,
+                capped_by_host: capped_by_host(4),
+            },
+        ];
+        assert!(render_transport(&transport).contains("vs 1 reactor"));
         let json = serve_rows_to_json(
             &rows,
             &frontend,
+            &transport,
             "{\"workers\": 2}",
             "single-core \"host\"\nwith C:\\cores",
         );
         assert_eq!(json.matches("{\"id\"").count(), 5);
         assert_eq!(json.matches("{\"batch_size\"").count(), 2);
+        assert_eq!(json.matches("{\"reactors\"").count(), 2);
         assert!(json.contains("\"figure\": \"serve_throughput\""));
         assert!(json.contains("\"domain\": \"interval\""));
         assert!(
@@ -1063,7 +1221,28 @@ mod tests {
             "quotes, newlines and backslashes are escaped"
         );
         assert!(json.contains("\"host_parallelism\": "));
+        // Every parallel row carries the machine-readable host-cap flag.
+        assert_eq!(
+            json.matches("\"capped_by_host\": ").count(),
+            rows.len() + frontend.len() + transport.len()
+        );
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert!(!json.contains(",\n  ]"), "no trailing comma before an array close");
+    }
+
+    #[test]
+    fn transport_rows_gate_on_equivalence_and_scale_with_the_request_count() {
+        let rows = transport_rows(12, 41, 43, &[1, 2]);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].reactors, 1);
+        assert!(!rows[0].capped_by_host, "one reactor is never capped");
+        assert_eq!(rows[1].reactors, 2);
+        assert_eq!(rows[0].requests, rows[1].requests, "same schedule at every reactor count");
+        assert_eq!(rows[0].connections, 12);
+        for r in &rows {
+            assert!(r.requests_per_sec > 0.0);
+            assert!(r.speedup_vs_one > 0.0);
+            assert_eq!(r.capped_by_host, host_parallelism() < r.reactors as usize);
+        }
     }
 }

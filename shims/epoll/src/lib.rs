@@ -1,0 +1,347 @@
+//! A minimal, safe epoll wrapper over **raw syscalls** — no `libc`, no registry access.
+//!
+//! The workspace builds offline, so this shim invokes `epoll_create1` / `epoll_ctl` /
+//! `epoll_wait` directly via inline assembly on the architectures it knows (x86-64 and AArch64
+//! Linux) and reports [`Epoll::is_supported`]` == false` everywhere else. Callers treat an
+//! unsupported platform exactly like an epoll that failed to create: they fall back to their
+//! portable polling path. All `unsafe` is confined to this crate; the exposed API is safe:
+//!
+//! * file descriptors are plain `i32`s the caller owns — registering one never transfers
+//!   ownership, and a descriptor closed while registered is simply reported by the kernel as
+//!   an error on the next [`Epoll::wait`] or deregistration (never undefined behavior);
+//! * [`Epoll::wait`] writes into a caller-provided buffer of plain-old-data [`EpollEvent`]s
+//!   and returns how many are valid;
+//! * the epoll descriptor itself closes on drop.
+
+/// Readable interest / readiness (`EPOLLIN`).
+pub const EPOLLIN: u32 = 0x1;
+/// Writable interest / readiness (`EPOLLOUT`).
+pub const EPOLLOUT: u32 = 0x4;
+/// Error condition readiness (`EPOLLERR`; always reported, never requested).
+pub const EPOLLERR: u32 = 0x8;
+/// Hang-up readiness (`EPOLLHUP`; always reported, never requested).
+pub const EPOLLHUP: u32 = 0x10;
+/// Peer shut down its write side (`EPOLLRDHUP`) — a clean FIN, distinct from `EPOLLHUP`.
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+/// One readiness report from [`Epoll::wait`]: the ready-state bits and the caller's tag.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EpollEvent {
+    /// `EPOLL*` readiness bits.
+    pub events: u32,
+    /// The `data` tag registered with [`Epoll::add`] / [`Epoll::modify`].
+    pub data: u64,
+}
+
+/// A kernel epoll instance (closed on drop).
+#[derive(Debug)]
+pub struct Epoll {
+    fd: i32,
+}
+
+impl Epoll {
+    /// Whether this build can make epoll syscalls at all (Linux on x86-64 or AArch64).
+    pub fn is_supported() -> bool {
+        sys::SUPPORTED
+    }
+
+    /// Creates a close-on-exec epoll instance.
+    ///
+    /// # Errors
+    ///
+    /// The kernel's `epoll_create1` error, or `Unsupported` on platforms this shim has no
+    /// syscall path for.
+    pub fn new() -> std::io::Result<Epoll> {
+        sys::create().map(|fd| Epoll { fd })
+    }
+
+    /// Registers `fd` for the `interest` bits, tagged with `data`.
+    ///
+    /// # Errors
+    ///
+    /// The kernel's `epoll_ctl` error (e.g. `EEXIST` for an already-registered descriptor).
+    pub fn add(&self, fd: i32, interest: u32, data: u64) -> std::io::Result<()> {
+        sys::ctl(self.fd, sys::EPOLL_CTL_ADD, fd, interest, data)
+    }
+
+    /// Changes a registered descriptor's interest bits and tag.
+    ///
+    /// # Errors
+    ///
+    /// The kernel's `epoll_ctl` error (e.g. `ENOENT` for an unregistered descriptor).
+    pub fn modify(&self, fd: i32, interest: u32, data: u64) -> std::io::Result<()> {
+        sys::ctl(self.fd, sys::EPOLL_CTL_MOD, fd, interest, data)
+    }
+
+    /// Deregisters a descriptor.
+    ///
+    /// # Errors
+    ///
+    /// The kernel's `epoll_ctl` error (e.g. `ENOENT` for an unregistered descriptor).
+    pub fn delete(&self, fd: i32) -> std::io::Result<()> {
+        sys::ctl(self.fd, sys::EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Blocks until at least one registered descriptor is ready (or `timeout_ms` elapses;
+    /// `-1` blocks indefinitely, `0` polls), filling `events` from the front. Returns how many
+    /// entries are valid. `EINTR` is retried internally.
+    ///
+    /// # Errors
+    ///
+    /// The kernel's `epoll_wait` error.
+    pub fn wait(&self, timeout_ms: i32, events: &mut [EpollEvent]) -> std::io::Result<usize> {
+        if events.is_empty() {
+            return Ok(0);
+        }
+        loop {
+            match sys::wait(self.fd, events, timeout_ms) {
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                other => return other,
+            }
+        }
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        sys::close(self.fd);
+    }
+}
+
+#[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+mod sys {
+    use super::EpollEvent;
+
+    pub const SUPPORTED: bool = true;
+    pub const EPOLL_CTL_ADD: i32 = 1;
+    pub const EPOLL_CTL_DEL: i32 = 2;
+    pub const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLL_CLOEXEC: u64 = 0x80000;
+
+    /// The kernel's `struct epoll_event`: packed on x86-64 (a 12-byte struct, by ABI
+    /// accident), naturally aligned everywhere else.
+    #[cfg(target_arch = "x86_64")]
+    #[repr(C, packed)]
+    #[derive(Clone, Copy, Default)]
+    struct RawEvent {
+        events: u32,
+        data: u64,
+    }
+
+    #[cfg(not(target_arch = "x86_64"))]
+    #[repr(C)]
+    #[derive(Clone, Copy, Default)]
+    struct RawEvent {
+        events: u32,
+        data: u64,
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    mod nr {
+        pub const EPOLL_CREATE1: u64 = 291;
+        pub const EPOLL_CTL: u64 = 233;
+        pub const EPOLL_WAIT: u64 = 232;
+        pub const CLOSE: u64 = 3;
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    mod nr {
+        pub const EPOLL_CREATE1: u64 = 20;
+        pub const EPOLL_CTL: u64 = 21;
+        /// AArch64 has no plain `epoll_wait`; `epoll_pwait` with a null sigmask is identical.
+        pub const EPOLL_PWAIT: u64 = 22;
+        pub const CLOSE: u64 = 57;
+    }
+
+    /// Raw 6-argument syscall. Callers pass zeros for unused arguments — the kernel ignores
+    /// registers beyond a syscall's arity.
+    ///
+    /// SAFETY: the caller must pass a valid syscall number and arguments whose pointees (if
+    /// any) live and are correctly sized for the duration of the call.
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn syscall6(n: u64, a: u64, b: u64, c: u64, d: u64, e: u64, f: u64) -> i64 {
+        let ret: i64;
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") n => ret,
+            in("rdi") a,
+            in("rsi") b,
+            in("rdx") c,
+            in("r10") d,
+            in("r8") e,
+            in("r9") f,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        ret
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    unsafe fn syscall6(n: u64, a: u64, b: u64, c: u64, d: u64, e: u64, f: u64) -> i64 {
+        let ret: i64;
+        core::arch::asm!(
+            "svc 0",
+            inlateout("x0") a => ret,
+            in("x1") b,
+            in("x2") c,
+            in("x3") d,
+            in("x4") e,
+            in("x5") f,
+            in("x8") n,
+            options(nostack),
+        );
+        ret
+    }
+
+    fn check(ret: i64) -> std::io::Result<i64> {
+        if ret < 0 {
+            Err(std::io::Error::from_raw_os_error(-ret as i32))
+        } else {
+            Ok(ret)
+        }
+    }
+
+    pub fn create() -> std::io::Result<i32> {
+        // SAFETY: epoll_create1 takes one integer flag and touches no caller memory.
+        let ret = unsafe { syscall6(nr::EPOLL_CREATE1, EPOLL_CLOEXEC, 0, 0, 0, 0, 0) };
+        check(ret).map(|fd| fd as i32)
+    }
+
+    pub fn ctl(epfd: i32, op: i32, fd: i32, interest: u32, data: u64) -> std::io::Result<()> {
+        let event = RawEvent { events: interest, data };
+        // SAFETY: `event` outlives the call; the kernel reads (never writes) it, and ignores
+        // the pointer entirely for EPOLL_CTL_DEL.
+        let ret = unsafe {
+            syscall6(
+                nr::EPOLL_CTL,
+                epfd as u64,
+                op as u64,
+                fd as u64,
+                std::ptr::addr_of!(event) as u64,
+                0,
+                0,
+            )
+        };
+        check(ret).map(|_| ())
+    }
+
+    pub fn wait(epfd: i32, events: &mut [EpollEvent], timeout_ms: i32) -> std::io::Result<usize> {
+        let mut raw = vec![RawEvent::default(); events.len()];
+        #[cfg(target_arch = "x86_64")]
+        let nr_wait = nr::EPOLL_WAIT;
+        #[cfg(target_arch = "aarch64")]
+        let nr_wait = nr::EPOLL_PWAIT;
+        // SAFETY: `raw` outlives the call and its length bounds the kernel's writes; the
+        // fifth/sixth arguments (sigmask and its size on epoll_pwait) are null/zero, which the
+        // kernel accepts as "no mask"; plain epoll_wait ignores them.
+        let ret = unsafe {
+            syscall6(
+                nr_wait,
+                epfd as u64,
+                raw.as_mut_ptr() as u64,
+                raw.len() as u64,
+                timeout_ms as u64,
+                0,
+                0,
+            )
+        };
+        let n = check(ret)? as usize;
+        for (out, raw) in events.iter_mut().zip(&raw[..n]) {
+            *out = EpollEvent { events: raw.events, data: raw.data };
+        }
+        Ok(n)
+    }
+
+    pub fn close(fd: i32) {
+        // SAFETY: close takes one integer; a failure (e.g. EBADF) is ignored, as in every
+        // Drop-time close.
+        let _ = unsafe { syscall6(nr::CLOSE, fd as u64, 0, 0, 0, 0, 0) };
+    }
+}
+
+#[cfg(not(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+mod sys {
+    use super::EpollEvent;
+
+    pub const SUPPORTED: bool = false;
+    pub const EPOLL_CTL_ADD: i32 = 1;
+    pub const EPOLL_CTL_DEL: i32 = 2;
+    pub const EPOLL_CTL_MOD: i32 = 3;
+
+    fn unsupported<T>() -> std::io::Result<T> {
+        Err(std::io::Error::new(
+            std::io::ErrorKind::Unsupported,
+            "epoll is only available on Linux (x86-64 / AArch64) in this build",
+        ))
+    }
+
+    pub fn create() -> std::io::Result<i32> {
+        unsupported()
+    }
+
+    pub fn ctl(_: i32, _: i32, _: i32, _: u32, _: u64) -> std::io::Result<()> {
+        unsupported()
+    }
+
+    pub fn wait(_: i32, _: &mut [EpollEvent], _: i32) -> std::io::Result<usize> {
+        unsupported()
+    }
+
+    pub fn close(_: i32) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+    #[test]
+    fn readiness_round_trips_through_a_socket_pair() {
+        use std::io::Write;
+        use std::net::{TcpListener, TcpStream};
+        use std::os::fd::AsRawFd;
+
+        assert!(Epoll::is_supported());
+        let epoll = Epoll::new().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+
+        epoll.add(server.as_raw_fd(), EPOLLIN | EPOLLRDHUP, 7).unwrap();
+        let mut events = [EpollEvent::default(); 8];
+
+        // Nothing readable yet: a zero-timeout wait returns empty.
+        assert_eq!(epoll.wait(0, &mut events).unwrap(), 0);
+
+        client.write_all(b"ping").unwrap();
+        let n = epoll.wait(1_000, &mut events).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].data, 7);
+        assert_ne!(events[0].events & EPOLLIN, 0);
+
+        // Interest can be modified; a FIN reports EPOLLRDHUP-or-HUP readiness.
+        epoll.modify(server.as_raw_fd(), EPOLLIN | EPOLLOUT | EPOLLRDHUP, 9).unwrap();
+        drop(client);
+        let n = epoll.wait(1_000, &mut events).unwrap();
+        assert!(n >= 1);
+        assert_eq!(events[0].data, 9);
+        assert_ne!(events[0].events & (EPOLLRDHUP | EPOLLHUP | EPOLLIN), 0);
+
+        epoll.delete(server.as_raw_fd()).unwrap();
+        assert!(epoll.delete(server.as_raw_fd()).is_err(), "double delete reports ENOENT");
+        assert_eq!(epoll.wait(0, &mut []).unwrap(), 0, "an empty buffer asks for nothing");
+    }
+
+    #[test]
+    fn errors_are_io_errors_not_panics() {
+        if !Epoll::is_supported() {
+            assert!(Epoll::new().is_err());
+            return;
+        }
+        let epoll = Epoll::new().unwrap();
+        // A nonsense descriptor is a clean kernel error.
+        assert!(epoll.add(-1, EPOLLIN, 0).is_err());
+        assert!(epoll.delete(987_654).is_err());
+    }
+}
