@@ -310,7 +310,10 @@ impl<D: AbstractDomain> SharedSynthCache<D> {
 
         // Synthesis runs with no lock held; the guard rolls the slot back on error or panic.
         let mut guard = InFlightGuard { inner: &self.inner, key: Some(key.clone()) };
-        let indsets = synthesize()?;
+        let indsets = {
+            let _span = anosy_telemetry::span("synth.single_flight");
+            synthesize()?
+        };
         guard.key = None; // publication below supersedes the rollback
         let entry = SharedCacheEntry {
             pred: query.pred().clone(),

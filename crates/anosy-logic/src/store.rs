@@ -852,7 +852,13 @@ impl TermStore {
         } else {
             self.stats.box_memo_depth_bypassed[bucket] += 1;
         }
-        let result = self.compute_abstract_expr(id, boxed);
+        // Only memoized misses are timed: a hit on the next identical lookup saves exactly this
+        // much, which is the evidence the memo-threshold self-tuning item needs.
+        let result = if memoize {
+            anosy_telemetry::time("store.range_compute", || self.compute_abstract_expr(id, boxed))
+        } else {
+            self.compute_abstract_expr(id, boxed)
+        };
         if memoize {
             if self.range_memo_len >= BOX_MEMO_CAP {
                 self.range_memo.clear();
@@ -917,7 +923,11 @@ impl TermStore {
         } else {
             self.stats.box_memo_depth_bypassed[bucket] += 1;
         }
-        let result = self.compute_abstract_pred(id, boxed);
+        let result = if memoize {
+            anosy_telemetry::time("store.tri_compute", || self.compute_abstract_pred(id, boxed))
+        } else {
+            self.compute_abstract_pred(id, boxed)
+        };
         if memoize {
             if self.tri_memo_len >= BOX_MEMO_CAP {
                 self.tri_memo.clear();

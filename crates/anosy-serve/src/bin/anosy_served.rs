@@ -35,7 +35,15 @@
 //! * `--reactors N` — with `--listen`: shard connections across `N` reactor threads over the
 //!   one shared deployment ([`anosy_serve::ReactorPool`]; arrival-order hash assignment,
 //!   connection-scoped session ids, responses invariant under `N`). Default `1`: the
-//!   standalone single-reactor server.
+//!   standalone single-reactor server;
+//! * `--io-log-cap N` — deployment-wide cap on retained connection-failure log entries
+//!   (a reactor pool divides it among shards and re-applies it to the merged log);
+//! * `--trace PATH` — after the run, write every reactor's recorded spans as a
+//!   chrome://tracing JSON array (load it in `about:tracing` or Perfetto). Over stdin/stdout
+//!   the trace clock is the reactor's poll counter, so a piped script traces byte-identically
+//!   on every replay — the CI trace-smoke check;
+//! * `--no-telemetry` — skip installing per-reactor telemetry collectors (the overhead
+//!   baseline; `metrics`/`trace` requests then answer empty).
 //!
 //! Input lines starting with `#` are comments. A line may carry an explicit logical connection
 //! as `@<conn> <request>`; bare lines ride the transport connection's own id (stdin: 0, sockets:
@@ -68,13 +76,15 @@ struct Options {
     accept: Option<usize>,
     tick_ms: Option<u64>,
     reactors: u64,
+    trace: Option<std::path::PathBuf>,
+    telemetry: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: anosy-served --layout \"x:0:400 y:0:400\" [--domain interval|powerset] \
          [--workers N] [--box-memo-min-depth N] [--warm-start PATH [--verify-on-load]] \
-         [--save-on-exit PATH] [--ticked] \
+         [--save-on-exit PATH] [--ticked] [--io-log-cap N] [--trace PATH] [--no-telemetry] \
          [--listen ADDR [--accept N] [--tick-ms MS] [--reactors N]]"
     );
     std::process::exit(2);
@@ -93,6 +103,8 @@ fn parse_options() -> Options {
     let mut accept = None;
     let mut tick_ms = None;
     let mut reactors = 1u64;
+    let mut trace = None;
+    let mut telemetry = true;
     let mut i = 0;
     let value = |i: &mut usize| -> String {
         *i += 1;
@@ -117,6 +129,12 @@ fn parse_options() -> Options {
                 let depth = value(&mut i).parse().unwrap_or_else(|_| usage());
                 config = config.with_box_memo_min_depth(depth);
             }
+            "--io-log-cap" => {
+                let cap = value(&mut i).parse().unwrap_or_else(|_| usage());
+                config = config.with_io_log_cap(cap);
+            }
+            "--trace" => trace = Some(std::path::PathBuf::from(value(&mut i))),
+            "--no-telemetry" => telemetry = false,
             "--warm-start" => warm_start = Some(std::path::PathBuf::from(value(&mut i))),
             "--verify-on-load" => verify_on_load = true,
             "--save-on-exit" => save_on_exit = Some(std::path::PathBuf::from(value(&mut i))),
@@ -150,6 +168,8 @@ fn parse_options() -> Options {
         accept,
         tick_ms,
         reactors,
+        trace,
+        telemetry,
     }
 }
 
@@ -182,7 +202,10 @@ where
         .expect("stdout is writable");
     }
 
-    let server_config = ServerConfig::new().ticked(options.ticked);
+    let server_config = ServerConfig::new()
+        .ticked(options.ticked)
+        .with_telemetry(options.telemetry)
+        .with_io_log_cap(options.config.io_log_cap);
     match &options.listen {
         // The reactor pool: an acceptor thread routes connections to N readiness-based
         // reactor shards over the one shared deployment.
@@ -213,6 +236,14 @@ where
                 "# pool drained: reactors={} requests={} open={} denied={}",
                 options.reactors, folded.requests, folded.open_sessions, folded.denials
             );
+            let logs: Vec<&[anosy_serve::IoLogEntry]> =
+                servers.iter().map(|s| s.io_log()).collect();
+            for entry in reactor::merge_io_logs(&logs, options.config.io_log_cap) {
+                eprintln!("# merged io-log: {entry}");
+            }
+            let reports: Vec<anosy_serve::Report> =
+                servers.iter().filter_map(|s| s.telemetry_report().cloned()).collect();
+            write_trace(&options, &reports);
             save_on_exit(&deployment, &options);
         }
         Some(addr) => {
@@ -258,13 +289,26 @@ where
     }
 }
 
-/// Runs the reactor to completion (per-connection denials reach stderr as they happen) and
-/// persists the synthesis cache when `--save-on-exit` asked for it.
+/// Writes the run's spans as a chrome://tracing JSON array when `--trace` asked for it.
+fn write_trace(options: &Options, reports: &[anosy_serve::Report]) {
+    let Some(path) = &options.trace else { return };
+    match std::fs::write(path, anosy_serve::trace_json(reports)) {
+        Ok(()) => eprintln!("# trace written: {} ({} reactors)", path.display(), reports.len()),
+        Err(e) => eprintln!("# trace write failed: {e}"),
+    }
+}
+
+/// Runs the reactor to completion (per-connection denials reach stderr as they happen),
+/// writes the trace when asked, and persists the synthesis cache when `--save-on-exit`
+/// asked for it.
 fn finish<D, T>(server: &mut Server<D, T>, options: &Options)
 where
     D: DomainCodec + SynthesizeInto + Send + Sync + 'static,
     T: Transport,
 {
     server.run();
+    let reports: Vec<anosy_serve::Report> =
+        server.telemetry_report().cloned().into_iter().collect();
+    write_trace(options, &reports);
     save_on_exit(server.frontend().deployment(), options);
 }

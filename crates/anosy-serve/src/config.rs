@@ -17,6 +17,11 @@ pub struct ServeConfig {
     /// identical at any setting. `report_fig5 --json` prints a depth-bucket-derived suggestion
     /// ([`anosy_logic::suggested_min_memo_depth`]) for retuning it.
     pub box_memo_min_depth: Option<u8>,
+    /// Cap on retained connection-failure log entries across a whole deployment (clamped to at
+    /// least one). A reactor pool divides this cap among its shards and
+    /// [`crate::merge_io_logs`] re-applies it to the merged log, so the global bound holds at
+    /// any reactor count.
+    pub io_log_cap: usize,
 }
 
 impl ServeConfig {
@@ -25,7 +30,12 @@ impl ServeConfig {
     pub fn new() -> Self {
         let workers =
             std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(4);
-        ServeConfig { workers, synth: SynthConfig::default(), box_memo_min_depth: None }
+        ServeConfig {
+            workers,
+            synth: SynthConfig::default(),
+            box_memo_min_depth: None,
+            io_log_cap: crate::server::IO_LOG_CAP,
+        }
     }
 
     /// Overrides the worker count.
@@ -46,6 +56,12 @@ impl ServeConfig {
         self
     }
 
+    /// Overrides the deployment-wide connection-failure log cap (clamped to at least one).
+    pub fn with_io_log_cap(mut self, cap: usize) -> Self {
+        self.io_log_cap = cap.max(1);
+        self
+    }
+
     /// The solver configuration shards and verifiers run with.
     pub fn solver(&self) -> &SolverConfig {
         &self.synth.solver
@@ -57,6 +73,7 @@ impl ServeConfig {
             workers: 4,
             synth: SynthConfig::new().with_solver(SolverConfig::for_tests()),
             box_memo_min_depth: None,
+            io_log_cap: crate::server::IO_LOG_CAP,
         }
     }
 }
@@ -81,5 +98,7 @@ mod tests {
         assert_eq!(c.solver().max_nodes, SolverConfig::new().max_nodes);
         assert_eq!(c.box_memo_min_depth, None);
         assert_eq!(ServeConfig::for_tests().with_box_memo_min_depth(3).box_memo_min_depth, Some(3));
+        assert_eq!(c.io_log_cap, crate::server::IO_LOG_CAP);
+        assert_eq!(ServeConfig::for_tests().with_io_log_cap(0).io_log_cap, 1, "cap clamps to one");
     }
 }

@@ -38,6 +38,7 @@ use anosy_domains::AbstractDomain;
 use anosy_logic::Point;
 use anosy_solver::ValidityOutcome;
 use anosy_synth::{ApproxKind, DomainCodec, QueryDef};
+use anosy_telemetry as telemetry;
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
@@ -212,6 +213,15 @@ impl<D: AbstractDomain> Frontend<D> {
     /// The protocol-level snapshot a [`ServeRequest::Stats`] would answer with right now —
     /// also the per-shard input of [`crate::reactor::fold_stats`].
     pub fn snapshot(&self) -> StatsSnapshot {
+        let store = self.deployment.store_stats();
+        let mut memo_depth = [[0u64; 3]; anosy_logic::BOX_MEMO_DEPTH_BUCKETS];
+        for (bucket, row) in memo_depth.iter_mut().enumerate() {
+            *row = [
+                store.box_memo_depth_hits[bucket],
+                store.box_memo_depth_misses[bucket],
+                store.box_memo_depth_bypassed[bucket],
+            ];
+        }
         StatsSnapshot {
             open_sessions: self.sessions.len(),
             ticks: self.stats.ticks,
@@ -223,6 +233,9 @@ impl<D: AbstractDomain> Frontend<D> {
             denials: self.stats.denials,
             reactors: self.reactors,
             shard: self.shard,
+            memo_depth,
+            memo_min_depth: store.box_memo_min_depth,
+            memo_suggested_depth: anosy_logic::suggested_min_memo_depth(&store),
             serve: self.deployment.stats(),
         }
     }
@@ -235,6 +248,7 @@ where
     /// Processes every queued request and returns one tagged response per request, in
     /// submission order (see the [module docs](self) for the batching and determinism story).
     pub fn tick(&mut self) -> Vec<TaggedResponse> {
+        let _span = telemetry::span("frontend.tick");
         let pending = std::mem::take(&mut self.pending);
         let ids: Vec<Option<RequestId>> = pending
             .iter()
@@ -336,7 +350,11 @@ where
                 }
                 self.stats.batched_downgrades += secrets.len() as u64;
                 self.stats.largest_batch = self.stats.largest_batch.max(secrets.len());
-                let results = self.deployment.downgrade_batch(session, &secrets, &query);
+                telemetry::observe("batch.size", secrets.len() as u64);
+                let results = {
+                    let _span = telemetry::span("deployment.downgrade_batch");
+                    self.deployment.downgrade_batch(session, &secrets, &query)
+                };
                 for (index, result) in indices.into_iter().zip(results) {
                     responses[index] = Some(ServeResponse::Answer(result.map_err(Denial::from)));
                 }
@@ -410,7 +428,11 @@ where
                 };
                 self.stats.batched_downgrades += secrets.len() as u64;
                 self.stats.largest_batch = self.stats.largest_batch.max(secrets.len());
-                let results = self.deployment.downgrade_batch(open, &secrets, &query);
+                telemetry::observe("batch.size", secrets.len() as u64);
+                let results = {
+                    let _span = telemetry::span("deployment.downgrade_batch");
+                    self.deployment.downgrade_batch(open, &secrets, &query)
+                };
                 ServeResponse::Answers(
                     results.into_iter().map(|r| r.map_err(|e| DenialCode::of(&e))).collect(),
                 )
@@ -446,7 +468,20 @@ where
                     encoded: knowledge.domain().encode(),
                 }
             }
-            ServeRequest::Stats => ServeResponse::Stats(self.snapshot()),
+            ServeRequest::Stats => ServeResponse::Stats(Box::new(self.snapshot())),
+            // Both telemetry answers read the *reactor thread's* collector: the frontend runs
+            // on it, so the snapshot is exactly this shard's recording (empty when telemetry is
+            // off or compiled out).
+            ServeRequest::Metrics => ServeResponse::Metrics {
+                json: telemetry::snapshot()
+                    .map(|r| r.metrics.to_json())
+                    .unwrap_or_else(|| "{}".to_string()),
+            },
+            ServeRequest::Trace => ServeResponse::Trace {
+                json: telemetry::snapshot()
+                    .map(|r| telemetry::trace_json(std::slice::from_ref(&r)))
+                    .unwrap_or_else(|| "[]".to_string()),
+            },
             ServeRequest::SaveCache { path } => match self.deployment.save_cache(&path) {
                 Ok(entries) => ServeResponse::CacheSaved { entries },
                 Err(e) => ServeResponse::Rejected(Denial::new(DenialCode::Internal, e.to_string())),

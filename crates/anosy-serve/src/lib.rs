@@ -128,7 +128,14 @@ pub use proto::{
 };
 pub use reactor::{fold_server_stats, fold_stats, merge_io_logs, shard_of, ReactorPool};
 pub use server::{
-    Event, PollTransport, Server, ServerConfig, ServerStats, StdioTransport, TcpTransport, Token,
-    TranscriptEvent, Transport, IO_LOG_CAP,
+    Event, IoLogEntry, PollTransport, Server, ServerConfig, ServerStats, StdioTransport,
+    TcpTransport, Token, TranscriptEvent, Transport, IO_LOG_CAP,
 };
 pub use sim::SimNet;
+
+/// The deterministic telemetry layer (spans, counters, latency histograms), re-exported so
+/// transports, benchmarks and binaries built on the serving stack reach it without a direct
+/// dependency. Recording is active only when the `telemetry` cargo feature is on (the default)
+/// *and* the reactor installed a collector ([`ServerConfig::telemetry`]).
+pub use anosy_telemetry as telemetry;
+pub use anosy_telemetry::{merge_metrics, trace_json, MetricsRegistry, Report};

@@ -21,6 +21,7 @@ use crate::server::{Server, ServerConfig, ServerStats, Token};
 use crate::{Deployment, ServeConfig, SessionId, SimNet};
 use anosy_domains::IntervalDomain;
 use anosy_suite::population::{Population, PopulationConfig};
+use anosy_telemetry::{merge_metrics, Report};
 use std::time::{Duration, Instant};
 
 /// Knobs of one load-generator run.
@@ -36,13 +37,22 @@ pub struct LoadOptions {
     /// Record transcripts and responses for oracle comparison (costs clones; keep off when
     /// timing).
     pub recording: bool,
+    /// Install a telemetry collector on every shard ([`ServerConfig::telemetry`]); `false` is
+    /// the baseline side of the overhead benchmark.
+    pub telemetry: bool,
 }
 
 impl LoadOptions {
     /// A `reactors`-shard run under network seed `net_seed`: ticked, not recording — the
     /// throughput-measurement configuration.
     pub fn new(net_seed: u64, reactors: u64) -> LoadOptions {
-        LoadOptions { net_seed, reactors: reactors.max(1), ticked: true, recording: false }
+        LoadOptions {
+            net_seed,
+            reactors: reactors.max(1),
+            ticked: true,
+            recording: false,
+            telemetry: true,
+        }
     }
 
     /// Enables transcript/response recording on every shard.
@@ -56,6 +66,29 @@ impl LoadOptions {
         self.ticked = ticked;
         self
     }
+
+    /// Sets whether shards install telemetry collectors.
+    pub fn telemetry(mut self, telemetry: bool) -> LoadOptions {
+        self.telemetry = telemetry;
+        self
+    }
+}
+
+/// Request-latency percentiles from the merged per-shard `request.latency` histograms, in the
+/// transport clock's units — **virtual time** under [`SimNet`], so the numbers are seeds-stable
+/// tail shapes, not wall-clock. All zero when telemetry was off (or compiled out).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Requests measured (submit to response-write, per shard).
+    pub count: u64,
+    /// Median latency.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile — the tail the multi-tenant batching story is about.
+    pub p99: u64,
+    /// The exact slowest request.
+    pub max: u64,
 }
 
 /// What one load run measured.
@@ -76,6 +109,8 @@ pub struct LoadReport {
     pub stats: StatsSnapshot,
     /// Deployment-wide reactor counters ([`fold_server_stats`] over the shards).
     pub server: ServerStats,
+    /// Request-latency tail, from telemetry (zeros when [`LoadOptions::telemetry`] was off).
+    pub latency: LatencySummary,
 }
 
 /// One finished pool run: the drained shards (frontends, transports and any recordings
@@ -88,6 +123,10 @@ pub struct PoolRun {
     pub tokens: Vec<Token>,
     /// Tenant index → the connection-scoped session id the tenant's `open` was assigned.
     pub sessions: Vec<SessionId>,
+    /// Per-shard telemetry reports in shard order (empty when [`LoadOptions::telemetry`] was
+    /// off or the feature is compiled out) — the input of [`crate::merge_metrics`] and
+    /// [`crate::trace_json`].
+    pub telemetry: Vec<Report>,
     /// The measurements.
     pub report: LoadReport,
 }
@@ -126,7 +165,7 @@ pub fn run_on(
     let compiled =
         popsim::compile(population, &CompileOptions::new(options.net_seed).conn_scoped());
     let nets = compiled.net.split(options.reactors);
-    let mut config = ServerConfig::new().ticked(options.ticked);
+    let mut config = ServerConfig::new().ticked(options.ticked).with_telemetry(options.telemetry);
     if options.recording {
         config = config.recording();
     }
@@ -138,6 +177,18 @@ pub fn run_on(
 
     let snapshots: Vec<StatsSnapshot> = servers.iter().map(|s| s.frontend().snapshot()).collect();
     let server_stats: Vec<ServerStats> = servers.iter().map(|s| s.stats()).collect();
+    let telemetry: Vec<Report> =
+        servers.iter().filter_map(|s| s.telemetry_report().cloned()).collect();
+    let latency = merge_metrics(&telemetry)
+        .histogram("request.latency")
+        .map(|h| LatencySummary {
+            count: h.count(),
+            p50: h.quantile(0.50),
+            p90: h.quantile(0.90),
+            p99: h.quantile(0.99),
+            max: h.max(),
+        })
+        .unwrap_or_default();
     let requests = compiled.requests;
     let report = LoadReport {
         reactors: options.reactors,
@@ -147,8 +198,9 @@ pub fn run_on(
         requests_per_sec: requests as f64 / elapsed.as_secs_f64().max(1e-9),
         stats: fold_stats(&snapshots),
         server: fold_server_stats(&server_stats),
+        latency,
     };
-    PoolRun { servers, tokens: compiled.tokens, sessions: compiled.sessions, report }
+    PoolRun { servers, tokens: compiled.tokens, sessions: compiled.sessions, telemetry, report }
 }
 
 /// Asserts two runs of the **same population and net seed** at different reactor counts are

@@ -152,6 +152,13 @@ pub enum ServeRequest {
         /// The session to close.
         session: SessionId,
     },
+    /// Reads the answering reactor's telemetry counters and latency histograms as one line of
+    /// JSON ([`ServeResponse::Metrics`]). Answers `{}` when the serving process records no
+    /// telemetry (feature compiled out, or no collector installed).
+    Metrics,
+    /// Reads the answering reactor's span ring as one line of chrome://tracing JSON
+    /// ([`ServeResponse::Trace`]). Answers `[]` when nothing records.
+    Trace,
 }
 
 /// Why a downgrade (or a whole request) was denied — the compact, wire-stable classification.
@@ -281,6 +288,16 @@ pub struct StatsSnapshot {
     pub shard: u64,
     /// The deployment aggregates (cache hits, downgrade outcomes, workers).
     pub serve: ServeStats,
+    /// The shared store's `(id, box)` memo counters as `[hits, misses, bypassed]` per term-depth
+    /// bucket ([`anosy_logic::BOX_MEMO_DEPTH_BUCKETS`] buckets, shallow to deep) — the evidence
+    /// behind [`StatsSnapshot::memo_suggested_depth`]. The store is deployment-shared, so a
+    /// fold of per-shard snapshots carries these through unsummed.
+    pub memo_depth: [[u64; 3]; anosy_logic::BOX_MEMO_DEPTH_BUCKETS],
+    /// The `(id, box)` memo depth threshold the deployment's store runs with.
+    pub memo_min_depth: u8,
+    /// [`anosy_logic::suggested_min_memo_depth`] computed from the buckets above: the threshold
+    /// the observed hit rates say this workload should use.
+    pub memo_suggested_depth: u8,
 }
 
 /// One response, paired to its request by the frontend.
@@ -318,7 +335,7 @@ pub enum ServeResponse {
         encoded: String,
     },
     /// The aggregate counters.
-    Stats(StatsSnapshot),
+    Stats(Box<StatsSnapshot>),
     /// The synthesis cache was persisted.
     CacheSaved {
         /// Entries written.
@@ -335,6 +352,18 @@ pub enum ServeResponse {
     SessionClosed {
         /// The id that is now free (ids are never reused).
         session: SessionId,
+    },
+    /// The answering reactor's telemetry registry.
+    Metrics {
+        /// One line of JSON: `{"counters":{…},"histograms":{…}}` (or `{}` when nothing
+        /// records). Opaque to the codec — it rides the line verbatim and must not contain a
+        /// newline, which the telemetry renderers guarantee.
+        json: String,
+    },
+    /// The answering reactor's span ring.
+    Trace {
+        /// One line of chrome://tracing JSON (`[]` when nothing records).
+        json: String,
     },
     /// The request itself failed (unknown session, synthesis failure, cache I/O, …).
     Rejected(Denial),

@@ -39,6 +39,7 @@ use anosy_core::SynthesizeInto;
 use anosy_domains::AbstractDomain;
 use anosy_logic::SecretLayout;
 use anosy_synth::DomainCodec;
+use anosy_telemetry::{self as telemetry, Clock, ClockHandle, Collector, Report, VirtualClock};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 use std::io::{ErrorKind, Read, Write};
@@ -98,6 +99,15 @@ pub trait Transport {
     /// Closes a connection after flushing whatever [`Transport::send`] queued for it. Unknown
     /// tokens are ignored (the connection may have failed first).
     fn close(&mut self, token: Token);
+
+    /// The clock the reactor should timestamp telemetry with. Real transports keep the
+    /// monotonic default; deterministic transports ([`SimNet`](crate::SimNet),
+    /// [`StdioTransport`]) hand out a [`VirtualClock`] driven by their own event schedule, so
+    /// traces replay byte-identically. Called once at [`Server::new`] — a monotonic clock's
+    /// origin is fixed at that call.
+    fn clock(&self) -> ClockHandle {
+        ClockHandle::monotonic()
+    }
 }
 
 /// Default cap on entries retained by [`Server::io_log`] (a whole serving process's budget —
@@ -127,6 +137,12 @@ pub struct ServerConfig {
     /// Most recent entries retained by [`Server::io_log`]; older denials age out so a stream
     /// of bad peers cannot grow memory.
     pub io_log_cap: usize,
+    /// Install a telemetry [`Collector`] for the duration of [`Server::run`] (spans, counters
+    /// and latency histograms on this reactor's thread; harvest with
+    /// [`Server::telemetry_report`]). On by default; a no-op when the `telemetry` cargo
+    /// feature is off. The runtime toggle exists so the overhead of *recording* can be
+    /// measured inside one build — `report_serve` benches both settings.
+    pub telemetry: bool,
 }
 
 impl ServerConfig {
@@ -138,6 +154,7 @@ impl ServerConfig {
             record_transcript: false,
             shard: None,
             io_log_cap: IO_LOG_CAP,
+            telemetry: true,
         }
     }
 
@@ -168,6 +185,12 @@ impl ServerConfig {
     /// Overrides the [`Server::io_log`] retention cap (clamped to at least one entry).
     pub fn with_io_log_cap(mut self, cap: usize) -> ServerConfig {
         self.io_log_cap = cap.max(1);
+        self
+    }
+
+    /// Turns telemetry recording on or off for this server's [`Server::run`].
+    pub fn with_telemetry(mut self, telemetry: bool) -> ServerConfig {
+        self.telemetry = telemetry;
         self
     }
 }
@@ -218,6 +241,31 @@ pub enum TranscriptEvent {
     },
 }
 
+/// One logged connection denial (an I/O failure downgraded to a connection close), tagged with
+/// where and when it happened so a merged multi-reactor log keeps that context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IoLogEntry {
+    /// The reactor shard that observed the failure (`0` for a standalone server).
+    pub shard: u64,
+    /// When it happened, in the server clock's units ([`Transport::clock`]: microseconds on
+    /// real transports, virtual time under the simulator).
+    pub at: u64,
+    /// The transport connection that failed.
+    pub token: Token,
+    /// The transport's reason (reset, read/write error, injected failure).
+    pub reason: String,
+}
+
+impl fmt::Display for IoLogEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[shard {} t={}] connection {} failed: {}",
+            self.shard, self.at, self.token, self.reason
+        )
+    }
+}
+
 /// Per-connection reactor state.
 struct ConnState {
     decoder: LineDecoder,
@@ -237,13 +285,16 @@ pub struct Server<D: AbstractDomain, T: Transport> {
     /// Logical id → transport connection that owns it (first use wins; unbound on teardown so a
     /// reconnecting peer can claim the id again).
     bound: BTreeMap<ConnId, Token>,
-    /// Request id → transport connection to deliver the response to.
-    inflight: HashMap<RequestId, Token>,
+    /// Request id → transport connection to deliver the response to, plus the arrival
+    /// timestamp (0 when telemetry is not recording) feeding the `request.latency` histogram.
+    inflight: HashMap<RequestId, (Token, u64)>,
     next_base: u64,
     stats: ServerStats,
-    io_log: Vec<String>,
+    clock: ClockHandle,
+    io_log: Vec<IoLogEntry>,
     transcript: Vec<TranscriptEvent>,
     responses: Vec<TaggedResponse>,
+    telemetry: Option<Report>,
 }
 
 impl<D, T> Server<D, T>
@@ -255,6 +306,9 @@ where
     /// (warm-started deployment, pre-registered queries).
     pub fn new(frontend: Frontend<D>, transport: T, config: ServerConfig) -> Self {
         let layout = frontend.deployment().layout().clone();
+        // Captured exactly once: a monotonic clock's origin is "now", so re-asking the
+        // transport on every read would reset time to zero.
+        let clock = transport.clock();
         Server {
             frontend,
             transport,
@@ -265,15 +319,21 @@ where
             inflight: HashMap::new(),
             next_base: 0,
             stats: ServerStats::default(),
+            clock,
             io_log: Vec::new(),
             transcript: Vec::new(),
             responses: Vec::new(),
+            telemetry: None,
         }
     }
 
     /// Runs the event loop until the transport reports itself finished, then flushes one final
     /// tick so queued work (ticked-mode stragglers, trailing teardowns) settles.
     pub fn run(&mut self) {
+        if self.config.telemetry {
+            let shard = self.config.shard.map(|(shard, _)| shard).unwrap_or(0);
+            telemetry::install(Collector::new(self.clock.clone(), shard));
+        }
         loop {
             let events = self.transport.poll();
             if events.is_empty() {
@@ -284,6 +344,9 @@ where
             }
         }
         self.tick_and_route();
+        if self.config.telemetry {
+            self.telemetry = telemetry::uninstall();
+        }
     }
 
     fn on_event(&mut self, event: Event) {
@@ -327,7 +390,11 @@ where
 
     fn on_data(&mut self, token: Token, bytes: &[u8]) {
         let Some(state) = self.conns.get_mut(&token) else { return };
-        let decoded = state.decoder.feed(bytes);
+        telemetry::count("wire.bytes_in", bytes.len() as u64);
+        let decoded = {
+            let _span = telemetry::span("wire.decode");
+            state.decoder.feed(bytes)
+        };
         for item in decoded {
             self.on_decoded(token, item);
         }
@@ -349,12 +416,17 @@ where
         self.stats.conn_failures += 1;
         // The logged denial: one bad peer is an event, not a process failure. Logged to
         // stderr immediately — a forever-serving transport never returns from `run`.
-        let denial = format!("connection {token} failed: {reason}");
-        eprintln!("{denial}");
+        let entry = IoLogEntry {
+            shard: self.config.shard.map(|(shard, _)| shard).unwrap_or(0),
+            at: self.clock.now(),
+            token,
+            reason,
+        };
+        eprintln!("{entry}");
         if self.io_log.len() >= self.config.io_log_cap {
             self.io_log.remove(0);
         }
-        self.io_log.push(denial);
+        self.io_log.push(entry);
         self.teardown(token, false);
     }
 
@@ -388,6 +460,7 @@ where
 
     fn on_decoded(&mut self, token: Token, item: DecodedLine) {
         self.stats.lines += 1;
+        telemetry::count("wire.lines", 1);
         let line = match item {
             DecodedLine::Line(line) => line,
             DecodedLine::NonUtf8 => {
@@ -460,8 +533,16 @@ where
                     }
                 }
                 let recorded = self.config.record_transcript.then(|| request.clone());
+                // One collector round-trip: the wire counters plus the arrival stamp for the
+                // request.latency histogram. No clock is read when nothing records.
+                let at = telemetry::with_collector(|collector| {
+                    collector.count("wire.requests", 1);
+                    collector.observe("request.bytes", trimmed.len() as u64);
+                    collector.now()
+                })
+                .unwrap_or(0);
                 let id = self.frontend.submit(conn, request);
-                self.inflight.insert(id, token);
+                self.inflight.insert(id, (token, at));
                 self.stats.requests += 1;
                 if let Some(request) = recorded {
                     self.transcript.push(TranscriptEvent::Request { token, id, request });
@@ -478,6 +559,7 @@ where
     /// (exactly the stdin transport's convention — malformed lines consume no sequence number).
     fn refuse_line(&mut self, token: Token, reason: String) {
         self.stats.malformed += 1;
+        telemetry::count("wire.malformed", 1);
         self.transport.send(token, format!("! {reason}\n").as_bytes());
     }
 
@@ -485,14 +567,33 @@ where
     /// connection that submitted its request. Responses whose connection died in the meantime
     /// have nowhere to go and are dropped (after recording, when enabled).
     fn tick_and_route(&mut self) {
-        for tagged in self.frontend.tick() {
+        let frontend = &self.frontend;
+        let start = telemetry::with_collector(|collector| {
+            collector.observe("tick.queue_depth", frontend.pending_requests() as u64);
+            collector.now()
+        });
+        let responses = self.frontend.tick();
+        if let Some(start) = start {
+            telemetry::with_collector(|collector| {
+                let elapsed = collector.now().saturating_sub(start);
+                collector.observe("tick.latency", elapsed);
+            });
+        }
+        let recording = start.is_some();
+        for tagged in responses {
             if self.config.record_transcript {
                 self.responses.push(tagged.clone());
             }
-            let Some(token) = self.inflight.remove(&tagged.request) else { continue };
+            let Some((token, at)) = self.inflight.remove(&tagged.request) else { continue };
             if self.conns.contains_key(&token) {
                 let line =
                     format!("{} {}\n", tagged.request, wire::encode_response(&tagged.response));
+                if recording {
+                    telemetry::with_collector(|collector| {
+                        collector.observe("request.latency", collector.now().saturating_sub(at));
+                        collector.observe("response.bytes", line.len() as u64);
+                    });
+                }
                 self.transport.send(token, line.as_bytes());
             }
         }
@@ -514,10 +615,17 @@ where
     }
 
     /// Logged per-connection denials (I/O failures downgraded to connection closes): the most
-    /// recent [`ServerConfig::io_log_cap`] entries. Each is also written to stderr as it
-    /// happens.
-    pub fn io_log(&self) -> &[String] {
+    /// recent [`ServerConfig::io_log_cap`] entries, each tagged with its reactor shard and a
+    /// clock timestamp. Each is also written to stderr as it happens.
+    pub fn io_log(&self) -> &[IoLogEntry] {
         &self.io_log
+    }
+
+    /// The telemetry this server's [`Server::run`] recorded: spans, counters and latency
+    /// histograms. `None` before the run, when [`ServerConfig::telemetry`] was off, or when
+    /// the `telemetry` cargo feature is compiled out.
+    pub fn telemetry_report(&self) -> Option<&Report> {
+        self.telemetry.as_ref()
     }
 
     /// Consumes the server and returns its frontend (a [`crate::ReactorPool`] folds shard
@@ -558,10 +666,15 @@ impl<D: AbstractDomain, T: Transport> fmt::Debug for Server<D, T> {
 /// that opens immediately and half-closes at EOF. `@conn` prefixes multiplex logical
 /// connections exactly as before — this is the `anosy-served` default transport, now running on
 /// the same reactor as the socket path.
+///
+/// Its telemetry clock is a poll counter, not wall time: reading a script from a file produces
+/// the same read sequence every run, so `anosy-served --trace` over piped stdin emits a
+/// byte-identical trace on every replay.
 #[derive(Debug, Default)]
 pub struct StdioTransport {
     opened: bool,
     eof: bool,
+    clock: VirtualClock,
 }
 
 impl StdioTransport {
@@ -573,6 +686,7 @@ impl StdioTransport {
 
 impl Transport for StdioTransport {
     fn poll(&mut self) -> Vec<Event> {
+        self.clock.advance(1);
         if !self.opened {
             self.opened = true;
             return vec![Event::Opened(Token(0))];
@@ -606,6 +720,10 @@ impl Transport for StdioTransport {
     }
 
     fn close(&mut self, _token: Token) {}
+
+    fn clock(&self) -> ClockHandle {
+        ClockHandle::Virtual(self.clock.clone())
+    }
 }
 
 // ---------------------------------------------------------------------------

@@ -23,6 +23,7 @@
 //! oracle.
 
 use crate::server::{Event, Token, Transport};
+use anosy_telemetry::{ClockHandle, VirtualClock};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::collections::{BTreeMap, HashMap};
 
@@ -67,6 +68,10 @@ pub struct SimNet {
     next_seq: u64,
     next_token: u64,
     clients: HashMap<Token, Client>,
+    /// The simulator's virtual time, exported to the server's telemetry via
+    /// [`Transport::clock`]: [`SimNet::poll`] stamps it with each delivered batch's scheduled
+    /// instant, so spans recorded under the simulator are a pure function of the seed.
+    clock: VirtualClock,
 }
 
 impl SimNet {
@@ -81,6 +86,7 @@ impl SimNet {
             next_seq: 0,
             next_token: 0,
             clients: HashMap::new(),
+            clock: VirtualClock::new(),
         }
     }
 
@@ -214,6 +220,7 @@ impl SimNet {
                 next_seq: self.next_seq,
                 next_token: self.next_token,
                 clients: HashMap::new(),
+                clock: VirtualClock::new(),
             })
             .collect();
         for ((time, seq), event) in self.schedule {
@@ -250,6 +257,7 @@ impl Transport for SimNet {
     /// same-connection chunks that land together into one read (write coalescing).
     fn poll(&mut self) -> Vec<Event> {
         let Some((&(time, _), _)) = self.schedule.iter().next() else { return Vec::new() };
+        self.clock.set(time);
         let due: Vec<(u64, u64)> =
             self.schedule.range((time, 0)..=(time, u64::MAX)).map(|(&k, _)| k).collect();
         let mut events: Vec<Event> = Vec::new();
@@ -283,5 +291,9 @@ impl Transport for SimNet {
         if let Some(client) = self.clients.get_mut(&token) {
             client.closed = true;
         }
+    }
+
+    fn clock(&self) -> ClockHandle {
+        ClockHandle::Virtual(self.clock.clone())
     }
 }

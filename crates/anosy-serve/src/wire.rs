@@ -220,6 +220,8 @@ pub fn parse_request(line: &str, layout: &SecretLayout) -> Result<ServeRequest, 
             Ok(ServeRequest::WarmStart { path: PathBuf::from(path), verify })
         }
         "close" => Ok(ServeRequest::CloseSession { session: session_token(rest)? }),
+        "metrics" if rest.trim().is_empty() => Ok(ServeRequest::Metrics),
+        "trace" if rest.trim().is_empty() => Ok(ServeRequest::Trace),
         other => Err(WireError::new(format!("unknown request `{other}`"))),
     }
 }
@@ -292,6 +294,8 @@ pub fn encode_request(request: &ServeRequest) -> Result<String, WireError> {
             format!("warm {verify}path={}", wire_safe_path(path)?)
         }
         ServeRequest::CloseSession { session } => format!("close session={session}"),
+        ServeRequest::Metrics => "metrics".to_string(),
+        ServeRequest::Trace => "trace".to_string(),
     })
 }
 
@@ -344,7 +348,8 @@ pub fn encode_response(response: &ServeResponse) -> String {
         ServeResponse::Stats(s) => format!(
             "ok stats open={} ticks={} requests={} batched={} largest={} torn={} tenants={} \
              denied={} reactors={} shard={} workers={} entries={} sessions={} closed={} \
-             synth_hits={} synth_misses={} warm={} authorized={} refused={}",
+             synth_hits={} synth_misses={} warm={} authorized={} refused={} memo_cfg={} \
+             memo_hint={} memo={}",
             s.open_sessions,
             s.ticks,
             s.requests,
@@ -364,16 +369,46 @@ pub fn encode_response(response: &ServeResponse) -> String {
             s.serve.cache.warm_loaded,
             s.serve.cache.downgrades_authorized,
             s.serve.cache.downgrades_refused,
+            s.memo_min_depth,
+            s.memo_suggested_depth,
+            encode_memo_buckets(&s.memo_depth),
         ),
         ServeResponse::CacheSaved { entries } => format!("ok saved {entries}"),
         ServeResponse::WarmStarted { loaded, skipped } => {
             format!("ok warm loaded={loaded} skipped={skipped}")
         }
         ServeResponse::SessionClosed { session } => format!("ok closed {session}"),
+        // The payload is emitted by the telemetry renderers, which guarantee one physical
+        // line; `flatten_message` would corrupt JSON, so it is deliberately not applied.
+        ServeResponse::Metrics { json } => format!("ok metrics {json}"),
+        ServeResponse::Trace { json } => format!("ok trace {json}"),
         ServeResponse::Rejected(denial) => {
             format!("err {} {}", denial.code, flatten_message(&denial.message))
         }
     }
+}
+
+/// Renders the per-depth memo counters as `hits:misses:bypassed` triples, one per bucket,
+/// comma-joined — compact enough for the single-line stats response.
+fn encode_memo_buckets(buckets: &[[u64; 3]; anosy_logic::BOX_MEMO_DEPTH_BUCKETS]) -> String {
+    let triples: Vec<String> = buckets
+        .iter()
+        .map(|[hits, misses, bypassed]| format!("{hits}:{misses}:{bypassed}"))
+        .collect();
+    triples.join(",")
+}
+
+/// Parses the [`encode_memo_buckets`] form back into per-bucket counters.
+fn parse_memo_buckets(text: &str) -> Option<[[u64; 3]; anosy_logic::BOX_MEMO_DEPTH_BUCKETS]> {
+    let mut buckets = [[0u64; 3]; anosy_logic::BOX_MEMO_DEPTH_BUCKETS];
+    let mut triples = text.split(',');
+    for bucket in &mut buckets {
+        let mut parts = triples.next()?.splitn(3, ':');
+        for slot in bucket.iter_mut() {
+            *slot = parts.next()?.parse().ok()?;
+        }
+    }
+    triples.next().is_none().then_some(buckets)
 }
 
 /// Default cap on one wire line for the incremental [`LineDecoder`], in bytes. Protocol lines
@@ -576,7 +611,7 @@ pub fn parse_response(line: &str) -> Result<ServeResponse, WireError> {
                     let size = head.parse().map_err(|_| WireError::new("bad knowledge size"))?;
                     Ok(ServeResponse::Knowledge { size, encoded: encoded.to_string() })
                 }
-                "stats" => Ok(ServeResponse::Stats(StatsSnapshot {
+                "stats" => Ok(ServeResponse::Stats(Box::new(StatsSnapshot {
                     open_sessions: parse_counter(rest, "open=")?,
                     ticks: parse_counter(rest, "ticks=")?,
                     requests: parse_counter(rest, "requests=")?,
@@ -600,7 +635,12 @@ pub fn parse_response(line: &str) -> Result<ServeResponse, WireError> {
                             downgrades_refused: parse_counter(rest, "refused=")?,
                         },
                     },
-                })),
+                    memo_depth: token(rest, "memo=")
+                        .and_then(parse_memo_buckets)
+                        .ok_or_else(|| WireError::new("missing or bad memo="))?,
+                    memo_min_depth: parse_counter(rest, "memo_cfg=")?,
+                    memo_suggested_depth: parse_counter(rest, "memo_hint=")?,
+                }))),
                 "saved" => rest
                     .parse()
                     .map(|entries| ServeResponse::CacheSaved { entries })
@@ -613,6 +653,10 @@ pub fn parse_response(line: &str) -> Result<ServeResponse, WireError> {
                     .parse()
                     .map(|id| ServeResponse::SessionClosed { session: SessionId(id) })
                     .map_err(|_| WireError::new("bad session id")),
+                "metrics" if !rest.is_empty() => {
+                    Ok(ServeResponse::Metrics { json: rest.to_string() })
+                }
+                "trace" if !rest.is_empty() => Ok(ServeResponse::Trace { json: rest.to_string() }),
                 other => Err(WireError::new(format!("unknown response `{other}`"))),
             }
         }
@@ -671,6 +715,8 @@ mod tests {
             ServeRequest::WarmStart { path: PathBuf::from("warm.cache"), verify: true },
             ServeRequest::WarmStart { path: PathBuf::from("warm.cache"), verify: false },
             ServeRequest::CloseSession { session: SessionId(9) },
+            ServeRequest::Metrics,
+            ServeRequest::Trace,
         ];
         for request in requests {
             let line = encode_request(&request).unwrap();
@@ -741,7 +787,7 @@ mod tests {
             ServeResponse::Validity { counterexample: None },
             ServeResponse::Validity { counterexample: Some(Point::new(vec![0, 0])) },
             ServeResponse::Knowledge { size: 6837, encoded: "121..279,179..221".into() },
-            ServeResponse::Stats(StatsSnapshot {
+            ServeResponse::Stats(Box::new(StatsSnapshot {
                 open_sessions: 2,
                 ticks: 5,
                 requests: 17,
@@ -765,10 +811,18 @@ mod tests {
                         warm_loaded: 0,
                     },
                 },
-            }),
+                memo_depth: [[0, 0, 12], [3, 1, 0], [250, 9, 0], [0, 0, 0]],
+                memo_min_depth: 2,
+                memo_suggested_depth: 3,
+            })),
             ServeResponse::CacheSaved { entries: 2 },
             ServeResponse::WarmStarted { loaded: 2, skipped: 1 },
             ServeResponse::SessionClosed { session: SessionId(3) },
+            ServeResponse::Metrics {
+                json: "{\"counters\":{\"wire.lines\":7},\"histograms\":{}}".into(),
+            },
+            ServeResponse::Metrics { json: "{}".into() },
+            ServeResponse::Trace { json: "[]".into() },
             ServeResponse::Rejected(Denial::new(DenialCode::UnknownSession, "no open session 7")),
         ];
         for response in responses {
@@ -815,12 +869,16 @@ mod tests {
             "batch session=1 query=q secrets=1,2;x",
             "count pred=)((",
             "stats extra",
+            "metrics extra",
+            "trace extra",
             "save",
             "close session=",
         ] {
             assert!(parse_request(bad, &layout()).is_err(), "`{bad}` must not parse");
         }
-        for bad in ["", "ok", "ok what 3", "ok answer perhaps", "deny nonsense msg", "nah 3"] {
+        for bad in
+            ["", "ok", "ok what 3", "ok answer perhaps", "deny nonsense msg", "nah 3", "ok metrics"]
+        {
             assert!(parse_response(bad).is_err(), "`{bad}` must not parse");
         }
     }

@@ -299,7 +299,7 @@ fn a_bad_peers_io_error_closes_only_its_connection() {
 
     assert_eq!(server.stats().conn_failures, 1);
     assert_eq!(server.io_log().len(), 1, "the denial was logged, not fatal");
-    assert!(server.io_log()[0].contains("simulated NIC failure"), "{:?}", server.io_log());
+    assert!(server.io_log()[0].reason.contains("simulated NIC failure"), "{:?}", server.io_log());
     assert_eq!(server.frontend().open_sessions(), 0);
     // The healthy connection observed uninterrupted service.
     let c0 = clients[0];

@@ -35,6 +35,7 @@ pub(crate) fn propagate_id(
     boxed: &IntBox,
     rounds: usize,
 ) -> Option<IntBox> {
+    anosy_telemetry::count("solver.propagate", 1);
     let mut current = boxed.clone();
     if current.is_empty() {
         return None;

@@ -195,6 +195,7 @@ impl Solver {
         pred: &Pred,
         space: &IntBox,
     ) -> Result<Option<Point>, SolverError> {
+        let _span = anosy_telemetry::span("solver.find_model");
         self.run(pred, space, sat::find_model)
     }
 
@@ -206,6 +207,7 @@ impl Solver {
         pred: PredId,
         space: &IntBox,
     ) -> Result<Option<Point>, SolverError> {
+        let _span = anosy_telemetry::span("solver.find_model");
         self.run_id(pred, space, sat::find_model)
     }
 
@@ -229,6 +231,7 @@ impl Solver {
         pred: &Pred,
         space: &IntBox,
     ) -> Result<ValidityOutcome, SolverError> {
+        let _span = anosy_telemetry::span("solver.check_validity");
         self.run(pred, space, validity::check_validity)
     }
 
@@ -251,6 +254,7 @@ impl Solver {
         pred: PredId,
         space: &IntBox,
     ) -> Result<ValidityOutcome, SolverError> {
+        let _span = anosy_telemetry::span("solver.check_validity");
         self.run_id(pred, space, validity::check_validity)
     }
 
@@ -269,6 +273,7 @@ impl Solver {
     ///
     /// See [`Solver::find_model`].
     pub fn count_models(&mut self, pred: &Pred, space: &IntBox) -> Result<u128, SolverError> {
+        let _span = anosy_telemetry::span("solver.count_models");
         self.run(pred, space, count::count_models)
     }
 
@@ -278,6 +283,7 @@ impl Solver {
     ///
     /// See [`Solver::find_model`].
     pub fn count_models_id(&mut self, pred: PredId, space: &IntBox) -> Result<u128, SolverError> {
+        let _span = anosy_telemetry::span("solver.count_models");
         self.run_id(pred, space, count::count_models)
     }
 

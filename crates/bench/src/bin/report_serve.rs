@@ -26,8 +26,9 @@ use anosy::domains::{IntervalDomain, PowersetDomain};
 use anosy::prelude::*;
 use anosy::serve::{Deployment, ServeConfig};
 use bench::{
-    frontend_rows, host_parallelism, render_frontend, render_serve, render_transport, serve_rows,
-    serve_rows_to_json, transport_rows,
+    frontend_rows, host_parallelism, render_frontend, render_serve, render_shard_skew,
+    render_telemetry, render_transport, serve_rows, serve_rows_to_json, telemetry_rows,
+    transport_rows,
 };
 
 fn main() {
@@ -61,6 +62,12 @@ fn main() {
     // The multi-reactor SimNet load generator: equivalence vs the single-reactor stream is
     // asserted inside before any timing.
     let transport = transport_rows(tenants, 41, 43, &[1, 2, 4]);
+
+    // Telemetry overhead (collectors on vs off, same seeds — the PR 8 <= 5% budget) and the
+    // per-shard skew breakdown read from the telemetry-on run's reports. Quick runs are
+    // milliseconds long, so best-of needs more samples there to outrun timer noise.
+    let (telemetry, shard_skew) =
+        telemetry_rows(tenants, 41, 43, &[1, 2, 4], if quick { 12 } else { 3 });
 
     // A representative deployment aggregate block: N sessions of one deployment registering the
     // same query (one synthesis — or zero after a warm start — everything else hits).
@@ -106,7 +113,18 @@ fn main() {
     );
 
     if json {
-        print!("{}", serve_rows_to_json(&rows, &frontend, &transport, &stats.to_json(), &analysis));
+        print!(
+            "{}",
+            serve_rows_to_json(
+                &rows,
+                &frontend,
+                &transport,
+                &telemetry,
+                &shard_skew,
+                &stats.to_json(),
+                &analysis,
+            )
+        );
     } else {
         println!("\nServing throughput — batched/parallel vs the sequential baseline");
         print!("{}", render_serve(&rows));
@@ -114,6 +132,10 @@ fn main() {
         print!("{}", render_frontend(&frontend));
         println!("\nMulti-reactor SimNet load generator — {tenants} tenants");
         print!("{}", render_transport(&transport));
+        println!("\nTelemetry overhead — collectors on vs off, same seeds");
+        print!("{}", render_telemetry(&telemetry));
+        println!("\nPer-shard skew — from the telemetry-on runs' reports");
+        print!("{}", render_shard_skew(&shard_skew));
         println!("\n{analysis}");
         println!("\nDeployment aggregates (8 sessions, 1 query): {stats}");
     }

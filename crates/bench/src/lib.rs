@@ -722,14 +722,174 @@ pub fn render_transport(rows: &[TransportRow]) -> String {
     out
 }
 
+/// One row of the telemetry overhead comparison (`report_serve --json`'s `telemetry_rows`,
+/// recorded as `BENCH_pr8.json`): the same seeded load run with per-reactor telemetry
+/// collectors installed vs skipped ([`anosy::serve::loadgen::LoadOptions::telemetry`]). The
+/// PR 8 overhead budget is `overhead_pct <= 5`.
+#[derive(Debug, Clone)]
+pub struct TelemetryRow {
+    /// Reactor shards the pool ran.
+    pub reactors: u64,
+    /// Protocol requests scheduled across all connections.
+    pub requests: usize,
+    /// Best-of-N wall-clock with collectors off / on.
+    pub off_seconds: f64,
+    /// Best-of-N wall-clock with collectors on.
+    pub on_seconds: f64,
+    /// Throughput with collectors off.
+    pub off_rps: f64,
+    /// Throughput with collectors on.
+    pub on_rps: f64,
+    /// `(off_rps - on_rps) / off_rps * 100` — positive means recording cost throughput.
+    pub overhead_pct: f64,
+    /// Request-latency tail of the telemetry-on run, in **virtual time** (seed-stable).
+    pub latency_p50: u64,
+    /// 99th-percentile virtual request latency.
+    pub latency_p99: u64,
+    /// Worst virtual request latency.
+    pub latency_max: u64,
+}
+
+/// One per-shard row of the reactor-skew breakdown (`report_serve --json`'s `shard_skew`):
+/// how unevenly the hashed connections loaded the shards, read from each reactor's telemetry
+/// report. Queue depths and latencies are in the simulator's virtual time, so the skew shape
+/// is a pure function of the seeds.
+#[derive(Debug, Clone)]
+pub struct ShardSkewRow {
+    /// Reactor count of the run this shard belonged to.
+    pub reactors: u64,
+    /// The shard (reactor index).
+    pub shard: u64,
+    /// Wire requests this shard parsed (`wire.requests`).
+    pub requests: u64,
+    /// Median queued work observed at tick time (`tick.queue_depth`).
+    pub queue_p50: u64,
+    /// 99th-percentile queue depth — the burst exposure of this shard.
+    pub queue_p99: u64,
+    /// Median virtual request latency on this shard (`request.latency`).
+    pub latency_p50: u64,
+    /// 99th-percentile virtual request latency on this shard.
+    pub latency_p99: u64,
+}
+
+/// Measures telemetry overhead and per-shard skew with the `SimNet` load generator: at every
+/// reactor count in `counts`, the same seeded population runs with collectors off and on
+/// (best wall-clock of `iterations` runs each, one shared warmed deployment throughout), and
+/// the telemetry-on run's per-shard reports become the [`ShardSkewRow`]s.
+pub fn telemetry_rows(
+    tenants: usize,
+    population_seed: u64,
+    net_seed: u64,
+    counts: &[u64],
+    iterations: usize,
+) -> (Vec<TelemetryRow>, Vec<ShardSkewRow>) {
+    use anosy::serve::loadgen::{self, LoadOptions};
+
+    let population = loadgen::population(population_seed, tenants);
+    let deployment =
+        anosy::serve::popsim::warm_deployment(&population, &anosy::serve::ServeConfig::for_tests());
+    let mut rows = Vec::new();
+    let mut skew = Vec::new();
+    for &reactors in counts {
+        // The off and on runs interleave within each iteration — host clock-frequency drift
+        // then biases both sides of the best-of equally instead of whichever batch ran in the
+        // faster window.
+        let mut best_off: Option<loadgen::PoolRun> = None;
+        let mut best_on: Option<loadgen::PoolRun> = None;
+        for _ in 0..iterations.max(1) {
+            for (telemetry, slot) in [(false, &mut best_off), (true, &mut best_on)] {
+                let options = LoadOptions::new(net_seed, reactors).telemetry(telemetry);
+                let run = loadgen::run_on(&population, &options, &deployment);
+                if slot.as_ref().is_none_or(|b| run.report.elapsed < b.report.elapsed) {
+                    *slot = Some(run);
+                }
+            }
+        }
+        let off = best_off.expect("at least one iteration ran");
+        let on = best_on.expect("at least one iteration ran");
+        let off_rps = off.report.requests_per_sec;
+        let on_rps = on.report.requests_per_sec;
+        rows.push(TelemetryRow {
+            reactors,
+            requests: on.report.requests,
+            off_seconds: off.report.elapsed.as_secs_f64(),
+            on_seconds: on.report.elapsed.as_secs_f64(),
+            off_rps,
+            on_rps,
+            overhead_pct: (off_rps - on_rps) / off_rps.max(1e-9) * 100.0,
+            latency_p50: on.report.latency.p50,
+            latency_p99: on.report.latency.p99,
+            latency_max: on.report.latency.max,
+        });
+        for report in &on.telemetry {
+            let quantiles = |name: &str| {
+                report
+                    .metrics
+                    .histogram(name)
+                    .map(|h| (h.quantile(0.50), h.quantile(0.99)))
+                    .unwrap_or((0, 0))
+            };
+            let (queue_p50, queue_p99) = quantiles("tick.queue_depth");
+            let (latency_p50, latency_p99) = quantiles("request.latency");
+            skew.push(ShardSkewRow {
+                reactors,
+                shard: report.shard,
+                requests: report.metrics.counter("wire.requests"),
+                queue_p50,
+                queue_p99,
+                latency_p50,
+                latency_p99,
+            });
+        }
+    }
+    (rows, skew)
+}
+
+/// Renders telemetry overhead rows as an aligned text table.
+pub fn render_telemetry(rows: &[TelemetryRow]) -> String {
+    let mut out = String::from(
+        "Reactors  Requests   off req/s    on req/s  Overhead  Lat p50/p99/max (virtual)\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:>8}  {:>8}  {:>10.1}  {:>10.1}  {:>7.2}%  {}/{}/{}\n",
+            r.reactors,
+            r.requests,
+            r.off_rps,
+            r.on_rps,
+            r.overhead_pct,
+            r.latency_p50,
+            r.latency_p99,
+            r.latency_max,
+        ));
+    }
+    out
+}
+
+/// Renders the per-shard skew rows as an aligned text table.
+pub fn render_shard_skew(rows: &[ShardSkewRow]) -> String {
+    let mut out =
+        String::from("Reactors  Shard  Requests  Queue p50/p99  Latency p50/p99 (virtual)\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{:>8}  {:>5}  {:>8}  {:>6}/{:<6}  {:>7}/{:<7}\n",
+            r.reactors, r.shard, r.requests, r.queue_p50, r.queue_p99, r.latency_p50, r.latency_p99,
+        ));
+    }
+    out
+}
+
 /// Renders serve rows (plus the frontend tick-throughput rows, the multi-reactor transport
-/// rows, the deployment-level aggregate block and a free-text analysis of the measurement
-/// conditions) as the `BENCH_pr3.json` / `BENCH_pr4.json` / `BENCH_pr7.json` document. Every
-/// parallel row carries `capped_by_host` (see [`capped_by_host`]).
+/// rows, the telemetry overhead and per-shard skew rows, the deployment-level aggregate block
+/// and a free-text analysis of the measurement conditions) as the `BENCH_pr3.json` /
+/// `BENCH_pr4.json` / `BENCH_pr7.json` / `BENCH_pr8.json` document. Every parallel row
+/// carries `capped_by_host` (see [`capped_by_host`]).
 pub fn serve_rows_to_json(
     rows: &[ServeRow],
     frontend: &[FrontendRow],
     transport: &[TransportRow],
+    telemetry: &[TelemetryRow],
+    shard_skew: &[ShardSkewRow],
     deployment_stats_json: &str,
     analysis: &str,
 ) -> String {
@@ -799,6 +959,46 @@ pub fn serve_rows_to_json(
             r.speedup_vs_one,
             r.capped_by_host,
             if i + 1 == transport.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ],\n  \"telemetry_rows\": [\n");
+    for (i, r) in telemetry.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\"reactors\": {}, \"requests\": {}, ",
+                "\"off_seconds\": {:.6}, \"on_seconds\": {:.6}, ",
+                "\"off_rps\": {:.1}, \"on_rps\": {:.1}, \"overhead_pct\": {:.2}, ",
+                "\"latency_p50\": {}, \"latency_p99\": {}, \"latency_max\": {}}}{}\n"
+            ),
+            r.reactors,
+            r.requests,
+            r.off_seconds,
+            r.on_seconds,
+            r.off_rps,
+            r.on_rps,
+            r.overhead_pct,
+            r.latency_p50,
+            r.latency_p99,
+            r.latency_max,
+            if i + 1 == telemetry.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ],\n  \"shard_skew\": [\n");
+    for (i, r) in shard_skew.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\"reactors\": {}, \"shard\": {}, \"requests\": {}, ",
+                "\"queue_p50\": {}, \"queue_p99\": {}, ",
+                "\"latency_p50\": {}, \"latency_p99\": {}}}{}\n"
+            ),
+            r.reactors,
+            r.shard,
+            r.requests,
+            r.queue_p50,
+            r.queue_p99,
+            r.latency_p50,
+            r.latency_p99,
+            if i + 1 == shard_skew.len() { "" } else { "," },
         ));
     }
     out.push_str("  ]\n}\n");
@@ -1204,16 +1404,54 @@ mod tests {
             },
         ];
         assert!(render_transport(&transport).contains("vs 1 reactor"));
+        let telemetry = vec![TelemetryRow {
+            reactors: 2,
+            requests: 200,
+            off_seconds: 0.05,
+            on_seconds: 0.051,
+            off_rps: 4000.0,
+            on_rps: 3920.0,
+            overhead_pct: 2.0,
+            latency_p50: 7,
+            latency_p99: 63,
+            latency_max: 90,
+        }];
+        assert!(render_telemetry(&telemetry).contains("Overhead"));
+        let shard_skew = vec![
+            ShardSkewRow {
+                reactors: 2,
+                shard: 0,
+                requests: 120,
+                queue_p50: 1,
+                queue_p99: 7,
+                latency_p50: 7,
+                latency_p99: 63,
+            },
+            ShardSkewRow {
+                reactors: 2,
+                shard: 1,
+                requests: 80,
+                queue_p50: 1,
+                queue_p99: 3,
+                latency_p50: 7,
+                latency_p99: 31,
+            },
+        ];
+        assert!(render_shard_skew(&shard_skew).contains("Shard"));
         let json = serve_rows_to_json(
             &rows,
             &frontend,
             &transport,
+            &telemetry,
+            &shard_skew,
             "{\"workers\": 2}",
             "single-core \"host\"\nwith C:\\cores",
         );
         assert_eq!(json.matches("{\"id\"").count(), 5);
         assert_eq!(json.matches("{\"batch_size\"").count(), 2);
-        assert_eq!(json.matches("{\"reactors\"").count(), 2);
+        assert_eq!(json.matches("{\"reactors\"").count(), 2 + telemetry.len() + shard_skew.len());
+        assert_eq!(json.matches("\"overhead_pct\"").count(), 1);
+        assert_eq!(json.matches("\"queue_p99\"").count(), 2);
         assert!(json.contains("\"figure\": \"serve_throughput\""));
         assert!(json.contains("\"domain\": \"interval\""));
         assert!(
@@ -1228,6 +1466,22 @@ mod tests {
         );
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert!(!json.contains(",\n  ]"), "no trailing comma before an array close");
+    }
+
+    #[test]
+    fn telemetry_rows_measure_overhead_and_per_shard_skew() {
+        let (rows, skew) = telemetry_rows(12, 41, 43, &[1, 2], 1);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(skew.len(), 3, "one skew row per shard: 1 + 2");
+        for r in &rows {
+            assert!(r.off_rps > 0.0 && r.on_rps > 0.0);
+            assert!(r.latency_p50 <= r.latency_p99 && r.latency_p99 <= r.latency_max);
+            assert!(r.latency_max > 0, "virtual request latencies were measured");
+        }
+        // The hashed shards together parse exactly the single-reactor request count.
+        let single = skew.iter().find(|s| s.reactors == 1).expect("the reactors=1 row").requests;
+        let sharded: u64 = skew.iter().filter(|s| s.reactors == 2).map(|s| s.requests).sum();
+        assert_eq!(sharded, single, "sharding redistributes requests, never loses them");
     }
 
     #[test]
