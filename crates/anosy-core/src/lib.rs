@@ -79,4 +79,4 @@ pub use session::{
     downgrade_step, synthesize_and_verify, AnosySession, AsSecretPoint, SessionStats,
     SynthesizeInto,
 };
-pub use shared::{SharedCacheEntry, SharedCacheStats, SharedSynthCache};
+pub use shared::{CommitObserver, SharedCacheEntry, SharedCacheStats, SharedSynthCache};

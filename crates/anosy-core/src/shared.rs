@@ -121,11 +121,16 @@ impl fmt::Display for SharedCacheStats {
     }
 }
 
+/// A hook invoked with every entry the single-flight path commits (see
+/// [`SharedSynthCache::set_commit_observer`]).
+pub type CommitObserver<D> = Arc<dyn Fn(&SharedCacheEntry<D>) + Send + Sync>;
+
 struct Inner<D: AbstractDomain> {
     store: RwLock<TermStore>,
     slots: Mutex<HashMap<SynthCacheKey, SlotState<D>>>,
     ready: Condvar,
     counters: Counters,
+    observer: Mutex<Option<CommitObserver<D>>>,
 }
 
 /// The deployment-shared term store and synthesis cache (see the module docs above).
@@ -195,8 +200,29 @@ impl<D: AbstractDomain> SharedSynthCache<D> {
                 slots: Mutex::new(HashMap::new()),
                 ready: Condvar::new(),
                 counters: Counters::default(),
+                observer: Mutex::new(None),
             }),
         }
+    }
+
+    /// Installs a commit observer: a hook called with every entry the single-flight synthesis
+    /// path publishes, *after* the entry is visible to waiters. Warm-start inserts
+    /// ([`SharedSynthCache::insert_ready`]) do **not** fire the hook — they originate from a
+    /// snapshot that already persists the entry. The serving layer uses this to append each
+    /// freshly synthesized entry to its durability journal; the ordering (publish, then
+    /// observe) is what lets a journal compaction that snapshots the cache under a lock held
+    /// across both steps never lose an entry (a racing commit is either in the snapshot or
+    /// appends after the truncation — possibly both, and replay tolerates duplicates).
+    pub fn set_commit_observer(
+        &self,
+        observer: impl Fn(&SharedCacheEntry<D>) + Send + Sync + 'static,
+    ) {
+        *recover(self.inner.observer.lock()) = Some(Arc::new(observer));
+    }
+
+    /// Removes the commit observer installed by [`SharedSynthCache::set_commit_observer`].
+    pub fn clear_commit_observer(&self) {
+        *recover(self.inner.observer.lock()) = None;
     }
 
     /// Interns a predicate into the shared store (the only store write; serialized by the
@@ -322,8 +348,18 @@ impl<D: AbstractDomain> SharedSynthCache<D> {
             members,
             indsets: indsets.clone(),
         };
-        recover(self.inner.slots.lock()).insert(key, SlotState::Ready(entry));
-        self.inner.ready.notify_all();
+        let observer = recover(self.inner.observer.lock()).clone();
+        if let Some(observer) = observer {
+            // Publish first, then observe: a compaction that locks its journal and *then*
+            // snapshots the cache sees either the published entry (in the snapshot) or the
+            // observer's append landing after the truncation — never neither.
+            recover(self.inner.slots.lock()).insert(key, SlotState::Ready(entry.clone()));
+            self.inner.ready.notify_all();
+            observer(&entry);
+        } else {
+            recover(self.inner.slots.lock()).insert(key, SlotState::Ready(entry));
+            self.inner.ready.notify_all();
+        }
         Ok((indsets, false))
     }
 

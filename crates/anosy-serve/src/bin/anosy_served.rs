@@ -21,6 +21,14 @@
 //! * `--verify-on-load` — re-verify every warm-start entry with the solver
 //!   ([`anosy_serve::Deployment::warm_start_verified`]);
 //! * `--save-on-exit PATH` — persist the synthesis cache after the last request;
+//! * `--journal PATH` — durability between saves ([`anosy_serve::journal`]): warm-restart from
+//!   `PATH.snapshot` + `PATH` (journal replay, torn-tail tolerant, composing with
+//!   `--verify-on-load`), then append every newly synthesized entry to `PATH` as it commits.
+//!   Recovery reports as a `# journal recovered replayed=N torn=N` line;
+//! * `--journal-flush every-entry|every-N|on-tick` — when journal appends reach the OS
+//!   (default `every-entry`, the safest);
+//! * `--compact-every N` — with `--journal`: every `N` server ticks, fold the journal into its
+//!   snapshot while serving continues (no stop-the-world);
 //! * `--ticked` — accumulate requests and tick only on blank lines, quiescence timers and
 //!   connection teardown, so scripted transcripts control batching; the default ticks after
 //!   every request line;
@@ -57,8 +65,8 @@ use anosy_core::SynthesizeInto;
 use anosy_domains::{IntervalDomain, PowersetDomain};
 use anosy_logic::SecretLayout;
 use anosy_serve::{
-    reactor, wire, Deployment, Frontend, PollTransport, ReactorPool, ServeConfig, Server,
-    ServerConfig, StdioTransport, Transport,
+    reactor, wire, Deployment, FlushPolicy, Frontend, JournalConfig, PollTransport, ReactorPool,
+    ServeConfig, Server, ServerConfig, StdioTransport, Transport,
 };
 use anosy_synth::DomainCodec;
 use std::io::Write;
@@ -84,7 +92,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: anosy-served --layout \"x:0:400 y:0:400\" [--domain interval|powerset] \
          [--workers N] [--box-memo-min-depth N] [--warm-start PATH [--verify-on-load]] \
-         [--save-on-exit PATH] [--ticked] [--io-log-cap N] [--trace PATH] [--no-telemetry] \
+         [--save-on-exit PATH] [--journal PATH [--journal-flush every-entry|every-N|on-tick] \
+         [--compact-every N]] [--ticked] [--io-log-cap N] [--trace PATH] [--no-telemetry] \
          [--listen ADDR [--accept N] [--tick-ms MS] [--reactors N]]"
     );
     std::process::exit(2);
@@ -98,6 +107,9 @@ fn parse_options() -> Options {
     let mut warm_start = None;
     let mut verify_on_load = false;
     let mut save_on_exit = None;
+    let mut journal = None;
+    let mut journal_flush = FlushPolicy::EveryEntry;
+    let mut compact_every = None;
     let mut ticked = false;
     let mut listen = None;
     let mut accept = None;
@@ -138,6 +150,13 @@ fn parse_options() -> Options {
             "--warm-start" => warm_start = Some(std::path::PathBuf::from(value(&mut i))),
             "--verify-on-load" => verify_on_load = true,
             "--save-on-exit" => save_on_exit = Some(std::path::PathBuf::from(value(&mut i))),
+            "--journal" => journal = Some(std::path::PathBuf::from(value(&mut i))),
+            "--journal-flush" => {
+                journal_flush = FlushPolicy::parse(&value(&mut i)).unwrap_or_else(|| usage());
+            }
+            "--compact-every" => {
+                compact_every = Some(value(&mut i).parse().unwrap_or_else(|_| usage()));
+            }
             "--ticked" => ticked = true,
             "--listen" => listen = Some(value(&mut i)),
             "--accept" => accept = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
@@ -155,6 +174,17 @@ fn parse_options() -> Options {
     let Some(layout) = layout else { usage() };
     if (accept.is_some() || tick_ms.is_some() || reactors > 1) && listen.is_none() {
         usage();
+    }
+    match journal {
+        Some(path) => {
+            let mut journal = JournalConfig::new(path).with_flush(journal_flush);
+            if let Some(ticks) = compact_every {
+                journal = journal.with_compact_every(ticks);
+            }
+            config = config.with_journal(journal);
+        }
+        None if compact_every.is_some() => usage(),
+        None => {}
     }
     Options {
         layout,
@@ -189,6 +219,25 @@ where
     let deployment: Deployment<D> = Deployment::new(options.layout.clone(), options.config.clone());
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
+
+    // Warm restart from the journal's snapshot + replay, then attach the commit observer so
+    // everything synthesized from here on is journaled as it lands.
+    match deployment.open_journal(options.verify_on_load) {
+        Ok(Some(recovery)) => writeln!(
+            out,
+            "# journal recovered replayed={} torn={} snapshot_loaded={} skipped={}",
+            recovery.replayed,
+            recovery.torn,
+            recovery.snapshot.installed,
+            recovery.snapshot.skipped + recovery.replay_skipped,
+        )
+        .expect("stdout is writable"),
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("anosy-served: cannot open journal: {e}");
+            std::process::exit(1);
+        }
+    }
 
     if let Some(path) = &options.warm_start {
         match deployment.warm_start_with(path, options.verify_on_load) {
@@ -281,7 +330,9 @@ where
         let stdout = std::io::stdout();
         let mut out = stdout.lock();
         match deployment.save_cache(path) {
-            Ok(entries) => writeln!(out, "# saved entries={entries}"),
+            Ok(outcome) => {
+                writeln!(out, "# saved entries={} skipped={}", outcome.written, outcome.skipped)
+            }
             Err(e) => writeln!(out, "# save failed: {e}"),
         }
         .expect("stdout is writable");

@@ -1,5 +1,6 @@
 //! Deployment configuration.
 
+use crate::journal::JournalConfig;
 use anosy_solver::SolverConfig;
 use anosy_synth::SynthConfig;
 
@@ -22,6 +23,10 @@ pub struct ServeConfig {
     /// [`crate::merge_io_logs`] re-applies it to the merged log, so the global bound holds at
     /// any reactor count.
     pub io_log_cap: usize,
+    /// Append-only synthesis journal ([`crate::journal`]); `None` (the default) disables
+    /// journaling. The journal itself is opened by [`crate::Deployment::open_journal`] — the
+    /// config only carries the intent (path, flush policy, compaction cadence).
+    pub journal: Option<JournalConfig>,
 }
 
 impl ServeConfig {
@@ -35,6 +40,7 @@ impl ServeConfig {
             synth: SynthConfig::default(),
             box_memo_min_depth: None,
             io_log_cap: crate::server::IO_LOG_CAP,
+            journal: None,
         }
     }
 
@@ -62,6 +68,12 @@ impl ServeConfig {
         self
     }
 
+    /// Enables the append-only synthesis journal ([`crate::journal`]).
+    pub fn with_journal(mut self, journal: JournalConfig) -> Self {
+        self.journal = Some(journal);
+        self
+    }
+
     /// The solver configuration shards and verifiers run with.
     pub fn solver(&self) -> &SolverConfig {
         &self.synth.solver
@@ -74,6 +86,7 @@ impl ServeConfig {
             synth: SynthConfig::new().with_solver(SolverConfig::for_tests()),
             box_memo_min_depth: None,
             io_log_cap: crate::server::IO_LOG_CAP,
+            journal: None,
         }
     }
 }
@@ -100,5 +113,13 @@ mod tests {
         assert_eq!(ServeConfig::for_tests().with_box_memo_min_depth(3).box_memo_min_depth, Some(3));
         assert_eq!(c.io_log_cap, crate::server::IO_LOG_CAP);
         assert_eq!(ServeConfig::for_tests().with_io_log_cap(0).io_log_cap, 1, "cap clamps to one");
+        assert!(c.journal.is_none(), "journaling is opt-in");
+        let journal = JournalConfig::new("/tmp/t.journal")
+            .with_flush(crate::journal::FlushPolicy::OnTick)
+            .with_compact_every(0);
+        let c = ServeConfig::for_tests().with_journal(journal);
+        let journal = c.journal.unwrap();
+        assert_eq!(journal.compact_every, Some(1), "compaction cadence clamps to one tick");
+        assert_eq!(journal.snapshot_path(), std::path::PathBuf::from("/tmp/t.journal.snapshot"));
     }
 }

@@ -1,8 +1,11 @@
 //! The deployment: one shared store + synthesis cache, one worker pool, many sessions.
 
+use crate::journal::{CompactOutcome, Journal, JournalStats};
+use crate::persist::SaveOutcome;
 use crate::{batch, parallel, persist, ServeConfig, ServeError, ShardPool, Sharded};
 use anosy_core::{
-    AnosyError, AnosySession, Policy, SharedCacheStats, SharedSynthCache, SynthesizeInto,
+    AnosyError, AnosySession, Policy, SharedCacheEntry, SharedCacheStats, SharedSynthCache,
+    SynthesizeInto,
 };
 use anosy_domains::AbstractDomain;
 use anosy_logic::{IntBox, Point, Pred, SecretLayout, StoreStats, TermStore};
@@ -10,7 +13,8 @@ use anosy_solver::{SolverConfig, SolverError, ValidityOutcome};
 use anosy_synth::{ApproxKind, DomainCodec, QueryDef, Synthesizer};
 use std::fmt;
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// What a [`Deployment::warm_start_verified`] load accomplished.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -19,6 +23,20 @@ pub struct WarmStartOutcome {
     pub installed: usize,
     /// Entries that failed re-verification (or were malformed) and were refused.
     pub skipped: usize,
+}
+
+/// What [`Deployment::open_journal`] recovered at warm restart (snapshot load + journal
+/// replay; see [`crate::journal`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryOutcome {
+    /// The compaction snapshot load (installed + verify-skipped entry counts).
+    pub snapshot: WarmStartOutcome,
+    /// Intact records replayed from the journal's good prefix.
+    pub replayed: usize,
+    /// Replayed records refused by `--verify-on-load` re-verification.
+    pub replay_skipped: usize,
+    /// `1` when a torn/corrupt journal tail was truncated away, else `0`.
+    pub torn: u64,
 }
 
 /// A point-in-time view of a deployment's aggregate serving counters.
@@ -74,6 +92,13 @@ pub struct Deployment<D: AbstractDomain> {
     config: ServeConfig,
     shared: SharedSynthCache<D>,
     pool: Arc<ShardPool>,
+    /// The append-only synthesis journal, once [`Deployment::open_journal`] attached it.
+    /// Shared (like the cache and pool) so every [`Deployment::share`] handle — one per
+    /// reactor shard — appends to, flushes and compacts the same journal.
+    journal: Arc<OnceLock<Journal<D>>>,
+    /// Entries skipped as unencodable across every [`Deployment::save_cache`] of this
+    /// deployment (the `saves_skipped` token of the wire stats line).
+    saves_skipped: Arc<AtomicU64>,
 }
 
 impl<D: AbstractDomain> Deployment<D> {
@@ -84,7 +109,14 @@ impl<D: AbstractDomain> Deployment<D> {
             Some(depth) => TermStore::with_min_memo_depth(depth),
             None => TermStore::new(),
         };
-        Deployment { layout, config, shared: SharedSynthCache::with_store(store), pool }
+        Deployment {
+            layout,
+            config,
+            shared: SharedSynthCache::with_store(store),
+            pool,
+            journal: Arc::new(OnceLock::new()),
+            saves_skipped: Arc::new(AtomicU64::new(0)),
+        }
     }
 
     /// Another handle onto the *same* deployment: the shared store + synthesis cache, the
@@ -98,6 +130,8 @@ impl<D: AbstractDomain> Deployment<D> {
             config: self.config.clone(),
             shared: self.shared.clone(),
             pool: Arc::clone(&self.pool),
+            journal: Arc::clone(&self.journal),
+            saves_skipped: Arc::clone(&self.saves_skipped),
         }
     }
 
@@ -134,6 +168,17 @@ impl<D: AbstractDomain> Deployment<D> {
     /// Hit/miss counters of the shared term store.
     pub fn store_stats(&self) -> StoreStats {
         self.shared.store_stats()
+    }
+
+    /// The journal counters (`appended:compacted:replayed:torn` on the wire stats line);
+    /// all-zero when no journal is attached.
+    pub fn journal_stats(&self) -> JournalStats {
+        self.journal.get().map(Journal::stats).unwrap_or_default()
+    }
+
+    /// Entries skipped as unencodable across every [`Deployment::save_cache`] so far.
+    pub fn saves_skipped(&self) -> u64 {
+        self.saves_skipped.load(Ordering::Relaxed)
     }
 
     /// Opens a session against this deployment: it shares the deployment's store and synthesis
@@ -229,7 +274,7 @@ impl<D: AbstractDomain + SynthesizeInto> Deployment<D> {
     }
 }
 
-impl<D: DomainCodec> Deployment<D> {
+impl<D: DomainCodec + 'static> Deployment<D> {
     /// Loads a warm-start synthesis cache saved by [`Deployment::save_cache`]. A missing file is
     /// a cold start (returns `Ok(0)`); a malformed file is an error the caller may choose to
     /// treat as cold. Returns how many entries were actually installed (already-cached keys keep
@@ -242,37 +287,31 @@ impl<D: DomainCodec> Deployment<D> {
         if !path.exists() {
             return Ok(0);
         }
-        let mut installed = 0;
-        for entry in persist::load_entries::<D>(path)? {
-            if self.shared.insert_ready(entry) {
-                installed += 1;
-            }
-        }
-        Ok(installed)
+        let entries = persist::load_entries::<D>(path)?;
+        Ok(self.install_entries(entries, false)?.installed)
     }
 
-    /// [`Deployment::warm_start`] for caches of dubious provenance: every loaded entry's
-    /// refinement obligations are **re-checked with the solver** (the same Fig. 4 specification
-    /// a fresh synthesis would have to pass, under the deployment's solver budget) before the
-    /// entry is installed. Entries that fail verification — or whose obligations cannot be
-    /// decided within budget — are skipped and counted, never installed; entries whose key is
-    /// already cached in memory are not re-installed (the in-memory value wins, as in the
-    /// unverified path) and count toward neither total. A missing file is a cold start.
-    ///
-    /// This is the `--verify-on-load` path of `anosy-served` and `report_serve`.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`ServeError::Io`] / [`ServeError::Format`] for unreadable or malformed files,
-    /// and [`ServeError::Solver`] if the solver itself fails (not merely exhausts its budget)
-    /// on an obligation.
-    pub fn warm_start_verified(&self, path: &Path) -> Result<WarmStartOutcome, ServeError> {
-        let mut outcome = WarmStartOutcome { installed: 0, skipped: 0 };
-        if !path.exists() {
+    /// Installs decoded entries into the shared cache — the one funnel under both the snapshot
+    /// loads and the journal replay, so `--verify-on-load` applies identically to either
+    /// provenance. With `verify` set, every entry's refinement obligations are re-checked with
+    /// the solver first (see [`Deployment::warm_start_verified`]); already-cached keys are
+    /// never re-installed (and, verified, never re-checked — the in-memory value wins).
+    fn install_entries(
+        &self,
+        entries: Vec<SharedCacheEntry<D>>,
+        verify: bool,
+    ) -> Result<WarmStartOutcome, ServeError> {
+        let mut outcome = WarmStartOutcome::default();
+        if !verify {
+            for entry in entries {
+                if self.shared.insert_ready(entry) {
+                    outcome.installed += 1;
+                }
+            }
             return Ok(outcome);
         }
         let mut verifier = anosy_verify::Verifier::with_config(self.config.solver().clone());
-        for entry in persist::load_entries::<D>(path)? {
+        for entry in entries {
             // The entry's provenance is untrusted, but its shape must still be a well-formed
             // query; a predicate outside the layout is a skip, not a crash.
             let Ok(query) = QueryDef::new("warm", entry.layout.clone(), entry.pred.clone()) else {
@@ -295,6 +334,29 @@ impl<D: DomainCodec> Deployment<D> {
         Ok(outcome)
     }
 
+    /// [`Deployment::warm_start`] for caches of dubious provenance: every loaded entry's
+    /// refinement obligations are **re-checked with the solver** (the same Fig. 4 specification
+    /// a fresh synthesis would have to pass, under the deployment's solver budget) before the
+    /// entry is installed. Entries that fail verification — or whose obligations cannot be
+    /// decided within budget — are skipped and counted, never installed; entries whose key is
+    /// already cached in memory are not re-installed (the in-memory value wins, as in the
+    /// unverified path) and count toward neither total. A missing file is a cold start.
+    ///
+    /// This is the `--verify-on-load` path of `anosy-served` and `report_serve`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] / [`ServeError::Format`] for unreadable or malformed files,
+    /// and [`ServeError::Solver`] if the solver itself fails (not merely exhausts its budget)
+    /// on an obligation.
+    pub fn warm_start_verified(&self, path: &Path) -> Result<WarmStartOutcome, ServeError> {
+        if !path.exists() {
+            return Ok(WarmStartOutcome::default());
+        }
+        let entries = persist::load_entries::<D>(path)?;
+        self.install_entries(entries, true)
+    }
+
     /// Dispatches between the trusted and verified warm-start paths behind one outcome type —
     /// the call every `verify`-flagged surface (the frontend's `WarmStart` request,
     /// `anosy-served --verify-on-load`, `report_serve --cache`) goes through, so the two paths
@@ -308,6 +370,7 @@ impl<D: DomainCodec> Deployment<D> {
         path: &Path,
         verify: bool,
     ) -> Result<WarmStartOutcome, ServeError> {
+        let _span = anosy_telemetry::span("warm_start");
         if verify {
             self.warm_start_verified(path)
         } else {
@@ -315,14 +378,98 @@ impl<D: DomainCodec> Deployment<D> {
         }
     }
 
-    /// Persists the current synthesis cache for the next process's [`Deployment::warm_start`].
-    /// Returns how many entries were written.
+    /// Persists the current synthesis cache for the next process's [`Deployment::warm_start`],
+    /// reporting written and (unencodable-)skipped entry counts. When a journal is attached and
+    /// `path` is its snapshot path, this is a full **compaction** — the snapshot save plus an
+    /// atomic journal truncation under the journal lock (see
+    /// [`Journal::compact_with`]); saving to any other path leaves the journal alone, since
+    /// truncating it against a snapshot the next recovery won't read would lose entries.
     ///
     /// # Errors
     ///
     /// Returns [`ServeError::Io`] on filesystem failures.
-    pub fn save_cache(&self, path: &Path) -> Result<usize, ServeError> {
-        persist::save_entries(path, &self.shared.export_entries())
+    pub fn save_cache(&self, path: &Path) -> Result<SaveOutcome, ServeError> {
+        let _span = anosy_telemetry::span("save_cache");
+        let outcome = match self.journal.get() {
+            Some(journal) if path == journal.config().snapshot_path() => {
+                journal.compact_with(|| self.shared.export_entries())?.snapshot
+            }
+            _ => persist::save_entries(path, &self.shared.export_entries())?,
+        };
+        self.saves_skipped.fetch_add(outcome.skipped as u64, Ordering::Relaxed);
+        Ok(outcome)
+    }
+
+    /// Opens the configured journal ([`ServeConfig::journal`]) and performs the warm restart:
+    /// loads the compaction snapshot, replays the journal's good prefix (truncating a torn
+    /// tail), installs both through the same `verify`-respecting funnel as
+    /// [`Deployment::warm_start_with`], and attaches a commit observer so every subsequently
+    /// committed synthesis entry is appended as it lands. Returns `Ok(None)` when the config
+    /// carries no journal. Call once per deployment, before serving traffic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] / [`ServeError::Format`] for unreadable journals or a journal
+    /// of the wrong domain, [`ServeError::Solver`] from `verify`, and [`ServeError::Format`]
+    /// when a journal is already attached.
+    pub fn open_journal(&self, verify: bool) -> Result<Option<RecoveryOutcome>, ServeError> {
+        let Some(config) = self.config.journal.clone() else {
+            return Ok(None);
+        };
+        let snapshot = self.warm_start_with(&config.snapshot_path(), verify)?;
+        let recovered = Journal::recover(config)?;
+        let replayed = recovered.entries.len();
+        let installed = self.install_entries(recovered.entries, verify)?;
+        if self.journal.set(recovered.journal).is_err() {
+            return Err(ServeError::Format {
+                line: 0,
+                reason: "journal already attached to this deployment".into(),
+            });
+        }
+        let journal = Arc::clone(&self.journal);
+        self.shared.set_commit_observer(move |entry| {
+            if let Some(journal) = journal.get() {
+                if let Err(err) = journal.append(entry) {
+                    // Losing durability must not take serving down; the operator sees the
+                    // failure, answers keep flowing.
+                    eprintln!("anosy-serve: journal append failed: {err}");
+                }
+            }
+        });
+        Ok(Some(RecoveryOutcome {
+            snapshot,
+            replayed,
+            replay_skipped: installed.skipped,
+            torn: recovered.torn,
+        }))
+    }
+
+    /// A server tick happened: flushes under the `on-tick` policy and runs a periodic
+    /// compaction when `compact_every` ticks have elapsed. No-op without a journal; reactors
+    /// call this unconditionally from their tick path.
+    pub fn journal_tick(&self) {
+        let Some(journal) = self.journal.get() else { return };
+        if journal.note_tick() {
+            if let Err(err) = self.compact() {
+                eprintln!("anosy-serve: journal compaction failed: {err}");
+            }
+        }
+    }
+
+    /// Compacts the attached journal into its snapshot while traffic continues (`Ok(None)`
+    /// without a journal). Equivalent to [`Deployment::save_cache`] at the snapshot path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] on filesystem failures; a failed compaction leaves the
+    /// journal intact.
+    pub fn compact(&self) -> Result<Option<CompactOutcome>, ServeError> {
+        let Some(journal) = self.journal.get() else {
+            return Ok(None);
+        };
+        let outcome = journal.compact_with(|| self.shared.export_entries())?;
+        self.saves_skipped.fetch_add(outcome.snapshot.skipped as u64, Ordering::Relaxed);
+        Ok(Some(outcome))
     }
 }
 
@@ -381,7 +528,7 @@ mod tests {
         assert_eq!(first.warm_start(&path).unwrap(), 0, "missing file is a cold start");
         first.register_query(&nearby_query(200), ApproxKind::Under, None).unwrap();
         first.register_query(&nearby_query(300), ApproxKind::Over, None).unwrap();
-        assert_eq!(first.save_cache(&path).unwrap(), 2);
+        assert_eq!(first.save_cache(&path).unwrap(), crate::SaveOutcome { written: 2, skipped: 0 });
 
         // A restarted deployment loads the cache and performs no synthesis at all.
         let second: Deployment<IntervalDomain> =
@@ -476,6 +623,52 @@ mod tests {
         let tampered_query = nearby_query(300);
         second.register_query(&tampered_query, ApproxKind::Under, None).unwrap();
         assert_eq!(second.stats().cache.synth_misses, stats_before.cache.synth_misses + 1);
+    }
+
+    #[test]
+    fn journal_makes_restarts_lossless_between_saves() {
+        use crate::journal::JournalConfig;
+
+        let dir = std::env::temp_dir().join("anosy-serve-deployment-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("restart.journal");
+        let journal = JournalConfig::new(&path);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(journal.snapshot_path());
+        let config = ServeConfig::for_tests().with_journal(journal.clone());
+
+        // First life: journal on, synthesize two queries, then "crash" (drop without saving).
+        let first: Deployment<IntervalDomain> = Deployment::new(layout(), config.clone());
+        let recovery = first.open_journal(false).unwrap().unwrap();
+        assert_eq!(recovery, RecoveryOutcome::default(), "first boot is cold");
+        first.register_query(&nearby_query(200), ApproxKind::Under, None).unwrap();
+        first.register_query(&nearby_query(300), ApproxKind::Over, None).unwrap();
+        assert_eq!(first.journal_stats().appended, 2, "commits are journaled as they land");
+        drop(first);
+
+        // Second life: journal replay alone restores the cache — zero re-synthesis.
+        let second: Deployment<IntervalDomain> = Deployment::new(layout(), config.clone());
+        let recovery = second.open_journal(false).unwrap().unwrap();
+        assert_eq!((recovery.replayed, recovery.torn), (2, 0));
+        second.register_query(&nearby_query(200), ApproxKind::Under, None).unwrap();
+        second.register_query(&nearby_query(300), ApproxKind::Over, None).unwrap();
+        assert_eq!(second.stats().cache.synth_misses, 0, "replayed entries skip synthesis");
+
+        // Saving to the snapshot path is a compaction: entries move journal → snapshot.
+        let saved = second.save_cache(&journal.snapshot_path()).unwrap();
+        assert_eq!(saved, SaveOutcome { written: 2, skipped: 0 });
+        assert_eq!(second.journal_stats().compacted, 2);
+        drop(second);
+
+        // Third life: everything now comes from the snapshot, nothing from the journal.
+        let third: Deployment<IntervalDomain> = Deployment::new(layout(), config);
+        let recovery = third.open_journal(false).unwrap().unwrap();
+        assert_eq!(recovery.snapshot.installed, 2);
+        assert_eq!(recovery.replayed, 0);
+        assert!(
+            third.open_journal(false).is_err(),
+            "a second open_journal on one deployment is refused"
+        );
     }
 
     #[test]

@@ -236,6 +236,11 @@ impl<D: AbstractDomain> Frontend<D> {
             memo_depth,
             memo_min_depth: store.box_memo_min_depth,
             memo_suggested_depth: anosy_logic::suggested_min_memo_depth(&store),
+            journal: {
+                let journal = self.deployment.journal_stats();
+                [journal.appended, journal.compacted, journal.replayed, journal.torn]
+            },
+            saves_skipped: self.deployment.saves_skipped(),
             serve: self.deployment.stats(),
         }
     }
@@ -483,7 +488,9 @@ where
                     .unwrap_or_else(|| "[]".to_string()),
             },
             ServeRequest::SaveCache { path } => match self.deployment.save_cache(&path) {
-                Ok(entries) => ServeResponse::CacheSaved { entries },
+                Ok(outcome) => {
+                    ServeResponse::CacheSaved { entries: outcome.written, skipped: outcome.skipped }
+                }
                 Err(e) => ServeResponse::Rejected(Denial::new(DenialCode::Internal, e.to_string())),
             },
             ServeRequest::WarmStart { path, verify } => {

@@ -102,6 +102,7 @@ mod config;
 mod deployment;
 mod error;
 pub mod frontend;
+pub mod journal;
 pub mod loadgen;
 mod parallel;
 mod persist;
@@ -115,11 +116,12 @@ pub mod wire;
 
 pub use batch::{downgrade_batch, downgrade_many};
 pub use config::ServeConfig;
-pub use deployment::{Deployment, ServeStats, WarmStartOutcome};
+pub use deployment::{Deployment, RecoveryOutcome, ServeStats, WarmStartOutcome};
 pub use error::ServeError;
 pub use frontend::{Frontend, FrontendStats};
+pub use journal::{FlushPolicy, Journal, JournalConfig, JournalStats};
 pub use parallel::{par_check_validity, par_count_models, par_is_valid, Sharded};
-pub use persist::{load_entries, save_entries};
+pub use persist::{load_entries, save_entries, SaveOutcome};
 pub use pool::ShardPool;
 pub use popsim::{compile as compile_population, CompileOptions, CompiledPopulation};
 pub use proto::{

@@ -20,7 +20,9 @@
 //! fragment — property-tested in `anosy-logic`); domain elements use the
 //! [`DomainCodec`](anosy_synth::DomainCodec) hooks. Entries whose predicate does not round-trip
 //! (e.g. one using a printable-fragment escape hatch) are *skipped on save* rather than written
-//! unreadably; [`save_entries`] reports how many entries it wrote.
+//! unreadably; [`save_entries`] reports both counts as a [`SaveOutcome`], and the serving
+//! surfaces propagate the skipped count (wire `ok saved` responses, the stats snapshot) so a
+//! lossy save is visible to operators.
 //!
 //! Loading is all-or-nothing per file (a malformed line fails the load with
 //! [`ServeError::Format`]) but tolerant in effect: the deployment treats a failed load as a cold
@@ -62,9 +64,88 @@ fn decode_layout(text: &str, line: usize) -> Result<SecretLayout, ServeError> {
         .ok_or_else(|| format_err(line, format!("malformed layout `{text}`")))
 }
 
+/// What a [`save_entries`] call accomplished: entries written, and entries that could not be
+/// encoded faithfully and were skipped. A non-zero `skipped` means the on-disk cache is lossy
+/// relative to the in-memory one — the count rides the `ok saved` wire response and the stats
+/// snapshot so operators can see it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SaveOutcome {
+    /// Entries written to the file.
+    pub written: usize,
+    /// Entries skipped because they do not survive the text encoding (see the module docs).
+    pub skipped: usize,
+}
+
+/// Renders one entry as its six-line body (`entry`/`layout`/`pred`/`truthy`/`falsy`/`end`) —
+/// the unit shared by the snapshot file and the journal's per-record framing. Returns `None`
+/// when the entry does not survive the encoding faithfully: a layout whose field names embed
+/// `:` or whitespace, or a predicate whose `Display` form does not re-parse to the identical
+/// term (the cache key on load must intern to the same canonical term it had on save).
+pub(crate) fn encode_entry<D: DomainCodec>(entry: &SharedCacheEntry<D>) -> Option<String> {
+    let layout_line = encode_layout(&entry.layout)?;
+    let pred_line = entry.pred.to_string();
+    match parse_pred(&pred_line) {
+        Ok(reparsed) if reparsed == entry.pred => {}
+        _ => return None,
+    }
+    let (kind, truthy, falsy) = encode_indsets(&entry.indsets);
+    let members = match entry.members {
+        Some(m) => m.to_string(),
+        None => "-".to_string(),
+    };
+    Some(format!(
+        "entry kind={kind} members={members}\nlayout {layout_line}\npred {pred_line}\n\
+         truthy {truthy}\nfalsy {falsy}\nend\n"
+    ))
+}
+
+/// Parses one [`encode_entry`] body back into an entry. The inverse on everything
+/// [`encode_entry`] emits; any deviation is an error string (the journal layer treats a
+/// non-decoding record as corruption and truncates to the last good prefix).
+pub(crate) fn parse_entry<D: DomainCodec>(body: &str) -> Result<SharedCacheEntry<D>, String> {
+    let mut lines = body.lines();
+    let head = lines.next().ok_or("empty entry body")?;
+    let rest = head.strip_prefix("entry ").ok_or_else(|| format!("expected `entry`: {head}"))?;
+    let mut kind = None;
+    let mut members = None;
+    for token in rest.split_whitespace() {
+        if let Some(k) = token.strip_prefix("kind=") {
+            kind = parse_approx_kind(k);
+        } else if let Some(m) = token.strip_prefix("members=") {
+            members = Some(if m == "-" {
+                None
+            } else {
+                Some(m.parse().map_err(|_| "bad members count".to_string())?)
+            });
+        }
+    }
+    let kind = kind.ok_or("missing or bad kind")?;
+    let members = members.ok_or("missing members")?;
+    let mut field = |prefix: &str| -> Result<String, String> {
+        let line = lines.next().ok_or_else(|| format!("truncated entry, wanted `{prefix}`"))?;
+        line.strip_prefix(prefix)
+            .map(str::to_string)
+            .ok_or_else(|| format!("expected `{prefix}`, found `{line}`"))
+    };
+    let layout_text = field("layout ")?;
+    let pred_text = field("pred ")?;
+    let truthy_text = field("truthy ")?;
+    let falsy_text = field("falsy ")?;
+    let end_text = field("end")?;
+    if !end_text.is_empty() || lines.next().is_some() {
+        return Err("junk after `end`".to_string());
+    }
+    let layout = crate::wire::parse_layout(&layout_text)
+        .ok_or(format!("malformed layout `{layout_text}`"))?;
+    let pred = parse_pred(&pred_text).map_err(|e| format!("unparseable predicate: {e}"))?;
+    let indsets = decode_indsets::<D>(kind, &truthy_text, &falsy_text, &layout)
+        .ok_or("undecodable ind. sets")?;
+    Ok(SharedCacheEntry { pred, layout, kind, members, indsets })
+}
+
 /// Writes the entries to `path`, atomically enough for a single writer (write to a temp file in
-/// the same directory, then rename). Returns how many entries were written; entries that cannot
-/// be encoded faithfully (see the module docs above) are skipped.
+/// the same directory, then rename). Reports how many entries were written and how many could
+/// not be encoded faithfully and were skipped (see the module docs above).
 ///
 /// # Errors
 ///
@@ -72,30 +153,17 @@ fn decode_layout(text: &str, line: usize) -> Result<SecretLayout, ServeError> {
 pub fn save_entries<D: DomainCodec>(
     path: &Path,
     entries: &[SharedCacheEntry<D>],
-) -> Result<usize, ServeError> {
+) -> Result<SaveOutcome, ServeError> {
     let mut body = format!("{HEADER_PREFIX}{}\n", D::TAG);
-    let mut written = 0;
+    let mut outcome = SaveOutcome::default();
     for entry in entries {
-        let Some(layout_line) = encode_layout(&entry.layout) else { continue };
-        let pred_line = entry.pred.to_string();
-        // Only persist predicates the parser can read back *identically*: the cache key on load
-        // must intern to the same canonical term it had on save.
-        match parse_pred(&pred_line) {
-            Ok(reparsed) if reparsed == entry.pred => {}
-            _ => continue,
+        match encode_entry(entry) {
+            Some(encoded) => {
+                body.push_str(&encoded);
+                outcome.written += 1;
+            }
+            None => outcome.skipped += 1,
         }
-        let (kind, truthy, falsy) = encode_indsets(&entry.indsets);
-        let members = match entry.members {
-            Some(m) => m.to_string(),
-            None => "-".to_string(),
-        };
-        body.push_str(&format!("entry kind={kind} members={members}\n"));
-        body.push_str(&format!("layout {layout_line}\n"));
-        body.push_str(&format!("pred {pred_line}\n"));
-        body.push_str(&format!("truthy {truthy}\n"));
-        body.push_str(&format!("falsy {falsy}\n"));
-        body.push_str("end\n");
-        written += 1;
     }
     let tmp = path.with_extension("tmp");
     {
@@ -104,7 +172,7 @@ pub fn save_entries<D: DomainCodec>(
         file.sync_all()?;
     }
     std::fs::rename(&tmp, path)?;
-    Ok(written)
+    Ok(outcome)
 }
 
 /// Reads a cache file back into entries.
@@ -222,7 +290,7 @@ mod tests {
     fn save_load_round_trips() {
         let path = tmp_path("round_trip.cache");
         let entries = vec![entry(200), entry(300)];
-        assert_eq!(save_entries(&path, &entries).unwrap(), 2);
+        assert_eq!(save_entries(&path, &entries).unwrap(), SaveOutcome { written: 2, skipped: 0 });
         let loaded = load_entries::<IntervalDomain>(&path).unwrap();
         assert_eq!(loaded.len(), 2);
         for (a, b) in entries.iter().zip(&loaded) {
@@ -249,7 +317,7 @@ mod tests {
                 PowersetDomain::new(2, vec![member.clone()], vec![member]),
             ),
         }];
-        assert_eq!(save_entries(&path, &entries).unwrap(), 1);
+        assert_eq!(save_entries(&path, &entries).unwrap().written, 1);
         let loaded = load_entries::<PowersetDomain>(&path).unwrap();
         assert_eq!(loaded[0].members, Some(3));
         assert_eq!(loaded[0].indsets, entries[0].indsets);
@@ -283,7 +351,10 @@ mod tests {
         let path = tmp_path("skipped.cache");
         let mut bad = entry(200);
         bad.layout = SecretLayout::builder().field("has space", 0, 4).field("y", 0, 4).build();
-        assert_eq!(save_entries(&path, &[bad, entry(300)]).unwrap(), 1);
+        assert_eq!(
+            save_entries(&path, &[bad, entry(300)]).unwrap(),
+            SaveOutcome { written: 1, skipped: 1 }
+        );
         assert_eq!(load_entries::<IntervalDomain>(&path).unwrap().len(), 1);
     }
 }

@@ -298,6 +298,15 @@ pub struct StatsSnapshot {
     /// [`anosy_logic::suggested_min_memo_depth`] computed from the buckets above: the threshold
     /// the observed hit rates say this workload should use.
     pub memo_suggested_depth: u8,
+    /// The deployment journal's counters ([`crate::journal`]) as
+    /// `[appended, compacted, replayed, torn]`; all zero when no journal is attached. The
+    /// journal is deployment-shared, so a fold of per-shard snapshots carries these through
+    /// unsummed, like [`StatsSnapshot::memo_depth`].
+    pub journal: [u64; 4],
+    /// Entries skipped as unencodable across every cache save of this deployment (the
+    /// [`crate::SaveOutcome::skipped`] tally; deployment-shared like
+    /// [`StatsSnapshot::journal`]).
+    pub saves_skipped: u64,
 }
 
 /// One response, paired to its request by the frontend.
@@ -340,6 +349,9 @@ pub enum ServeResponse {
     CacheSaved {
         /// Entries written.
         entries: usize,
+        /// Entries skipped because the text encoding cannot represent them faithfully
+        /// ([`crate::SaveOutcome::skipped`]) — nonzero means the save was lossy.
+        skipped: usize,
     },
     /// A warm start completed.
     WarmStarted {

@@ -246,9 +246,11 @@ fn notify_pair() -> std::io::Result<(TcpStream, TcpStream)> {
 }
 
 /// Folds per-shard frontend snapshots into the deployment-wide view: frontend counters sum
-/// (`largest_batch` takes the max), the shared deployment counters are taken once, and the
-/// folded snapshot marks itself with `shard == reactors` — impossible for a real shard, so
-/// consumers can tell a fold from a shard.
+/// (`largest_batch` takes the max), the shared deployment counters — including the
+/// deployment-wide `journal` and `saves_skipped` fields, which every shard reports
+/// identically — are taken once, and the folded snapshot marks itself with
+/// `shard == reactors` — impossible for a real shard, so consumers can tell a fold from a
+/// shard.
 ///
 /// # Panics
 ///

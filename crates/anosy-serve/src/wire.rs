@@ -36,7 +36,7 @@
 //! ok counterexample 0,0
 //! ok knowledge size=6837 121..279,179..221
 //! ok stats open=1 ticks=2 …
-//! ok saved 2
+//! ok saved 2 skipped=0
 //! ok warm loaded=2 skipped=0
 //! ok closed 1
 //! err unknown-session no open session 7
@@ -349,7 +349,7 @@ pub fn encode_response(response: &ServeResponse) -> String {
             "ok stats open={} ticks={} requests={} batched={} largest={} torn={} tenants={} \
              denied={} reactors={} shard={} workers={} entries={} sessions={} closed={} \
              synth_hits={} synth_misses={} warm={} authorized={} refused={} memo_cfg={} \
-             memo_hint={} memo={}",
+             memo_hint={} memo={} journal={} saves_skipped={}",
             s.open_sessions,
             s.ticks,
             s.requests,
@@ -372,8 +372,12 @@ pub fn encode_response(response: &ServeResponse) -> String {
             s.memo_min_depth,
             s.memo_suggested_depth,
             encode_memo_buckets(&s.memo_depth),
+            encode_journal(&s.journal),
+            s.saves_skipped,
         ),
-        ServeResponse::CacheSaved { entries } => format!("ok saved {entries}"),
+        ServeResponse::CacheSaved { entries, skipped } => {
+            format!("ok saved {entries} skipped={skipped}")
+        }
         ServeResponse::WarmStarted { loaded, skipped } => {
             format!("ok warm loaded={loaded} skipped={skipped}")
         }
@@ -396,6 +400,23 @@ fn encode_memo_buckets(buckets: &[[u64; 3]; anosy_logic::BOX_MEMO_DEPTH_BUCKETS]
         .map(|[hits, misses, bypassed]| format!("{hits}:{misses}:{bypassed}"))
         .collect();
     triples.join(",")
+}
+
+/// Renders the journal counters as `appended:compacted:replayed:torn` (the same colon-joined
+/// sub-token idiom as the memo buckets).
+fn encode_journal(journal: &[u64; 4]) -> String {
+    let [appended, compacted, replayed, torn] = journal;
+    format!("{appended}:{compacted}:{replayed}:{torn}")
+}
+
+/// Parses the [`encode_journal`] form back into the four journal counters.
+fn parse_journal(text: &str) -> Option<[u64; 4]> {
+    let mut counters = [0u64; 4];
+    let mut parts = text.splitn(4, ':');
+    for slot in counters.iter_mut() {
+        *slot = parts.next()?.parse().ok()?;
+    }
+    Some(counters)
 }
 
 /// Parses the [`encode_memo_buckets`] form back into per-bucket counters.
@@ -640,11 +661,21 @@ pub fn parse_response(line: &str) -> Result<ServeResponse, WireError> {
                         .ok_or_else(|| WireError::new("missing or bad memo="))?,
                     memo_min_depth: parse_counter(rest, "memo_cfg=")?,
                     memo_suggested_depth: parse_counter(rest, "memo_hint=")?,
+                    journal: token(rest, "journal=")
+                        .and_then(parse_journal)
+                        .ok_or_else(|| WireError::new("missing or bad journal="))?,
+                    saves_skipped: parse_counter(rest, "saves_skipped=")?,
                 }))),
-                "saved" => rest
-                    .parse()
-                    .map(|entries| ServeResponse::CacheSaved { entries })
-                    .map_err(|_| WireError::new("bad saved count")),
+                "saved" => {
+                    let (head, _) = tail(rest, "skipped=")?;
+                    Ok(ServeResponse::CacheSaved {
+                        entries: head
+                            .trim_end()
+                            .parse()
+                            .map_err(|_| WireError::new("bad saved count"))?,
+                        skipped: parse_counter(rest, "skipped=")?,
+                    })
+                }
                 "warm" => Ok(ServeResponse::WarmStarted {
                     loaded: parse_counter(rest, "loaded=")?,
                     skipped: parse_counter(rest, "skipped=")?,
@@ -814,8 +845,11 @@ mod tests {
                 memo_depth: [[0, 0, 12], [3, 1, 0], [250, 9, 0], [0, 0, 0]],
                 memo_min_depth: 2,
                 memo_suggested_depth: 3,
+                journal: [14, 9, 5, 1],
+                saves_skipped: 2,
             })),
-            ServeResponse::CacheSaved { entries: 2 },
+            ServeResponse::CacheSaved { entries: 2, skipped: 1 },
+            ServeResponse::CacheSaved { entries: 0, skipped: 0 },
             ServeResponse::WarmStarted { loaded: 2, skipped: 1 },
             ServeResponse::SessionClosed { session: SessionId(3) },
             ServeResponse::Metrics {
