@@ -89,77 +89,133 @@ pub fn downgrade_batch<D: AbstractDomain + Send + Sync + 'static>(
     secrets: &[Point],
     query_name: &str,
 ) -> Vec<Result<bool, AnosyError>> {
-    let Some(qinfo) = session.query_info(query_name) else {
-        return secrets
-            .iter()
-            .map(|_| Err(AnosyError::UnknownQuery { name: query_name.to_string() }))
+    let mut groups = [FusedGroup { session, secrets, query: query_name }];
+    downgrade_batch_fused(pool, &mut groups).pop().expect("one group in, one result vector out")
+}
+
+/// One session's slice of a fused cross-session decision phase: the session to commit into,
+/// the secrets it queued (in arrival order) and the query they all target. Groups in one
+/// [`downgrade_batch_fused`] call may belong to different sessions but are expected to share
+/// the same *predicate* — that is what makes fusing them profitable — though correctness does
+/// not depend on it: every chain is decided against its own group's query and session prior.
+pub struct FusedGroup<'s, D: AbstractDomain> {
+    /// The session whose knowledge and counters this group's outcomes commit into.
+    pub session: &'s mut AnosySession<D>,
+    /// The batched secrets, in the order the caller queued them.
+    pub secrets: &'s [Point],
+    /// The registered query name every secret in this group targets.
+    pub query: &'s str,
+}
+
+/// Per-group decision context resolved before the scatter; `None` when the group's query is
+/// unknown to its session (those groups answer per element without touching the pool).
+type GroupCtx<D> = Option<(Arc<QInfo<D>>, Arc<dyn Policy<D> + Send + Sync>, Arc<SecretLayout>)>;
+
+/// Downgrades several sessions' batches in **one** pooled decision phase. Each group is
+/// decided and committed exactly as a standalone [`downgrade_batch`] call would — sessions
+/// are independent, per-(session, distinct-secret) chains never cross groups, and commits
+/// land in deterministic (group, distinct-secret) order — so the returned result vectors are
+/// element-for-element identical to calling [`downgrade_batch`] once per group, in order.
+/// Fusing buys one scatter/gather over the whole run instead of one per session, which is
+/// where the frontend's cross-session regrouping recovers the protocol tax.
+pub fn downgrade_batch_fused<D: AbstractDomain + Send + Sync + 'static>(
+    pool: &ShardPool,
+    groups: &mut [FusedGroup<'_, D>],
+) -> Vec<Vec<Result<bool, AnosyError>>> {
+    let mut results: Vec<Vec<Option<Result<bool, AnosyError>>>> =
+        groups.iter().map(|g| vec![None; g.secrets.len()]).collect();
+    let mut contexts: Vec<GroupCtx<D>> = Vec::with_capacity(groups.len());
+    // occurrences[g][slot] = input indices of group g's slot-th distinct secret.
+    let mut occurrences: Vec<Vec<Vec<usize>>> = Vec::with_capacity(groups.len());
+    // Work items carry owned data (the pool requires 'static jobs): group index, occurrence
+    // slot, the unique point, its tracked prior and its occurrence count.
+    let mut work: Vec<(usize, usize, Point, Knowledge<D>, usize)> = Vec::new();
+
+    for (g, group) in groups.iter_mut().enumerate() {
+        let secrets: &[Point] = group.secrets;
+        let Some(qinfo) = group.session.query_info(group.query) else {
+            for slot in &mut results[g] {
+                *slot = Some(Err(AnosyError::UnknownQuery { name: group.query.to_string() }));
+            }
+            contexts.push(None);
+            occurrences.push(Vec::new());
+            continue;
+        };
+        let qinfo = Arc::new(qinfo.clone());
+        let policy = group.session.policy_handle();
+        let layout = Arc::new(group.session.layout().clone());
+
+        // Group occurrences per distinct secret, preserving first-seen order. Only the first
+        // occurrence of a point is cloned; duplicates cost one hash lookup and an index push.
+        let mut unique: HashMap<&Point, usize> = HashMap::with_capacity(secrets.len());
+        let mut slots: Vec<Vec<usize>> = Vec::new();
+        for (index, point) in secrets.iter().enumerate() {
+            match unique.get(point) {
+                Some(&slot) => slots[slot].push(index),
+                None => {
+                    unique.insert(point, slots.len());
+                    slots.push(vec![index]);
+                }
+            }
+        }
+        for (slot, indices) in slots.iter().enumerate() {
+            let point = secrets[indices[0]].clone();
+            let prior = group.session.knowledge_of(&point);
+            work.push((g, slot, point, prior, indices.len()));
+        }
+        contexts.push(Some((qinfo, policy, layout)));
+        occurrences.push(slots);
+    }
+
+    if !work.is_empty() {
+        // One shared context table instead of three Arc clones per chunk per group.
+        let contexts = Arc::new(contexts);
+        // Decision phase: contiguous runs of distinct secrets across *all* groups, oversplit
+        // so workers can rebalance around skewed chains.
+        let jobs: Vec<_> = ShardPool::chunk(work, pool.workers() * BATCH_CHUNKS_PER_WORKER)
+            .into_iter()
+            .map(|chunk| {
+                let contexts = Arc::clone(&contexts);
+                move || -> Vec<(usize, usize, SecretOutcome<D>)> {
+                    chunk
+                        .into_iter()
+                        .map(|(g, slot, point, prior, count)| {
+                            let (qinfo, policy, layout) = contexts[g]
+                                .as_ref()
+                                .expect("work items only exist for resolvable groups");
+                            let outcome =
+                                decide_chain(policy.as_ref(), qinfo, layout, point, prior, count);
+                            (g, slot, outcome)
+                        })
+                        .collect()
+                }
+            })
             .collect();
-    };
-    let qinfo = Arc::new(qinfo.clone());
-    let policy = session.policy_handle();
-    let layout = Arc::new(session.layout().clone());
 
-    // Group occurrences per distinct secret, preserving first-seen order. Only the first
-    // occurrence of a point is cloned; duplicates cost one hash lookup and an index push.
-    let mut unique: HashMap<&Point, usize> = HashMap::with_capacity(secrets.len());
-    let mut occurrences: Vec<Vec<usize>> = Vec::new();
-    for (index, point) in secrets.iter().enumerate() {
-        match unique.get(point) {
-            Some(&slot) => occurrences[slot].push(index),
-            None => {
-                unique.insert(point, occurrences.len());
-                occurrences.push(vec![index]);
+        // Commit phase: sequential, in deterministic (group, distinct-secret) order.
+        for (g, slot, outcome) in pool.scatter(jobs).into_iter().flat_map(|job_results| {
+            // A panic in user policy code surfaces here with its original payload, exactly as
+            // the sequential loop would have surfaced it.
+            job_results.unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+        }) {
+            let indices = &occurrences[g][slot];
+            debug_assert_eq!(indices.len(), outcome.results.len());
+            for (&index, result) in indices.iter().zip(outcome.results) {
+                results[g][index] = Some(result);
             }
+            groups[g].session.commit_batch_outcome_tcb(
+                outcome.point,
+                outcome.posterior,
+                outcome.authorized,
+                outcome.refused,
+            );
         }
     }
-    // Work items carry owned data (the pool requires 'static jobs): the unique point, its
-    // tracked prior, its occurrence slot and count.
-    let mut work: Vec<(Point, Knowledge<D>, usize, usize)> = Vec::with_capacity(occurrences.len());
-    for (slot, indices) in occurrences.iter().enumerate() {
-        let point = secrets[indices[0]].clone();
-        let prior = session.knowledge_of(&point);
-        work.push((point, prior, slot, indices.len()));
-    }
-    drop(unique);
 
-    // Decision phase: contiguous runs of distinct secrets, oversplit so workers can rebalance.
-    let jobs: Vec<_> = ShardPool::chunk(work, pool.workers() * BATCH_CHUNKS_PER_WORKER)
+    results
         .into_iter()
-        .map(|chunk| {
-            let qinfo = Arc::clone(&qinfo);
-            let policy = Arc::clone(&policy);
-            let layout = Arc::clone(&layout);
-            move || -> Vec<(usize, SecretOutcome<D>)> {
-                chunk
-                    .into_iter()
-                    .map(|(point, prior, slot, count)| {
-                        (slot, decide_chain(policy.as_ref(), &qinfo, &layout, point, prior, count))
-                    })
-                    .collect()
-            }
-        })
-        .collect();
-
-    // Commit phase: sequential, in deterministic distinct-secret order.
-    let mut results: Vec<Option<Result<bool, AnosyError>>> = vec![None; secrets.len()];
-    for (slot, outcome) in pool.scatter(jobs).into_iter().flat_map(|job_results| {
-        // A panic in user policy code surfaces here with its original payload, exactly as the
-        // sequential loop would have surfaced it.
-        job_results.unwrap_or_else(|payload| std::panic::resume_unwind(payload))
-    }) {
-        let indices = &occurrences[slot];
-        debug_assert_eq!(indices.len(), outcome.results.len());
-        for (&index, result) in indices.iter().zip(outcome.results) {
-            results[index] = Some(result);
-        }
-        session.commit_batch_outcome_tcb(
-            outcome.point,
-            outcome.posterior,
-            outcome.authorized,
-            outcome.refused,
-        );
-    }
-    results.into_iter().map(|r| r.expect("every input index was decided")).collect()
+        .map(|rs| rs.into_iter().map(|r| r.expect("every input index was decided")).collect())
+        .collect()
 }
 
 /// Downgrades one secret against a sequence of registered queries, in order. Equivalent to the
@@ -274,6 +330,66 @@ mod tests {
                 "knowledge diverges for {p}"
             );
         }
+    }
+
+    #[test]
+    fn fused_groups_match_per_session_batches_exactly() {
+        let pool = ShardPool::new(4);
+        let mut fused_a = session_with(&[(200, 200)]);
+        let mut fused_b = session_with(&[(200, 200), (300, 200)]);
+        let mut solo_a = session_with(&[(200, 200)]);
+        let mut solo_b = session_with(&[(200, 200), (300, 200)]);
+        let points_a = secrets();
+        let mut points_b = secrets();
+        points_b.reverse();
+
+        let fused = {
+            let mut groups = [
+                FusedGroup { session: &mut fused_a, secrets: &points_a, query: "nearby_200_200" },
+                FusedGroup { session: &mut fused_b, secrets: &points_b, query: "nearby_300_200" },
+                FusedGroup { session: &mut solo_a, secrets: &[], query: "nearby_200_200" },
+            ];
+            // The empty group aliases `solo_a` deliberately: zero secrets must mean zero
+            // commits, so the sequential replay below starts from an untouched session.
+            downgrade_batch_fused(&pool, &mut groups)
+        };
+        assert!(fused[2].is_empty());
+        let solo = [
+            downgrade_batch(&pool, &mut solo_a, &points_a, "nearby_200_200"),
+            downgrade_batch(&pool, &mut solo_b, &points_b, "nearby_300_200"),
+        ];
+        for (f, s) in fused.iter().zip(&solo) {
+            assert_same(f, s);
+        }
+        assert_eq!(fused_a.stats(), solo_a.stats());
+        assert_eq!(fused_b.stats(), solo_b.stats());
+        assert_eq!(fused_a.tracked_secrets(), solo_a.tracked_secrets());
+        assert_eq!(fused_b.tracked_secrets(), solo_b.tracked_secrets());
+        for p in &points_a {
+            assert_eq!(fused_a.knowledge_of(p).size(), solo_a.knowledge_of(p).size());
+            assert_eq!(fused_b.knowledge_of(p).size(), solo_b.knowledge_of(p).size());
+        }
+    }
+
+    #[test]
+    fn fused_unknown_query_groups_answer_per_element() {
+        let pool = ShardPool::new(2);
+        let mut known = session_with(&[(200, 200)]);
+        let mut unknown = session_with(&[(200, 200)]);
+        let points = vec![Point::new(vec![200, 200]), Point::new(vec![1, 1])];
+        let fused = {
+            let mut groups = [
+                FusedGroup { session: &mut known, secrets: &points, query: "nearby_200_200" },
+                FusedGroup { session: &mut unknown, secrets: &points, query: "never_registered" },
+            ];
+            downgrade_batch_fused(&pool, &mut groups)
+        };
+        assert_eq!(fused[0].len(), 2);
+        assert!(fused[0][0].is_ok());
+        for r in &fused[1] {
+            assert!(matches!(r, Err(AnosyError::UnknownQuery { .. })));
+        }
+        assert_eq!(unknown.stats().downgrades_authorized, 0);
     }
 
     #[test]

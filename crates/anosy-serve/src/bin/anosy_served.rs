@@ -25,8 +25,9 @@
 //!   `PATH.snapshot` + `PATH` (journal replay, torn-tail tolerant, composing with
 //!   `--verify-on-load`), then append every newly synthesized entry to `PATH` as it commits.
 //!   Recovery reports as a `# journal recovered replayed=N torn=N` line;
-//! * `--journal-flush every-entry|every-N|on-tick` — when journal appends reach the OS
-//!   (default `every-entry`, the safest);
+//! * `--journal-flush every-entry-fsync|every-entry|every-N|on-tick` — when journal appends
+//!   reach the OS (default `every-entry`); `every-entry-fsync` additionally `fsync`s every
+//!   append to the device, the strongest rung;
 //! * `--compact-every N` — with `--journal`: every `N` server ticks, fold the journal into its
 //!   snapshot while serving continues (no stop-the-world);
 //! * `--ticked` — accumulate requests and tick only on blank lines, quiescence timers and
@@ -52,6 +53,12 @@
 //!   on every replay — the CI trace-smoke check;
 //! * `--no-telemetry` — skip installing per-reactor telemetry collectors (the overhead
 //!   baseline; `metrics`/`trace` requests then answer empty).
+//!
+//! A connection whose very first bytes are the magic preamble `anosy-bin v1\n` is served the
+//! **binary frame protocol** instead: every subsequent request rides a
+//! `[len u32 LE][fnv1a-64 u64 LE][payload]` frame whose payload is one protocol line, and every
+//! response comes back framed the same way (see [`anosy_serve::wire`], "Binary frames").
+//! Anything else falls back to the line protocol — old clients keep working unchanged.
 //!
 //! Input lines starting with `#` are comments. A line may carry an explicit logical connection
 //! as `@<conn> <request>`; bare lines ride the transport connection's own id (stdin: 0, sockets:
@@ -92,7 +99,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: anosy-served --layout \"x:0:400 y:0:400\" [--domain interval|powerset] \
          [--workers N] [--box-memo-min-depth N] [--warm-start PATH [--verify-on-load]] \
-         [--save-on-exit PATH] [--journal PATH [--journal-flush every-entry|every-N|on-tick] \
+         [--save-on-exit PATH] [--journal PATH \
+         [--journal-flush every-entry-fsync|every-entry|every-N|on-tick] \
          [--compact-every N]] [--ticked] [--io-log-cap N] [--trace PATH] [--no-telemetry] \
          [--listen ADDR [--accept N] [--tick-ms MS] [--reactors N]]"
     );

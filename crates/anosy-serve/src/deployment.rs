@@ -202,6 +202,20 @@ impl<D: AbstractDomain> Deployment<D> {
         batch::downgrade_batch(&self.pool, session, secrets, query_name)
     }
 
+    /// Downgrades several sessions' batches in one pooled decision phase — the fused
+    /// cross-session variant of [`Deployment::downgrade_batch`]; results and post-state per
+    /// group are identical to one `downgrade_batch` call per group, in order (see
+    /// [`batch::downgrade_batch_fused`]).
+    pub fn downgrade_batch_fused(
+        &self,
+        groups: &mut [batch::FusedGroup<'_, D>],
+    ) -> Vec<Vec<Result<bool, AnosyError>>>
+    where
+        D: Send + Sync + 'static,
+    {
+        batch::downgrade_batch_fused(&self.pool, groups)
+    }
+
     /// Downgrades one secret against a query set, in order (see
     /// [`batch::downgrade_many`]).
     pub fn downgrade_many(

@@ -28,6 +28,7 @@
 //! one worker — the `downgrade_batch` guarantee, property-tested end-to-end for the frontend in
 //! `tests/proptest_frontend.rs`.
 
+use crate::batch::FusedGroup;
 use crate::proto::{
     ConnId, Denial, DenialCode, RequestId, ServeRequest, ServeResponse, SessionId, StatsSnapshot,
     TaggedResponse,
@@ -35,12 +36,13 @@ use crate::proto::{
 use crate::Deployment;
 use anosy_core::{AnosySession, SynthesizeInto};
 use anosy_domains::AbstractDomain;
-use anosy_logic::Point;
+use anosy_logic::{Point, PredId};
 use anosy_solver::ValidityOutcome;
 use anosy_synth::{ApproxKind, DomainCodec, QueryDef};
 use anosy_telemetry as telemetry;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
+use std::sync::Arc;
 
 /// Counters of the frontend itself (the deployment's counters ride along in
 /// [`StatsSnapshot::serve`]).
@@ -75,12 +77,35 @@ fn denials_in(response: &ServeResponse) -> u64 {
     }
 }
 
+/// Packs the conn-scoped session id `((conn + 1) << 32) | k` with **checked** arithmetic:
+/// `None` when either half would leave its 32-bit lane (`conn ≥ 2³² − 1` or `k ≥ 2³²`).
+/// The unchecked form silently wrapped — `(conn + 1) << 32` loses the high bits for large
+/// conn ids, and a connection's 2³²-th open bleeds into the conn lane — colliding ids
+/// across connections; see [`SessionId`]'s packing docs.
+fn conn_scoped_session_id(conn: ConnId, k: u64) -> Option<SessionId> {
+    let high = conn.0.checked_add(1).filter(|&high| high <= u64::from(u32::MAX))?;
+    if k > u64::from(u32::MAX) {
+        return None;
+    }
+    Some(SessionId((high << 32) | k))
+}
+
 /// One queued downgrade of the current run: its position in the tick, plus the request fields.
+/// The query name is the interned handle the wire parser produced — comparing two of them for
+/// segment-boundary detection is a pointer check first, never an allocation.
 struct QueuedDowngrade {
     index: usize,
     session: SessionId,
     secret: Point,
-    query: String,
+    query: Arc<str>,
+}
+
+/// One query-boundary segment of a session's downgrade run: consecutive requests from one
+/// session targeting one query, in arrival order.
+struct Segment {
+    query: Arc<str>,
+    indices: Vec<usize>,
+    secrets: Vec<Point>,
 }
 
 /// A session owned by the frontend, remembering which logical connection opened it so a
@@ -313,8 +338,9 @@ where
         }
     }
 
-    /// Executes a buffered run of consecutive downgrade requests: regrouped per session,
-    /// split at query boundaries, each group batched through the deployment driver.
+    /// Executes a buffered run of consecutive downgrade requests: regrouped per session, split
+    /// at query boundaries, then fused **across sessions** — every round answers one segment
+    /// per session with a single pooled decision phase ([`Deployment::downgrade_batch_fused`]).
     fn flush_run(
         &mut self,
         run: &mut Vec<QueuedDowngrade>,
@@ -323,47 +349,120 @@ where
         if run.is_empty() {
             return;
         }
-        let mut per_session: BTreeMap<SessionId, Vec<QueuedDowngrade>> = BTreeMap::new();
+        // Per-session segment queues, split at query boundaries: within one session,
+        // same-secret chains across different queries must keep their arrival order, so a
+        // segment may only fuse with *other sessions'* segments, never reorder within its own.
+        // The queued requests are consumed by value — this is the hot path, and the points
+        // they own become the batches with no clones.
+        let mut per_session: BTreeMap<SessionId, VecDeque<Segment>> = BTreeMap::new();
         for queued in run.drain(..) {
-            per_session.entry(queued.session).or_default().push(queued);
+            let segments = per_session.entry(queued.session).or_default();
+            match segments.back_mut() {
+                Some(last) if last.query == queued.query => {
+                    last.indices.push(queued.index);
+                    last.secrets.push(queued.secret);
+                }
+                _ => segments.push_back(Segment {
+                    query: queued.query,
+                    indices: vec![queued.index],
+                    secrets: vec![queued.secret],
+                }),
+            }
         }
-        for (session_id, queued) in per_session {
-            let Some(session) = self.sessions.get_mut(&session_id).map(|open| &mut open.session)
-            else {
-                for q in queued {
-                    responses[q.index] =
-                        Some(ServeResponse::Answer(Err(Denial::unknown_session(session_id))));
-                }
-                continue;
-            };
-            // Split the session's run at query boundaries: a batch driver call serves one query,
-            // and same-secret chains across different queries must keep their arrival order.
-            // The queued requests are consumed by value — this is the hot path, and the points
-            // they own become the batch with no clones.
-            let mut queued = queued.into_iter().peekable();
-            while let Some(first) = queued.next() {
-                let query = first.query;
-                let mut indices = vec![first.index];
-                let mut secrets = vec![first.secret];
-                while let Some(next) = queued.peek() {
-                    if next.query != query {
-                        break;
-                    }
-                    let next = queued.next().expect("peeked");
-                    indices.push(next.index);
-                    secrets.push(next.secret);
-                }
-                self.stats.batched_downgrades += secrets.len() as u64;
-                self.stats.largest_batch = self.stats.largest_batch.max(secrets.len());
-                telemetry::observe("batch.size", secrets.len() as u64);
-                let results = {
-                    let _span = telemetry::span("deployment.downgrade_batch");
-                    self.deployment.downgrade_batch(session, &secrets, &query)
-                };
-                for (index, result) in indices.into_iter().zip(results) {
-                    responses[index] = Some(ServeResponse::Answer(result.map_err(Denial::from)));
+        // Unknown sessions answer per element up front, exactly as the sequential replay
+        // would at these queue positions (sessions cannot open or close mid-run: the run
+        // holds only downgrades).
+        per_session.retain(|session_id, segments| {
+            if self.sessions.contains_key(session_id) {
+                return true;
+            }
+            for segment in segments.iter() {
+                for &index in &segment.indices {
+                    responses[index] =
+                        Some(ServeResponse::Answer(Err(Denial::unknown_session(*session_id))));
                 }
             }
+            false
+        });
+        // Rounds: round r fuses the r-th segment of every session into one pooled decision
+        // phase. Cross-session fusion never changes answers — sessions share no mutable
+        // state — and within-session order holds because round r+1 only starts after round
+        // r committed. Most ticks have exactly one segment per session, so one round.
+        while !per_session.is_empty() {
+            let mut round: Vec<(SessionId, Segment)> = Vec::new();
+            per_session.retain(|session_id, segments| {
+                if let Some(segment) = segments.pop_front() {
+                    round.push((*session_id, segment));
+                }
+                !segments.is_empty()
+            });
+            self.fuse_round(round, responses);
+        }
+    }
+
+    /// Answers one fused round with a single [`Deployment::downgrade_batch_fused`] call.
+    /// Segments are ordered by their query's interned [`PredId`] (the secret layout is
+    /// deployment-wide, so the predicate identifies the shared decision work), putting
+    /// sessions that downgrade against the same shared predicate adjacent in the scatter —
+    /// the same cross-session sharing the single-flight synthesis cache exploits.
+    fn fuse_round(
+        &mut self,
+        round: Vec<(SessionId, Segment)>,
+        responses: &mut [Option<ServeResponse>],
+    ) {
+        let shared = self.deployment.shared();
+        let mut ranks: HashMap<(PredId, ApproxKind), usize> = HashMap::new();
+        let mut keyed: Vec<(usize, SessionId, Segment)> = round
+            .into_iter()
+            .map(|(session_id, segment)| {
+                let open = self.sessions.get(&session_id).expect("unknown sessions answered");
+                let rank = match open.session.query_info(&segment.query) {
+                    Some(qinfo) => {
+                        let key = (shared.intern_pred(qinfo.query().pred()), qinfo.kind());
+                        let next = ranks.len();
+                        *ranks.entry(key).or_insert(next)
+                    }
+                    // Unknown queries answer per element inside the fused driver; park them
+                    // after every real group.
+                    None => usize::MAX,
+                };
+                (rank, session_id, segment)
+            })
+            .collect();
+        keyed.sort_by_key(|(rank, session_id, _)| (*rank, *session_id));
+
+        // Pull the round's sessions out of the map so the fused driver can hold one `&mut`
+        // per group (groups never alias: one segment per session per round).
+        let mut removed: Vec<(SessionId, OpenSession<D>, Segment)> = keyed
+            .into_iter()
+            .map(|(_, session_id, segment)| {
+                let open = self.sessions.remove(&session_id).expect("unknown sessions answered");
+                (session_id, open, segment)
+            })
+            .collect();
+        let total: usize = removed.iter().map(|(_, _, segment)| segment.secrets.len()).sum();
+        self.stats.batched_downgrades += total as u64;
+        self.stats.largest_batch = self.stats.largest_batch.max(total);
+        telemetry::observe("batch.size", total as u64);
+        let results = {
+            let mut groups: Vec<FusedGroup<'_, D>> = removed
+                .iter_mut()
+                .map(|(_, open, segment)| FusedGroup {
+                    session: &mut open.session,
+                    secrets: &segment.secrets,
+                    query: &segment.query,
+                })
+                .collect();
+            let _span = telemetry::span("deployment.downgrade_batch");
+            self.deployment.downgrade_batch_fused(&mut groups)
+        };
+        for ((_, _, segment), group_results) in removed.iter().zip(results) {
+            for (&index, result) in segment.indices.iter().zip(group_results) {
+                responses[index] = Some(ServeResponse::Answer(result.map_err(Denial::from)));
+            }
+        }
+        for (session_id, open, _) in removed {
+            self.sessions.insert(session_id, open);
         }
     }
 
@@ -376,8 +475,25 @@ where
             ServeRequest::OpenSession { policy } => {
                 let id = if self.conn_scoped {
                     let opens = self.conn_opens.entry(conn).or_insert(0);
-                    *opens += 1;
-                    SessionId(((conn.0 + 1) << 32) | *opens)
+                    // Checked packing: an id outside the two 32-bit lanes would collide with
+                    // another connection's ids, so the open is refused at the boundary and
+                    // the open counter does not move.
+                    match conn_scoped_session_id(conn, *opens + 1) {
+                        Some(id) => {
+                            *opens += 1;
+                            id
+                        }
+                        None => {
+                            return ServeResponse::Rejected(Denial::new(
+                                DenialCode::Internal,
+                                format!(
+                                    "conn-scoped session-id space exhausted \
+                                     (conn {}, opens {})",
+                                    conn.0, *opens
+                                ),
+                            ));
+                        }
+                    }
                 } else {
                     self.next_session += 1;
                     SessionId(self.next_session)
@@ -546,11 +662,7 @@ mod tests {
     }
 
     fn downgrade(session: SessionId, x: i64, y: i64, query: &str) -> ServeRequest {
-        ServeRequest::Downgrade {
-            session,
-            secret: Point::new(vec![x, y]),
-            query: query.to_string(),
-        }
+        ServeRequest::Downgrade { session, secret: Point::new(vec![x, y]), query: query.into() }
     }
 
     #[test]
@@ -794,7 +906,7 @@ mod tests {
                     Point::new(vec![10, 10]),
                     Point::new(vec![9_000, 0]),
                 ],
-                query: "nearby_200_200".to_string(),
+                query: "nearby_200_200".into(),
             },
         );
         let responses = frontend.tick();
@@ -808,7 +920,7 @@ mod tests {
             ServeRequest::DowngradeBatch {
                 session: SessionId(77),
                 secrets: vec![Point::new(vec![0, 0])],
-                query: "nearby_200_200".to_string(),
+                query: "nearby_200_200".into(),
             },
         );
         match &frontend.tick()[0].response {
@@ -816,6 +928,100 @@ mod tests {
                 assert_eq!(denial.code, DenialCode::UnknownSession)
             }
             other => panic!("expected rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn conn_scoped_id_packing_is_checked_at_both_lanes() {
+        let max = u64::from(u32::MAX);
+        // In-range edges pack exactly as documented.
+        assert_eq!(conn_scoped_session_id(ConnId(0), 1), Some(SessionId((1 << 32) | 1)));
+        assert_eq!(conn_scoped_session_id(ConnId(0), max), Some(SessionId((1 << 32) | max)));
+        assert_eq!(conn_scoped_session_id(ConnId(max - 1), 1), Some(SessionId((max << 32) | 1)));
+        // One past either lane refuses. The unchecked form returned `SessionId(2 << 32)` for
+        // the first (colliding with conn 1's first open) and `SessionId(1)`-style wrapped ids
+        // for the large-conn cases.
+        assert_eq!(conn_scoped_session_id(ConnId(0), max + 1), None);
+        assert_eq!(conn_scoped_session_id(ConnId(max), 1), None);
+        assert_eq!(conn_scoped_session_id(ConnId(u64::MAX), 1), None, "conn + 1 must not wrap");
+    }
+
+    #[test]
+    fn exhausted_conn_scoped_opens_reject_without_moving_the_counter() {
+        let mut frontend = frontend().with_conn_scoped_sessions();
+        let conn = frontend.connect();
+        // Seed the connection as if it had already opened 2³² − 1 sessions: the next open
+        // would need k = 2³², which bleeds into the conn lane.
+        frontend.conn_opens.insert(conn, u64::from(u32::MAX));
+        frontend.submit(conn, ServeRequest::OpenSession { policy: PolicySpec::MinSize(100) });
+        frontend.submit(conn, ServeRequest::OpenSession { policy: PolicySpec::MinSize(100) });
+        let responses = frontend.tick();
+        for tagged in &responses {
+            match &tagged.response {
+                ServeResponse::Rejected(denial) => assert_eq!(denial.code, DenialCode::Internal),
+                other => panic!("expected a session-id-space rejection, got {other:?}"),
+            }
+        }
+        assert_eq!(frontend.open_sessions(), 0);
+        assert_eq!(
+            frontend.conn_opens[&conn],
+            u64::from(u32::MAX),
+            "a refused open must not burn id space"
+        );
+
+        // A wire-reachable conn id past the lane (`@4294967295`-style) is refused too,
+        // instead of wrapping into another connection's id range.
+        let big = ConnId(u64::from(u32::MAX));
+        frontend.submit(big, ServeRequest::OpenSession { policy: PolicySpec::MinSize(100) });
+        match &frontend.tick()[0].response {
+            ServeResponse::Rejected(denial) => assert_eq!(denial.code, DenialCode::Internal),
+            other => panic!("expected a conn-lane rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cross_session_runs_fuse_and_match_sequential_replay() {
+        let mut fused = frontend();
+        let conn = fused.connect();
+        fused.submit(
+            conn,
+            ServeRequest::RegisterQuery {
+                query: nearby_query(200),
+                kind: ApproxKind::Under,
+                members: None,
+            },
+        );
+        for _ in 0..3 {
+            fused.submit(conn, ServeRequest::OpenSession { policy: PolicySpec::MinSize(100) });
+        }
+        fused.tick();
+        // Interleave three sessions' downgrades in one run: the tick answers them in one
+        // fused round (largest_batch sees the *fused* size, not the per-session slices).
+        let secrets = [(300, 200), (10, 10), (250, 150), (300, 200)];
+        for &(x, y) in &secrets {
+            for s in 1..=3 {
+                fused.submit(conn, downgrade(SessionId(s), x, y, "nearby_200_200"));
+            }
+        }
+        let answers: Vec<ServeResponse> = fused.tick().into_iter().map(|t| t.response).collect();
+        assert_eq!(fused.stats().largest_batch, 12, "the round fused all three sessions");
+
+        // Element-wise identical to a sequential per-session replay.
+        let mut reference = reference_session(PolicySpec::MinSize(100));
+        let sequential: Vec<ServeResponse> = secrets
+            .iter()
+            .map(|&(x, y)| {
+                ServeResponse::Answer(
+                    reference
+                        .downgrade(&Protected::new(Point::new(vec![x, y])), "nearby_200_200")
+                        .map_err(Denial::from),
+                )
+            })
+            .collect();
+        for (i, expected) in sequential.iter().enumerate() {
+            for s in 0..3 {
+                assert_eq!(&answers[i * 3 + s], expected, "secret {i}, session {}", s + 1);
+            }
         }
     }
 }

@@ -74,6 +74,11 @@ const HEADER_PREFIX: &str = "anosy-synth-journal v1 domain=";
 pub enum FlushPolicy {
     /// Flush after every appended record (`every-entry`): a killed process loses nothing.
     EveryEntry,
+    /// Flush **and `fsync`** after every appended record (`every-entry-fsync`): a killed
+    /// process *or a crashed host* loses nothing. The other rungs only push records to the
+    /// OS page cache, which a power cut still eats; this one pays a `sync_data` per append
+    /// for host-crash durability.
+    EveryEntryFsync,
     /// Flush once `N` records are pending (`every-N`, e.g. `every-8`): at most `N - 1`
     /// records are at risk.
     EveryN(u64),
@@ -82,10 +87,12 @@ pub enum FlushPolicy {
 }
 
 impl FlushPolicy {
-    /// Parses the wire/CLI form: `every-entry`, `every-<N>` (N ≥ 1) or `on-tick`.
+    /// Parses the wire/CLI form: `every-entry`, `every-entry-fsync`, `every-<N>` (N ≥ 1) or
+    /// `on-tick`.
     pub fn parse(text: &str) -> Option<FlushPolicy> {
         match text {
             "every-entry" => Some(FlushPolicy::EveryEntry),
+            "every-entry-fsync" => Some(FlushPolicy::EveryEntryFsync),
             "on-tick" => Some(FlushPolicy::OnTick),
             other => {
                 let n: u64 = other.strip_prefix("every-")?.parse().ok()?;
@@ -103,6 +110,7 @@ impl fmt::Display for FlushPolicy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FlushPolicy::EveryEntry => write!(f, "every-entry"),
+            FlushPolicy::EveryEntryFsync => write!(f, "every-entry-fsync"),
             FlushPolicy::EveryN(n) => write!(f, "every-{n}"),
             FlushPolicy::OnTick => write!(f, "on-tick"),
         }
@@ -319,6 +327,7 @@ pub struct Journal<D: AbstractDomain> {
     replayed: AtomicU64,
     torn: AtomicU64,
     ticks: AtomicU64,
+    fsyncs: AtomicU64,
     _domain: std::marker::PhantomData<fn() -> D>,
 }
 
@@ -379,6 +388,7 @@ impl<D: DomainCodec> Journal<D> {
             replayed: AtomicU64::new(scan.entries.len() as u64),
             torn: AtomicU64::new(scan.torn),
             ticks: AtomicU64::new(0),
+            fsyncs: AtomicU64::new(0),
             config,
             _domain: std::marker::PhantomData,
         };
@@ -402,13 +412,19 @@ impl<D: DomainCodec> Journal<D> {
         writer.pending += 1;
         writer.records += 1;
         let flush = match self.config.flush {
-            FlushPolicy::EveryEntry => true,
+            FlushPolicy::EveryEntry | FlushPolicy::EveryEntryFsync => true,
             FlushPolicy::EveryN(n) => writer.pending >= n,
             FlushPolicy::OnTick => false,
         };
         if flush {
             writer.file.flush()?;
             writer.pending = 0;
+            if self.config.flush == FlushPolicy::EveryEntryFsync {
+                // `flush` only moved the record into the OS page cache; `sync_data` pins it
+                // to stable storage before the append reports success.
+                writer.file.get_ref().sync_data()?;
+                self.fsyncs.fetch_add(1, Ordering::Relaxed);
+            }
         }
         drop(writer);
         self.appended.fetch_add(1, Ordering::Relaxed);
@@ -498,6 +514,13 @@ impl<D: AbstractDomain> Journal<D> {
             replayed: self.replayed.load(Ordering::Relaxed),
             torn: self.torn.load(Ordering::Relaxed),
         }
+    }
+
+    /// `sync_data` calls issued so far — non-zero only under
+    /// [`FlushPolicy::EveryEntryFsync`], where it equals the flushed append count (the
+    /// durability test's witness that every append reached stable storage).
+    pub fn fsyncs(&self) -> u64 {
+        self.fsyncs.load(Ordering::Relaxed)
     }
 }
 
@@ -600,6 +623,28 @@ mod tests {
     }
 
     #[test]
+    fn every_entry_fsync_reaches_sync_data_per_append() {
+        let path = tmp_path("fsync_policy.journal");
+        let r = recover(&path, FlushPolicy::EveryEntryFsync);
+        assert_eq!(r.journal.fsyncs(), 0);
+        r.journal.append(&entry(200)).unwrap();
+        r.journal.append(&entry(300)).unwrap();
+        assert_eq!(r.journal.stats().appended, 2);
+        assert_eq!(r.journal.fsyncs(), 2, "every flushed append must reach sync_data");
+        // Bytes are on disk (not just the page cache — but at minimum past the BufWriter).
+        drop(r);
+        let second = recover(&path, FlushPolicy::EveryEntryFsync);
+        assert_eq!(second.entries.len(), 2);
+        assert_eq!(second.torn, 0);
+
+        // The other rungs never fsync.
+        let path = tmp_path("no_fsync.journal");
+        let r = recover(&path, FlushPolicy::EveryEntry);
+        r.journal.append(&entry(200)).unwrap();
+        assert_eq!(r.journal.fsyncs(), 0);
+    }
+
+    #[test]
     fn torn_tail_truncates_to_last_good_record() {
         let path = tmp_path("torn.journal");
         let r = recover(&path, FlushPolicy::EveryEntry);
@@ -657,7 +702,7 @@ mod tests {
 
     #[test]
     fn flush_policy_parse_display_round_trips() {
-        for text in ["every-entry", "every-8", "on-tick"] {
+        for text in ["every-entry", "every-entry-fsync", "every-8", "on-tick"] {
             assert_eq!(FlushPolicy::parse(text).unwrap().to_string(), text);
         }
         assert_eq!(FlushPolicy::parse("every-0"), None);

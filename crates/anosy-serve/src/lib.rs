@@ -114,7 +114,7 @@ pub mod server;
 pub mod sim;
 pub mod wire;
 
-pub use batch::{downgrade_batch, downgrade_many};
+pub use batch::{downgrade_batch, downgrade_batch_fused, downgrade_many, FusedGroup};
 pub use config::ServeConfig;
 pub use deployment::{Deployment, RecoveryOutcome, ServeStats, WarmStartOutcome};
 pub use error::ServeError;

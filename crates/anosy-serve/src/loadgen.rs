@@ -40,6 +40,10 @@ pub struct LoadOptions {
     /// Install a telemetry collector on every shard ([`ServerConfig::telemetry`]); `false` is
     /// the baseline side of the overhead benchmark.
     pub telemetry: bool,
+    /// Compile the population onto the binary frame protocol (every connection negotiates with
+    /// [`crate::wire::BINARY_PREAMBLE`] and frames each request); `false` is the line protocol.
+    /// Responses come back framed too — read them with [`PoolRun::received_decoded`].
+    pub binary: bool,
 }
 
 impl LoadOptions {
@@ -52,7 +56,14 @@ impl LoadOptions {
             ticked: true,
             recording: false,
             telemetry: true,
+            binary: false,
         }
+    }
+
+    /// Switches the compiled traffic to the binary frame protocol.
+    pub fn binary(mut self) -> LoadOptions {
+        self.binary = true;
+        self
     }
 
     /// Enables transcript/response recording on every shard.
@@ -96,6 +107,8 @@ pub struct LatencySummary {
 pub struct LoadReport {
     /// Reactor shards the pool ran.
     pub reactors: u64,
+    /// `true` when the run spoke the binary frame protocol ([`LoadOptions::binary`]).
+    pub binary: bool,
     /// Simulated connections (tenants) driven.
     pub connections: usize,
     /// Protocol requests scheduled across all connections.
@@ -139,6 +152,19 @@ impl PoolRun {
         let shard = shard_of(token.0, self.report.reactors) as usize;
         self.servers[shard].transport().received_text(token)
     }
+
+    /// [`PoolRun::received_text`] with the run's own protocol decoded away: binary runs'
+    /// framed responses come back as the `\n`-terminated lines they carry
+    /// ([`SimNet::received_frame_text`]), so a line run and a binary run of the same
+    /// population compare element-wise.
+    pub fn received_decoded(&self, token: Token) -> String {
+        let shard = shard_of(token.0, self.report.reactors) as usize;
+        if self.report.binary {
+            self.servers[shard].transport().received_frame_text(token)
+        } else {
+            self.servers[shard].transport().received_text(token)
+        }
+    }
 }
 
 /// The standard load-generator population: [`PopulationConfig::small`] scaled to `tenants`
@@ -162,8 +188,11 @@ pub fn run_on(
     options: &LoadOptions,
     deployment: &Deployment<IntervalDomain>,
 ) -> PoolRun {
-    let compiled =
-        popsim::compile(population, &CompileOptions::new(options.net_seed).conn_scoped());
+    let mut compile_options = CompileOptions::new(options.net_seed).conn_scoped();
+    if options.binary {
+        compile_options = compile_options.binary();
+    }
+    let compiled = popsim::compile(population, &compile_options);
     let nets = compiled.net.split(options.reactors);
     let mut config = ServerConfig::new().ticked(options.ticked).with_telemetry(options.telemetry);
     if options.recording {
@@ -192,6 +221,7 @@ pub fn run_on(
     let requests = compiled.requests;
     let report = LoadReport {
         reactors: options.reactors,
+        binary: options.binary,
         connections: population.tenants.len(),
         requests,
         elapsed,

@@ -51,6 +51,11 @@ pub struct CompileOptions {
     /// [`crate::ReactorPool`] (any reactor count): pool frontends always run conn-scoped, so
     /// the predicted ids are invariant under resharding.
     pub conn_scoped: bool,
+    /// Speak the binary frame protocol: every connection opens with
+    /// [`wire::BINARY_PREAMBLE`], and each scheduled request line rides a checksummed frame
+    /// ([`wire::encode_frame`]) instead of a `\n`-terminated line. Responses come back framed
+    /// too — decode them with [`crate::SimNet::received_frame_text`].
+    pub binary: bool,
 }
 
 impl CompileOptions {
@@ -63,12 +68,19 @@ impl CompileOptions {
             max_delay: 5,
             ticks_per_window: 2,
             conn_scoped: false,
+            binary: false,
         }
     }
 
     /// Switches session-id prediction to the connection-scoped scheme reactor pools use.
     pub fn conn_scoped(mut self) -> CompileOptions {
         self.conn_scoped = true;
+        self
+    }
+
+    /// Switches every connection to the binary frame protocol (preamble + framed requests).
+    pub fn binary(mut self) -> CompileOptions {
+        self.binary = true;
         self
     }
 
@@ -139,9 +151,13 @@ pub fn compile(population: &Population, options: &CompileOptions) -> CompiledPop
             for &index in &by_wave[round] {
                 cursor += slot;
                 let token = net.connect(cursor);
+                if options.binary {
+                    // Per-connection FIFO puts the preamble strictly before the open frame.
+                    net.send(token, cursor, wire::BINARY_PREAMBLE);
+                }
                 let open =
                     ServeRequest::OpenSession { policy: population.tenants[index].policy.clone() };
-                net.send(token, cursor, encode_line(&open));
+                net.send(token, cursor, encode_line(&open, options.binary));
                 tokens[index] = token;
                 sessions[index] = if options.conn_scoped {
                     // Each tenant opens exactly once, on its own connection: under the
@@ -173,7 +189,7 @@ pub fn compile(population: &Population, options: &CompileOptions) -> CompiledPop
                     net.send(
                         tokens[index],
                         window + offset * INTRA_WINDOW_STEP,
-                        encode_line(&request),
+                        encode_line(&request, options.binary),
                     );
                     offset += 1;
                     requests += 1;
@@ -204,7 +220,7 @@ pub fn compile(population: &Population, options: &CompileOptions) -> CompiledPop
                 match tenant.exit {
                     Exit::Clean => {
                         let close = ServeRequest::CloseSession { session: sessions[index] };
-                        net.send(tokens[index], at, encode_line(&close));
+                        net.send(tokens[index], at, encode_line(&close, options.binary));
                         // Floors to the close line's last chunk: FIN after the final write.
                         net.half_close(tokens[index], at);
                         requests += 1;
@@ -232,7 +248,7 @@ fn request_of(action: &TenantAction, session: SessionId, population: &Population
         TenantAction::Downgrade { query, secret } => ServeRequest::Downgrade {
             session,
             secret: secret.clone(),
-            query: population.queries[*query].name().to_string(),
+            query: population.queries[*query].name().into(),
         },
         TenantAction::Knowledge { secret } => {
             ServeRequest::Knowledge { session, secret: secret.clone() }
@@ -240,10 +256,15 @@ fn request_of(action: &TenantAction, session: SessionId, population: &Population
     }
 }
 
-fn encode_line(request: &ServeRequest) -> String {
-    let mut line = wire::encode_request(request).expect("population requests are wire-safe");
-    line.push('\n');
-    line
+fn encode_line(request: &ServeRequest, binary: bool) -> Vec<u8> {
+    let line = wire::encode_request(request).expect("population requests are wire-safe");
+    if binary {
+        wire::encode_frame(line.as_bytes())
+    } else {
+        let mut bytes = line.into_bytes();
+        bytes.push(b'\n');
+        bytes
+    }
 }
 
 /// The population palette's synthesized entries, computed once per process per distinct

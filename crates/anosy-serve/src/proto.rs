@@ -28,6 +28,7 @@ use anosy_logic::Point;
 use anosy_synth::{ApproxKind, QueryDef};
 use std::fmt;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 use crate::ServeStats;
 
@@ -37,7 +38,10 @@ use crate::ServeStats;
 /// ([`Frontend::with_conn_scoped_sessions`](crate::Frontend::with_conn_scoped_sessions), the
 /// mode every [`crate::ReactorPool`] shard runs in) — derived from the opening connection as
 /// `((conn + 1) << 32) | k` for that connection's `k`-th open, so the id a session gets is
-/// invariant under resharding connections across reactors.
+/// invariant under resharding connections across reactors. The packing is **checked**: it only
+/// covers `conn < 2³² − 1` and `k < 2³²`, and an open outside that range is refused with a
+/// [`ServeResponse::Rejected`] at the boundary — silently wrapping would collide ids across
+/// connections.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SessionId(pub u64);
 
@@ -100,8 +104,10 @@ pub enum ServeRequest {
         session: SessionId,
         /// The secret, as a point of the deployment layout.
         secret: Point,
-        /// Name of a registered query.
-        query: String,
+        /// Name of a registered query. Interned: the wire decoder hands every request naming
+        /// the same query a clone of one shared allocation
+        /// ([`wire::NameInterner`](crate::wire::NameInterner)).
+        query: Arc<str>,
     },
     /// A whole batch of downgrades against one query in one request (the explicit counterpart
     /// of the frontend's implicit per-tick batching).
@@ -110,8 +116,8 @@ pub enum ServeRequest {
         session: SessionId,
         /// The secrets, in order; duplicates chain exactly as sequential calls would.
         secrets: Vec<Point>,
-        /// Name of a registered query.
-        query: String,
+        /// Name of a registered query (interned, as in [`ServeRequest::Downgrade`]).
+        query: Arc<str>,
     },
     /// Counts the models of a predicate over the deployment's secret space with the sharded
     /// parallel driver.

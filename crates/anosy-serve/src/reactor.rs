@@ -283,6 +283,8 @@ pub fn fold_server_stats(shards: &[ServerStats]) -> ServerStats {
         folded.lines += shard.lines;
         folded.requests += shard.requests;
         folded.malformed += shard.malformed;
+        folded.binary_conns += shard.binary_conns;
+        folded.frames += shard.frames;
     }
     folded
 }

@@ -7,9 +7,12 @@
 //!
 //! * transport **connections** ([`Token`]s) become logical [`ConnId`]s (a base id per
 //!   connection, plus any explicit `@conn` ids its lines claim);
-//! * transport **bytes** run through a per-connection [`wire::LineDecoder`] (carry-over
-//!   buffering, so partial lines, coalesced writes and CRLF/LF mixes all decode identically)
-//!   and each complete line becomes one [`wire::parse_request`] submission;
+//! * transport **bytes** run through a per-connection protocol decoder — negotiated from the
+//!   first bytes: connections opening with [`wire::BINARY_PREAMBLE`] speak length-prefixed
+//!   checksummed [`wire::FrameDecoder`] frames, everything else falls back to the classic
+//!   [`wire::LineDecoder`] line protocol (carry-over buffering either way, so partial items,
+//!   coalesced writes and CRLF/LF mixes all decode identically) — and each complete
+//!   line/frame becomes one [`wire::parse_request_interned`] submission;
 //! * **quiescence timers and blank lines** become [`Frontend::tick`] calls, whose tagged
 //!   responses are routed back to whichever connection submitted the request;
 //! * **disconnects** become [`Frontend::disconnect`] teardowns: every session the connection
@@ -33,7 +36,7 @@
 //! other connection keeps serving. One bad peer cannot take down the process.
 
 use crate::proto::{ConnId, RequestId, ServeRequest, TaggedResponse};
-use crate::wire::{self, DecodedLine, LineDecoder};
+use crate::wire::{self, DecodedFrame, DecodedLine, FrameDecoder, LineDecoder};
 use crate::Frontend;
 use anosy_core::SynthesizeInto;
 use anosy_domains::AbstractDomain;
@@ -215,8 +218,14 @@ pub struct ServerStats {
     /// Lines that parsed into a request and were submitted.
     pub requests: u64,
     /// Lines answered with a `!` error instead of reaching the frontend (malformed requests,
-    /// non-UTF-8 lines, overlong lines, bad `@conn` prefixes).
+    /// non-UTF-8 lines, overlong lines, bad `@conn` prefixes, corrupt/oversize frames).
     pub malformed: u64,
+    /// Connections that negotiated the binary frame protocol (sent
+    /// [`wire::BINARY_PREAMBLE`] as their first bytes).
+    pub binary_conns: u64,
+    /// Complete binary frames decoded (including corrupt, oversize and truncated ones —
+    /// counted alongside [`ServerStats::lines`], never double-counted).
+    pub frames: u64,
 }
 
 /// One recorded unit of the serve, in submission order — the sequential-replay oracle's input
@@ -266,9 +275,99 @@ impl fmt::Display for IoLogEntry {
     }
 }
 
+/// What one feed of a connection's decoder produced. Items within a batch are in wire order;
+/// a connection is only ever one protocol, so batches never mix lines and frames.
+enum DecodedBatch {
+    /// Still sniffing the preamble — no complete item can exist yet.
+    Pending,
+    Lines(Vec<DecodedLine>),
+    Frames(Vec<DecodedFrame>),
+}
+
+/// Per-connection protocol decoder. Every connection starts **sniffing** its first bytes
+/// against [`wire::BINARY_PREAMBLE`]: a full match switches it to binary frames for the rest
+/// of its life, the first divergent byte falls back to the line protocol with every sniffed
+/// byte replayed — so text peers, smoke transcripts and `telnet` debugging behave exactly as
+/// before, and a binary peer pays thirteen bytes once.
+enum ConnDecoder {
+    /// Undecided: the bytes seen so far are a strict prefix of the preamble.
+    Sniffing(Vec<u8>),
+    Line(LineDecoder),
+    Binary(FrameDecoder),
+}
+
+impl ConnDecoder {
+    /// Feeds a chunk, resolving the protocol if this chunk decides it. `max_item` caps both
+    /// line length and frame payload length (one frame carries one protocol line).
+    fn feed(&mut self, bytes: &[u8], max_item: usize) -> DecodedBatch {
+        match self {
+            ConnDecoder::Sniffing(seen) => {
+                seen.extend_from_slice(bytes);
+                let preamble = wire::BINARY_PREAMBLE;
+                let probe = seen.len().min(preamble.len());
+                if seen[..probe] != preamble[..probe] {
+                    // Divergence: a text peer. Replay everything sniffed through a fresh
+                    // line decoder.
+                    let seen = std::mem::take(seen);
+                    let mut decoder = LineDecoder::with_max_line(max_item);
+                    let lines = decoder.feed(&seen);
+                    *self = ConnDecoder::Line(decoder);
+                    DecodedBatch::Lines(lines)
+                } else if seen.len() >= preamble.len() {
+                    // Full preamble: binary from here on; bytes after it are frame data.
+                    let rest = seen.split_off(preamble.len());
+                    let mut decoder = FrameDecoder::with_max_frame(max_item);
+                    let frames = decoder.feed(&rest);
+                    *self = ConnDecoder::Binary(decoder);
+                    DecodedBatch::Frames(frames)
+                } else {
+                    DecodedBatch::Pending
+                }
+            }
+            ConnDecoder::Line(decoder) => DecodedBatch::Lines(decoder.feed(bytes)),
+            ConnDecoder::Binary(decoder) => DecodedBatch::Frames(decoder.feed(bytes)),
+        }
+    }
+
+    /// Interprets a clean EOF: a sniffing connection's bytes were a (possibly empty) partial
+    /// text line — no preamble ever arrived — and established protocols flush their own
+    /// carry-over ([`LineDecoder::finish`] / [`FrameDecoder::finish`]).
+    fn finish(&mut self, max_item: usize) -> DecodedBatch {
+        match self {
+            ConnDecoder::Sniffing(seen) => {
+                let seen = std::mem::take(seen);
+                let mut decoder = LineDecoder::with_max_line(max_item);
+                let mut lines = decoder.feed(&seen);
+                lines.extend(decoder.finish());
+                *self = ConnDecoder::Line(decoder);
+                DecodedBatch::Lines(lines)
+            }
+            ConnDecoder::Line(decoder) => {
+                DecodedBatch::Lines(decoder.finish().into_iter().collect())
+            }
+            ConnDecoder::Binary(decoder) => {
+                DecodedBatch::Frames(decoder.finish().into_iter().collect())
+            }
+        }
+    }
+
+    /// Drops buffered partial input (failure-path teardown).
+    fn discard(&mut self) {
+        match self {
+            ConnDecoder::Sniffing(seen) => seen.clear(),
+            ConnDecoder::Line(decoder) => decoder.discard(),
+            ConnDecoder::Binary(decoder) => decoder.discard(),
+        }
+    }
+
+    fn is_binary(&self) -> bool {
+        matches!(self, ConnDecoder::Binary(_))
+    }
+}
+
 /// Per-connection reactor state.
 struct ConnState {
-    decoder: LineDecoder,
+    decoder: ConnDecoder,
     /// The logical id bare (un-`@`-prefixed) lines of this connection ride.
     base: ConnId,
     /// Logical ids this connection owns (its base id plus every `@conn` it claimed first).
@@ -291,6 +390,9 @@ pub struct Server<D: AbstractDomain, T: Transport> {
     next_base: u64,
     stats: ServerStats,
     clock: ClockHandle,
+    /// Query-name pool shared by every connection's request parsing: each distinct name is
+    /// allocated once and every [`ServeRequest`] referencing it shares the `Arc<str>`.
+    interner: wire::NameInterner,
     io_log: Vec<IoLogEntry>,
     transcript: Vec<TranscriptEvent>,
     responses: Vec<TaggedResponse>,
@@ -320,6 +422,7 @@ where
             next_base: 0,
             stats: ServerStats::default(),
             clock,
+            interner: wire::NameInterner::new(),
             io_log: Vec::new(),
             transcript: Vec::new(),
             responses: Vec::new(),
@@ -383,7 +486,7 @@ where
         self.bound.insert(base, token);
         let mut logicals = BTreeSet::new();
         logicals.insert(base);
-        let decoder = LineDecoder::with_max_line(self.config.max_line);
+        let decoder = ConnDecoder::Sniffing(Vec::new());
         self.conns.insert(token, ConnState { decoder, base, logicals });
         self.stats.conns_opened += 1;
     }
@@ -391,22 +494,43 @@ where
     fn on_data(&mut self, token: Token, bytes: &[u8]) {
         let Some(state) = self.conns.get_mut(&token) else { return };
         telemetry::count("wire.bytes_in", bytes.len() as u64);
-        let decoded = {
+        let was_binary = state.decoder.is_binary();
+        let batch = {
             let _span = telemetry::span("wire.decode");
-            state.decoder.feed(bytes)
+            state.decoder.feed(bytes, self.config.max_line)
         };
-        for item in decoded {
-            self.on_decoded(token, item);
+        if !was_binary && state.decoder.is_binary() {
+            self.stats.binary_conns += 1;
+            telemetry::count("wire.binary_conns", 1);
         }
+        self.on_batch(token, batch);
     }
 
     fn on_half_closed(&mut self, token: Token) {
         // A clean EOF mid-line still delivers the fragment as a final line (the
-        // `BufRead::lines` convention the stdin transport always had).
-        if let Some(item) = self.conns.get_mut(&token).and_then(|s| s.decoder.finish()) {
-            self.on_decoded(token, item);
+        // `BufRead::lines` convention the stdin transport always had); a mid-frame EOF is
+        // unverifiable and refuses as truncated.
+        if let Some(state) = self.conns.get_mut(&token) {
+            let batch = state.decoder.finish(self.config.max_line);
+            self.on_batch(token, batch);
         }
         self.teardown(token, true);
+    }
+
+    fn on_batch(&mut self, token: Token, batch: DecodedBatch) {
+        match batch {
+            DecodedBatch::Pending => {}
+            DecodedBatch::Lines(lines) => {
+                for item in lines {
+                    self.on_decoded(token, item);
+                }
+            }
+            DecodedBatch::Frames(frames) => {
+                for frame in frames {
+                    self.on_frame(token, frame);
+                }
+            }
+        }
     }
 
     fn on_failed(&mut self, token: Token, reason: String) {
@@ -473,6 +597,38 @@ where
                 return;
             }
         };
+        self.on_line(token, &line);
+    }
+
+    /// One decoded binary frame: the payload is one protocol line (without terminator), so a
+    /// good frame rejoins the shared line path; corrupt, oversize and truncated frames refuse
+    /// as errors-as-data — the decoder itself never desyncs.
+    fn on_frame(&mut self, token: Token, frame: DecodedFrame) {
+        self.stats.frames += 1;
+        telemetry::count("wire.frames", 1);
+        match frame {
+            DecodedFrame::Frame(payload) => match std::str::from_utf8(&payload) {
+                Ok(line) => {
+                    let line = line.to_string();
+                    self.on_line(token, &line);
+                }
+                Err(_) => self.refuse_line(token, "non-UTF-8 frame payload".to_string()),
+            },
+            DecodedFrame::Corrupt => {
+                self.refuse_line(token, "corrupt frame (checksum mismatch)".to_string());
+            }
+            DecodedFrame::Oversize => {
+                let cap = self.config.max_line;
+                self.refuse_line(token, format!("frame payload exceeds {cap} bytes"));
+            }
+            DecodedFrame::Truncated => {
+                self.refuse_line(token, "truncated frame at end of stream".to_string());
+            }
+        }
+    }
+
+    /// One complete protocol line, however it arrived (text line or frame payload).
+    fn on_line(&mut self, token: Token, line: &str) {
         let trimmed = line.trim();
         if trimmed.starts_with('#') {
             return;
@@ -497,7 +653,7 @@ where
             },
             None => (self.conns[&token].base, trimmed),
         };
-        match wire::parse_request(request_text, &self.layout) {
+        match wire::parse_request_interned(request_text, &self.layout, &mut self.interner) {
             Ok(request) => {
                 // Cross-shard rule, mirroring the cross-socket one below: a logical id lives
                 // on exactly the shard it hashes to. A claim for an id routed elsewhere is
@@ -560,7 +716,23 @@ where
     fn refuse_line(&mut self, token: Token, reason: String) {
         self.stats.malformed += 1;
         telemetry::count("wire.malformed", 1);
-        self.transport.send(token, format!("! {reason}\n").as_bytes());
+        self.send_line(token, &format!("! {reason}"));
+    }
+
+    /// Sends one response line (without terminator) in the connection's negotiated encoding:
+    /// newline-terminated text on line connections, a checksummed frame on binary ones.
+    /// Returns the byte count handed to the transport.
+    fn send_line(&mut self, token: Token, text: &str) -> usize {
+        let binary = self.conns.get(&token).is_some_and(|state| state.decoder.is_binary());
+        if binary {
+            let frame = wire::encode_frame(text.as_bytes());
+            self.transport.send(token, &frame);
+            frame.len()
+        } else {
+            let line = format!("{text}\n");
+            self.transport.send(token, line.as_bytes());
+            line.len()
+        }
     }
 
     /// Runs one frontend tick and routes every tagged response back to the transport
@@ -587,14 +759,14 @@ where
             let Some((token, at)) = self.inflight.remove(&tagged.request) else { continue };
             if self.conns.contains_key(&token) {
                 let line =
-                    format!("{} {}\n", tagged.request, wire::encode_response(&tagged.response));
+                    format!("{} {}", tagged.request, wire::encode_response(&tagged.response));
+                let sent = self.send_line(token, &line);
                 if recording {
                     telemetry::with_collector(|collector| {
                         collector.observe("request.latency", collector.now().saturating_sub(at));
-                        collector.observe("response.bytes", line.len() as u64);
+                        collector.observe("response.bytes", sent as u64);
                     });
                 }
-                self.transport.send(token, line.as_bytes());
             }
         }
         // Journal housekeeping rides the tick boundary: the `on-tick` flush and the periodic
@@ -677,6 +849,12 @@ impl<D: AbstractDomain, T: Transport> fmt::Debug for Server<D, T> {
 pub struct StdioTransport {
     opened: bool,
     eof: bool,
+    /// A write failure (EPIPE once the reader vanished) recorded by [`Transport::send`] and
+    /// surfaced as one [`Event::Failed`] at the next poll — the per-connection close path
+    /// every transport promises, never a process panic.
+    failed: Option<String>,
+    /// The failure has been delivered: the transport is finished and polls empty.
+    dead: bool,
     clock: VirtualClock,
 }
 
@@ -690,6 +868,13 @@ impl StdioTransport {
 impl Transport for StdioTransport {
     fn poll(&mut self) -> Vec<Event> {
         self.clock.advance(1);
+        if self.dead {
+            return Vec::new();
+        }
+        if let Some(reason) = self.failed.take() {
+            self.dead = true;
+            return vec![Event::Failed(Token(0), reason)];
+        }
         if !self.opened {
             self.opened = true;
             return vec![Event::Opened(Token(0))];
@@ -717,9 +902,16 @@ impl Transport for StdioTransport {
     }
 
     fn send(&mut self, _token: Token, bytes: &[u8]) {
+        if self.failed.is_some() || self.dead {
+            return;
+        }
         let mut out = std::io::stdout().lock();
-        out.write_all(bytes).expect("stdout is writable");
-        out.flush().expect("stdout is flushable");
+        if let Err(e) = out.write_all(bytes).and_then(|()| out.flush()) {
+            // A closed pipe is the *peer's* failure: record it for the next poll so the
+            // reactor tears the connection down through its normal failure path instead of
+            // panicking the whole process mid-serve.
+            self.failed = Some(format!("stdout write failed: {e}"));
+        }
     }
 
     fn close(&mut self, _token: Token) {}

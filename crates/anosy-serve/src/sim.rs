@@ -186,6 +186,33 @@ impl SimNet {
         String::from_utf8_lossy(self.received(client)).into_owned()
     }
 
+    /// The delivered bytes decoded as binary frames and re-joined into `\n`-terminated lines —
+    /// the binary-protocol counterpart of [`SimNet::received_text`], so framed and line runs of
+    /// the same script compare textually. Decode trouble is reported in-band as marker lines
+    /// (`<corrupt frame>`, `<oversize frame>`, `<truncated frame>`) rather than panicking: a
+    /// healthy server never produces any of them, and a diff against the line-protocol
+    /// transcript surfaces them loudly.
+    pub fn received_frame_text(&self, client: Token) -> String {
+        let mut decoder = crate::wire::FrameDecoder::new();
+        let mut out = String::new();
+        let render = |frame: crate::wire::DecodedFrame, out: &mut String| match frame {
+            crate::wire::DecodedFrame::Frame(payload) => {
+                out.push_str(&String::from_utf8_lossy(&payload));
+                out.push('\n');
+            }
+            crate::wire::DecodedFrame::Corrupt => out.push_str("<corrupt frame>\n"),
+            crate::wire::DecodedFrame::Oversize => out.push_str("<oversize frame>\n"),
+            crate::wire::DecodedFrame::Truncated => out.push_str("<truncated frame>\n"),
+        };
+        for frame in decoder.feed(self.received(client)) {
+            render(frame, &mut out);
+        }
+        if let Some(frame) = decoder.finish() {
+            render(frame, &mut out);
+        }
+        out
+    }
+
     fn floor(&self, client: Token, at: u64) -> u64 {
         at.max(self.clients.get(&client).map(|c| c.ready_at).unwrap_or(0))
     }

@@ -1,11 +1,32 @@
-//! The line-oriented text form of the serving protocol — one request or response per line.
+//! The wire forms of the serving protocol: a line-oriented text codec and a length-prefixed
+//! binary frame codec, one request or response per line/frame.
 //!
-//! This is the transport-independent half of `anosy-served`: anything that can move lines of
-//! text (stdin/stdout, a TCP stream, a test script) can speak the protocol by pairing this
-//! codec with a [`Frontend`](crate::Frontend). The format follows the workspace's existing
-//! text-format conventions (the `anosy-synth-cache` persistence file): space-separated
+//! This is the transport-independent half of `anosy-served`: anything that can move bytes
+//! (stdin/stdout, a TCP stream, a test script) can speak the protocol by pairing one of these
+//! codecs with a [`Frontend`](crate::Frontend). The text format follows the workspace's
+//! existing text-format conventions (the `anosy-synth-cache` persistence file): space-separated
 //! `key=value` tokens, predicates and paths last on the line so they may contain spaces, and
 //! domain elements in their [`DomainCodec`](anosy_synth::DomainCodec) one-line encoding.
+//!
+//! # Binary frames
+//!
+//! The binary protocol carries the same request/response text, but framed instead of
+//! newline-delimited, which removes the per-byte terminator scan and the per-line allocation
+//! from the hot path. A connection opts in by sending [`BINARY_PREAMBLE`] (`anosy-bin v1\n`) as
+//! its **first bytes**; anything else falls back to the line protocol, so text peers, smoke
+//! scripts and humans under `netcat` are untouched. After the preamble, every unit in either
+//! direction is one frame:
+//!
+//! ```text
+//! [payload length: u32 LE] [fnv1a-64(payload): u64 LE] [payload bytes]
+//! ```
+//!
+//! The payload is one protocol line, terminator-free. [`FrameDecoder`] mirrors
+//! [`LineDecoder`]'s guarantees: carry-over buffering under arbitrary chunking, and malformed
+//! input reported *as data* ([`DecodedFrame::Corrupt`] on a checksum mismatch,
+//! [`DecodedFrame::Oversize`] for a declared length over the cap — the oversize payload is
+//! swallowed, never buffered) with the decoder staying in sync on the next frame boundary.
+//! Fuzzed alongside the line decoder in `tests/proptest_wire_fuzz.rs`.
 //!
 //! # Requests
 //!
@@ -55,8 +76,10 @@ use crate::ServeStats;
 use anosy_core::{PolicySpec, SharedCacheStats};
 use anosy_logic::{parse_pred, parse_pred_with_layout, Point, Pred, SecretLayout};
 use anosy_synth::QueryDef;
+use std::collections::HashSet;
 use std::fmt;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// A line that does not encode a request or response.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -86,7 +109,12 @@ pub fn encode_point(point: &Point) -> String {
 
 /// Parses the [`encode_point`] form. Returns `None` on empty or non-numeric input.
 pub fn parse_point(text: &str) -> Option<Point> {
-    let coords: Vec<i64> = text.split(',').map(|c| c.trim().parse().ok()).collect::<Option<_>>()?;
+    // Exact-capacity up front: `collect` only knows a lower bound for split iterators, so it
+    // would grow (and re-copy) once per point on the bulk decode path.
+    let mut coords: Vec<i64> = Vec::with_capacity(text.bytes().filter(|&b| b == b',').count() + 1);
+    for c in text.split(',') {
+        coords.push(c.trim().parse().ok()?);
+    }
     if coords.is_empty() {
         None
     } else {
@@ -142,8 +170,44 @@ fn secret_token(head: &str) -> Result<Point, WireError> {
         .ok_or_else(|| WireError::new("missing or bad secret="))
 }
 
-fn query_token(head: &str) -> Result<String, WireError> {
-    token(head, "query=").map(str::to_string).ok_or_else(|| WireError::new("missing query="))
+fn query_token(head: &str) -> Result<&str, WireError> {
+    token(head, "query=").ok_or_else(|| WireError::new("missing query="))
+}
+
+/// An intern pool for query names crossing the wire: the first occurrence of a name allocates
+/// one [`Arc<str>`]; every later request carrying the same name gets a clone of that `Arc` —
+/// no `String` per token on the decode hot path, and requests naming the same query share one
+/// allocation (cheap equality in the frontend's per-tick regrouping).
+#[derive(Debug, Default)]
+pub struct NameInterner {
+    names: HashSet<Arc<str>>,
+}
+
+impl NameInterner {
+    /// An empty pool.
+    pub fn new() -> NameInterner {
+        NameInterner::default()
+    }
+
+    /// The interned handle for `name`, allocating only on first sight.
+    pub fn intern(&mut self, name: &str) -> Arc<str> {
+        if let Some(hit) = self.names.get(name) {
+            return Arc::clone(hit);
+        }
+        let arc: Arc<str> = Arc::from(name);
+        self.names.insert(Arc::clone(&arc));
+        arc
+    }
+
+    /// Distinct names interned so far.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
 }
 
 /// Splits `rest` around a `key=` marker whose value runs to the end of the line.
@@ -156,6 +220,32 @@ fn tail<'a>(rest: &'a str, key: &str) -> Result<(&'a str, &'a str), WireError> {
 /// Parses one request line (see the [module docs](self) for the grammar). `layout` is the
 /// deployment's secret space, used to resolve predicate field names and validate queries.
 pub fn parse_request(line: &str, layout: &SecretLayout) -> Result<ServeRequest, WireError> {
+    parse_request_inner(line, layout, None)
+}
+
+/// [`parse_request`] with an intern pool for query names: fields are parsed as `&str` slices
+/// borrowed from `line` and only the tokens that must outlive the call are materialized —
+/// query names through `interner` (an `Arc` clone after first sight, never a fresh `String`).
+/// This is the serving reactor's decode path for both wire forms.
+pub fn parse_request_interned(
+    line: &str,
+    layout: &SecretLayout,
+    interner: &mut NameInterner,
+) -> Result<ServeRequest, WireError> {
+    parse_request_inner(line, layout, Some(interner))
+}
+
+fn parse_request_inner(
+    line: &str,
+    layout: &SecretLayout,
+    mut interner: Option<&mut NameInterner>,
+) -> Result<ServeRequest, WireError> {
+    let mut intern = |name: &str| -> Arc<str> {
+        match interner.as_deref_mut() {
+            Some(pool) => pool.intern(name),
+            None => Arc::from(name),
+        }
+    };
     let line = line.trim();
     let (verb, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
     match verb {
@@ -181,19 +271,39 @@ pub fn parse_request(line: &str, layout: &SecretLayout) -> Result<ServeRequest, 
         "downgrade" => Ok(ServeRequest::Downgrade {
             session: session_token(rest)?,
             secret: secret_token(rest)?,
-            query: query_token(rest)?,
+            query: intern(query_token(rest)?),
         }),
         "batch" => {
-            let session = session_token(rest)?;
-            let query = query_token(rest)?;
-            let list = token(rest, "secrets=").ok_or_else(|| WireError::new("missing secrets="))?;
+            // One pass over the tokens: the `secrets=` list dominates a bulk line's length,
+            // so the per-key scans the small requests use would walk it once per key. First
+            // occurrence of each key wins, matching [`token`].
+            let (mut session, mut query, mut list) = (None, None, None);
+            for t in rest.split_whitespace() {
+                if let Some(v) = t.strip_prefix("session=") {
+                    session.get_or_insert(v);
+                } else if let Some(v) = t.strip_prefix("query=") {
+                    query.get_or_insert(v);
+                } else if let Some(v) = t.strip_prefix("secrets=") {
+                    list.get_or_insert(v);
+                }
+            }
+            let session = session
+                .and_then(|v| v.parse().ok())
+                .map(SessionId)
+                .ok_or_else(|| WireError::new("missing or bad session="))?;
+            let query = intern(query.ok_or_else(|| WireError::new("missing query="))?);
+            let list = list.ok_or_else(|| WireError::new("missing secrets="))?;
             let secrets = if list.is_empty() {
                 Vec::new()
             } else {
-                list.split(';')
-                    .map(parse_point)
-                    .collect::<Option<Vec<_>>>()
-                    .ok_or_else(|| WireError::new("bad secrets= list"))?
+                let mut secrets =
+                    Vec::with_capacity(list.bytes().filter(|&b| b == b';').count() + 1);
+                for item in list.split(';') {
+                    secrets.push(
+                        parse_point(item).ok_or_else(|| WireError::new("bad secrets= list"))?,
+                    );
+                }
+                secrets
             };
             Ok(ServeRequest::DowngradeBatch { session, secrets, query })
         }
@@ -561,6 +671,184 @@ impl LineDecoder {
 impl Default for LineDecoder {
     fn default() -> Self {
         LineDecoder::new()
+    }
+}
+
+/// The magic first bytes a connection sends to negotiate the binary frame protocol. Anything
+/// else (including a too-short stream) is served as the line protocol — see the
+/// [module docs](self).
+pub const BINARY_PREAMBLE: &[u8] = b"anosy-bin v1\n";
+
+/// Default cap on one frame's payload for [`FrameDecoder`], in bytes — the same budget as
+/// [`MAX_LINE_BYTES`], since a frame payload is one protocol line.
+pub const MAX_FRAME_BYTES: usize = 64 * 1024;
+
+/// Bytes of a frame header: `u32` LE payload length + `u64` LE FNV-1a checksum of the payload.
+const FRAME_HEADER_BYTES: usize = 12;
+
+/// FNV-1a 64-bit — the frame checksum (the same record checksum the durability journal uses:
+/// cheap, dependency-free, and plenty to catch truncation or bit rot; not cryptographic).
+pub fn frame_checksum(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Appends one encoded frame carrying `payload` to `out` (header + payload; see the
+/// [module docs](self) for the layout).
+pub fn frame_into(out: &mut Vec<u8>, payload: &[u8]) {
+    out.reserve(FRAME_HEADER_BYTES + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&frame_checksum(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// One encoded frame carrying `payload`, as fresh bytes.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
+    frame_into(&mut out, payload);
+    out
+}
+
+/// One decoded unit from a [`FrameDecoder`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodedFrame {
+    /// A complete frame whose checksum verified; the payload is one protocol line,
+    /// terminator-free.
+    Frame(Vec<u8>),
+    /// A complete frame whose payload did not match its header checksum. An error *as data*:
+    /// the frame boundary was still known exactly, so the decoder stays in sync and the next
+    /// frame decodes normally.
+    Corrupt,
+    /// A frame declared a payload longer than the decoder's cap. Reported once; the declared
+    /// payload is swallowed without buffering and decoding resumes at the next frame boundary.
+    Oversize,
+    /// The stream ended (or was explicitly finished) mid-frame: an incomplete trailing
+    /// fragment that can never be verified. Only produced by [`FrameDecoder::finish`].
+    Truncated,
+}
+
+/// An incremental binary-frame decoder with carry-over buffering — the frame-protocol twin of
+/// [`LineDecoder`]. Feed it byte chunks exactly as a transport produces them (partial frames,
+/// several frames coalesced into one read, arbitrary split points) and it yields each complete
+/// frame exactly once.
+///
+/// The decoder can never desync or panic on any byte sequence: corrupt and oversize frames are
+/// reported as [`DecodedFrame`] variants and decoding resumes at the next frame boundary.
+/// Decoding is a pure function of the concatenated input bytes — chunk boundaries never change
+/// what is produced (property-tested in `tests/proptest_wire_fuzz.rs`). At most
+/// `12 + max_frame` bytes are ever buffered: an oversize frame's payload is counted down, not
+/// stored.
+#[derive(Debug)]
+pub struct FrameDecoder {
+    buffer: Vec<u8>,
+    max_frame: usize,
+    /// Remaining payload bytes of an already-reported oversize frame to swallow.
+    skip: u64,
+}
+
+impl FrameDecoder {
+    /// A decoder with the [`MAX_FRAME_BYTES`] payload cap.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::with_max_frame(MAX_FRAME_BYTES)
+    }
+
+    /// A decoder that reports frames declaring more than `max_frame` payload bytes as
+    /// [`DecodedFrame::Oversize`].
+    pub fn with_max_frame(max_frame: usize) -> FrameDecoder {
+        assert!(max_frame > 0, "a zero-byte frame cap would reject every frame");
+        FrameDecoder { buffer: Vec::new(), max_frame, skip: 0 }
+    }
+
+    /// The configured payload cap, in bytes.
+    pub fn max_frame(&self) -> usize {
+        self.max_frame
+    }
+
+    /// Bytes of the current partial frame carried over for the next [`FrameDecoder::feed`].
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Consumes one transport read's worth of bytes and returns every frame completed by it.
+    pub fn feed(&mut self, bytes: &[u8]) -> Vec<DecodedFrame> {
+        let mut out = Vec::new();
+        let mut rest = bytes;
+        while !rest.is_empty() {
+            if self.skip > 0 {
+                // Tail of an already-reported oversize frame: count it down, never buffer it.
+                let n = usize::try_from(self.skip).unwrap_or(usize::MAX).min(rest.len());
+                self.skip -= n as u64;
+                rest = &rest[n..];
+                continue;
+            }
+            if self.buffer.len() < FRAME_HEADER_BYTES {
+                let need = FRAME_HEADER_BYTES - self.buffer.len();
+                let take = need.min(rest.len());
+                self.buffer.extend_from_slice(&rest[..take]);
+                rest = &rest[take..];
+                if self.buffer.len() < FRAME_HEADER_BYTES {
+                    break;
+                }
+            }
+            let len = u32::from_le_bytes(self.buffer[..4].try_into().expect("4 header bytes"));
+            if len as usize > self.max_frame {
+                out.push(DecodedFrame::Oversize);
+                self.buffer.clear();
+                self.skip = u64::from(len);
+                continue;
+            }
+            let total = FRAME_HEADER_BYTES + len as usize;
+            if self.buffer.len() < total {
+                let take = (total - self.buffer.len()).min(rest.len());
+                self.buffer.extend_from_slice(&rest[..take]);
+                rest = &rest[take..];
+                if self.buffer.len() < total {
+                    break;
+                }
+            }
+            let sum = u64::from_le_bytes(self.buffer[4..12].try_into().expect("8 header bytes"));
+            let mut payload = std::mem::take(&mut self.buffer);
+            payload.drain(..FRAME_HEADER_BYTES);
+            if frame_checksum(&payload) == sum {
+                out.push(DecodedFrame::Frame(payload));
+            } else {
+                out.push(DecodedFrame::Corrupt);
+            }
+        }
+        out
+    }
+
+    /// Reports the trailing incomplete frame at end of stream, if any — a peer that
+    /// half-closes mid-frame left an unverifiable fragment ([`DecodedFrame::Truncated`]),
+    /// unlike the line protocol where a trailing fragment is still an interpretable line.
+    /// Returns `None` on a clean frame boundary; the decoder is reusable afterwards.
+    pub fn finish(&mut self) -> Option<DecodedFrame> {
+        if self.skip > 0 {
+            self.skip = 0;
+            return Some(DecodedFrame::Truncated);
+        }
+        if self.buffer.is_empty() {
+            return None;
+        }
+        self.buffer.clear();
+        Some(DecodedFrame::Truncated)
+    }
+
+    /// Drops any carried-over partial frame (an abortive disconnect: the fragment never
+    /// completed and must not be reported).
+    pub fn discard(&mut self) {
+        self.buffer.clear();
+        self.skip = 0;
+    }
+}
+
+impl Default for FrameDecoder {
+    fn default() -> Self {
+        FrameDecoder::new()
     }
 }
 
@@ -977,6 +1265,89 @@ mod tests {
         decoder.feed(b"01234567\r");
         assert_eq!(decoder.finish(), Some(DecodedLine::Overlong));
         assert_eq!(decoder.feed(b"ok\n"), vec![DecodedLine::Line("ok".into())]);
+    }
+
+    #[test]
+    fn the_frame_decoder_reassembles_arbitrary_chunkings() {
+        let mut input = Vec::new();
+        frame_into(&mut input, b"stats");
+        frame_into(&mut input, b"");
+        frame_into(&mut input, b"close session=2");
+        for split in 0..input.len() {
+            let mut decoder = FrameDecoder::new();
+            let mut frames = decoder.feed(&input[..split]);
+            frames.extend(decoder.feed(&input[split..]));
+            assert_eq!(
+                frames,
+                vec![
+                    DecodedFrame::Frame(b"stats".to_vec()),
+                    DecodedFrame::Frame(Vec::new()),
+                    DecodedFrame::Frame(b"close session=2".to_vec()),
+                ],
+                "split at {split}"
+            );
+            assert_eq!(decoder.finish(), None);
+        }
+    }
+
+    #[test]
+    fn the_frame_decoder_reports_errors_as_data_and_stays_in_sync() {
+        let mut decoder = FrameDecoder::with_max_frame(8);
+        // A corrupt frame (checksum mismatch) reports once and the next frame decodes.
+        let mut bytes = encode_frame(b"evil");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        bytes.extend_from_slice(&encode_frame(b"ok"));
+        assert_eq!(
+            decoder.feed(&bytes),
+            vec![DecodedFrame::Corrupt, DecodedFrame::Frame(b"ok".to_vec())]
+        );
+        // An oversize declaration swallows its payload without buffering it, then resyncs.
+        let mut bytes = encode_frame(b"0123456789abcdef");
+        bytes.extend_from_slice(&encode_frame(b"after"));
+        let frames = decoder.feed(&bytes);
+        assert_eq!(frames, vec![DecodedFrame::Oversize, DecodedFrame::Frame(b"after".to_vec())]);
+        assert!(decoder.buffered() <= 12 + decoder.max_frame());
+        // A trailing partial frame at EOF is unverifiable — Truncated, not a frame.
+        decoder.feed(&encode_frame(b"tail")[..6]);
+        assert_eq!(decoder.finish(), Some(DecodedFrame::Truncated));
+        assert_eq!(decoder.feed(&encode_frame(b"go")), vec![DecodedFrame::Frame(b"go".to_vec())]);
+        // … unless explicitly discarded (abortive disconnect).
+        decoder.feed(&encode_frame(b"gone")[..3]);
+        decoder.discard();
+        assert_eq!(decoder.finish(), None);
+        // Mid-skip EOF of an oversize frame is also Truncated.
+        let oversize = encode_frame(b"0123456789abcdef");
+        decoder.feed(&oversize[..14]);
+        assert_eq!(decoder.finish(), Some(DecodedFrame::Truncated));
+        assert_eq!(decoder.feed(&encode_frame(b"go")), vec![DecodedFrame::Frame(b"go".to_vec())]);
+    }
+
+    #[test]
+    fn interned_parsing_shares_one_allocation_per_query_name() {
+        let mut interner = NameInterner::new();
+        let a = parse_request_interned(
+            "downgrade session=1 query=nearby secret=1,2",
+            &layout(),
+            &mut interner,
+        )
+        .unwrap();
+        let b = parse_request_interned(
+            "batch session=2 query=nearby secrets=1,2",
+            &layout(),
+            &mut interner,
+        )
+        .unwrap();
+        let (
+            ServeRequest::Downgrade { query: qa, .. },
+            ServeRequest::DowngradeBatch { query: qb, .. },
+        ) = (a, b)
+        else {
+            panic!("parsed wrong variants");
+        };
+        assert!(Arc::ptr_eq(&qa, &qb), "same name must intern to one allocation");
+        assert_eq!(interner.len(), 1);
+        assert!(!interner.is_empty());
     }
 
     #[test]

@@ -79,6 +79,32 @@ fn responses_are_invariant_under_the_reactor_count() {
 }
 
 #[test]
+fn binary_runs_are_reactor_invariant_and_decode_to_the_line_transcripts() {
+    let seed = base_seed().wrapping_add(7_400);
+    let net_seed = base_seed().wrapping_add(7_500);
+    let population = loadgen::population(seed, 24);
+
+    let line = loadgen::run(&population, &LoadOptions::new(net_seed, 1).recording());
+    let binary = loadgen::run(&population, &LoadOptions::new(net_seed, 1).binary().recording());
+    let sharded = loadgen::run(&population, &LoadOptions::new(net_seed, 2).binary().recording());
+
+    // Reactor-count invariance holds for framed traffic byte-for-byte, like it does for lines.
+    loadgen::assert_equivalent(&binary, &sharded);
+
+    // And across codecs: every tenant's framed response stream decodes to exactly the protocol
+    // text the line-protocol run answered — the binary codec changes the encoding, nothing else.
+    assert!(binary.report.server.binary_conns >= population.tenants.len() as u64);
+    assert!(line.report.server.binary_conns == 0, "the line run must not negotiate frames");
+    for &token in &line.tokens {
+        assert_eq!(
+            line.received_decoded(token),
+            binary.received_decoded(token),
+            "connection {token:?} answered different protocol text across the codecs"
+        );
+    }
+}
+
+#[test]
 fn every_shard_matches_the_sequential_oracle() {
     let seed = base_seed().wrapping_add(7_200);
     let net_seed = base_seed().wrapping_add(7_300);

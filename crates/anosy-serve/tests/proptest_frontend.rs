@@ -85,7 +85,7 @@ fn to_request(op: &Op) -> Option<(ConnId, ServeRequest)> {
             ServeRequest::Downgrade {
                 session: SessionId(*session),
                 secret: secret.clone(),
-                query: support::query(*q).name().to_string(),
+                query: support::query(*q).name().into(),
             },
         ),
         Op::Batch { conn, session, secrets, query: q } => (
@@ -93,7 +93,7 @@ fn to_request(op: &Op) -> Option<(ConnId, ServeRequest)> {
             ServeRequest::DowngradeBatch {
                 session: SessionId(*session),
                 secrets: secrets.clone(),
-                query: support::query(*q).name().to_string(),
+                query: support::query(*q).name().into(),
             },
         ),
         Op::Knowledge { conn, session, secret } => (

@@ -4,10 +4,21 @@
 //! function of the concatenated bytes, independent of chunk boundaries, and after any garbage a
 //! well-formed line still decodes).
 //!
+//! The binary frame codec gets the same treatment: [`FrameDecoder`] fed frame/garbage soup
+//! must decode independently of chunk boundaries within a bounded buffer, resync at the next
+//! frame boundary after a corrupt frame, and never panic — plus the protocol-level properties:
+//! a server fed arbitrary first bytes negotiates *some* protocol without panicking while
+//! well-formed neighbours answer normally, and one request script answers with **identical
+//! protocol text** over the line codec and the frame codec.
+//!
 //! The CI `sim-stress` lane re-runs this file with `PROPTEST_CASES=256`.
 
+#[path = "support/oracle.rs"]
+mod support;
+
 use anosy_logic::SecretLayout;
-use anosy_serve::wire::{self, DecodedLine, LineDecoder};
+use anosy_serve::wire::{self, DecodedFrame, DecodedLine, FrameDecoder, LineDecoder};
+use anosy_serve::{Frontend, Server, ServerConfig, SimNet};
 use proptest::prelude::*;
 
 fn layout() -> SecretLayout {
@@ -30,6 +41,17 @@ fn arb_byte() -> impl Strategy<Value = u8> {
 
 fn arb_bytes() -> impl Strategy<Value = Vec<u8>> {
     proptest::collection::vec(arb_byte(), 0..300)
+}
+
+/// Frame soup: a concatenation of well-formed frames (arbitrary payloads, some exceeding small
+/// decoder caps) and raw garbage runs, so the decoder sees valid frames, oversize frames,
+/// garbage misread as headers and every transition between them.
+fn arb_frame_soup() -> impl Strategy<Value = Vec<u8>> {
+    let segment = prop_oneof![
+        2 => arb_bytes(),
+        3 => proptest::collection::vec(0u8..=255u8, 0..80).prop_map(|p| wire::encode_frame(&p)),
+    ];
+    proptest::collection::vec(segment, 0..6).prop_map(|segments| segments.concat())
 }
 
 /// Well-formed request/response lines the mutation fuzzer starts from.
@@ -161,5 +183,204 @@ proptest! {
             decoder.feed(b"ok\n"),
             vec![DecodedLine::Line("ok".to_string())]
         );
+    }
+
+    #[test]
+    fn frame_decoding_is_independent_of_chunk_boundaries(
+        bytes in arb_frame_soup(),
+        cuts in proptest::collection::vec(0usize..600, 0..6),
+        cap in 4usize..64,
+    ) {
+        // Reference: the whole soup in one feed.
+        let mut whole = FrameDecoder::with_max_frame(cap);
+        let mut expected = whole.feed(&bytes);
+        if let Some(last) = whole.finish() {
+            expected.push(last);
+        }
+
+        // Same soup, arbitrary chunking.
+        let mut cuts: Vec<usize> = cuts.into_iter().map(|c| c.min(bytes.len())).collect();
+        cuts.sort_unstable();
+        let mut chunked = FrameDecoder::with_max_frame(cap);
+        let mut got = Vec::new();
+        let mut start = 0;
+        for cut in cuts.into_iter().chain([bytes.len()]) {
+            got.extend(chunked.feed(&bytes[start..cut]));
+            // Bounded carry-over at every step: header + at most one capped payload. An
+            // oversize frame's declared payload is counted down, never buffered.
+            prop_assert!(chunked.buffered() <= 12 + cap);
+            start = cut;
+        }
+        if let Some(last) = chunked.finish() {
+            got.push(last);
+        }
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn the_frame_decoder_resyncs_after_a_corrupt_frame(
+        payload in proptest::collection::vec(0u8..=255, 1..80),
+        flip in 1u8..=255,
+        at in 0usize..10_000,
+    ) {
+        // Flip one payload byte under an intact header: FNV-1a steps are bijective in the
+        // running state, so the checksum is guaranteed to miss. The frame boundary was still
+        // declared exactly, so the decoder reports Corrupt and the pristine follower decodes.
+        let mut bytes = wire::encode_frame(&payload);
+        bytes[12 + at % payload.len()] ^= flip;
+        wire::frame_into(&mut bytes, b"stats");
+        let mut decoder = FrameDecoder::new();
+        prop_assert_eq!(
+            decoder.feed(&bytes),
+            vec![DecodedFrame::Corrupt, DecodedFrame::Frame(b"stats".to_vec())]
+        );
+        prop_assert_eq!(decoder.finish(), None);
+    }
+
+    #[test]
+    fn frame_soup_errors_as_data_and_payloads_never_panic_the_parsers(
+        bytes in arb_frame_soup(),
+    ) {
+        let mut decoder = FrameDecoder::with_max_frame(128);
+        let mut frames = decoder.feed(&bytes);
+        if let Some(last) = decoder.finish() {
+            frames.push(last);
+        }
+        for frame in frames {
+            if let DecodedFrame::Frame(payload) = frame {
+                // A frame payload is one protocol line: the parsers must take whatever the
+                // soup delivered without panicking (errors are fine).
+                if let Ok(text) = std::str::from_utf8(&payload) {
+                    let _ = wire::parse_request(text, &layout());
+                    let _ = wire::parse_response(text);
+                }
+            }
+        }
+        // Whatever state the soup left, a discard makes the decoder reusable.
+        decoder.discard();
+        prop_assert_eq!(
+            decoder.feed(&wire::encode_frame(b"stats")),
+            vec![DecodedFrame::Frame(b"stats".to_vec())]
+        );
+    }
+}
+
+/// One protocol line of the cross-codec scripts: palette registrations (warm-cache hits),
+/// opens, downgrades/knowledge probes over guessed session ids (hits and unknown-session
+/// denials alike answer identically on both codecs), closes, malformed refuse-line traffic,
+/// and blank tick boundaries — optionally tagged onto a logical `@conn`, so one tick regroups
+/// downgrade runs across several sessions.
+fn arb_script_line() -> impl Strategy<Value = String> {
+    let body = prop_oneof![
+        2 => Just("open min-size:100".to_string()),
+        1 => Just("open allow-all".to_string()),
+        2 => Just(
+            "register name=q kind=under members=- pred=abs(x - 200) + abs(y - 200) <= 100"
+                .to_string()
+        ),
+        4 => (1u64..4, 0i64..=400, 0i64..=400).prop_map(|(s, x, y)| {
+            format!("downgrade session={s} query=q secret={x},{y}")
+        }),
+        2 => (1u64..4, 0i64..=400, 0i64..=400).prop_map(|(s, x, y)| {
+            format!("knowledge session={s} secret={x},{y}")
+        }),
+        1 => (1u64..4).prop_map(|s| format!("close session={s}")),
+        1 => Just("this is not a request".to_string()),
+    ];
+    let prefix = prop_oneof![
+        3 => Just(String::new()),
+        1 => (2u64..4).prop_map(|c| format!("@{c} ")),
+    ];
+    prop_oneof![
+        8 => (prefix, body).prop_map(|(prefix, body)| format!("{prefix}{body}")),
+        1 => Just(String::new()), // blank: a tick boundary under --ticked, on both codecs
+    ]
+}
+
+/// Drives `lines` through a real server over `SimNet` on one connection — as `\n`-terminated
+/// lines, or as the preamble plus one frame per line — and returns the response transcript
+/// with the codec decoded away.
+fn run_script(lines: &[String], seed: u64, binary: bool) -> String {
+    let mut sim = SimNet::new(seed);
+    let token = sim.connect(0);
+    let mut at = 10;
+    if binary {
+        sim.send(token, at, wire::BINARY_PREAMBLE);
+    }
+    for line in lines {
+        let payload = if binary {
+            wire::encode_frame(line.as_bytes())
+        } else {
+            let mut bytes = line.clone().into_bytes();
+            bytes.push(b'\n');
+            bytes
+        };
+        sim.send(token, at, payload);
+        at += 100;
+    }
+    sim.half_close(token, at + 2_000);
+    let config = ServerConfig::new().ticked(true);
+    let mut server = Server::new(Frontend::new(support::warm_deployment()), sim, config);
+    server.run();
+    if binary {
+        server.transport().received_frame_text(token)
+    } else {
+        server.transport().received_text(token)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn protocol_negotiation_never_panics_on_arbitrary_first_bytes(
+        soup in arb_bytes(),
+        seed in 0u64..1_000,
+    ) {
+        // Three connections race: pure soup (negotiates *something* — a soup prefix of the
+        // preamble is the hard case), a well-formed line client and a well-formed binary
+        // client. The soup must not panic the reactor or disturb its neighbours.
+        let mut sim = SimNet::new(seed);
+        let garbage = sim.connect(0);
+        let line = sim.connect(0);
+        let binary = sim.connect(0);
+        sim.send(garbage, 10, &soup);
+        sim.half_close(garbage, 5_000);
+        sim.send(line, 10, "open min-size:100\n");
+        sim.half_close(line, 5_000);
+        let mut framed = wire::BINARY_PREAMBLE.to_vec();
+        wire::frame_into(&mut framed, b"open min-size:100");
+        sim.send(binary, 10, &framed);
+        sim.half_close(binary, 5_000);
+
+        let mut server =
+            Server::new(Frontend::new(support::warm_deployment()), sim, ServerConfig::new());
+        server.run();
+
+        // Session numbers depend on cross-connection arrival order (and on whether the soup
+        // accidentally formed requests), so assert the response shape, not the id.
+        let line_text = server.transport().received_text(line);
+        prop_assert!(
+            line_text.starts_with("1.1 ok session ") && line_text.ends_with('\n'),
+            "line connection answered `{}`", line_text
+        );
+        let binary_text = server.transport().received_frame_text(binary);
+        prop_assert!(
+            binary_text.starts_with("2.1 ok session ") && binary_text.ends_with('\n'),
+            "binary connection answered `{}`", binary_text
+        );
+    }
+
+    #[test]
+    fn the_same_script_answers_identically_over_both_codecs(
+        lines in proptest::collection::vec(arb_script_line(), 1..12),
+        seed in 0u64..1_000,
+    ) {
+        // The tentpole's tax-free claim, as a property: one script, two codecs, identical
+        // protocol text — across ticks that regroup downgrade runs over several `@conn`
+        // sessions, unknown-session denials, refusals and blank-line tick boundaries.
+        let line_run = run_script(&lines, seed, false);
+        let binary_run = run_script(&lines, seed.wrapping_add(1), true);
+        prop_assert_eq!(line_run, binary_run);
     }
 }

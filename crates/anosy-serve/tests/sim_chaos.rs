@@ -380,6 +380,84 @@ fn an_adversary_probing_until_refused_is_stopped_at_the_policy_floor() {
     assert!(knowledge.starts_with("ok knowledge size=2807 "), "{knowledge}");
 }
 
+// ---------------------------------------------------------------------------
+// Scenario 6: the downgrade storm with mixed codecs — two connections negotiate the binary
+// frame protocol, one stays on lines, all three burst into one reactor. Frames and lines
+// interleave chunk by chunk; one framed peer aborts mid-frame. Oracle equality must hold
+// exactly as for the all-line storm: the codec is an encoding, never a semantics change.
+// ---------------------------------------------------------------------------
+
+/// One protocol line as a binary frame (frames are terminator-free).
+fn frame(line: &str) -> Vec<u8> {
+    anosy_serve::wire::encode_frame(line.trim_end_matches('\n').as_bytes())
+}
+
+fn mixed_codec_storm(sim: &mut SimNet) -> Vec<Token> {
+    let c0 = sim.connect(0);
+    sim.send(c0, 0, anosy_serve::wire::BINARY_PREAMBLE);
+    sim.send(c0, 0, frame(&register_line(0)));
+    sim.send(c0, 0, frame(&register_line(1)));
+    sim.send(c0, 1000, frame("open min-size:100")); // session 1
+    let c1 = sim.connect(2000);
+    sim.send(c1, 2000, anosy_serve::wire::BINARY_PREAMBLE);
+    sim.send(c1, 2000, frame("open min-size:100")); // session 2
+                                                    // The bystander speaks the line protocol on the same reactor.
+    let c2 = sim.connect(3000);
+    sim.send(c2, 3000, "open allow-all\n"); // session 3
+    sim.tick(4000);
+
+    let sessions = [(c0, 1u64, true), (c1, 2u64, true), (c2, 3u64, false)];
+    for (client, session, binary) in sessions {
+        let burst = sim.rng().gen_range(8usize..16);
+        for j in 0..burst {
+            let (a, b) = (sim.rng().gen_range(0i64..=10), sim.rng().gen_range(0i64..=10));
+            let p = support::secret_grid(a, b);
+            let line = downgrade_line(session, j % 2, p.as_slice()[0], p.as_slice()[1]);
+            let at = 5000 + (j as u64) * 11;
+            if binary {
+                sim.send(client, at, frame(&line));
+            } else {
+                sim.send(client, at, line);
+            }
+        }
+    }
+    for t in (5000..5300).step_by(25) {
+        sim.tick(t);
+    }
+
+    // c1 resets with a dangling partial frame on the wire: the fragment is discarded, never
+    // interpreted and never reported as truncated (that's the half-close case).
+    sim.send(c1, 5900, &frame("downgrade session=2 query=nearby_200_200 secret=1,1")[..7]);
+    sim.abort(c1, 6000);
+    sim.half_close(c2, 7000);
+    sim.half_close(c0, 8000);
+    vec![c0, c1, c2]
+}
+
+#[test]
+fn a_mixed_codec_storm_matches_the_oracle() {
+    let seed = base_seed().wrapping_add(5);
+    assert_replays_byte_identically(seed, true, mixed_codec_storm);
+    let (server, clients) = run_scenario(seed, true, mixed_codec_storm);
+    assert_matches_oracle(&server);
+
+    assert_eq!(server.stats().binary_conns, 2, "exactly the preambled connections negotiated");
+    assert!(server.stats().frames >= 20, "both framed bursts were counted: {:?}", server.stats());
+    assert_eq!(server.frontend().open_sessions(), 0);
+
+    // The framed connections' responses decode to well-formed protocol lines — no corrupt,
+    // oversize or truncated frames from a healthy server.
+    for &client in &clients[..2] {
+        let text = server.transport().received_frame_text(client);
+        assert!(
+            !text.contains("<corrupt") && !text.contains("<oversize") && !text.contains("<trunc"),
+            "the server wrote a malformed frame to {client:?}: {text}"
+        );
+    }
+    // The line-protocol bystander's stream is plain text, untouched by its neighbours' codec.
+    assert!(server.transport().received_text(clients[2]).starts_with("2.1 ok session "));
+}
+
 /// The acceptance criterion's replay clause, across a spread of derived seeds in one go:
 /// whatever the seed does to chunking and interleaving, every scenario stays oracle-equal.
 #[test]
@@ -395,6 +473,8 @@ fn every_scenario_matches_the_oracle_across_a_seed_spread() {
         let (server, _) = run_scenario(seed, false, one_bad_peer);
         assert_matches_oracle(&server);
         let (server, _) = run_scenario(seed, true, probe_until_refused);
+        assert_matches_oracle(&server);
+        let (server, _) = run_scenario(seed, true, mixed_codec_storm);
         assert_matches_oracle(&server);
     }
 }

@@ -1,11 +1,14 @@
 //! Measures the `anosy-serve` deployment layer against the sequential PR 2 baseline on the
 //! fig5 suite — batched downgrades vs the per-call loop (interval and powerset3 domains),
 //! sharded parallel model counting vs the sequential counter — plus the serving frontend's tick
-//! throughput vs the direct batched driver, the multi-reactor `SimNet` load generator at
+//! throughput vs the direct batched driver (including the binary wire path: frame decode +
+//! zero-copy interned parse + fused ticks, recorded as `BENCH_pr10.json`'s `wire_` columns),
+//! the multi-reactor `SimNet` load generator at
 //! `reactors = 1/2/4`, the durability-journal overhead comparison (journal off vs each flush
 //! policy on the same cold seeded load) and the restart-to-warm latency rows (snapshot load +
 //! journal replay vs a bare cold construction). Used to record `BENCH_pr3.json` /
-//! `BENCH_pr4.json` / `BENCH_pr7.json` / `BENCH_pr8.json` / `BENCH_pr9.json`.
+//! `BENCH_pr4.json` / `BENCH_pr7.json` / `BENCH_pr8.json` / `BENCH_pr9.json` /
+//! `BENCH_pr10.json`.
 //!
 //! Usage: `report_serve [--workers N] [--secrets N] [--requests N] [--tenants N] [--quick]
 //! [--json] [--cache PATH [--verify-on-load]]`
@@ -120,7 +123,11 @@ fn main() {
          that applies carry capped_by_host). Batched results are asserted element-wise equal \
          to the sequential loop, frontend responses to the direct driver's results, and every \
          multi-reactor load run's per-connection streams to the single-reactor run's, before \
-         timing.{warm_note}"
+         timing. Frontend rows also time the binary wire path end to end (frame decode, \
+         zero-copy interned parse, submit, tick): wire_ columns carry one framed Downgrade \
+         per secret, bulk_ columns one framed DowngradeBatch per tick of batch_size secrets \
+         (the shape a throughput client speaks); both are asserted element-wise equal to the \
+         direct driver before timing.{warm_note}"
     );
 
     if json {

@@ -465,12 +465,15 @@ where
         .collect()
 }
 
-/// One row of the frontend tick-throughput comparison (`report_serve`, `BENCH_pr4.json`): the
-/// same downgrade workload pushed through [`anosy::serve::Frontend`] ticks of `batch_size`
-/// requests vs handed to [`anosy::serve::Deployment::downgrade_batch`] directly in chunks of the
-/// same size. The gap between the two is the protocol tax (request queueing, per-tick
-/// regrouping, response tagging); it shrinks as the batch grows and the batched driver
-/// dominates.
+/// One row of the frontend tick-throughput comparison (`report_serve`, `BENCH_pr4.json` →
+/// `BENCH_pr10.json`): the same downgrade workload pushed through
+/// [`anosy::serve::Frontend`] ticks of `batch_size` requests vs handed to
+/// [`anosy::serve::Deployment::downgrade_batch`] directly in chunks of the same size. The gap
+/// between the two is the protocol tax (request queueing, per-tick regrouping, response
+/// tagging); it shrinks as the batch grows and the batched driver dominates. The `wire_`
+/// columns add the binary frame codec on top (one framed `Downgrade` per request), and the
+/// `bulk_` columns are the bulk client shape: one framed `DowngradeBatch` carrying the whole
+/// tick — the form a throughput-conscious binary client actually speaks.
 #[derive(Debug, Clone)]
 pub struct FrontendRow {
     /// Downgrade requests accumulated per tick (and per direct driver call).
@@ -487,11 +490,27 @@ pub struct FrontendRow {
     pub direct_seconds: f64,
     /// Requests per second through the direct driver.
     pub direct_rps: f64,
+    /// Wall-clock of the binary wire path: pre-framed request bytes through
+    /// [`anosy::serve::wire::FrameDecoder`] + zero-copy interned parsing + submit + tick,
+    /// one framed `Downgrade` request per secret.
+    pub wire_seconds: f64,
+    /// Requests per second through the binary wire path.
+    pub wire_rps: f64,
+    /// Wall-clock of the bulk binary wire path: one framed `DowngradeBatch` per tick of
+    /// `batch_size` secrets, through the same decode → parse → submit → tick ingress.
+    pub bulk_seconds: f64,
+    /// Requests per second through the bulk binary wire path.
+    pub bulk_rps: f64,
 }
 
 /// Measures frontend tick throughput vs the direct batched driver on the first fig5 benchmark
-/// (birthday), at each of the given batch sizes. Responses are asserted element-wise equal to
-/// the direct driver's results before the timings are reported.
+/// (birthday), at each of the given batch sizes. Two more paths price the full binary protocol
+/// stack: the same requests pre-encoded as checksummed wire frames (one `Downgrade` frame per
+/// secret, and one bulk `DowngradeBatch` frame per tick), then frame decode → zero-copy
+/// interned parse → submit → tick measured end to end. Every path runs best-of-5 on a fresh
+/// session (downgrades refine tracked knowledge, so repeats must not chain), and all response
+/// streams are asserted element-wise equal to the direct driver's on every repeat before the
+/// timings are reported.
 pub fn frontend_rows(
     workers: usize,
     total_requests: usize,
@@ -499,11 +518,12 @@ pub fn frontend_rows(
     batch_sizes: &[usize],
 ) -> Vec<FrontendRow> {
     use anosy::core::PolicySpec;
-    use anosy::serve::{Deployment, Frontend, ServeRequest, ServeResponse, SessionId};
+    use anosy::serve::{wire, Deployment, Frontend, ServeRequest, ServeResponse, SessionId};
 
+    const REPEATS: usize = 5;
     let b = all_benchmarks().into_iter().next().expect("fig5 has benchmarks");
     let layout = b.query.layout().clone();
-    let name = b.query.name().to_string();
+    let name: std::sync::Arc<str> = b.query.name().into();
     batch_sizes
         .iter()
         .map(|&batch_size| {
@@ -515,75 +535,202 @@ pub fn frontend_rows(
                 .register_query(&b.query, ApproxKind::Under, None)
                 .expect("benchmark synthesis fits the budget");
             let secrets = deterministic_secrets(&layout, total_requests, 0xF407);
-
-            // Frontend path: one session opened through the protocol, then ticks of
-            // `batch_size` downgrade requests each.
-            let mut frontend = Frontend::new(deployment);
-            let conn = frontend.connect();
-            frontend.submit(
-                conn,
-                ServeRequest::RegisterQuery {
-                    query: b.query.clone(),
-                    kind: ApproxKind::Under,
-                    members: None,
-                },
-            );
-            frontend.submit(conn, ServeRequest::OpenSession { policy: PolicySpec::MinSize(10) });
-            frontend.tick();
             let session = SessionId(1);
-            let started = Instant::now();
-            let mut frontend_results: Vec<Option<bool>> = Vec::with_capacity(secrets.len());
-            for chunk in secrets.chunks(batch_size) {
-                for secret in chunk {
-                    frontend.submit(
-                        conn,
-                        ServeRequest::Downgrade {
+
+            // A fresh frontend per repeat: each gets its own session 1 (registration is a
+            // pure cache hit against the shared deployment), because downgrades refine the
+            // session's tracked knowledge — repeats on one session would answer differently.
+            let fresh_frontend = || {
+                let mut frontend = Frontend::new(deployment.share());
+                let conn = frontend.connect();
+                frontend.submit(
+                    conn,
+                    ServeRequest::RegisterQuery {
+                        query: b.query.clone(),
+                        kind: ApproxKind::Under,
+                        members: None,
+                    },
+                );
+                frontend
+                    .submit(conn, ServeRequest::OpenSession { policy: PolicySpec::MinSize(10) });
+                frontend.tick();
+                (frontend, conn)
+            };
+
+            // Direct path: a fresh session per repeat, the secrets through the batched
+            // driver in chunks of `batch_size`.
+            let mut direct_results: Vec<Option<bool>> = Vec::new();
+            let mut direct_elapsed = f64::INFINITY;
+            for _ in 0..REPEATS {
+                let mut direct_session = deployment.session(PolicySpec::MinSize(10));
+                direct_session
+                    .register_cached(&b.query, ApproxKind::Under, None)
+                    .expect("the deployment cache is warm");
+                let started = Instant::now();
+                let mut results: Vec<Option<bool>> = Vec::with_capacity(secrets.len());
+                for chunk in secrets.chunks(batch_size) {
+                    results.extend(
+                        deployment
+                            .downgrade_batch(&mut direct_session, chunk, &name)
+                            .into_iter()
+                            .map(Result::ok),
+                    );
+                }
+                direct_elapsed = direct_elapsed.min(started.elapsed().as_secs_f64());
+                if direct_results.is_empty() {
+                    direct_results = results;
+                } else {
+                    assert_eq!(results, direct_results, "direct repeats diverged");
+                }
+            }
+
+            // Frontend path: ticks of `batch_size` typed downgrade requests each.
+            let mut frontend_elapsed = f64::INFINITY;
+            for _ in 0..REPEATS {
+                let (mut frontend, conn) = fresh_frontend();
+                let started = Instant::now();
+                let mut results: Vec<Option<bool>> = Vec::with_capacity(secrets.len());
+                for chunk in secrets.chunks(batch_size) {
+                    for secret in chunk {
+                        frontend.submit(
+                            conn,
+                            ServeRequest::Downgrade {
+                                session,
+                                secret: secret.clone(),
+                                query: name.clone(),
+                            },
+                        );
+                    }
+                    for tagged in frontend.tick() {
+                        match tagged.response {
+                            ServeResponse::Answer(result) => results.push(result.ok()),
+                            other => panic!("unexpected response {other:?}"),
+                        }
+                    }
+                }
+                frontend_elapsed = frontend_elapsed.min(started.elapsed().as_secs_f64());
+                assert_eq!(
+                    results, direct_results,
+                    "frontend diverged from the direct driver at batch size {batch_size}"
+                );
+            }
+
+            // Binary wire path: the same workload as framed protocol bytes, one `Downgrade`
+            // frame per secret. Encoding and framing happen ahead of time (that work belongs
+            // to the client); the timed loop is the server-side ingress — incremental frame
+            // decode, zero-copy interned parse, submit, tick.
+            let framed_chunks: Vec<Vec<u8>> = secrets
+                .chunks(batch_size)
+                .map(|chunk| {
+                    let mut bytes = Vec::new();
+                    for secret in chunk {
+                        let line = wire::encode_request(&ServeRequest::Downgrade {
                             session,
                             secret: secret.clone(),
                             query: name.clone(),
-                        },
-                    );
-                }
-                for tagged in frontend.tick() {
-                    match tagged.response {
-                        ServeResponse::Answer(result) => frontend_results.push(result.ok()),
-                        other => panic!("unexpected response {other:?}"),
+                        })
+                        .expect("downgrade requests are wire-safe");
+                        wire::frame_into(&mut bytes, line.as_bytes());
+                    }
+                    bytes
+                })
+                .collect();
+            let mut wire_elapsed = f64::INFINITY;
+            for _ in 0..REPEATS {
+                let (mut frontend, conn) = fresh_frontend();
+                let mut interner = wire::NameInterner::new();
+                let mut decoder = wire::FrameDecoder::new();
+                let started = Instant::now();
+                let mut results: Vec<Option<bool>> = Vec::with_capacity(secrets.len());
+                for bytes in &framed_chunks {
+                    for frame in decoder.feed(bytes) {
+                        let payload = match frame {
+                            wire::DecodedFrame::Frame(payload) => payload,
+                            other => panic!("unexpected frame unit {other:?}"),
+                        };
+                        let text =
+                            std::str::from_utf8(&payload).expect("framed requests are UTF-8");
+                        let request = wire::parse_request_interned(text, &layout, &mut interner)
+                            .expect("framed requests parse");
+                        frontend.submit(conn, request);
+                    }
+                    for tagged in frontend.tick() {
+                        match tagged.response {
+                            ServeResponse::Answer(result) => results.push(result.ok()),
+                            other => panic!("unexpected response {other:?}"),
+                        }
                     }
                 }
-            }
-            let frontend_elapsed = started.elapsed();
-
-            // Direct path: a fresh session of the same deployment, the same secrets through
-            // the batched driver in chunks of the same size.
-            let deployment = frontend.deployment();
-            let mut direct_session = deployment.session(PolicySpec::MinSize(10));
-            direct_session
-                .register_cached(&b.query, ApproxKind::Under, None)
-                .expect("the deployment cache is warm");
-            let started = Instant::now();
-            let mut direct_results: Vec<Option<bool>> = Vec::with_capacity(secrets.len());
-            for chunk in secrets.chunks(batch_size) {
-                direct_results.extend(
-                    deployment
-                        .downgrade_batch(&mut direct_session, chunk, &name)
-                        .into_iter()
-                        .map(Result::ok),
+                wire_elapsed = wire_elapsed.min(started.elapsed().as_secs_f64());
+                assert_eq!(
+                    results, direct_results,
+                    "the binary wire path diverged from the direct driver at batch size \
+                     {batch_size}"
                 );
             }
-            let direct_elapsed = started.elapsed();
-            assert_eq!(
-                frontend_results, direct_results,
-                "frontend diverged from the direct driver at batch size {batch_size}"
-            );
+
+            // Bulk binary wire path: one `DowngradeBatch` frame carries the whole tick —
+            // the shape a throughput-conscious binary client speaks at this batch size.
+            let bulk_frames: Vec<Vec<u8>> = secrets
+                .chunks(batch_size)
+                .map(|chunk| {
+                    let line = wire::encode_request(&ServeRequest::DowngradeBatch {
+                        session,
+                        secrets: chunk.to_vec(),
+                        query: name.clone(),
+                    })
+                    .expect("batch requests are wire-safe");
+                    wire::encode_frame(line.as_bytes())
+                })
+                .collect();
+            let mut bulk_elapsed = f64::INFINITY;
+            for _ in 0..REPEATS {
+                let (mut frontend, conn) = fresh_frontend();
+                let mut interner = wire::NameInterner::new();
+                let mut decoder = wire::FrameDecoder::new();
+                let started = Instant::now();
+                let mut results: Vec<Option<bool>> = Vec::with_capacity(secrets.len());
+                for bytes in &bulk_frames {
+                    for frame in decoder.feed(bytes) {
+                        let payload = match frame {
+                            wire::DecodedFrame::Frame(payload) => payload,
+                            other => panic!("unexpected frame unit {other:?}"),
+                        };
+                        let text =
+                            std::str::from_utf8(&payload).expect("framed requests are UTF-8");
+                        let request = wire::parse_request_interned(text, &layout, &mut interner)
+                            .expect("framed requests parse");
+                        frontend.submit(conn, request);
+                    }
+                    for tagged in frontend.tick() {
+                        match tagged.response {
+                            ServeResponse::Answers(answers) => {
+                                results.extend(answers.into_iter().map(Result::ok));
+                            }
+                            other => panic!("unexpected response {other:?}"),
+                        }
+                    }
+                }
+                bulk_elapsed = bulk_elapsed.min(started.elapsed().as_secs_f64());
+                assert_eq!(
+                    results, direct_results,
+                    "the bulk wire path diverged from the direct driver at batch size \
+                     {batch_size}"
+                );
+            }
 
             FrontendRow {
                 batch_size,
                 requests: total_requests,
                 workers,
-                frontend_seconds: frontend_elapsed.as_secs_f64(),
-                frontend_rps: total_requests as f64 / frontend_elapsed.as_secs_f64().max(1e-12),
-                direct_seconds: direct_elapsed.as_secs_f64(),
-                direct_rps: total_requests as f64 / direct_elapsed.as_secs_f64().max(1e-12),
+                frontend_seconds: frontend_elapsed,
+                frontend_rps: total_requests as f64 / frontend_elapsed.max(1e-12),
+                direct_seconds: direct_elapsed,
+                direct_rps: total_requests as f64 / direct_elapsed.max(1e-12),
+                wire_seconds: wire_elapsed,
+                wire_rps: total_requests as f64 / wire_elapsed.max(1e-12),
+                bulk_seconds: bulk_elapsed,
+                bulk_rps: total_requests as f64 / bulk_elapsed.max(1e-12),
             }
         })
         .collect()
@@ -591,16 +738,21 @@ pub fn frontend_rows(
 
 /// Renders frontend rows as aligned text.
 pub fn render_frontend(rows: &[FrontendRow]) -> String {
-    let mut out =
-        String::from("Batch  Requests  Workers  Frontend (s / req/s)        Direct (s / req/s)\n");
+    let mut out = String::from(
+        "Batch  Requests  Workers  Frontend (s / req/s)        Wire (s / req/s)            Bulk wire (s / req/s)       Direct (s / req/s)\n",
+    );
     for r in rows {
         out.push_str(&format!(
-            "{:<6} {:>8}  {:>7}  {:>8.4} / {:<12.0} {:>8.4} / {:<12.0}\n",
+            "{:<6} {:>8}  {:>7}  {:>8.4} / {:<12.0} {:>8.4} / {:<12.0} {:>8.4} / {:<12.0} {:>8.4} / {:<12.0}\n",
             r.batch_size,
             r.requests,
             r.workers,
             r.frontend_seconds,
             r.frontend_rps,
+            r.wire_seconds,
+            r.wire_rps,
+            r.bulk_seconds,
+            r.bulk_rps,
             r.direct_seconds,
             r.direct_rps,
         ));
@@ -1137,6 +1289,8 @@ pub fn serve_rows_to_json(
                 "    {{\"batch_size\": {}, \"requests\": {}, \"workers\": {}, ",
                 "\"capped_by_host\": {}, ",
                 "\"frontend_seconds\": {:.6}, \"frontend_rps\": {:.1}, ",
+                "\"wire_seconds\": {:.6}, \"wire_rps\": {:.1}, ",
+                "\"bulk_seconds\": {:.6}, \"bulk_rps\": {:.1}, ",
                 "\"direct_seconds\": {:.6}, \"direct_rps\": {:.1}}}{}\n"
             ),
             r.batch_size,
@@ -1145,6 +1299,10 @@ pub fn serve_rows_to_json(
             capped_by_host(r.workers),
             r.frontend_seconds,
             r.frontend_rps,
+            r.wire_seconds,
+            r.wire_rps,
+            r.bulk_seconds,
+            r.bulk_rps,
             r.direct_seconds,
             r.direct_rps,
             if i + 1 == frontend.len() { "" } else { "," },
@@ -1618,7 +1776,8 @@ mod tests {
         assert_eq!(frontend.len(), 2);
         for f in &frontend {
             assert_eq!(f.requests, 200);
-            assert!(f.frontend_rps > 0.0 && f.direct_rps > 0.0);
+            assert!(f.frontend_rps > 0.0 && f.wire_rps > 0.0 && f.bulk_rps > 0.0);
+            assert!(f.direct_rps > 0.0);
         }
         assert!(render_frontend(&frontend).contains("req/s"));
         let transport = vec![
